@@ -1,0 +1,28 @@
+"""Ablation — conductance vs the spectral gap (Section 3.2).
+
+The paper ties slow mixing to community structure through conductance.
+This bench computes, per dataset, the rigorous spectral sandwich
+``(1 - mu)/2 <= Phi(sweep cut) <= sqrt(2 (1 - lambda2))`` and checks the
+slow-mixing stand-ins expose far sparser cuts than the fast ones.
+"""
+
+from repro.experiments import render_table, run_conductance_ablation
+
+
+def test_conductance_ablation(benchmark, config, save_result):
+    table = benchmark.pedantic(
+        lambda: run_conductance_ablation(config), rounds=1, iterations=1
+    )
+    save_result("ablation_conductance", render_table(table))
+
+    rows = {row[0]: row for row in table.rows}
+    for name, row in rows.items():
+        lower = float(row[2])
+        sweep = float(row[3])
+        cheeger_hi = float(row[4])
+        assert lower <= sweep + 1e-6, name
+        assert sweep <= cheeger_hi + 1e-6, name
+
+    # Slow-mixing graphs expose much sparser cuts.
+    assert float(rows["physics1"][3]) < float(rows["wiki_vote"][3]) / 5
+    assert float(rows["livejournal_a"][3]) < float(rows["facebook"][3]) / 10

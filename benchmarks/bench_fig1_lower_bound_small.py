@@ -1,0 +1,33 @@
+"""Figure 1 — lower bound of the mixing time, small datasets.
+
+Shape assertions (paper: "physics co-authorship, Enron, and Epinion ...
+a mixing time of 200 to 400 is required to achieve eps = 0.1"): the
+acquaintance curves cross eps = 0.1 in the hundreds of steps while the
+fast OSNs stay under ~20.
+"""
+
+from repro.experiments import render_figure, run_figure1
+
+
+def _length_at(series, eps: float) -> float:
+    import numpy as np
+
+    order = np.argsort(series.x)
+    return float(np.interp(eps, series.x[order], series.y[order]))
+
+
+def test_fig1_lower_bound_small(benchmark, config, save_result):
+    figure = benchmark.pedantic(lambda: run_figure1(config), rounds=1, iterations=1)
+    save_result("fig1_lower_bound_small", render_figure(figure))
+
+    series = {s.label: s for s in figure.panels["main"]}
+    for slow in ("Physics 1", "Physics 3", "Enron", "Epinion"):
+        assert 100 <= _length_at(series[slow], 0.1) <= 900, slow
+    for fast in ("Wiki-vote", "Facebook"):
+        assert _length_at(series[fast], 0.1) < 25, fast
+    # Every curve decreases with epsilon.
+    for s in series.values():
+        import numpy as np
+
+        order = np.argsort(s.x)
+        assert np.all(np.diff(s.y[order]) <= 1e-9)

@@ -1,0 +1,29 @@
+"""Figure 2 — lower bound of the mixing time, large datasets.
+
+Shape assertions (paper: "while it is about 1500 to 2500 in case of
+Livejournal, it ranges from 100 to about 400 in case of DBLP, Youtube,
+and Facebook"): the LiveJournal curves dominate every other large curve
+by a wide factor at eps = 0.1.
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure, run_figure2
+
+
+def _length_at(series, eps: float) -> float:
+    order = np.argsort(series.x)
+    return float(np.interp(eps, series.x[order], series.y[order]))
+
+
+def test_fig2_lower_bound_large(benchmark, config, save_result):
+    figure = benchmark.pedantic(lambda: run_figure2(config), rounds=1, iterations=1)
+    save_result("fig2_lower_bound_large", render_figure(figure))
+
+    series = {s.label: s for s in figure.panels["main"]}
+    lj = min(_length_at(series["Livejournal A"], 0.1), _length_at(series["Livejournal B"], 0.1))
+    assert lj > 1000
+    for moderate in ("DBLP", "Youtube", "Facebook A", "Facebook B"):
+        t = _length_at(series[moderate], 0.1)
+        assert 80 <= t <= 700, (moderate, t)
+        assert lj > 3 * t

@@ -1,0 +1,26 @@
+"""Figure 3 — CDF of the variation distance at short walks (physics).
+
+Shape assertions: CDFs shift left (stochastically smaller distances) as
+the walk grows, yet at w = 40 the bulk of sources is still far from
+stationarity — the distances SybilLimit's 10-15-step walks would see are
+nowhere near eps = Theta(1/n).
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure, run_figure3
+
+
+def test_fig3_cdf_short_walks(benchmark, config, save_result):
+    figure = benchmark.pedantic(lambda: run_figure3(config), rounds=1, iterations=1)
+    save_result("fig3_cdf_short_walks", render_figure(figure))
+
+    for panel, series_list in figure.panels.items():
+        series = {s.label: s for s in series_list}
+        medians = [float(np.median(series[f"w={w}"].x)) for w in config.short_walks]
+        # Monotone improvement with walk length.
+        assert all(a >= b for a, b in zip(medians, medians[1:])), panel
+        # Still badly mixed at w = 40.
+        assert medians[-1] > 0.2, panel
+        # At w in {10, 15} (the Sybil defense regime) the bulk is far out.
+        assert float(np.median(series["w=10"].x)) > 0.4, panel

@@ -1,0 +1,26 @@
+"""Figure 4 — CDF of the variation distance at long walks (physics).
+
+Shape assertions: even hundreds of steps leave a slow tail of sources
+("except in a few cases ... the mixing time of the majority of nodes is
+larger than anticipated"), while the median keeps improving.
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure, run_figure4
+
+
+def test_fig4_cdf_long_walks(benchmark, config, save_result):
+    figure = benchmark.pedantic(lambda: run_figure4(config), rounds=1, iterations=1)
+    save_result("fig4_cdf_long_walks", render_figure(figure))
+
+    walks = [w for w in config.long_walks if w <= config.max_walk]
+    for panel, series_list in figure.panels.items():
+        series = {s.label: s for s in series_list}
+        medians = [float(np.median(series[f"w={w}"].x)) for w in walks]
+        assert all(a >= b - 1e-9 for a, b in zip(medians, medians[1:])), panel
+        # The longest walk's median is well below the shortest's ...
+        assert medians[-1] < medians[0]
+        # ... but the worst tail has still not converged to eps = 1e-2.
+        worst_tail = float(series[f"w={walks[-1]}"].x.max())
+        assert worst_tail > 0.01, panel

@@ -1,0 +1,39 @@
+"""Figure 6 — the DBLP low-degree trimming study.
+
+Shape assertions: trimming monotonically shrinks the graph, the heavily
+trimmed graph's *average* mixing beats the untrimmed one at the fixed
+walk length 100 (the paper's "variation distance is reduced from about
+0.2 to 0.03" observation, scaled), and the membership cost is large
+(DBLP 5 keeps a minority of DBLP 1's nodes; the paper: 145,497 of
+614,981).
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure, render_table, run_figure6, trim_levels, trim_summary_table
+
+
+def test_fig6_trimming(benchmark, config, save_result):
+    levels = benchmark.pedantic(
+        lambda: trim_levels(config, dataset="dblp"), rounds=1, iterations=1
+    )
+    figure = run_figure6(config, dataset="dblp")
+    save_result("fig6_trimming", render_figure(figure))
+    save_result("fig6_trimming_table", render_table(trim_summary_table(levels)))
+
+    sizes = [lvl.graph.num_nodes for lvl in levels]
+    assert sizes == sorted(sizes, reverse=True)
+
+    # Average-mixing improvement at the shared checkpoint w = 100.
+    idx = list(levels[0].walk_lengths).index(100)
+    first = levels[0].avg_distance[idx]
+    last = levels[-1].avg_distance[idx]
+    assert last < first
+
+    # Large membership cost: DBLP 5 keeps well under half of DBLP 1.
+    assert sizes[-1] < 0.45 * sizes[0]
+
+    # The mixing trend across levels is downward overall (individual
+    # levels may wobble: small cores are spectrally noisy).
+    avg_at_100 = [lvl.avg_distance[idx] for lvl in levels]
+    assert np.mean(avg_at_100[-2:]) < np.mean(avg_at_100[:2])

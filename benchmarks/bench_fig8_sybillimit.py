@@ -1,0 +1,40 @@
+"""Figure 8 — SybilLimit admission rate vs random-route length.
+
+Runs the full SybilLimit implementation (r = r0 sqrt(m) random-route
+instances, tail intersection + balance) with no attacker on the paper's
+five Figure 8 datasets and sweeps the route length.
+
+Shape assertions: admission grows with w; the physics graphs need
+w >> 15 to admit >= 90% of honest suspects (the headline implication);
+the OSN-style graphs admit much sooner.
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure, run_figure8
+
+
+def test_fig8_sybillimit(benchmark, config, save_result):
+    figure = benchmark.pedantic(lambda: run_figure8(config), rounds=1, iterations=1)
+    save_result("fig8_sybillimit", render_figure(figure))
+
+    series = {s.label.split(" ")[0]: s for s in figure.panels["main"]}
+
+    def w_for(name, target):
+        s = series[name]
+        hits = np.flatnonzero(s.y >= target)
+        return int(s.x[hits[0]]) if hits.size else None
+
+    for name, s in series.items():
+        # Admission roughly increases along the sweep (tail noise aside).
+        assert s.y[-1] >= s.y[0], name
+        assert s.y[-1] > 90.0, name
+
+    for slow in ("physics1", "physics2", "physics3"):
+        w90 = w_for(slow, 90.0)
+        assert w90 is not None and w90 > 15, (slow, w90)
+
+    # The Slashdot stand-in reaches 90% far sooner than the physics ones.
+    w_fast = w_for("slashdot1", 90.0)
+    w_slow = min(w_for(p, 90.0) for p in ("physics1", "physics2", "physics3"))
+    assert w_fast is not None and w_fast < w_slow

@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the measurement pipeline's hot operations.
+
+Unlike the table/figure benches (single-round experiment reproductions),
+these time the primitives with pytest-benchmark's statistical repetition
+so performance regressions in the substrate are visible:
+
+* SLEM via the sparse Lanczos back-end,
+* one block distribution-evolution step (the Figure 3-7 inner loop),
+* one full-system random-route advancement step (the Figure 8 inner loop),
+* BFS sampling,
+* graph construction from an edge array.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TransitionOperator, slem
+from repro.datasets import load_cached
+from repro.graph import Graph
+from repro.sampling import bfs_sample
+from repro.sybil import RouteInstances
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return load_cached("physics1")
+
+
+@pytest.fixture(scope="module")
+def large_graph():
+    return load_cached("facebook_a")
+
+
+def test_micro_slem_sparse(benchmark, medium_graph):
+    result = benchmark(lambda: slem(medium_graph))
+    assert 0.99 < result < 1.0
+
+
+def test_micro_block_evolution_step(benchmark, large_graph):
+    operator = TransitionOperator(large_graph)
+    matrix = operator.matrix()
+    n = large_graph.num_nodes
+    block = np.zeros((64, n))
+    block[np.arange(64), np.arange(64)] = 1.0
+
+    out = benchmark(lambda: block @ matrix)
+    assert out.shape == (64, n)
+    assert np.allclose(out.sum(axis=1), 1.0)
+
+
+def test_micro_route_advancement(benchmark, medium_graph):
+    routes = RouteInstances(medium_graph, 1, seed=3)
+    table = routes.single_instance(0)
+    slots = np.arange(table.size)
+
+    out = benchmark(lambda: table[slots])
+    assert np.unique(out).size == slots.size
+
+
+def test_micro_bfs_sample(benchmark, large_graph):
+    sub, _map = benchmark(lambda: bfs_sample(large_graph, 2000, seed=11))
+    assert sub.num_nodes <= 2000
+
+
+def test_micro_graph_construction(benchmark, medium_graph):
+    edges = medium_graph.edges()
+    n = medium_graph.num_nodes
+    g = benchmark(lambda: Graph.from_edges(edges, num_nodes=n))
+    assert g == medium_graph
+
+
+def test_micro_slem_power_backend(benchmark, medium_graph):
+    from repro.core import transition_spectrum_extremes
+
+    result = benchmark(
+        lambda: transition_spectrum_extremes(medium_graph, method="power")
+    )
+    assert 0.99 < result.slem < 1.0
+
+
+def test_micro_escape_probability(benchmark, medium_graph):
+    from repro.sybil import attach_sybil_region, escape_probability, random_sybil_region
+
+    scen = attach_sybil_region(
+        medium_graph, random_sybil_region(200, seed=5), 5, seed=6
+    )
+    esc = benchmark(lambda: escape_probability(scen, [10, 40, 160]))
+    assert np.all(np.diff(esc) > 0)
+
+
+def test_micro_louvain(benchmark, medium_graph):
+    from repro.community import louvain, modularity
+
+    labels = benchmark(lambda: louvain(medium_graph, seed=9))
+    assert modularity(medium_graph, labels) > 0.5

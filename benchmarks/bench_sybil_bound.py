@@ -1,0 +1,36 @@
+"""Ablation — accepted sybils vs attack edges and route length (Section 5).
+
+The paper: "It is then easy to compute the number of accepted Sybil
+identities which is t * g".  This bench attaches sybil regions with
+varying g, sweeps w, and checks accepted sybils (a) grow with w, (b)
+stay under the g * w bound, and (c) longer walks buy honest admission at
+the price of more accepted sybils — the exact trade-off of Section 5.
+"""
+
+from repro.experiments import render_table, run_sybil_bound_ablation
+
+
+def test_sybil_bound_ablation(benchmark, config, save_result):
+    table = benchmark.pedantic(
+        lambda: run_sybil_bound_ablation(config), rounds=1, iterations=1
+    )
+    save_result("ablation_sybil_bound", render_table(table))
+
+    cells = [
+        (int(row[0]), int(row[1]), int(row[2]), float(row[4]))
+        for row in table.rows
+    ]
+    by_g = {}
+    for g, w, accepted, honest in cells:
+        by_g.setdefault(g, []).append((w, accepted, honest))
+
+    for g, series in by_g.items():
+        series.sort()
+        accepted = [a for _w, a, _h in series]
+        honest = [h for _w, _a, h in series]
+        # More sybils and more honest admission as walks lengthen.
+        assert accepted[-1] >= accepted[0], g
+        assert honest[-1] >= honest[0], g
+        # The g * w bound holds with slack for the per-tail cap.
+        for w, a, _h in series:
+            assert a <= g * w * 2, (g, w, a)

@@ -1,0 +1,30 @@
+"""Extension bench — SybilGuard admission vs route length (Section 2).
+
+"Experiments done in the SybilGuard paper are similar": one route
+instance, node-level intersection.  Asserts the Figure 8 analogue: on
+the slow-mixing graph even Θ(sqrt(n log n)) routes leave a large honest
+fraction unadmitted, while the fast OSN is fully admitted by w = 20.
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure, run_sybilguard_admission
+
+
+def test_sybilguard_admission(benchmark, config, save_result):
+    figure = benchmark.pedantic(
+        lambda: run_sybilguard_admission(config), rounds=1, iterations=1
+    )
+    save_result("ext_sybilguard_admission", render_figure(figure))
+
+    series = {s.label.split(" ")[0]: s for s in figure.panels["main"]}
+    slow = series["physics1"]
+    fast = series["wiki_vote"]
+    # Admission improves with route length on both graphs.
+    assert slow.y[-1] > slow.y[0]
+    assert fast.y[-1] >= fast.y[0]
+    # Fast OSN: complete admission by w = 20.
+    idx20 = int(np.flatnonzero(fast.x == 20)[0])
+    assert fast.y[idx20] > 95.0
+    # Slow graph: even the longest swept route falls short of 95%.
+    assert slow.y[-1] < 95.0

@@ -1,0 +1,35 @@
+"""Extension bench — SybilRank's O(log n) premise vs measured mixing.
+
+Asserts: on the fast OSN the AUC is essentially saturated by the O(log n)
+termination point, while the slow-mixing acquaintance graph's AUC at
+O(log n) is measurably below its own plateau, which it only reaches at
+iteration counts comparable to the measured mixing time (hundreds).
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure
+from repro.experiments.sybilrank_iterations import run_sybilrank_iterations
+
+
+def test_sybilrank_iterations(benchmark, config, save_result):
+    figure = benchmark.pedantic(
+        lambda: run_sybilrank_iterations(config), rounds=1, iterations=1
+    )
+    save_result("ext_sybilrank_iterations", render_figure(figure))
+
+    series = {s.label.split(" ")[0]: s for s in figure.panels["main"]}
+    slow = series["physics1"]
+    fast = series["wiki_vote"]
+
+    def auc_at(s, iters):
+        return float(s.y[np.flatnonzero(s.x == iters)[0]])
+
+    # Fast OSN: saturated at ~log n (the grid point 10 ~ log2(2300)).
+    assert auc_at(fast, 10) > 0.98
+    # Slow graph: below its own plateau at log-n iterations...
+    plateau = slow.y.max()
+    assert auc_at(slow, 10) < plateau - 0.02
+    # ... and the plateau is only reached at >= 100 iterations.
+    reach = slow.x[np.flatnonzero(slow.y >= plateau - 0.005)[0]]
+    assert reach >= 100

@@ -1,0 +1,30 @@
+"""Table 1 — SLEM of every dataset's transition matrix.
+
+Regenerates the paper's Table 1 on the synthetic stand-ins: node count,
+edge count and the second largest eigenvalue modulus mu per dataset.
+Shape assertions: every acquaintance-trust graph has a larger mu than
+every weak-trust OSN, and LiveJournal's mu is the largest of the large
+datasets.
+"""
+
+from repro.experiments import render_table, run_table1, table1_result
+
+
+def test_table1_slem(benchmark, config, save_result):
+    rows = benchmark.pedantic(lambda: run_table1(config), rounds=1, iterations=1)
+    save_result("table1_slem", render_table(table1_result(rows)))
+
+    by_name = {row.name: row for row in rows}
+    assert len(rows) == 15
+    for row in rows:
+        assert 0.0 < row.mu < 1.0
+
+    # Trust-model ordering: acquaintance graphs mix slower than OSNs.
+    acquaintance_mus = [r.mu for r in rows if r.category == "acquaintance"]
+    osn_small_mus = [by_name["wiki_vote"].mu, by_name["facebook"].mu]
+    assert min(acquaintance_mus) > max(osn_small_mus)
+
+    # LiveJournal is the slowest large dataset.
+    lj = max(by_name["livejournal_a"].mu, by_name["livejournal_b"].mu)
+    for other in ("dblp", "youtube", "facebook_a", "facebook_b"):
+        assert lj > by_name[other].mu

@@ -1,0 +1,34 @@
+"""Extension bench — trust-aware walks slow mixing (Sections 5-6).
+
+The paper's future work ("considering the trust model ... as a
+parameter") concretised: similarity weighting and originator bias both
+push the variation-distance curves up, monotonically in the trust
+strength, with the originator bias flooring above ~beta forever.
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure, run_trust_models
+
+
+def test_trust_models(benchmark, config, save_result):
+    figure = benchmark.pedantic(
+        lambda: run_trust_models(config, betas=(0.05, 0.2)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ext_trust_models", render_figure(figure))
+
+    series = {s.label: s for s in figure.panels["main"]}
+    plain = series["plain walk"].y
+    weighted = series["similarity-weighted walk"].y
+    beta_small = series["originator-biased beta=0.05"].y
+    beta_large = series["originator-biased beta=0.2"].y
+
+    assert plain[-1] < beta_small[-1] < beta_large[-1]
+    assert plain[-1] <= weighted[-1] + 1e-9
+    # Originator bias never mixes: the floor is at least ~beta.
+    assert beta_large[-1] >= 0.19
+    assert beta_small[-1] >= 0.04
+    # The plain walk keeps improving over the sweep.
+    assert plain[-1] < plain[0]

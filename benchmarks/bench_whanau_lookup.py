@@ -1,0 +1,34 @@
+"""Extension bench — Whānau's lookup utility vs walk length (Section 2).
+
+The system-level consequence of slow mixing: Whānau routing tables built
+with short walks fail lookups on acquaintance graphs while the same
+walk lengths suffice on fast OSNs.  Asserts the success-rate curve rises
+with w on physics1, stays near-perfect on wiki_vote, and that the walk
+length physics1 needs for 90 % success exceeds the O(log n) regime.
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure
+from repro.experiments.whanau_lookup import run_whanau_lookup
+
+
+def test_whanau_lookup(benchmark, config, save_result):
+    figure = benchmark.pedantic(
+        lambda: run_whanau_lookup(config), rounds=1, iterations=1
+    )
+    save_result("ext_whanau_lookup", render_figure(figure))
+
+    series = {s.label: s for s in figure.panels["main"]}
+    slow = series["physics1"]
+    fast = series["wiki_vote"]
+
+    # Monotone-ish improvement and eventual success on the slow graph.
+    assert slow.y[-1] > 0.9
+    assert slow.y[-1] > slow.y[0] + 0.4
+    # The fast OSN is already fine at the shortest walks.
+    assert fast.y.min() > 0.85
+
+    # Walk length needed for 90% on physics1 is beyond the 10-15 regime.
+    w90 = slow.x[np.flatnonzero(slow.y >= 0.9)[0]]
+    assert w90 > 15

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Every benchmark reproduces one paper table/figure via
+``benchmark.pedantic(..., rounds=1)`` (experiments are deterministic and
+heavy — statistical timing repetition would multiply minutes for no
+insight), asserts the series' *shape* against the paper's claims, and
+writes the rendered output to ``benchmarks/results/<name>.txt`` so the
+reproduction is inspectable after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import FAST, ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """Fast-mode configuration (paper-scale runs: ``repro-mixing --full``)."""
+    return FAST
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a rendered table/figure under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _save

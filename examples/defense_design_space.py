@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""A tour of the walk-length design space across six Sybil defenses.
+
+Every social-network Sybil defense picks a walk/iteration budget, and
+the paper's finding — real social graphs mix slowly — stresses each one
+differently.  This example runs the whole family on one slow-mixing
+graph and prints where each design's budget sits relative to the
+measured mixing time:
+
+* SybilGuard / SybilLimit: routes must be ~ the mixing time (too short
+  rejects honest nodes);
+* SybilRank: iterations must *reach* the honest region's mixing time but
+  stop before the attack cut equilibrates;
+* Whānau: table-building walks must be ~ the mixing time or lookups fail;
+* SybilInfer / SumUp: trace length / ticket radius play the same role.
+
+Run:  python examples/defense_design_space.py
+"""
+
+import numpy as np
+
+from repro.core import mixing_time_lower_bound, slem
+from repro.datasets import load_dataset
+from repro.sybil import (
+    SybilLimit,
+    SybilLimitParams,
+    attach_sybil_region,
+    build_whanau,
+    lookup_success_rate,
+    no_attack_scenario,
+    random_sybil_region,
+    ranking_quality,
+    recommended_iterations,
+    sybilrank,
+)
+
+DATASET = "physics1"
+SEED = 7
+
+
+def main() -> None:
+    honest = load_dataset(DATASET)
+    mu = slem(honest)
+    t_mix = mixing_time_lower_bound(mu, 0.1)
+    log_n = recommended_iterations(honest.num_nodes)
+    print(f"{DATASET}: n={honest.num_nodes:,}, mu={mu:.4f}, "
+          f"T_lb(0.1)={t_mix:.0f}, log2(n)={log_n}\n")
+
+    # SybilLimit admission at the literature's budget vs the mixing time.
+    protocol = SybilLimit(
+        no_attack_scenario(honest), SybilLimitParams(route_length=200), seed=SEED
+    )
+    rng = np.random.default_rng(SEED)
+    suspects = np.sort(rng.choice(np.arange(1, honest.num_nodes), 200, replace=False))
+    outcomes = protocol.admission_sweep(0, [15, int(t_mix)], suspects=suspects, seed=SEED)
+    print("SybilLimit honest admission:")
+    for o in outcomes:
+        tag = "(literature's budget)" if o.route_length == 15 else "(~measured T_mix)"
+        print(f"   w={o.route_length:4d}: {o.admission_rate:6.1%}  {tag}")
+
+    # SybilRank ranking quality at its O(log n) budget vs longer.
+    scenario = attach_sybil_region(
+        honest, random_sybil_region(300, seed=SEED), 5, seed=SEED + 1
+    )
+    seeds = [0] + [int(v) for v in honest.neighbors(0)]
+    print("\nSybilRank honest-vs-sybil AUC:")
+    for iters, tag in ((log_n, "(its own O(log n) rule)"), (int(t_mix), "(~measured T_mix)")):
+        result = sybilrank(scenario, seeds, iterations=iters)
+        print(f"   iters={iters:4d}: {ranking_quality(result, scenario):.3f}  {tag}")
+
+    # Whanau lookups at short vs mixing-scale walks.
+    print("\nWhanau lookup success:")
+    for w, tag in ((10, "(an O(log n)-scale walk)"), (min(int(t_mix), 300), "(~measured T_mix)")):
+        tables = build_whanau(honest, w, seed=SEED)
+        stats = lookup_success_rate(tables, num_lookups=250, seed=SEED)
+        print(f"   w={w:4d}: {stats.success_rate:6.1%}  {tag}")
+
+    print("\nEvery design's knob lands in the same place: the measured mixing")
+    print("time of the honest region - which the paper shows is 10-100x the")
+    print("O(log n) the analyses assumed.")
+
+
+if __name__ == "__main__":
+    main()

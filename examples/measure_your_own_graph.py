@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Measure the mixing time of *your* graph from a SNAP edge list.
+
+This is the workflow for replacing the synthetic stand-ins with real
+data: point the script at any SNAP-format edge list (``# comments``,
+whitespace-separated pairs, ``.gz`` supported) and it runs the paper's
+full preprocessing + measurement pipeline:
+
+1. symmetrise (directed -> undirected) and take the largest connected
+   component;
+2. compute the SLEM and the equation (4) bounds over an epsilon sweep;
+3. sample per-source mixing at several walk lengths and report the
+   percentile bands of Figures 5/7.
+
+Run:  python examples/measure_your_own_graph.py [path/to/edges.txt]
+(with no argument, a demo edge list is generated first).
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    PAPER_BANDS,
+    lower_bound_curve,
+    measure_mixing,
+    percentile_bands,
+    transition_spectrum_extremes,
+)
+from repro.graph import largest_connected_component, load_graph, write_edge_list
+
+
+def demo_edge_list() -> Path:
+    """Write a small community-structured demo graph to a temp file."""
+    from repro.generators import community_powerlaw
+
+    graph, _labels = community_powerlaw(
+        1500, 2.5, 0.05, target_edges=5000, num_communities=15, seed=11
+    )
+    path = Path(tempfile.mkstemp(suffix=".txt")[1])
+    write_edge_list(graph, path, header="demo community_powerlaw graph")
+    print(f"(no input given; wrote a demo edge list to {path})\n")
+    return path
+
+
+def main() -> None:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else demo_edge_list()
+
+    raw = load_graph(path)
+    graph, node_map = largest_connected_component(raw)
+    print(f"loaded {path.name}: n={raw.num_nodes:,}, m={raw.num_edges:,}")
+    print(f"largest connected component: n={graph.num_nodes:,}, m={graph.num_edges:,}\n")
+
+    spectrum = transition_spectrum_extremes(graph)
+    print(f"SLEM mu = {spectrum.slem:.5f} (spectral gap {spectrum.gap:.5f})")
+    curve = lower_bound_curve(spectrum.slem, eps_min=1e-3, eps_max=0.25, points=5)
+    print("equation (4) lower bound:")
+    for eps, length in zip(curve.epsilons, curve.lengths):
+        print(f"   T({eps:7.4f}) >= {length:8.1f}")
+
+    walks = [5, 10, 20, 40, 80, 160]
+    sources = min(200, graph.num_nodes)
+    measurement = measure_mixing(graph, walks, sources=sources, seed=3)
+    bands = percentile_bands(measurement, PAPER_BANDS)
+    print(f"\nsampled variation distance ({sources} sources):")
+    print(f"   {'w':>5s} {'best 10%':>10s} {'median 20%':>11s} {'worst 10%':>10s}")
+    for j, w in enumerate(walks):
+        print(
+            f"   {w:5d} {bands.band('best10')[j]:10.4f} "
+            f"{bands.band('median20')[j]:11.4f} {bands.band('worst10')[j]:10.4f}"
+        )
+
+    worst = measurement.worst_case()
+    reached = np.flatnonzero(worst < 0.1)
+    if reached.size:
+        print(f"\nworst source reaches eps=0.1 by w={walks[int(reached[0])]}")
+    else:
+        print(f"\nworst source still at eps={worst[-1]:.3f} after w={walks[-1]} "
+              "- this graph is slow mixing (extend the sweep)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: measure the mixing time of a social graph both ways.
+
+Loads one slow-mixing stand-in (physics co-authorship) and one fast OSN
+(wiki-vote), then measures each exactly as the paper does:
+
+1. spectrally — SLEM of the transition matrix + equation (4) bounds;
+2. by definition — evolve point-mass distributions and find the walk
+   length where the variation distance drops below epsilon.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    estimate_mixing_time,
+    fast_mixing_walk_length,
+    mixing_time_lower_bound,
+    mixing_time_upper_bound,
+    transition_spectrum_extremes,
+)
+from repro.datasets import get_spec, load_dataset
+
+EPSILON = 0.1
+
+
+def measure(name: str) -> None:
+    spec = get_spec(name)
+    graph = load_dataset(name)
+    print(f"== {spec.table1_label} ({spec.category}) ==")
+    print(f"   stand-in: n={graph.num_nodes:,}, m={graph.num_edges:,} "
+          f"(paper: n={spec.paper_nodes:,}, m={spec.paper_edges:,})")
+
+    # Method 1: the second largest eigenvalue modulus (Theorem 2).
+    spectrum = transition_spectrum_extremes(graph)
+    lower = mixing_time_lower_bound(spectrum.slem, EPSILON)
+    upper = mixing_time_upper_bound(spectrum.slem, EPSILON, graph.num_nodes)
+    print(f"   SLEM mu = {spectrum.slem:.5f}  (lambda2={spectrum.lambda2:.5f}, "
+          f"lambda_min={spectrum.lambda_min:.5f})")
+    print(f"   equation (4): {lower:.0f} <= T({EPSILON}) <= {upper:.0f}")
+
+    # Method 2: definition-based sampling (equation (2)), 100 sources.
+    estimate = estimate_mixing_time(graph, EPSILON, sources=100, seed=7, max_steps=20_000)
+    print(f"   sampled (100 sources): worst T({EPSILON}) = {estimate.walk_length}, "
+          f"average = {estimate.average_walk_length:.0f}")
+
+    yardstick = fast_mixing_walk_length(spec.paper_nodes)
+    print(f"   vs the literature's O(log n) yardstick: {yardstick:.0f} steps, "
+          f"SybilGuard/SybilLimit used 10-15\n")
+
+
+def main() -> None:
+    for name in ("physics1", "wiki_vote"):
+        measure(name)
+    print("The paper's headline finding, in two graphs: acquaintance-trust")
+    print("networks need walks one to two orders of magnitude longer than")
+    print("the Sybil-defense literature assumed; weak-trust OSNs come closer.")
+
+
+if __name__ == "__main__":
+    main()

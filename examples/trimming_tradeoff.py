@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The trimming trade-off: better mixing for fewer members (Figure 6).
+
+SybilGuard/SybilLimit preprocessed their graphs by iteratively deleting
+low-degree nodes, which shortens the mixing time — but the paper shows
+the price: DBLP loses ~75% of its nodes at min-degree 5.  This example
+replays the study on the DBLP stand-in and prints the full trade-off
+curve: nodes kept, SLEM, bound on T(0.1), and the average variation
+distance at the fixed walk length w=100.
+
+Run:  python examples/trimming_tradeoff.py
+"""
+
+from repro.core import measure_mixing, mixing_time_lower_bound, slem
+from repro.datasets import load_dataset
+from repro.graph import trim_min_degree
+
+EPSILON = 0.1
+CHECK_WALK = 100
+
+
+def main() -> None:
+    base = load_dataset("dblp")
+    print(f"DBLP stand-in: n={base.num_nodes:,}, m={base.num_edges:,}\n")
+    print(f"{'min deg':>8s} {'nodes':>7s} {'kept':>6s} {'mu':>8s} "
+          f"{'T_lb(0.1)':>10s} {'avg eps @ w=100':>16s}")
+
+    for k in (1, 2, 3, 4, 5):
+        trimmed, _node_map = trim_min_degree(base, k)
+        mu = slem(trimmed)
+        bound = mixing_time_lower_bound(mu, EPSILON)
+        sources = min(150, trimmed.num_nodes)
+        measurement = measure_mixing(trimmed, [CHECK_WALK], sources=sources, seed=k)
+        avg = measurement.average_case()[0]
+        kept = trimmed.num_nodes / base.num_nodes
+        print(f"{k:8d} {trimmed.num_nodes:7,} {kept:6.1%} {mu:8.5f} "
+              f"{bound:10.1f} {avg:16.4f}")
+
+    print("\nReading the table: mixing improves down the column, but so does")
+    print("the fraction of users denied service outright - the paper's point")
+    print('("about 75% of nodes are denied joining the service ... to boost')
+    print('the mixing time").')
+
+
+if __name__ == "__main__":
+    main()

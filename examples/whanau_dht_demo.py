@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Whānau DHT utility vs random-walk length.
+
+Whānau builds its routing tables from random-walk samples, assuming
+those samples are (approximately) stationary — i.e. the walk length
+reaches the graph's mixing time.  This demo builds the DHT on a
+slow-mixing co-authorship stand-in and a fast OSN at several walk
+lengths and reports the lookup success rate, making the mixing-time
+assumption's cost tangible at the system level.
+
+Run:  python examples/whanau_dht_demo.py
+"""
+
+from repro.core import mixing_time_lower_bound, slem
+from repro.datasets import load_dataset
+from repro.sybil import build_whanau, lookup_success_rate
+
+WALK_LENGTHS = (2, 5, 10, 20, 40, 80, 160)
+
+
+def main() -> None:
+    print(f"{'dataset':12s} {'T_lb(0.1)':>10s} | " +
+          " ".join(f"w={w:<4d}" for w in WALK_LENGTHS))
+    for name in ("physics1", "wiki_vote"):
+        graph = load_dataset(name)
+        bound = mixing_time_lower_bound(slem(graph), 0.1)
+        rates = []
+        for w in WALK_LENGTHS:
+            tables = build_whanau(graph, w, seed=1)
+            stats = lookup_success_rate(tables, num_lookups=300, seed=2)
+            rates.append(stats.success_rate)
+        cells = " ".join(f"{r:6.2f}" for r in rates)
+        print(f"{name:12s} {bound:10.0f} | {cells}")
+
+    print("\nReading the table: the co-authorship graph (mixing bound in the")
+    print("hundreds) needs walks of ~80-160 before lookups work, while the")
+    print("fast-mixing OSN is near-perfect from w=2. Whanau's O(log n)")
+    print("walk-length assumption is only safe on the second kind of graph")
+    print("- the paper's Section 2 critique, measured end to end.")
+
+
+if __name__ == "__main__":
+    main()

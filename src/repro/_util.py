@@ -1,0 +1,135 @@
+"""Internal helpers shared across :mod:`repro` subpackages.
+
+These utilities are private to the library (not part of the public API),
+but are deliberately small and well-tested because nearly every module
+depends on them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: RngLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh nondeterministic generator), an integer seed,
+    or an existing generator (returned unchanged so callers can thread a
+    single stream through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_probability_vector(p: np.ndarray, *, name: str = "p", atol: float = 1e-8) -> np.ndarray:
+    """Validate that ``p`` is a 1-D probability vector; return it as float64.
+
+    Raises :class:`ValueError` when entries are negative or the vector does
+    not sum to one within ``atol``.
+    """
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} has negative entries (min={arr.min()})")
+    total = arr.sum()
+    if not np.isclose(total, 1.0, atol=atol):
+        raise ValueError(f"{name} must sum to 1, got {total}")
+    return arr
+
+
+def check_node_index(node: int, n: int, *, name: str = "node") -> int:
+    """Validate a node index against graph order ``n`` and return it as int."""
+    idx = int(node)
+    if idx != node:
+        raise ValueError(f"{name} must be an integer, got {node!r}")
+    if not 0 <= idx < n:
+        raise IndexError(f"{name}={idx} out of range for graph with {n} nodes")
+    return idx
+
+
+def unique_sorted_edges(u: np.ndarray, v: np.ndarray) -> tuple:
+    """Canonicalise an undirected edge set.
+
+    Orients every pair so ``u <= v``, drops self-loops and duplicate edges,
+    and returns the deduplicated ``(u, v)`` arrays sorted lexicographically.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if u.shape != v.shape:
+        raise ValueError("u and v must have the same shape")
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    if lo.size == 0:
+        return lo, hi
+    pairs = np.stack([lo, hi], axis=1)
+    pairs = np.unique(pairs, axis=0)
+    return pairs[:, 0], pairs[:, 1]
+
+
+def geometric_grid(lo: float, hi: float, num: int) -> np.ndarray:
+    """A geometric (log-spaced) grid from ``lo`` to ``hi`` inclusive."""
+    if lo <= 0 or hi <= 0:
+        raise ValueError("geometric_grid endpoints must be positive")
+    if num < 2:
+        raise ValueError("geometric_grid needs at least two points")
+    return np.geomspace(lo, hi, num)
+
+
+def percentile_slices(
+    values: np.ndarray,
+    bands: Sequence[tuple],
+) -> dict:
+    """Average ``values`` over percentile bands.
+
+    ``bands`` is a sequence of ``(label, lo_pct, hi_pct)`` triples.  Values
+    are sorted ascending and each band averages the slice between the two
+    percentiles.  Used to reproduce the paper's "top 10 / median 20 /
+    lowest 10 percentile" aggregation (Figure 5 and Figure 7).
+    """
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    n = arr.size
+    if n == 0:
+        raise ValueError("cannot aggregate an empty value array")
+    out = {}
+    for label, lo_pct, hi_pct in bands:
+        if not 0.0 <= lo_pct <= hi_pct <= 100.0:
+            raise ValueError(f"invalid percentile band ({lo_pct}, {hi_pct})")
+        lo_idx = int(np.floor(n * lo_pct / 100.0))
+        hi_idx = int(np.ceil(n * hi_pct / 100.0))
+        hi_idx = max(hi_idx, lo_idx + 1)
+        hi_idx = min(hi_idx, n)
+        lo_idx = min(lo_idx, hi_idx - 1)
+        out[label] = float(arr[lo_idx:hi_idx].mean())
+    return out
+
+
+def format_count(x: int) -> str:
+    """Format an integer with thousands separators (``1234567`` → ``1,234,567``)."""
+    return f"{int(x):,}"
+
+
+def stable_hash_u64(*parts: Iterable) -> int:
+    """A deterministic 64-bit hash of a tuple of ints/strings.
+
+    Python's built-in ``hash`` is salted per process; this one is stable
+    across runs so it can derive per-dataset RNG seeds.
+    """
+    acc = np.uint64(1469598103934665603)  # FNV-1a offset basis
+    prime = np.uint64(1099511628211)
+    with np.errstate(over="ignore"):
+        for part in parts:
+            data = str(part).encode("utf-8")
+            for byte in data:
+                acc = np.uint64(acc ^ np.uint64(byte))
+                acc = np.uint64(acc * prime)
+    return int(acc)

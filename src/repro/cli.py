@@ -1,0 +1,164 @@
+"""Command-line interface: ``repro-mixing <experiment> [--full]``.
+
+Runs any paper experiment and prints its table or figure series as text.
+
+Examples
+--------
+::
+
+    repro-mixing table1
+    repro-mixing fig8 --full
+    repro-mixing all            # every experiment, fast mode
+    repro-mixing list           # show available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from .experiments import (
+    ExperimentConfig,
+    average_case_table,
+    run_average_case,
+    run_directed_conversion,
+    run_trust_models,
+    run_sybilguard_admission,
+    run_sybilrank_iterations,
+    replication_table,
+    run_replication,
+    run_whanau_lookup,
+    run_whanau_tails,
+    render_figure,
+    render_table,
+    run_conductance_ablation,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_sampling_bias_ablation,
+    run_sybil_bound_ablation,
+    run_table1,
+    table1_result,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1(config: ExperimentConfig) -> str:
+    return render_table(table1_result(run_table1(config)))
+
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], str]] = {
+    "table1": _run_table1,
+    "fig1": lambda c: render_figure(run_figure1(c)),
+    "fig2": lambda c: render_figure(run_figure2(c)),
+    "fig3": lambda c: render_figure(run_figure3(c)),
+    "fig4": lambda c: render_figure(run_figure4(c)),
+    "fig5": lambda c: render_figure(run_figure5(c)),
+    "fig6": lambda c: render_figure(run_figure6(c)),
+    "fig7": lambda c: render_figure(run_figure7(c)),
+    "fig8": lambda c: render_figure(run_figure8(c)),
+    "whanau-tails": lambda c: render_figure(run_whanau_tails(c)),
+    "whanau-lookup": lambda c: render_figure(run_whanau_lookup(c)),
+    "sybilguard-admission": lambda c: render_figure(run_sybilguard_admission(c)),
+    "sybilrank-iterations": lambda c: render_figure(run_sybilrank_iterations(c)),
+    "replication": lambda c: render_table(replication_table(run_replication(c))),
+    "average-case": lambda c: render_table(average_case_table(run_average_case(c))),
+    "trust-models": lambda c: render_figure(run_trust_models(c)),
+    "directed-conversion": lambda c: render_figure(run_directed_conversion(c)),
+    "ablation-conductance": lambda c: render_table(run_conductance_ablation(c)),
+    "ablation-sybil-bound": lambda c: render_table(run_sybil_bound_ablation(c)),
+    "ablation-sampling-bias": lambda c: render_table(run_sampling_bias_ablation(c)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mixing",
+        description="Reproduce tables/figures of 'Measuring the Mixing Time of Social Graphs' (IMC 2010)",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'all', 'list', or 'datasets'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run with the paper's full parameters (slower) instead of fast mode",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the master seed",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's text output to DIR/<name>.txt",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("\n".join(EXPERIMENTS))
+        return 0
+    if args.experiment == "datasets":
+        from .datasets import REGISTRY, load_cached
+
+        for spec in REGISTRY.values():
+            graph = load_cached(spec.name)
+            print(
+                f"{spec.name:15s} {spec.category:12s} scale={spec.scale:5s} "
+                f"n={graph.num_nodes:7,} m={graph.num_edges:8,} "
+                f"(paper: n={spec.paper_nodes:,}, m={spec.paper_edges:,})"
+            )
+        return 0
+    config = ExperimentConfig(
+        mode="full" if args.full else "fast",
+        **({"seed": args.seed} if args.seed is not None else {}),
+    )
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    out_dir = None
+    if args.output is not None:
+        from pathlib import Path
+
+        out_dir = Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        start = time.time()
+        output = EXPERIMENTS[name](config)
+        elapsed = time.time() - start
+        print(output)
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(output + "\n", encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; exit quietly the
+        # way well-behaved Unix tools do.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)

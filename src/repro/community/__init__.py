@@ -1,0 +1,17 @@
+"""Community structure: sweep cuts, label propagation, partition quality."""
+
+from .sweep import SweepCut, second_eigenvector, spectral_sweep_cut
+from .label_propagation import label_propagation
+from .louvain import louvain
+from .quality import community_conductances, modularity, worst_community_conductance
+
+__all__ = [
+    "SweepCut",
+    "second_eigenvector",
+    "spectral_sweep_cut",
+    "label_propagation",
+    "louvain",
+    "community_conductances",
+    "modularity",
+    "worst_community_conductance",
+]

@@ -1,0 +1,60 @@
+"""Partition quality measures: modularity and per-community conductance."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..graph import Graph, conductance_of_set
+
+__all__ = ["modularity", "community_conductances", "worst_community_conductance"]
+
+
+def modularity(graph: Graph, labels: np.ndarray) -> float:
+    """Newman modularity Q of a node partition.
+
+    ``Q = (1/2m) * sum_ij (A_ij - d_i d_j / 2m) * [c_i == c_j]``
+    computed from per-community edge and degree sums in O(m).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (graph.num_nodes,):
+        raise ValueError("labels must have one entry per node")
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    edges = graph.edges()
+    same = labels[edges[:, 0]] == labels[edges[:, 1]]
+    num_comms = int(labels.max()) + 1 if labels.size else 0
+    internal = np.zeros(num_comms, dtype=np.float64)
+    np.add.at(internal, labels[edges[:, 0]][same], 1.0)
+    deg_sum = np.zeros(num_comms, dtype=np.float64)
+    np.add.at(deg_sum, labels, graph.degrees.astype(np.float64))
+    return float((internal / m - (deg_sum / (2.0 * m)) ** 2).sum())
+
+
+def community_conductances(graph: Graph, labels: np.ndarray) -> Dict[int, float]:
+    """Conductance of every community's cut against the rest."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out: Dict[int, float] = {}
+    for c in np.unique(labels):
+        members = np.flatnonzero(labels == c)
+        if members.size == graph.num_nodes:
+            continue  # the whole graph has no cut
+        try:
+            out[int(c)] = conductance_of_set(graph, members)
+        except ValueError:
+            continue  # zero-volume side
+    return out
+
+
+def worst_community_conductance(graph: Graph, labels: np.ndarray) -> float:
+    """The smallest community conductance — the partition's bottleneck.
+
+    This is the quantity that lower-bounds the mixing time: a community
+    with conductance phi keeps the SLEM above roughly 1 - 2 phi.
+    """
+    values = community_conductances(graph, labels)
+    if not values:
+        raise ValueError("partition has no valid community cuts")
+    return min(values.values())

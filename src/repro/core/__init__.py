@@ -1,0 +1,117 @@
+"""Core measurement machinery: walks, spectra, distances, mixing times."""
+
+from .distances import (
+    hellinger_distance,
+    kl_divergence,
+    l2_distance,
+    separation_distance,
+    total_variation_distance,
+)
+from .stationary import (
+    edge_stationary_distribution,
+    is_stationary,
+    stationary_distribution,
+    stationary_residual,
+    uniform_distribution,
+)
+from .walks import (
+    TransitionOperator,
+    is_bipartite,
+    simulate_walk,
+    simulate_walk_endpoints,
+)
+from .spectral import (
+    SpectralSummary,
+    cheeger_bounds,
+    conductance_lower_bound,
+    normalized_adjacency,
+    slem,
+    spectral_gap,
+    transition_spectrum_extremes,
+)
+from .bounds import (
+    BoundCurve,
+    epsilon_for_walk_length,
+    fast_mixing_walk_length,
+    lower_bound_curve,
+    mixing_time_lower_bound,
+    mixing_time_upper_bound,
+    upper_bound_curve,
+)
+from .mixing import (
+    MixingTimeEstimate,
+    PerSourceMixing,
+    estimate_mixing_time,
+    measure_mixing,
+    mixing_time_from_source,
+    sample_sources,
+    variation_distance_curve,
+)
+from .directed import (
+    DirectedTransitionOperator,
+    directed_second_eigenvalue_modulus,
+    directed_variation_curve,
+)
+from .trust import (
+    WeightedTransitionOperator,
+    jaccard_arc_weights,
+    originator_biased_curve,
+    weighted_slem,
+)
+from .analysis import (
+    PAPER_BANDS,
+    PercentileBands,
+    cdf_at_walk_length,
+    empirical_cdf,
+    percentile_bands,
+)
+
+__all__ = [
+    "hellinger_distance",
+    "kl_divergence",
+    "l2_distance",
+    "separation_distance",
+    "total_variation_distance",
+    "edge_stationary_distribution",
+    "is_stationary",
+    "stationary_distribution",
+    "stationary_residual",
+    "uniform_distribution",
+    "TransitionOperator",
+    "is_bipartite",
+    "simulate_walk",
+    "simulate_walk_endpoints",
+    "SpectralSummary",
+    "cheeger_bounds",
+    "conductance_lower_bound",
+    "normalized_adjacency",
+    "slem",
+    "spectral_gap",
+    "transition_spectrum_extremes",
+    "BoundCurve",
+    "epsilon_for_walk_length",
+    "fast_mixing_walk_length",
+    "lower_bound_curve",
+    "mixing_time_lower_bound",
+    "mixing_time_upper_bound",
+    "upper_bound_curve",
+    "MixingTimeEstimate",
+    "PerSourceMixing",
+    "estimate_mixing_time",
+    "measure_mixing",
+    "mixing_time_from_source",
+    "sample_sources",
+    "variation_distance_curve",
+    "DirectedTransitionOperator",
+    "directed_second_eigenvalue_modulus",
+    "directed_variation_curve",
+    "WeightedTransitionOperator",
+    "jaccard_arc_weights",
+    "originator_biased_curve",
+    "weighted_slem",
+    "PAPER_BANDS",
+    "PercentileBands",
+    "cdf_at_walk_length",
+    "empirical_cdf",
+    "percentile_bands",
+]

@@ -1,0 +1,93 @@
+"""Aggregation of per-source measurements into the paper's figure series.
+
+The figures aggregate per-source variation distances three ways:
+
+* **CDFs** (Figures 3-4): the empirical CDF of distances across sources
+  at a fixed walk length.
+* **Percentile bands** (Figures 5, 7): "sorting eps at each t and
+  averaging values in various intervals as percentiles" — top 10%,
+  median 20%, lowest 10% bands, plotted against the SLEM lower bound.
+* **Average curves** (Figure 6b): plain means across sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .._util import percentile_slices
+from .mixing import PerSourceMixing
+
+__all__ = [
+    "empirical_cdf",
+    "cdf_at_walk_length",
+    "PercentileBands",
+    "percentile_bands",
+    "PAPER_BANDS",
+]
+
+#: The aggregation bands used in Figures 5 and 7: best (smallest eps)
+#: 10 percent of sources, the middle 20 percent, and the worst 10
+#: percent ("Top 99.9%" in the figure legends refers to the worst tail).
+PAPER_BANDS: Tuple[Tuple[str, float, float], ...] = (
+    ("best10", 0.0, 10.0),
+    ("median20", 40.0, 60.0),
+    ("worst10", 90.0, 100.0),
+)
+
+
+def empirical_cdf(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``values``: returns ``(sorted_values, F)`` with
+    ``F[i] = (i + 1) / n``."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF from no values")
+    return arr, np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+
+
+def cdf_at_walk_length(measurement: PerSourceMixing, walk_length: int) -> Tuple[np.ndarray, np.ndarray]:
+    """The Figure 3/4 series: CDF over sources of the variation distance
+    at one walk length."""
+    return empirical_cdf(measurement.epsilon_at(walk_length))
+
+
+@dataclass(frozen=True)
+class PercentileBands:
+    """Banded aggregation of a :class:`PerSourceMixing` (Figures 5, 7).
+
+    ``bands[label][j]`` is the mean variation distance within that
+    percentile band of sources at ``walk_lengths[j]``.
+    """
+
+    walk_lengths: np.ndarray
+    bands: Dict[str, np.ndarray]
+
+    def band(self, label: str) -> np.ndarray:
+        if label not in self.bands:
+            raise KeyError(f"unknown band {label!r}; have {sorted(self.bands)}")
+        return self.bands[label]
+
+    def labels(self) -> List[str]:
+        return list(self.bands)
+
+
+def percentile_bands(
+    measurement: PerSourceMixing,
+    bands: Sequence[Tuple[str, float, float]] = PAPER_BANDS,
+) -> PercentileBands:
+    """Aggregate per-source distances into percentile bands per walk length.
+
+    At each recorded walk length, source distances are sorted ascending
+    and averaged within each ``(label, lo_pct, hi_pct)`` band.
+    """
+    out: Dict[str, List[float]] = {label: [] for label, _lo, _hi in bands}
+    for j in range(measurement.walk_lengths.size):
+        sliced = percentile_slices(measurement.distances[:, j], bands)
+        for label, value in sliced.items():
+            out[label].append(value)
+    return PercentileBands(
+        walk_lengths=measurement.walk_lengths.copy(),
+        bands={label: np.asarray(vals) for label, vals in out.items()},
+    )

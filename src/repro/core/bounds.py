@@ -1,0 +1,154 @@
+"""Mixing-time bounds from the SLEM (Theorem 2, equation (4)).
+
+For SLEM mu and variation-distance target epsilon:
+
+    lower(eps) = mu / (2 (1 - mu)) * ln(1 / (2 eps))
+    upper(eps) = (ln n + ln(1 / eps)) / (1 - mu)
+
+The paper plots the *lower* bound (Figures 1, 2, 5, 6a, 7) because it is
+the conservative direction for the "slower than anticipated" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._util import geometric_grid
+
+__all__ = [
+    "mixing_time_lower_bound",
+    "mixing_time_upper_bound",
+    "BoundCurve",
+    "lower_bound_curve",
+    "upper_bound_curve",
+    "epsilon_for_walk_length",
+    "fast_mixing_walk_length",
+]
+
+
+def _check_mu(mu: float) -> float:
+    mu = float(mu)
+    if not 0.0 <= mu <= 1.0:
+        raise ValueError(f"mu must be in [0, 1], got {mu}")
+    return mu
+
+
+def _check_eps(epsilon: float) -> float:
+    epsilon = float(epsilon)
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    return epsilon
+
+
+def mixing_time_lower_bound(mu: float, epsilon: float) -> float:
+    """Equation (4), left side.
+
+    Returns ``inf`` for mu = 1 (disconnected/bipartite limit), and 0 when
+    epsilon >= 1/2 (the bound becomes vacuous there since ln(1/2eps) <= 0).
+    """
+    mu = _check_mu(mu)
+    epsilon = _check_eps(epsilon)
+    if mu >= 1.0:
+        return float("inf")
+    value = mu / (2.0 * (1.0 - mu)) * np.log(1.0 / (2.0 * epsilon))
+    return float(max(value, 0.0))
+
+
+def mixing_time_upper_bound(mu: float, epsilon: float, n: int) -> float:
+    """Equation (4), right side (needs the graph order ``n``)."""
+    mu = _check_mu(mu)
+    epsilon = _check_eps(epsilon)
+    if n < 1:
+        raise ValueError("n must be positive")
+    if mu >= 1.0:
+        return float("inf")
+    return float((np.log(n) + np.log(1.0 / epsilon)) / (1.0 - mu))
+
+
+@dataclass(frozen=True)
+class BoundCurve:
+    """A (epsilon, walk-length) curve — the unit the figures plot.
+
+    ``epsilons`` descend-or-ascend freely; ``lengths[i]`` corresponds to
+    ``epsilons[i]``.
+    """
+
+    epsilons: np.ndarray
+    lengths: np.ndarray
+    label: str = ""
+
+    def __post_init__(self):
+        if self.epsilons.shape != self.lengths.shape:
+            raise ValueError("epsilons and lengths must align")
+
+    def length_at(self, epsilon: float) -> float:
+        """Interpolated walk length at ``epsilon`` (log-eps interpolation)."""
+        order = np.argsort(self.epsilons)
+        return float(
+            np.interp(
+                np.log(epsilon),
+                np.log(self.epsilons[order]),
+                self.lengths[order],
+            )
+        )
+
+
+def lower_bound_curve(
+    mu: float,
+    *,
+    eps_min: float = 1e-4,
+    eps_max: float = 0.45,
+    points: int = 64,
+    label: str = "",
+) -> BoundCurve:
+    """The lower-bound curve T_lower(eps) over a geometric epsilon grid."""
+    eps = geometric_grid(eps_min, eps_max, points)
+    lengths = np.asarray([mixing_time_lower_bound(mu, e) for e in eps])
+    return BoundCurve(epsilons=eps, lengths=lengths, label=label)
+
+
+def upper_bound_curve(
+    mu: float,
+    n: int,
+    *,
+    eps_min: float = 1e-4,
+    eps_max: float = 0.45,
+    points: int = 64,
+    label: str = "",
+) -> BoundCurve:
+    """The upper-bound curve T_upper(eps) over a geometric epsilon grid."""
+    eps = geometric_grid(eps_min, eps_max, points)
+    lengths = np.asarray([mixing_time_upper_bound(mu, e, n) for e in eps])
+    return BoundCurve(epsilons=eps, lengths=lengths, label=label)
+
+
+def epsilon_for_walk_length(mu: float, t: float) -> float:
+    """Invert the lower bound: the epsilon the bound guarantees at length t.
+
+    ``eps = exp(-2 t (1 - mu) / mu) / 2``; returns 0.5 at t = 0 and decays
+    geometrically — used to annotate admission-rate experiments with the
+    variation distance a given walk length can promise.
+    """
+    mu = _check_mu(mu)
+    if t < 0:
+        raise ValueError("t must be nonnegative")
+    if mu == 0.0:
+        return 0.5 if t == 0 else 0.0
+    if mu >= 1.0:
+        return 0.5
+    return float(0.5 * np.exp(-2.0 * t * (1.0 - mu) / mu))
+
+
+def fast_mixing_walk_length(n: int, *, constant: float = 1.0) -> float:
+    """The walk length ``O(log n)`` that the Sybil-defense literature
+    assumes suffices (``constant * ln n``).
+
+    SybilGuard/SybilLimit experiments used fixed lengths of 10–15; the
+    paper contrasts measured mixing against this yardstick.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    return float(constant * np.log(n))

@@ -1,0 +1,195 @@
+"""Mixing of *directed* random walks — the paper's future-work direction.
+
+Section 4 converts directed datasets to undirected before measuring; the
+natural follow-up (pursued by the same authors) is to measure the
+directed graphs themselves.  Directed chains need different machinery:
+
+* the stationary distribution has no closed form (it is not
+  degree-proportional), so it is computed by power iteration;
+* the transition matrix is not similar to a symmetric one, so Theorem 2
+  does not apply; the SLEM generalises to the modulus of the second
+  eigenvalue (complex in general), computed with ARPACK, and the
+  definition-based measurement (equation (2)) carries over verbatim.
+
+A *teleporting* variant (PageRank-style: with probability ``1 - damping``
+jump to a uniformly random node) is provided because real directed
+social graphs are rarely strongly aperiodic; teleporting guarantees
+ergodicity at the cost of perturbing the chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError, NotConnectedError
+from ..graph.digraph import DiGraph, strongly_connected_components
+from .._util import check_node_index, check_probability_vector
+from .distances import total_variation_distance
+
+__all__ = [
+    "DirectedTransitionOperator",
+    "directed_second_eigenvalue_modulus",
+    "directed_variation_curve",
+]
+
+
+class DirectedTransitionOperator:
+    """Row-stochastic operator of a directed random walk.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`DiGraph`; must be strongly connected unless teleporting
+        (``damping < 1``) repairs reachability.
+    damping:
+        Probability of following an out-arc; with probability
+        ``1 - damping`` the walk teleports to a uniform node.  ``1.0``
+        (default) is the pure walk.  Nodes without out-arcs (dangling)
+        always teleport.
+    """
+
+    def __init__(self, graph: DiGraph, *, damping: float = 1.0, check_connected: bool = True):
+        if not 0.0 < damping <= 1.0:
+            raise ValueError("damping must be in (0, 1]")
+        if graph.num_nodes == 0:
+            raise NotConnectedError("empty digraph")
+        self._graph = graph
+        self._damping = float(damping)
+        dangling = graph.out_degrees == 0
+        if damping == 1.0:
+            if np.any(dangling):
+                raise NotConnectedError(
+                    "digraph has dangling nodes (no out-arcs); use damping < 1"
+                )
+            if check_connected and len(strongly_connected_components(graph)) != 1:
+                raise NotConnectedError(
+                    "digraph is not strongly connected; the pure walk is reducible"
+                )
+        self._dangling = dangling
+        from scipy.sparse import csr_matrix
+
+        out_deg = np.maximum(graph.out_degrees, 1).astype(np.float64)
+        data = np.repeat(1.0 / out_deg, graph.out_degrees)
+        n = graph.num_nodes
+        self._matrix = csr_matrix(
+            (data, graph.out_indices.copy(), graph.out_indptr.copy()), shape=(n, n)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        return self._graph
+
+    @property
+    def damping(self) -> float:
+        return self._damping
+
+    @property
+    def num_states(self) -> int:
+        return self._graph.num_nodes
+
+    def point_mass(self, node: int) -> np.ndarray:
+        node = check_node_index(node, self.num_states)
+        x = np.zeros(self.num_states, dtype=np.float64)
+        x[node] = 1.0
+        return x
+
+    def step(self, distribution: np.ndarray) -> np.ndarray:
+        """One step of the (possibly teleporting) directed walk."""
+        x = np.asarray(distribution, dtype=np.float64)
+        if x.shape != (self.num_states,):
+            raise ValueError(f"distribution must have shape ({self.num_states},)")
+        moved = np.asarray(x @ self._matrix).ravel()
+        if self._damping < 1.0 or self._dangling.any():
+            teleport_mass = (1.0 - self._damping) * (1.0 - x[self._dangling].sum())
+            teleport_mass += x[self._dangling].sum()  # dangling always jumps
+            moved = self._damping * moved
+            # Remove the damped contribution of dangling rows (their
+            # matrix rows are zero anyway) and spread teleports uniformly.
+            return moved + teleport_mass / self.num_states
+        return moved
+
+    def evolve(self, distribution: np.ndarray, steps: int, *, validate: bool = True) -> np.ndarray:
+        if steps < 0:
+            raise ValueError("steps must be nonnegative")
+        x = (
+            check_probability_vector(distribution, name="distribution")
+            if validate
+            else np.asarray(distribution, dtype=np.float64)
+        )
+        for _ in range(steps):
+            x = self.step(x)
+        return x
+
+    def stationary(self, *, tol: float = 1e-12, max_iter: int = 100_000) -> np.ndarray:
+        """The stationary distribution by power iteration.
+
+        Raises :class:`ConvergenceError` when the chain fails to settle
+        (periodic pure walks do exactly that — use ``damping < 1``).
+        """
+        x = np.full(self.num_states, 1.0 / self.num_states)
+        for _ in range(max_iter):
+            nxt = self.step(x)
+            if np.abs(nxt - x).sum() < tol:
+                return nxt
+            x = nxt
+        raise ConvergenceError(
+            f"power iteration did not reach tol={tol}; chain may be periodic",
+            partial=x,
+        )
+
+
+def directed_second_eigenvalue_modulus(graph: DiGraph, *, damping: float = 1.0) -> float:
+    """``|lambda_2|`` of the directed transition matrix (ARPACK).
+
+    For directed chains eigenvalues are complex; the modulus of the
+    second-largest one plays the SLEM's role in convergence-rate
+    heuristics, but Theorem 2's two-sided bound does *not* apply (the
+    chain is not reversible) — treat this as descriptive.
+    """
+    op = DirectedTransitionOperator(graph, damping=damping, check_connected=True)
+    n = graph.num_nodes
+    if n < 3:
+        raise ValueError("need at least 3 nodes")
+    from scipy.sparse.linalg import eigs
+
+    matrix = op._matrix
+    if n <= 400:
+        dense = matrix.toarray()
+        if damping < 1.0:
+            dense = damping * dense + (1.0 - damping) / n
+        values = np.linalg.eigvals(dense)
+        mods = np.sort(np.abs(values))[::-1]
+        return float(min(mods[1], 1.0))
+    try:
+        values = eigs(matrix.T.astype(np.float64), k=3, which="LM", return_eigenvectors=False, maxiter=5000)
+    except Exception as exc:
+        raise ConvergenceError(f"ARPACK failed on directed spectrum: {exc}") from exc
+    mods = np.sort(np.abs(values))[::-1]
+    second = float(mods[1])
+    if damping < 1.0:
+        second *= damping
+    return min(second, 1.0)
+
+
+def directed_variation_curve(
+    graph: DiGraph,
+    source: int,
+    max_steps: int,
+    *,
+    damping: float = 1.0,
+) -> np.ndarray:
+    """``curve[t]`` = TVD between the walk distribution after t steps and
+    the stationary distribution (directed analogue of
+    :func:`repro.core.mixing.variation_distance_curve`)."""
+    op = DirectedTransitionOperator(graph, damping=damping)
+    pi = op.stationary(max_iter=200_000) if damping == 1.0 else op.stationary()
+    x = op.point_mass(source)
+    curve = np.empty(max_steps + 1, dtype=np.float64)
+    curve[0] = total_variation_distance(x, pi, validate=False)
+    for t in range(1, max_steps + 1):
+        x = op.step(x)
+        curve[t] = total_variation_distance(x, pi, validate=False)
+    return curve

@@ -1,0 +1,80 @@
+"""The stationary distribution of the simple random walk.
+
+Theorem 1 of the paper: on an undirected, unweighted graph the stationary
+distribution is degree-proportional, ``pi_v = deg(v) / 2m``.  This module
+provides that vector plus verification helpers used in tests and in the
+ergodicity checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotConnectedError
+from ..graph import Graph
+
+__all__ = [
+    "stationary_distribution",
+    "is_stationary",
+    "stationary_residual",
+    "uniform_distribution",
+    "edge_stationary_distribution",
+]
+
+
+def stationary_distribution(graph: Graph) -> np.ndarray:
+    """``pi`` with ``pi_v = deg(v) / 2m`` (equation (3)).
+
+    Requires at least one edge; isolated nodes would receive zero mass and
+    break ergodicity, so their presence raises.
+    """
+    if graph.num_edges == 0:
+        raise NotConnectedError("stationary distribution undefined: graph has no edges")
+    deg = graph.degrees.astype(np.float64)
+    if np.any(deg == 0):
+        raise NotConnectedError("stationary distribution undefined: graph has isolated nodes")
+    return deg / (2.0 * graph.num_edges)
+
+
+def uniform_distribution(n: int) -> np.ndarray:
+    """The uniform distribution over ``n`` states.
+
+    For a d-regular graph this equals the stationary distribution (the
+    remark after Theorem 1).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return np.full(n, 1.0 / n, dtype=np.float64)
+
+
+def edge_stationary_distribution(graph: Graph) -> np.ndarray:
+    """Uniform distribution over *directed* edge slots (length ``2m``).
+
+    Whānau's experiments measured walk tails against ``1/m`` per
+    undirected edge; expressed over directed slots this is the uniform
+    vector ``1/2m``, which is the stationary distribution of the walk
+    lifted to edges.
+    """
+    if graph.num_edges == 0:
+        raise NotConnectedError("no edges")
+    return np.full(2 * graph.num_edges, 1.0 / (2.0 * graph.num_edges), dtype=np.float64)
+
+
+def stationary_residual(graph: Graph, pi: np.ndarray) -> float:
+    """``|| pi P - pi ||_1`` — how far ``pi`` is from being invariant.
+
+    Computed without building P: ``(pi P)_v = sum_{u ~ v} pi_u / deg(u)``.
+    """
+    pi = np.asarray(pi, dtype=np.float64)
+    if pi.shape != (graph.num_nodes,):
+        raise ValueError("pi has the wrong length")
+    contrib = pi / np.maximum(graph.degrees, 1)
+    out = np.zeros_like(pi)
+    src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees)
+    np.add.at(out, graph.indices, contrib[src])
+    return float(np.abs(out - pi).sum())
+
+
+def is_stationary(graph: Graph, pi: np.ndarray, *, atol: float = 1e-10) -> bool:
+    """Whether ``pi P == pi`` within ``atol`` (L1)."""
+    return stationary_residual(graph, pi) <= atol

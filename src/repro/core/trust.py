@@ -1,0 +1,219 @@
+"""Trust-aware random walks — the paper's second future-work direction.
+
+Section 5/6: "This calls for considering the trust model resulting from
+the underlying social network as a parameter, along with the mixing
+time... Our work in [16, 15] is a preliminarily result in this
+direction."  Those follow-ups modify the walk to *account for trust*,
+which deliberately slows mixing on weak-trust graphs.  Two designs are
+implemented:
+
+* **Similarity-biased walk** — transition probability proportional to a
+  per-edge weight (default: smoothed Jaccard similarity of the
+  endpoints' neighbourhoods).  Strong ties are favoured; random weak
+  ties (the edges that make OSNs fast mixing) are discounted.
+* **Originator-biased walk** — at every step the walk returns to its
+  originator with probability ``beta``, otherwise steps normally.  The
+  walk stays anchored near its source, bounding how much an adversary
+  far from the verifier can be reached.
+
+Both are measured with the same total-variation machinery as the plain
+walk; the headline (reproduced by ``benchmarks/bench_trust_models.py``)
+is that each trust knob monotonically *increases* the effective mixing
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import NotConnectedError
+from ..graph import Graph, is_connected
+from .._util import check_node_index
+from .distances import total_variation_distance
+from .stationary import stationary_distribution
+
+__all__ = [
+    "jaccard_arc_weights",
+    "WeightedTransitionOperator",
+    "originator_biased_curve",
+    "weighted_slem",
+]
+
+
+def jaccard_arc_weights(graph: Graph, *, smoothing: float = 0.1) -> np.ndarray:
+    """Per-arc weights ``smoothing + jaccard(u, v)`` aligned with CSR slots.
+
+    ``jaccard(u, v) = |N(u) ∩ N(v)| / |N(u) ∪ N(v)|`` over neighbour
+    sets.  ``smoothing > 0`` keeps every existing edge usable (a pure
+    similarity weight would disconnect edges with no common neighbour,
+    breaking ergodicity).
+    """
+    if smoothing <= 0:
+        raise ValueError("smoothing must be positive (weights must stay > 0)")
+    indptr, indices = graph.indptr, graph.indices
+    weights = np.empty(indices.size, dtype=np.float64)
+    degrees = graph.degrees
+    for u in range(graph.num_nodes):
+        row_u = indices[indptr[u]:indptr[u + 1]]
+        for pos in range(indptr[u], indptr[u + 1]):
+            v = indices[pos]
+            row_v = indices[indptr[v]:indptr[v + 1]]
+            inter = np.intersect1d(row_u, row_v, assume_unique=True).size
+            union = degrees[u] + degrees[v] - inter
+            weights[pos] = smoothing + (inter / union if union else 0.0)
+    return weights
+
+
+class WeightedTransitionOperator:
+    """Random walk with symmetric positive edge weights.
+
+    ``P_{uv} = w_{uv} / strength(u)`` where ``strength(u) = sum_v w_{uv}``.
+    With symmetric weights the chain is reversible and its stationary
+    distribution is strength-proportional — the weighted analogue of
+    Theorem 1 (``pi_v = strength(v) / total``).
+    """
+
+    def __init__(self, graph: Graph, arc_weights: np.ndarray, *, check_connected: bool = True):
+        arc_weights = np.asarray(arc_weights, dtype=np.float64)
+        if arc_weights.shape != (graph.indices.size,):
+            raise ValueError("arc_weights must align with the CSR indices array")
+        if np.any(arc_weights <= 0):
+            raise ValueError("arc weights must be strictly positive")
+        self._check_symmetry(graph, arc_weights)
+        if check_connected and not is_connected(graph):
+            raise NotConnectedError("graph is disconnected")
+        self._graph = graph
+        self._weights = arc_weights
+        strength = np.zeros(graph.num_nodes, dtype=np.float64)
+        src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees)
+        np.add.at(strength, src, arc_weights)
+        self._strength = strength
+        from scipy.sparse import csr_matrix
+
+        data = arc_weights / strength[src]
+        n = graph.num_nodes
+        self._matrix = csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
+
+    @staticmethod
+    def _check_symmetry(graph: Graph, weights: np.ndarray, *, atol: float = 1e-9) -> None:
+        from ..sybil.routes import reverse_slots  # arc pairing utility
+
+        rev = reverse_slots(graph)
+        if not np.allclose(weights, weights[rev], atol=atol):
+            raise ValueError("arc weights must be symmetric (w_uv == w_vu)")
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def num_states(self) -> int:
+        return self._graph.num_nodes
+
+    def strength(self) -> np.ndarray:
+        """Weighted degree of every node."""
+        return self._strength
+
+    def stationary(self) -> np.ndarray:
+        """Strength-proportional stationary distribution."""
+        return self._strength / self._strength.sum()
+
+    def point_mass(self, node: int) -> np.ndarray:
+        node = check_node_index(node, self.num_states)
+        x = np.zeros(self.num_states, dtype=np.float64)
+        x[node] = 1.0
+        return x
+
+    def step(self, distribution: np.ndarray) -> np.ndarray:
+        x = np.asarray(distribution, dtype=np.float64)
+        if x.shape != (self.num_states,):
+            raise ValueError(f"distribution must have shape ({self.num_states},)")
+        return np.asarray(x @ self._matrix).ravel()
+
+    def variation_curve(self, source: int, max_steps: int) -> np.ndarray:
+        """TVD to the weighted stationary distribution after each step."""
+        if max_steps < 0:
+            raise ValueError("max_steps must be nonnegative")
+        pi = self.stationary()
+        x = self.point_mass(source)
+        curve = np.empty(max_steps + 1, dtype=np.float64)
+        curve[0] = total_variation_distance(x, pi, validate=False)
+        for t in range(1, max_steps + 1):
+            x = self.step(x)
+            curve[t] = total_variation_distance(x, pi, validate=False)
+        return curve
+
+
+def originator_biased_curve(
+    graph: Graph,
+    source: int,
+    beta: float,
+    max_steps: int,
+) -> np.ndarray:
+    """Variation distance of the originator-biased walk to the *plain*
+    stationary distribution.
+
+    The modified chain ``P' = beta * (jump to source) + (1 - beta) * P``
+    has its own stationary distribution concentrated around the source;
+    measuring against the unbiased ``pi`` quantifies how much of the
+    graph the biased walk can actually cover — the utility/security
+    trade-off of the trust design.  ``beta = 0`` recovers the plain
+    curve.
+    """
+    if not 0.0 <= beta < 1.0:
+        raise ValueError("beta must be in [0, 1)")
+    if max_steps < 0:
+        raise ValueError("max_steps must be nonnegative")
+    source = check_node_index(source, graph.num_nodes, name="source")
+    pi = stationary_distribution(graph)
+    from scipy.sparse import csr_matrix
+
+    inv_deg = 1.0 / graph.degrees.astype(np.float64)
+    data = np.repeat(inv_deg, graph.degrees)
+    n = graph.num_nodes
+    plain = csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
+
+    x = np.zeros(n, dtype=np.float64)
+    x[source] = 1.0
+    curve = np.empty(max_steps + 1, dtype=np.float64)
+    curve[0] = total_variation_distance(x, pi, validate=False)
+    for t in range(1, max_steps + 1):
+        moved = np.asarray(x @ plain).ravel()
+        x = (1.0 - beta) * moved
+        x[source] += beta
+        curve[t] = total_variation_distance(x, pi, validate=False)
+    return curve
+
+
+def weighted_slem(graph: Graph, arc_weights: np.ndarray) -> float:
+    """SLEM of the weighted random walk (Theorem 2 for weighted chains).
+
+    The weighted chain ``P_w = D_s^{-1} W`` (s = strengths) is similar to
+    the symmetric ``D_s^{-1/2} W D_s^{-1/2}``, so the whole spectral
+    machinery carries over; this returns ``max(|lambda_2|, |lambda_n|)``,
+    from which :func:`~repro.core.bounds.mixing_time_lower_bound` gives
+    trust-model mixing bounds directly.
+    """
+    operator = WeightedTransitionOperator(graph, arc_weights)  # validates
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.linalg import eigsh
+
+    strength = operator.strength()
+    inv_sqrt = 1.0 / np.sqrt(strength)
+    src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees)
+    data = np.asarray(arc_weights, dtype=np.float64) * inv_sqrt[src] * inv_sqrt[graph.indices]
+    n = graph.num_nodes
+    matrix = csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
+    if n <= 16:
+        values = np.linalg.eigvalsh(matrix.toarray())
+        return float(min(max(abs(values[-2]), abs(values[0])), 1.0))
+    v0 = np.sqrt(strength)
+    v0 /= np.linalg.norm(v0)
+    top = eigsh(matrix, k=min(3, n - 1), which="LA", return_eigenvectors=False, v0=v0)
+    bottom = eigsh(matrix, k=1, which="SA", return_eigenvectors=False, v0=v0)
+    lambda2 = float(np.sort(top)[::-1][1])
+    lambda_min = float(bottom[0])
+    return float(min(max(abs(lambda2), abs(lambda_min)), 1.0))

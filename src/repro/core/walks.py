@@ -1,0 +1,247 @@
+"""Random walks on graphs: the transition operator and walk simulation.
+
+The central object is :class:`TransitionOperator` — the row-stochastic
+matrix ``P = D^{-1} A`` of Section 3.1, equation (1), wrapped so that
+distribution evolution (``x P^t``) runs as sparse matrix–vector products
+without ever materialising ``P^t``.
+
+A *lazy* variant ``P' = alpha I + (1-alpha) P`` is offered because the
+plain walk is periodic on bipartite graphs (the chain is then not
+ergodic); laziness is the standard fix and does not change the stationary
+distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import NotConnectedError, NotErgodicError
+from ..graph import Graph, is_connected
+from .._util import as_rng, check_node_index, check_probability_vector
+from .stationary import stationary_distribution
+
+__all__ = ["TransitionOperator", "simulate_walk", "simulate_walk_endpoints", "is_bipartite"]
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """Two-colourability check by BFS layering (per component)."""
+    n = graph.num_nodes
+    colour = np.full(n, -1, dtype=np.int8)
+    indptr, indices = graph.indptr, graph.indices
+    for start in range(n):
+        if colour[start] != -1:
+            continue
+        colour[start] = 0
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                cu = colour[u]
+                for v in indices[indptr[u]:indptr[u + 1]]:
+                    if colour[v] == -1:
+                        colour[v] = 1 - cu
+                        nxt.append(int(v))
+                    elif colour[v] == cu:
+                        return False
+            frontier = nxt
+    return True
+
+
+class TransitionOperator:
+    """The simple-random-walk transition matrix of an undirected graph.
+
+    Parameters
+    ----------
+    graph:
+        Connected undirected graph (checked unless ``check_connected``
+        is false — disable only when the caller already verified it).
+    laziness:
+        Self-loop probability ``alpha`` in ``P' = alpha I + (1-alpha) P``.
+        ``0.0`` (default) is the plain walk used throughout the paper.
+    check_connected, check_aperiodic:
+        Ergodicity validation.  A reducible or periodic chain has no
+        unique limiting distribution, making the mixing time undefined;
+        by default construction fails loudly in those cases.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        laziness: float = 0.0,
+        check_connected: bool = True,
+        check_aperiodic: bool = True,
+    ):
+        if not 0.0 <= laziness < 1.0:
+            raise ValueError("laziness must be in [0, 1)")
+        if graph.num_nodes == 0:
+            raise NotConnectedError("transition operator of an empty graph is undefined")
+        if np.any(graph.degrees == 0):
+            raise NotConnectedError("graph has isolated nodes; random walk is undefined there")
+        if check_connected and not is_connected(graph):
+            raise NotConnectedError("graph is disconnected; the chain is reducible")
+        if check_aperiodic and laziness == 0.0 and is_bipartite(graph):
+            raise NotErgodicError(
+                "graph is bipartite, so the non-lazy walk is periodic; "
+                "construct with laziness > 0 for an ergodic chain"
+            )
+        self._graph = graph
+        self._laziness = float(laziness)
+        # Sparse row-stochastic matrix, stored CSR for fast x @ P.
+        from scipy.sparse import csr_matrix
+
+        inv_deg = 1.0 / graph.degrees.astype(np.float64)
+        data = np.repeat(inv_deg, graph.degrees)
+        n = graph.num_nodes
+        plain = csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
+        if laziness > 0.0:
+            from scipy.sparse import identity
+
+            self._matrix = (laziness * identity(n, format="csr")) + (1.0 - laziness) * plain
+            self._matrix = self._matrix.tocsr()
+        else:
+            self._matrix = plain
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def laziness(self) -> float:
+        """Self-loop probability alpha."""
+        return self._laziness
+
+    @property
+    def num_states(self) -> int:
+        """Number of chain states (= graph nodes)."""
+        return self._graph.num_nodes
+
+    def matrix(self):
+        """The transition matrix as ``scipy.sparse.csr_matrix`` (copy-safe view)."""
+        return self._matrix
+
+    def stationary(self) -> np.ndarray:
+        """The stationary distribution ``pi`` (Theorem 1: pi_v = deg(v)/2m).
+
+        Laziness does not change it.
+        """
+        return stationary_distribution(self._graph)
+
+    # ------------------------------------------------------------------
+    # Distribution evolution
+    # ------------------------------------------------------------------
+    def point_mass(self, node: int) -> np.ndarray:
+        """The initial distribution pi^{(i)} concentrated at ``node``."""
+        node = check_node_index(node, self.num_states)
+        x = np.zeros(self.num_states, dtype=np.float64)
+        x[node] = 1.0
+        return x
+
+    def step(self, distribution: np.ndarray) -> np.ndarray:
+        """One step: returns ``x P`` for a row distribution ``x``."""
+        x = np.asarray(distribution, dtype=np.float64)
+        if x.shape != (self.num_states,):
+            raise ValueError(f"distribution must have shape ({self.num_states},)")
+        return np.asarray(x @ self._matrix).ravel()
+
+    def evolve(self, distribution: np.ndarray, steps: int, *, validate: bool = True) -> np.ndarray:
+        """The distribution after ``steps`` applications of P."""
+        if steps < 0:
+            raise ValueError("steps must be nonnegative")
+        x = (
+            check_probability_vector(distribution, name="distribution")
+            if validate
+            else np.asarray(distribution, dtype=np.float64)
+        )
+        for _ in range(steps):
+            x = np.asarray(x @ self._matrix).ravel()
+        return x
+
+    def trajectory(self, distribution: np.ndarray, steps: int, *, validate: bool = True) -> np.ndarray:
+        """All intermediate distributions: shape ``(steps + 1, n)``.
+
+        Row ``t`` is the distribution after ``t`` steps (row 0 is the
+        input).  Memory is ``(steps + 1) * n`` floats — use
+        :meth:`evolve` when only the endpoint matters.
+        """
+        if steps < 0:
+            raise ValueError("steps must be nonnegative")
+        x = (
+            check_probability_vector(distribution, name="distribution")
+            if validate
+            else np.asarray(distribution, dtype=np.float64)
+        )
+        out = np.empty((steps + 1, self.num_states), dtype=np.float64)
+        out[0] = x
+        for t in range(1, steps + 1):
+            out[t] = np.asarray(out[t - 1] @ self._matrix).ravel()
+        return out
+
+    def transition_probability(self, u: int, v: int) -> float:
+        """The single entry ``p_{uv}`` of equation (1)."""
+        u = check_node_index(u, self.num_states, name="u")
+        v = check_node_index(v, self.num_states, name="v")
+        base = 0.0
+        if self._graph.has_edge(u, v):
+            base = (1.0 - self._laziness) / self._graph.degree(u)
+        if u == v:
+            base += self._laziness
+        return base
+
+
+def simulate_walk(
+    graph: Graph,
+    source: int,
+    length: int,
+    *,
+    seed=None,
+    laziness: float = 0.0,
+) -> np.ndarray:
+    """Simulate one random walk; returns the visited node sequence
+    (``length + 1`` entries, starting at ``source``).
+
+    This is trajectory-level Monte Carlo — the measurement pipeline itself
+    uses exact distribution evolution, but simulated walks drive the Sybil
+    defenses and a cross-validation test (empirical endpoint frequencies
+    must converge to the evolved distribution).
+    """
+    if length < 0:
+        raise ValueError("length must be nonnegative")
+    n = graph.num_nodes
+    source = check_node_index(source, n, name="source")
+    if graph.degree(source) == 0 and length > 0:
+        raise NotConnectedError(f"walk started at isolated node {source}")
+    rng = as_rng(seed)
+    path = np.empty(length + 1, dtype=np.int64)
+    path[0] = source
+    indptr, indices = graph.indptr, graph.indices
+    current = source
+    for t in range(1, length + 1):
+        if laziness > 0.0 and rng.random() < laziness:
+            path[t] = current
+            continue
+        lo, hi = indptr[current], indptr[current + 1]
+        current = int(indices[lo + rng.integers(hi - lo)])
+        path[t] = current
+    return path
+
+
+def simulate_walk_endpoints(
+    graph: Graph,
+    source: int,
+    length: int,
+    walks: int,
+    *,
+    seed=None,
+    laziness: float = 0.0,
+) -> np.ndarray:
+    """Terminal nodes of ``walks`` independent walks from ``source``."""
+    rng = as_rng(seed)
+    ends = np.empty(walks, dtype=np.int64)
+    for i in range(walks):
+        ends[i] = simulate_walk(graph, source, length, seed=rng, laziness=laziness)[-1]
+    return ends

@@ -1,0 +1,31 @@
+"""Dataset registry and synthetic stand-in generation (paper Table 1)."""
+
+from .registry import (
+    REGISTRY,
+    DatasetSpec,
+    dataset_names,
+    figure7_dataset_names,
+    get_spec,
+    large_dataset_names,
+    physics_dataset_names,
+    small_dataset_names,
+)
+from .synthetic import generate, generate_raw, load_dataset
+from .cache import clear_memory_cache, default_cache_dir, load_cached
+
+__all__ = [
+    "REGISTRY",
+    "DatasetSpec",
+    "dataset_names",
+    "figure7_dataset_names",
+    "get_spec",
+    "large_dataset_names",
+    "physics_dataset_names",
+    "small_dataset_names",
+    "generate",
+    "generate_raw",
+    "load_dataset",
+    "clear_memory_cache",
+    "default_cache_dir",
+    "load_cached",
+]

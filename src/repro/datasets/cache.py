@@ -1,0 +1,70 @@
+"""Caching for generated dataset stand-ins.
+
+Generating the larger stand-ins takes seconds; the benchmark suite
+touches each dataset many times, so a two-level cache pays for itself:
+
+* an in-process dict keyed by ``(name, seed)``;
+* an optional on-disk ``.npz`` cache (default ``~/.cache/repro-mixing``;
+  override with the ``REPRO_CACHE_DIR`` environment variable or the
+  ``cache_dir`` argument).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..graph import Graph, load_npz, save_npz
+from .registry import get_spec
+from .synthetic import generate
+
+__all__ = ["load_cached", "clear_memory_cache", "default_cache_dir"]
+
+_MEMORY: Dict[Tuple[str, Optional[int]], Graph] = {}
+
+
+def default_cache_dir() -> Path:
+    """Resolve the on-disk cache directory (created lazily)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-mixing"
+
+
+def clear_memory_cache() -> None:
+    """Drop every in-process cached graph (mainly for tests)."""
+    _MEMORY.clear()
+
+
+def load_cached(
+    name: str,
+    *,
+    seed: Optional[int] = None,
+    use_disk: bool = True,
+    cache_dir: Optional[Path] = None,
+) -> Graph:
+    """Load a dataset stand-in through the cache hierarchy.
+
+    Memory hit → returned directly.  Disk hit → loaded, memoised,
+    returned.  Miss → generated, persisted (when ``use_disk``), memoised.
+    """
+    key = (name, seed)
+    if key in _MEMORY:
+        return _MEMORY[key]
+    spec = get_spec(name)  # validates the name before any disk I/O
+    path = None
+    if use_disk:
+        directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        suffix = "default" if seed is None else str(seed)
+        path = directory / f"{name}-{suffix}.npz"
+        if path.exists():
+            graph = load_npz(path)
+            _MEMORY[key] = graph
+            return graph
+    graph = generate(spec, seed=seed)
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_npz(graph, path)
+    _MEMORY[key] = graph
+    return graph

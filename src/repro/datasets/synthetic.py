@@ -1,0 +1,76 @@
+"""Materialise dataset stand-ins from registry recipes."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..graph import Graph, largest_connected_component
+from ..generators import (
+    barabasi_albert,
+    community_powerlaw,
+    erdos_renyi_gnm,
+    holme_kim,
+    powerlaw_configuration_model,
+    watts_strogatz,
+)
+from .registry import DatasetSpec, get_spec
+
+__all__ = ["generate", "generate_raw", "load_dataset"]
+
+
+def generate_raw(spec: DatasetSpec, *, seed=None) -> Graph:
+    """Run the spec's recipe and return the raw graph (before LCC).
+
+    ``seed`` overrides the spec's deterministic seed (useful for
+    generating independent replicas of the same stand-in).
+    """
+    seed = spec.seed if seed is None else seed
+    recipe = spec.recipe
+    params = dict(spec.params)
+    if recipe == "community_powerlaw":
+        graph, _labels = community_powerlaw(
+            spec.nodes,
+            params.pop("gamma"),
+            params.pop("mu_frac"),
+            target_edges=spec.edges,
+            seed=seed,
+            **params,
+        )
+        return graph
+    if recipe == "affiliation":
+        from ..generators import affiliation_coauthorship
+
+        graph, _labels = affiliation_coauthorship(
+            spec.nodes, spec.edges, seed=seed, **params
+        )
+        return graph
+    if recipe == "powerlaw_configuration":
+        return powerlaw_configuration_model(
+            spec.nodes, params.pop("gamma"), target_edges=spec.edges, seed=seed, **params
+        )
+    if recipe == "holme_kim":
+        return holme_kim(spec.nodes, params.pop("m_per_node"), params.pop("triad_prob"), seed=seed)
+    if recipe == "barabasi_albert":
+        return barabasi_albert(spec.nodes, params.pop("m_per_node"), seed=seed)
+    if recipe == "erdos_renyi":
+        return erdos_renyi_gnm(spec.nodes, spec.edges, seed=seed)
+    if recipe == "watts_strogatz":
+        return watts_strogatz(spec.nodes, params.pop("k"), params.pop("p"), seed=seed)
+    raise DatasetError(f"dataset {spec.name!r} has unknown recipe {recipe!r}")
+
+
+def generate(spec: DatasetSpec, *, seed=None) -> Graph:
+    """The stand-in graph: recipe output restricted to its largest
+    connected component (the paper's preprocessing, Section 4)."""
+    raw = generate_raw(spec, seed=seed)
+    lcc, _node_map = largest_connected_component(raw)
+    return lcc
+
+
+def load_dataset(name: str, *, seed=None) -> Graph:
+    """Registry lookup + generation in one call (cached variant lives in
+    :func:`repro.datasets.cache.load_cached`)."""
+    return generate(get_spec(name), seed=seed)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still being able to distinguish failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An edge list, adjacency input, or serialized graph is malformed."""
+
+
+class NotConnectedError(ReproError, ValueError):
+    """An operation that requires a connected graph received a disconnected one.
+
+    The mixing time of a random walk is undefined on a disconnected graph
+    (the chain is reducible), so :mod:`repro.core` raises this rather than
+    silently returning a meaningless value.
+    """
+
+
+class NotErgodicError(ReproError, ValueError):
+    """The random walk on the given graph is not ergodic.
+
+    Raised when a chain is reducible (disconnected graph) or periodic
+    (bipartite graph with a non-lazy walk), and the requested computation
+    needs a unique stationary distribution.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical procedure failed to converge.
+
+    Carries the partially-converged state where practical, via the
+    ``partial`` attribute.
+    """
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class DatasetError(ReproError, KeyError):
+    """An unknown dataset name was requested from the registry."""
+
+
+class ScenarioError(ReproError, ValueError):
+    """A Sybil attack scenario is inconsistent (e.g. more attack edges
+    than the regions can support, or an empty region)."""
+
+
+class SamplingError(ReproError, ValueError):
+    """A sampling request cannot be satisfied (e.g. target size larger
+    than the reachable component)."""

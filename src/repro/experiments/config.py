@@ -1,0 +1,85 @@
+"""Experiment configuration: one switch between *fast* and *full* runs.
+
+Every experiment runner takes an :class:`ExperimentConfig`.  ``fast``
+(the default, used by the pytest-benchmark suite) shrinks source samples
+and walk-length grids so the whole suite finishes in minutes; ``full``
+matches the paper's parameters (1000 sampled sources, brute force over
+all sources on the physics graphs, walk lengths to 500).  The *series
+shapes* are the same in both modes — fast mode only adds sampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+__all__ = ["ExperimentConfig", "FAST", "FULL"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiment runners.
+
+    Attributes
+    ----------
+    mode:
+        ``"fast"`` or ``"full"`` (affects the derived properties below).
+    seed:
+        Master seed; every runner derives independent streams from it.
+    epsilon_grid:
+        The ε values at which bound curves are reported (Figures 1-2).
+    short_walks / long_walks:
+        Figure 3 / Figure 4 walk-length checkpoints (paper values).
+    """
+
+    mode: str = "fast"
+    seed: int = 20101103  # IMC'10 started November 1-3, 2010
+    epsilon_grid: Tuple[float, ...] = (0.25, 0.1, 0.05, 0.01, 1e-3, 1e-4)
+    short_walks: Tuple[int, ...] = (1, 5, 10, 20, 40)
+    long_walks: Tuple[int, ...] = (80, 100, 200, 300, 400, 500)
+
+    def __post_init__(self):
+        if self.mode not in ("fast", "full"):
+            raise ValueError("mode must be 'fast' or 'full'")
+
+    @property
+    def is_fast(self) -> bool:
+        return self.mode == "fast"
+
+    @property
+    def sampled_sources(self) -> int:
+        """Sources for the sampling measurement (paper: 1000)."""
+        return 120 if self.is_fast else 1000
+
+    @property
+    def brute_force_sources(self):
+        """Sources for the "every possible source" experiments
+        (Figures 3-5); ``None`` means all nodes."""
+        return 250 if self.is_fast else None
+
+    @property
+    def max_walk(self) -> int:
+        """Longest walk evolved in sampling measurements."""
+        return 300 if self.is_fast else 800
+
+    @property
+    def figure7_sizes(self) -> Tuple[int, ...]:
+        """BFS sample sizes standing in for the paper's 10K/100K/1000K."""
+        return (800, 2500, 8000) if self.is_fast else (1000, 3200, 10000)
+
+    @property
+    def figure8_walks(self) -> Tuple[int, ...]:
+        """Route lengths swept in the SybilLimit admission experiment."""
+        if self.is_fast:
+            return (5, 10, 20, 40, 80, 160, 320)
+        return (5, 10, 15, 20, 30, 40, 60, 80, 120, 160, 240, 320, 480)
+
+    @property
+    def trim_walks(self) -> Tuple[int, ...]:
+        """Walk checkpoints for the Figure 6 average-mixing panel
+        (the paper's w = 80..500 grid, truncated in fast mode)."""
+        return (80, 100, 200, 300) if self.is_fast else (80, 100, 200, 300, 400, 500)
+
+
+FAST = ExperimentConfig(mode="fast")
+FULL = ExperimentConfig(mode="full")

@@ -1,0 +1,156 @@
+"""Result containers and text renderers for the experiment suite.
+
+Every experiment runner returns one of these structures; the benchmark
+harness and the CLI print them with the render functions, producing the
+same rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TableResult",
+    "Series",
+    "FigureResult",
+    "render_table",
+    "render_figure",
+    "table_to_csv",
+    "figure_to_csv",
+]
+
+
+@dataclass
+class TableResult:
+    """A printable table (Table 1 and summary tables)."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+
+    def column(self, name: str) -> List[str]:
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+
+@dataclass
+class Series:
+    """One plotted line: y(x) plus a label."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if self.x.shape != self.y.shape:
+            raise ValueError(f"series {self.label!r}: x and y must align")
+
+
+@dataclass
+class FigureResult:
+    """A figure reproduced as its constituent series.
+
+    ``panels`` maps panel name (e.g. dataset) to its series list; figures
+    with a single panel use the key ``"main"``.
+    """
+
+    title: str
+    xlabel: str
+    ylabel: str
+    panels: Dict[str, List[Series]] = field(default_factory=dict)
+    notes: str = ""
+
+    def panel(self, name: str) -> List[Series]:
+        return self.panels[name]
+
+    def series(self, panel: str, label: str) -> Series:
+        for s in self.panels[panel]:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in panel {panel!r}")
+
+
+def _format_value(value: float) -> str:
+    if not np.isfinite(value):
+        return "inf" if value > 0 else "-inf"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.3g}"
+    return f"{value:.4g}"
+
+
+def render_table(table: TableResult) -> str:
+    """Fixed-width text rendering of a :class:`TableResult`."""
+    widths = [len(h) for h in table.headers]
+    for row in table.rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [table.title, ""]
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(table.headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table.rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureResult, *, max_points: int = 12) -> str:
+    """Text rendering of a figure: per panel, per series, aligned x/y rows.
+
+    Long series are thinned to ``max_points`` evenly spaced samples so
+    terminal output stays readable; the underlying data is untouched.
+    """
+    lines = [figure.title, f"x = {figure.xlabel}, y = {figure.ylabel}", ""]
+    if figure.notes:
+        lines.insert(1, figure.notes)
+    for panel_name, series_list in figure.panels.items():
+        if len(figure.panels) > 1:
+            lines.append(f"[{panel_name}]")
+        for series in series_list:
+            idx = np.arange(series.x.size)
+            if idx.size > max_points:
+                idx = np.unique(np.linspace(0, idx.size - 1, max_points).astype(int))
+            xs = "  ".join(_format_value(v).rjust(8) for v in series.x[idx])
+            ys = "  ".join(_format_value(v).rjust(8) for v in series.y[idx])
+            lines.append(f"  {series.label}")
+            lines.append(f"    x: {xs}")
+            lines.append(f"    y: {ys}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def table_to_csv(table: TableResult) -> str:
+    """CSV rendering of a :class:`TableResult` (header row + data rows).
+
+    Cells containing commas or quotes are quoted per RFC 4180 so the
+    output loads directly into pandas/R/spreadsheets.
+    """
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.headers)
+    writer.writerows(table.rows)
+    return buffer.getvalue()
+
+
+def figure_to_csv(figure: FigureResult) -> str:
+    """Long-format CSV of a figure: panel, series, x, y — one row per point."""
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["panel", "series", "x", "y"])
+    for panel, series_list in figure.panels.items():
+        for series in series_list:
+            for x, y in zip(series.x, series.y):
+                writer.writerow([panel, series.label, repr(float(x)), repr(float(y))])
+    return buffer.getvalue()

@@ -1,0 +1,68 @@
+"""Figures 1 and 2 — SLEM lower bound of the mixing time vs epsilon.
+
+For each dataset the paper plots equation (4)'s lower bound
+``T(eps) >= mu / (2(1-mu)) * ln(1/2eps)`` over a range of epsilon.  The
+figures' claims:
+
+* Figure 1 (small datasets): acquaintance graphs (physics, Enron,
+  Epinion) need walks of 200-400 for eps = 0.1; wiki-vote/Slashdot are
+  much faster.
+* Figure 2 (large datasets): LiveJournal needs 1500-2500; DBLP, Youtube
+  and Facebook sit around 100-400.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import lower_bound_curve
+from ..datasets import get_spec, large_dataset_names, small_dataset_names
+from .config import ExperimentConfig, FAST
+from .harness import FigureResult, Series
+from .table1 import collect_slems
+
+__all__ = ["run_figure1", "run_figure2", "lower_bound_figure"]
+
+
+def lower_bound_figure(
+    names: List[str],
+    config: ExperimentConfig = FAST,
+    *,
+    title: str,
+    mus: Optional[Dict[str, float]] = None,
+) -> FigureResult:
+    """Build the bound-vs-epsilon figure for the given datasets."""
+    mus = mus if mus is not None else collect_slems(config, names=names)
+    figure = FigureResult(
+        title=title,
+        xlabel="epsilon (total variation distance)",
+        ylabel="lower bound on mixing time (walk length)",
+    )
+    series: List[Series] = []
+    for name in names:
+        curve = lower_bound_curve(mus[name], eps_min=1e-4, eps_max=0.45, points=48, label=name)
+        series.append(Series(label=get_spec(name).table1_label, x=curve.epsilons, y=curve.lengths))
+    figure.panels["main"] = series
+    return figure
+
+
+def run_figure1(config: ExperimentConfig = FAST, *, mus: Optional[Dict[str, float]] = None) -> FigureResult:
+    """Figure 1: lower bound of the mixing time, small datasets."""
+    return lower_bound_figure(
+        small_dataset_names(),
+        config,
+        title="Figure 1: Lower bound of the mixing time (small data sets)",
+        mus=mus,
+    )
+
+
+def run_figure2(config: ExperimentConfig = FAST, *, mus: Optional[Dict[str, float]] = None) -> FigureResult:
+    """Figure 2: lower bound of the mixing time, large datasets."""
+    return lower_bound_figure(
+        large_dataset_names(),
+        config,
+        title="Figure 2: Lower bound of the mixing time (large data sets)",
+        mus=mus,
+    )

@@ -1,0 +1,85 @@
+"""Figure 7 — sampling vs lower bound across BFS sample sizes.
+
+The paper BFS-samples 10K/100K/1000K-node subgraphs of the four large
+datasets (Facebook A/B, LiveJournal A/B) and, per sample, overlays the
+SLEM lower bound with percentile bands of the 1000-source sampled
+measurement — 12 panels.  Stand-ins are ~100x smaller, so the sample
+grid is scaled accordingly (``config.figure7_sizes``).
+
+The claims preserved: per-source percentiles beat the SLEM bound by
+orders of magnitude in eps; LiveJournal panels mix far slower than
+Facebook panels; larger samples of the same graph mix slower.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core import (
+    PAPER_BANDS,
+    epsilon_for_walk_length,
+    measure_mixing,
+    percentile_bands,
+    slem,
+)
+from ..datasets import figure7_dataset_names, load_cached
+from ..sampling import bfs_sample
+from .config import ExperimentConfig, FAST
+from .harness import FigureResult, Series
+
+__all__ = ["run_figure7"]
+
+_BAND_LABELS = {
+    "best10": "best 10% of sources",
+    "median20": "median 20% of sources",
+    "worst10": "worst 10% of sources",
+}
+
+
+def _walk_checkpoints(config: ExperimentConfig) -> List[int]:
+    grid = [5, 10, 20, 40, 80, 160, 240, 320, 480, 640, 800]
+    return [w for w in grid if w <= config.max_walk]
+
+
+def run_figure7(
+    config: ExperimentConfig = FAST,
+    *,
+    datasets: Sequence[str] = (),
+    sizes: Sequence[int] = (),
+) -> FigureResult:
+    """All panels of Figure 7 (dataset x sample size)."""
+    datasets = list(datasets) or figure7_dataset_names()
+    sizes = list(sizes) or list(config.figure7_sizes)
+    walks = _walk_checkpoints(config)
+    figure = FigureResult(
+        title="Figure 7: Sampling vs lower-bound measurements across BFS sample sizes",
+        xlabel="walk length t",
+        ylabel="variation distance eps reached at t",
+        notes=f"sample sizes {sizes} stand in for the paper's 10K/100K/1000K",
+    )
+    for name in datasets:
+        full = load_cached(name)
+        for size in sizes:
+            target = min(size, full.num_nodes)
+            if target == full.num_nodes:
+                graph = full
+            else:
+                graph, _node_map = bfs_sample(full, target, seed=config.seed)
+            measurement = measure_mixing(
+                graph,
+                walks,
+                sources=min(config.sampled_sources, graph.num_nodes),
+                seed=config.seed,
+            )
+            bands = percentile_bands(measurement, PAPER_BANDS)
+            mu = slem(graph)
+            series: List[Series] = [
+                Series(label=label, x=bands.walk_lengths, y=bands.band(key))
+                for key, label in _BAND_LABELS.items()
+            ]
+            bound = np.asarray([epsilon_for_walk_length(mu, int(t)) for t in bands.walk_lengths])
+            series.append(Series(label="SLEM lower bound", x=bands.walk_lengths, y=bound))
+            figure.panels[f"{name}_{target}"] = series
+    return figure

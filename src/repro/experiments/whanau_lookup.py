@@ -1,0 +1,52 @@
+"""Whānau lookup utility vs walk length (Section 2, system-level).
+
+Beyond re-measuring Whānau's *evidence* (the tail-distribution
+experiment), this runner measures the *consequence*: the DHT's lookup
+success rate as a function of the random-walk length its routing tables
+were built with.  On slow-mixing graphs the success rate climbs slowly
+with w — quantifying, in system terms, what an insufficient walk length
+costs — while fast OSNs are near-perfect at tiny w.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..datasets import load_cached
+from ..sybil import build_whanau, lookup_success_rate
+from .config import ExperimentConfig, FAST
+from .harness import FigureResult, Series
+
+__all__ = ["run_whanau_lookup"]
+
+
+def run_whanau_lookup(
+    config: ExperimentConfig = FAST,
+    *,
+    datasets: Sequence[str] = ("physics1", "wiki_vote"),
+    walk_lengths: Sequence[int] = (2, 5, 10, 20, 40, 80, 160),
+    num_lookups: int = 300,
+) -> FigureResult:
+    """Lookup success rate per dataset per table-construction walk length."""
+    walks = [w for w in walk_lengths if w <= config.max_walk]
+    figure = FigureResult(
+        title="Whānau lookup success rate vs table-construction walk length",
+        xlabel="random-walk length w used to build routing tables",
+        ylabel="lookup success rate",
+        notes="tables: ~3*sqrt(n) fingers and successor samples per node",
+    )
+    series: List[Series] = []
+    for name in datasets:
+        graph = load_cached(name)
+        rates = []
+        for w in walks:
+            tables = build_whanau(graph, w, seed=config.seed)
+            stats = lookup_success_rate(
+                tables, num_lookups=num_lookups, seed=config.seed + w
+            )
+            rates.append(stats.success_rate)
+        series.append(Series(label=name, x=np.asarray(walks, float), y=np.asarray(rates)))
+    figure.panels["main"] = series
+    return figure

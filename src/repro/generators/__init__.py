@@ -1,0 +1,35 @@
+"""Random-graph generators used to synthesise dataset stand-ins."""
+
+from .random_graphs import erdos_renyi_gnm, erdos_renyi_gnp, random_regular
+from .powerlaw import (
+    fit_powerlaw_exponent,
+    powerlaw_configuration_model,
+    powerlaw_degree_sequence,
+)
+from .preferential import barabasi_albert, holme_kim
+from .smallworld import ring_lattice, watts_strogatz
+from .affiliation import affiliation_coauthorship
+from .community import (
+    community_powerlaw,
+    planted_partition,
+    stochastic_block_model,
+    two_community_bridge,
+)
+
+__all__ = [
+    "affiliation_coauthorship",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "random_regular",
+    "fit_powerlaw_exponent",
+    "powerlaw_configuration_model",
+    "powerlaw_degree_sequence",
+    "barabasi_albert",
+    "holme_kim",
+    "ring_lattice",
+    "watts_strogatz",
+    "community_powerlaw",
+    "planted_partition",
+    "stochastic_block_model",
+    "two_community_bridge",
+]

@@ -1,0 +1,119 @@
+"""Affiliation (co-authorship) graphs: unions of paper cliques.
+
+Co-authorship networks like DBLP and the physics graphs are projections
+of a bipartite author–paper graph: every paper induces a clique over its
+authors.  That clique structure is what a plain configuration model
+misses — and it matters for the paper's Figure 6 experiment, because
+k-core trimming of a clique-union graph retains the productive core
+(DBLP's 5-core keeps ~24% of nodes), whereas a degree-matched
+configuration model's 5-core is nearly empty.
+
+The model:
+
+* authors belong to communities (heavy-tailed sizes);
+* each author gets a power-law number of *paper slots* (>= 1, so every
+  author publishes and the projection stays well covered);
+* per community, the slot list is shuffled and chopped into papers of
+  2–8 authors; each paper's author set becomes a clique;
+* with probability ``mu_frac`` a paper swaps one author for a uniformly
+  random author of another community — the cross-community
+  collaborations that form the mixing bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._util import as_rng
+from ..graph import Graph, GraphBuilder
+
+__all__ = ["affiliation_coauthorship"]
+
+
+def affiliation_coauthorship(
+    n: int,
+    target_edges: int,
+    *,
+    mu_frac: float = 0.05,
+    num_communities: Optional[int] = None,
+    productivity_gamma: float = 2.5,
+    paper_size_min: int = 2,
+    paper_size_max: int = 8,
+    seed=None,
+) -> Tuple[Graph, np.ndarray]:
+    """A community-structured co-authorship graph; returns ``(graph, labels)``.
+
+    ``target_edges`` sets the pre-deduplication edge budget; author slot
+    counts are scaled so the budget is met in expectation (realised
+    edges land somewhat lower because co-author pairs repeat).
+    """
+    if n < paper_size_min:
+        raise ValueError("need at least paper_size_min authors")
+    if not 0.0 <= mu_frac <= 1.0:
+        raise ValueError("mu_frac must be in [0, 1]")
+    if not 2 <= paper_size_min <= paper_size_max:
+        raise ValueError("need 2 <= paper_size_min <= paper_size_max")
+    if target_edges < 1:
+        raise ValueError("target_edges must be positive")
+    rng = as_rng(seed)
+    if num_communities is None:
+        num_communities = max(2, int(np.sqrt(n) / 2))
+    num_communities = max(1, min(int(num_communities), n // paper_size_min))
+
+    # Community assignment with heavy-tailed sizes.
+    base = np.arange(1, num_communities + 1, dtype=np.float64) ** (-0.8)
+    weights = rng.dirichlet(base * num_communities)
+    labels = rng.choice(num_communities, size=n, p=weights).astype(np.int64)
+
+    # Paper sizes: geometric decay over [min, max] (most papers small).
+    sizes = np.arange(paper_size_min, paper_size_max + 1)
+    size_pmf = 0.5 ** np.arange(sizes.size, dtype=np.float64)
+    size_pmf /= size_pmf.sum()
+    mean_size = float((sizes * size_pmf).sum())
+    mean_clique_edges = float((sizes * (sizes - 1) / 2 * size_pmf).sum())
+
+    # Power-law paper counts per author (>= 1), scaled to the edge budget:
+    # total slots S produce ~ S / mean_size papers and hence
+    # ~ S * mean_clique_edges / mean_size edges.
+    raw = np.floor((1.0 - rng.random(n)) ** (-1.0 / (productivity_gamma - 1.0))).astype(np.int64)
+    raw = np.clip(raw, 1, max(2, int(np.sqrt(n))))
+    wanted_slots = target_edges * mean_size / mean_clique_edges
+    scale = wanted_slots / float(raw.sum())
+    scaled = raw * scale
+    slots = np.floor(scaled).astype(np.int64)
+    slots += (rng.random(n) < (scaled - slots)).astype(np.int64)
+    slots = np.maximum(slots, 1)
+
+    builder = GraphBuilder(n)
+    all_authors = np.arange(n, dtype=np.int64)
+    # Cross-community collaborators are productivity-weighted: prolific
+    # authors bridge communities (as in real co-authorship data), which
+    # keeps the bridges inside the k-core — the structural fact behind
+    # Figure 6's "trimming improves mixing" finding.
+    outsider_pmf = slots.astype(np.float64) ** 2
+    outsider_pmf /= outsider_pmf.sum()
+    for c in range(num_communities):
+        members = np.flatnonzero(labels == c)
+        if members.size == 0:
+            continue
+        pool = np.repeat(members, slots[members])
+        rng.shuffle(pool)
+        pos = 0
+        while pos < pool.size:
+            k = int(rng.choice(sizes, p=size_pmf))
+            chunk = pool[pos:pos + k]
+            pos += k
+            authors = np.unique(chunk)
+            if rng.random() < mu_frac:
+                # Swap one author for a productivity-weighted outsider.
+                outsider = int(rng.choice(all_authors, p=outsider_pmf))
+                if labels[outsider] != c:
+                    authors = np.unique(np.concatenate([authors[1:], [outsider]]))
+            if authors.size < 2:
+                continue
+            for i in range(authors.size):
+                for j in range(i + 1, authors.size):
+                    builder.add_edge(int(authors[i]), int(authors[j]))
+    return builder.build(), labels

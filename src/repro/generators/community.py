@@ -1,0 +1,232 @@
+"""Community-structured generators.
+
+The paper's central structural explanation for slow mixing is community
+structure (Section 2 and 5; conductance Φ ≥ 1 − μ).  These models plant
+it explicitly:
+
+* :func:`planted_partition` / :func:`stochastic_block_model` — equal or
+  arbitrary-size blocks with dense intra- and sparse inter-community
+  edges.  The inter-community edge budget directly controls the
+  bottleneck, hence the SLEM.
+* :func:`community_powerlaw` — an LFR-flavoured model: power-law degrees,
+  power-law community sizes, and a *mixing fraction* ``mu_frac`` of each
+  node's stubs wired across communities.  This is the workhorse behind
+  the co-authorship ("slow mixing") dataset stand-ins.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .._util import as_rng
+from ..graph import Graph, graph_from_degree_sequence_stubs
+from .powerlaw import powerlaw_degree_sequence
+
+__all__ = [
+    "stochastic_block_model",
+    "planted_partition",
+    "community_powerlaw",
+    "two_community_bridge",
+]
+
+
+def stochastic_block_model(
+    block_sizes: Sequence[int],
+    edge_prob: np.ndarray,
+    *,
+    seed=None,
+) -> Tuple[Graph, np.ndarray]:
+    """General SBM; returns ``(graph, block_labels)``.
+
+    ``edge_prob[a, b]`` is the Bernoulli probability of an edge between a
+    node of block ``a`` and one of block ``b`` (must be symmetric).
+    Implemented by sampling a binomial count per block pair then choosing
+    that many distinct pairs, so cost is O(edges), not O(n²).
+    """
+    sizes = np.asarray(block_sizes, dtype=np.int64)
+    if sizes.size == 0 or sizes.min() <= 0:
+        raise ValueError("block sizes must be positive")
+    probs = np.asarray(edge_prob, dtype=np.float64)
+    k = sizes.size
+    if probs.shape != (k, k):
+        raise ValueError(f"edge_prob must be ({k}, {k})")
+    if not np.allclose(probs, probs.T):
+        raise ValueError("edge_prob must be symmetric")
+    if probs.min() < 0 or probs.max() > 1:
+        raise ValueError("edge probabilities must lie in [0, 1]")
+    rng = as_rng(seed)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    n = int(offsets[-1])
+    labels = np.repeat(np.arange(k, dtype=np.int64), sizes)
+
+    chunks: List[np.ndarray] = []
+    for a in range(k):
+        for b in range(a, k):
+            if a == b:
+                pairs_total = sizes[a] * (sizes[a] - 1) // 2
+            else:
+                pairs_total = sizes[a] * sizes[b]
+            if pairs_total == 0 or probs[a, b] == 0.0:
+                continue
+            count = int(rng.binomial(int(pairs_total), probs[a, b]))
+            if count == 0:
+                continue
+            codes = _sample_distinct(rng, int(pairs_total), count)
+            if a == b:
+                u_loc, v_loc = _decode_triangle(codes, int(sizes[a]))
+                u = u_loc + offsets[a]
+                v = v_loc + offsets[a]
+            else:
+                u = codes // sizes[b] + offsets[a]
+                v = codes % sizes[b] + offsets[b]
+            chunks.append(np.stack([u, v], axis=1))
+    edges = np.concatenate(chunks, axis=0) if chunks else np.zeros((0, 2), dtype=np.int64)
+    return Graph.from_edges(edges, num_nodes=n), labels
+
+
+def _sample_distinct(rng: np.random.Generator, universe: int, count: int) -> np.ndarray:
+    """``count`` distinct integers from ``[0, universe)``."""
+    if count > universe:
+        raise ValueError("cannot sample more codes than the universe holds")
+    if universe <= 4 * count:
+        return rng.choice(universe, size=count, replace=False).astype(np.int64)
+    codes = np.unique(rng.integers(0, universe, size=int(count * 1.2) + 8))
+    while codes.size < count:
+        codes = np.unique(np.concatenate([codes, rng.integers(0, universe, size=count)]))
+    return rng.permutation(codes)[:count].astype(np.int64)
+
+
+def _decode_triangle(codes: np.ndarray, n: int):
+    codes_f = codes.astype(np.float64)
+    u = np.floor((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * codes_f)) / 2).astype(np.int64)
+    start = u * n - u * (u + 1) // 2
+    v = (codes - start) + u + 1
+    return u, v
+
+
+def planted_partition(
+    num_blocks: int,
+    block_size: int,
+    p_in: float,
+    p_out: float,
+    *,
+    seed=None,
+) -> Tuple[Graph, np.ndarray]:
+    """Equal-size SBM with uniform intra/inter probabilities."""
+    probs = np.full((num_blocks, num_blocks), p_out, dtype=np.float64)
+    np.fill_diagonal(probs, p_in)
+    return stochastic_block_model([block_size] * num_blocks, probs, seed=seed)
+
+
+def community_powerlaw(
+    n: int,
+    gamma: float,
+    mu_frac: float,
+    *,
+    num_communities=None,
+    k_min: int = 1,
+    k_max=None,
+    target_edges=None,
+    seed=None,
+) -> Tuple[Graph, np.ndarray]:
+    """LFR-flavoured community graph; returns ``(graph, community_labels)``.
+
+    Every node gets a power-law degree; a fraction ``mu_frac`` of each
+    node's stubs is wired *across* communities (global configuration
+    model) and the rest *within* its community.  ``mu_frac`` close to 0
+    gives strong communities → large mixing time; close to 1 degenerates
+    to a plain configuration model.
+
+    Community sizes are drawn power-law-ish (square-root-of-n scaled) when
+    ``num_communities`` is omitted.
+    """
+    if not 0.0 <= mu_frac <= 1.0:
+        raise ValueError("mu_frac must be in [0, 1]")
+    rng = as_rng(seed)
+    degrees = powerlaw_degree_sequence(
+        n, gamma, k_min=k_min, k_max=k_max, target_edges=target_edges, seed=rng
+    )
+    if num_communities is None:
+        num_communities = max(2, int(np.sqrt(n) / 2))
+    num_communities = min(int(num_communities), n)
+    # Heavy-tailed community sizes: Dirichlet over a power-law base measure.
+    base = (np.arange(1, num_communities + 1, dtype=np.float64)) ** (-0.8)
+    weights = rng.dirichlet(base * num_communities)
+    labels = rng.choice(num_communities, size=n, p=weights).astype(np.int64)
+    # Re-densify empty communities into label 0 to keep labels meaningful.
+    used = np.unique(labels)
+    remap = {int(c): i for i, c in enumerate(used)}
+    labels = np.asarray([remap[int(c)] for c in labels], dtype=np.int64)
+    num_communities = used.size
+
+    internal = np.round(degrees * (1.0 - mu_frac)).astype(np.int64)
+    external = degrees - internal
+
+    edge_chunks: List[np.ndarray] = []
+    # Within-community wiring: one configuration model per community.
+    for c in range(num_communities):
+        members = np.flatnonzero(labels == c)
+        if members.size < 2:
+            # Too small for internal edges; push stubs to the global pool.
+            external[members] += internal[members]
+            internal[members] = 0
+            continue
+        local_deg = internal[members].copy()
+        if int(local_deg.sum()) % 2 != 0:
+            bump = int(rng.integers(members.size))
+            if local_deg[bump] > 0:
+                local_deg[bump] -= 1
+                external[members[bump]] += 1
+            else:
+                local_deg[bump] += 1
+        sub = graph_from_degree_sequence_stubs(local_deg, rng)
+        sub_edges = sub.edges()
+        if sub_edges.size:
+            edge_chunks.append(members[sub_edges])
+    # Cross-community wiring: global configuration model on external stubs.
+    if int(external.sum()) % 2 != 0:
+        external[int(rng.integers(n))] += 1
+    cross = graph_from_degree_sequence_stubs(external, rng)
+    cross_edges = cross.edges()
+    if cross_edges.size:
+        edge_chunks.append(cross_edges)
+
+    edges = np.concatenate(edge_chunks, axis=0) if edge_chunks else np.zeros((0, 2), dtype=np.int64)
+    return Graph.from_edges(edges, num_nodes=n), labels
+
+
+def two_community_bridge(
+    community_size: int,
+    internal_degree: int,
+    bridge_edges: int,
+    *,
+    seed=None,
+) -> Tuple[Graph, np.ndarray]:
+    """Two dense communities joined by exactly ``bridge_edges`` edges.
+
+    The canonical slow-mixing example: the SLEM (and so the mixing time)
+    is controlled directly by ``bridge_edges``, which makes this the
+    sharpest test fixture for the whole measurement stack, and a model of
+    the honest/sybil two-region world from Section 5.
+    """
+    if bridge_edges < 1:
+        raise ValueError("need at least one bridge edge to stay connected")
+    if bridge_edges > community_size:
+        raise ValueError("bridge_edges may not exceed community_size")
+    rng = as_rng(seed)
+    from .random_graphs import random_regular  # local import avoids a cycle
+
+    d = internal_degree
+    if (community_size * d) % 2 != 0:
+        d += 1
+    left = random_regular(community_size, d, seed=rng)
+    right = random_regular(community_size, d, seed=rng)
+    edges = [left.edges(), right.edges() + community_size]
+    lhs = rng.choice(community_size, size=bridge_edges, replace=False)
+    rhs = rng.choice(community_size, size=bridge_edges, replace=False) + community_size
+    edges.append(np.stack([lhs, rhs], axis=1))
+    labels = np.repeat(np.asarray([0, 1], dtype=np.int64), community_size)
+    graph = Graph.from_edges(np.concatenate(edges, axis=0), num_nodes=2 * community_size)
+    return graph, labels

@@ -1,0 +1,116 @@
+"""Incremental graph construction helpers.
+
+:class:`GraphBuilder` accumulates edges with cheap python/numpy appends and
+produces an immutable :class:`~repro.graph.Graph` at the end.  Generators
+and scenario builders use it so intermediate states never pay CSR
+construction costs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .graph import Graph
+
+__all__ = ["GraphBuilder", "graph_from_degree_sequence_stubs"]
+
+
+class GraphBuilder:
+    """Accumulates undirected edges and builds a :class:`Graph`.
+
+    Duplicate edges and self loops may be added freely; they are removed
+    when :meth:`build` canonicalises the edge set.
+    """
+
+    def __init__(self, num_nodes: int = 0):
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be nonnegative")
+        self._num_nodes = int(num_nodes)
+        self._chunks: List[np.ndarray] = []
+        self._pending: List[Tuple[int, int]] = []
+
+    @property
+    def num_nodes(self) -> int:
+        """Current size of the node set (grows as edges reference new ids)."""
+        return self._num_nodes
+
+    def add_node(self) -> int:
+        """Allocate and return a fresh node id."""
+        node = self._num_nodes
+        self._num_nodes += 1
+        return node
+
+    def add_nodes(self, count: int) -> np.ndarray:
+        """Allocate ``count`` fresh node ids; returns them as an array."""
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        ids = np.arange(self._num_nodes, self._num_nodes + count, dtype=np.int64)
+        self._num_nodes += int(count)
+        return ids
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Queue a single undirected edge (node set grows as needed)."""
+        u, v = int(u), int(v)
+        if u < 0 or v < 0:
+            raise GraphFormatError("negative node ids are not allowed")
+        self._num_nodes = max(self._num_nodes, u + 1, v + 1)
+        self._pending.append((u, v))
+        if len(self._pending) >= 65536:
+            self._flush()
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        """Queue a batch of undirected edges (array input is fast-pathed)."""
+        arr = np.asarray(edges if isinstance(edges, np.ndarray) else list(edges), dtype=np.int64)
+        if arr.size == 0:
+            return
+        arr = arr.reshape(-1, 2)
+        if arr.min() < 0:
+            raise GraphFormatError("negative node ids are not allowed")
+        self._num_nodes = max(self._num_nodes, int(arr.max()) + 1)
+        self._chunks.append(arr)
+
+    def edge_count_upper_bound(self) -> int:
+        """Number of queued edge records (before dedup)."""
+        return sum(chunk.shape[0] for chunk in self._chunks) + len(self._pending)
+
+    def _flush(self) -> None:
+        if self._pending:
+            self._chunks.append(np.asarray(self._pending, dtype=np.int64))
+            self._pending = []
+
+    def build(self) -> Graph:
+        """Produce the immutable graph (dedup + canonicalise happens here)."""
+        self._flush()
+        if self._chunks:
+            edges = np.concatenate(self._chunks, axis=0)
+        else:
+            edges = np.zeros((0, 2), dtype=np.int64)
+        return Graph.from_edges(edges, num_nodes=self._num_nodes)
+
+
+def graph_from_degree_sequence_stubs(degrees: np.ndarray, rng) -> Graph:
+    """Configuration-model wiring of a degree sequence.
+
+    Creates ``deg[v]`` stubs per node, shuffles, and pairs consecutive
+    stubs.  Self loops and multi-edges produced by the pairing are simply
+    dropped (the standard "erased configuration model"), so realised
+    degrees can be slightly below the requested ones — an acceptable and
+    well-known bias that vanishes for large sparse graphs.
+
+    The degree sum must be even (raise otherwise).
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.size and degrees.min() < 0:
+        raise ValueError("degrees must be nonnegative")
+    total = int(degrees.sum())
+    if total % 2 != 0:
+        raise ValueError("degree sequence must have an even sum")
+    stubs = np.repeat(np.arange(degrees.size, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    u = stubs[0::2]
+    v = stubs[1::2]
+    edges = np.stack([u, v], axis=1)
+    return Graph.from_edges(edges, num_nodes=degrees.size)

@@ -1,0 +1,256 @@
+"""Directed graphs — the substrate for the paper's stated future work.
+
+Section 4 notes that the directed datasets (wiki-vote, Slashdot,
+Epinions, LiveJournal) were *converted to undirected* before
+measurement, "similar to what is performed in other work".  The authors'
+follow-up work measures mixing on the directed graphs themselves; this
+module provides the directed substrate so that extension lives here too:
+
+* :class:`DiGraph` — immutable CSR digraph with both out- and
+  in-adjacency,
+* strongly connected components (iterative Tarjan),
+* conversion to/from the undirected :class:`~repro.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .._util import check_node_index
+from .graph import Graph
+
+__all__ = ["DiGraph", "strongly_connected_components", "largest_strongly_connected_component"]
+
+
+class DiGraph:
+    """A simple directed graph (no self loops, no parallel arcs) in CSR form.
+
+    ``out_indptr/out_indices`` index successors; ``in_indptr/in_indices``
+    predecessors.  Arcs are deduplicated and successor lists sorted.
+    """
+
+    __slots__ = ("_out_indptr", "_out_indices", "_in_indptr", "_in_indices")
+
+    def __init__(self, out_indptr: np.ndarray, out_indices: np.ndarray, *, validate: bool = True):
+        out_indptr = np.ascontiguousarray(out_indptr, dtype=np.int64)
+        out_indices = np.ascontiguousarray(out_indices, dtype=np.int64)
+        if validate:
+            self._validate(out_indptr, out_indices)
+        self._out_indptr = out_indptr
+        self._out_indices = out_indices
+        self._in_indptr, self._in_indices = self._build_reverse(out_indptr, out_indices)
+
+    @staticmethod
+    def _validate(indptr: np.ndarray, indices: np.ndarray) -> None:
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphFormatError("indptr and indices must be 1-D")
+        if indptr.size == 0 or indptr[0] != 0 or indptr[-1] != indices.size:
+            raise GraphFormatError("malformed indptr")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphFormatError("indptr must be nondecreasing")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise GraphFormatError("indices out of range")
+        for v in range(n):
+            row = indices[indptr[v]:indptr[v + 1]]
+            if row.size and np.any(np.diff(row) <= 0):
+                raise GraphFormatError(f"successors of {v} unsorted or duplicated")
+            if np.any(row == v):
+                raise GraphFormatError(f"self loop at {v}")
+
+    @staticmethod
+    def _build_reverse(indptr: np.ndarray, indices: np.ndarray):
+        n = indptr.size - 1
+        in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(in_indptr, indices + 1, 1)
+        np.cumsum(in_indptr, out=in_indptr)
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        order = np.lexsort((src, indices))
+        return in_indptr, src[order]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]], *, num_nodes: Optional[int] = None) -> "DiGraph":
+        """Build from ``(source, target)`` arc pairs (loops/dups dropped)."""
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
+        if arr.size == 0:
+            n = int(num_nodes or 0)
+            return cls(np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64), validate=False)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphFormatError(f"edges must be (k, 2)-shaped, got {arr.shape}")
+        if arr.min() < 0:
+            raise GraphFormatError("negative node ids are not allowed")
+        keep = arr[:, 0] != arr[:, 1]
+        arr = np.unique(arr[keep], axis=0)
+        n = int(arr.max()) + 1 if arr.size else 0
+        if num_nodes is not None:
+            if num_nodes < n:
+                raise GraphFormatError("num_nodes smaller than max id + 1")
+            n = int(num_nodes)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, arr[:, 0] + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, arr[:, 1].copy(), validate=False)
+
+    @classmethod
+    def empty(cls, num_nodes: int = 0) -> "DiGraph":
+        return cls(np.zeros(int(num_nodes) + 1, dtype=np.int64), np.zeros(0, dtype=np.int64), validate=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._out_indptr.size - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs."""
+        return self._out_indices.size
+
+    @property
+    def out_indptr(self) -> np.ndarray:
+        return self._out_indptr
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        return self._out_indices
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self._out_indptr)
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        return np.diff(self._in_indptr)
+
+    def successors(self, node: int) -> np.ndarray:
+        node = check_node_index(node, self.num_nodes)
+        return self._out_indices[self._out_indptr[node]:self._out_indptr[node + 1]]
+
+    def predecessors(self, node: int) -> np.ndarray:
+        node = check_node_index(node, self.num_nodes)
+        return self._in_indices[self._in_indptr[node]:self._in_indptr[node + 1]]
+
+    def has_arc(self, u: int, v: int) -> bool:
+        u = check_node_index(u, self.num_nodes, name="u")
+        v = check_node_index(v, self.num_nodes, name="v")
+        row = self.successors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < row.size and row[pos] == v)
+
+    def arcs(self) -> np.ndarray:
+        """All arcs as a ``(num_arcs, 2)`` array."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.out_degrees)
+        return np.stack([src, self._out_indices], axis=1)
+
+    def iter_arcs(self) -> Iterator[Tuple[int, int]]:
+        for u, v in self.arcs():
+            yield int(u), int(v)
+
+    # ------------------------------------------------------------------
+    def to_undirected(self) -> Graph:
+        """The paper's Section 4 preprocessing: every arc becomes an
+        undirected edge."""
+        return Graph.from_edges(self.arcs(), num_nodes=self.num_nodes)
+
+    @classmethod
+    def from_undirected(cls, graph: Graph) -> "DiGraph":
+        """Both orientations of every undirected edge."""
+        return cls(graph.indptr.copy(), graph.indices.copy(), validate=False)
+
+    def reverse(self) -> "DiGraph":
+        """The graph with every arc flipped."""
+        arcs = self.arcs()
+        return DiGraph.from_edges(arcs[:, ::-1], num_nodes=self.num_nodes)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return np.array_equal(self._out_indptr, other._out_indptr) and np.array_equal(
+            self._out_indices, other._out_indices
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_nodes, self.num_arcs, self._out_indices[:64].tobytes()))
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self.num_nodes}, arcs={self.num_arcs})"
+
+
+def strongly_connected_components(graph: DiGraph) -> List[np.ndarray]:
+    """Strongly connected components (iterative Tarjan), largest first."""
+    n = graph.num_nodes
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    stack: List[int] = []
+    components: List[np.ndarray] = []
+    counter = 0
+    indptr, indices = graph.out_indptr, graph.out_indices
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # Iterative Tarjan with an explicit call stack of (node, next-child).
+        call: List[Tuple[int, int]] = [(root, 0)]
+        while call:
+            v, child = call[-1]
+            if child == 0:
+                index[v] = lowlink[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            row = indices[indptr[v]:indptr[v + 1]]
+            while child < row.size:
+                w = int(row[child])
+                child += 1
+                if index[w] == -1:
+                    call[-1] = (v, child)
+                    call.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if advanced:
+                continue
+            call.pop()
+            if call:
+                parent = call[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+            if lowlink[v] == index[v]:
+                members = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    members.append(w)
+                    if w == v:
+                        break
+                components.append(np.sort(np.asarray(members, dtype=np.int64)))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_strongly_connected_component(graph: DiGraph) -> Tuple[DiGraph, np.ndarray]:
+    """The largest SCC as its own digraph; returns ``(subgraph, node_map)``.
+
+    The directed analogue of the paper's largest-connected-component
+    preprocessing: a directed walk's mixing time is undefined outside one
+    strongly connected component.
+    """
+    comps = strongly_connected_components(graph)
+    if not comps:
+        return DiGraph.empty(0), np.zeros(0, dtype=np.int64)
+    nodes = comps[0]
+    rank = np.full(graph.num_nodes, -1, dtype=np.int64)
+    rank[nodes] = np.arange(nodes.size, dtype=np.int64)
+    arcs = graph.arcs()
+    if arcs.size:
+        keep = (rank[arcs[:, 0]] >= 0) & (rank[arcs[:, 1]] >= 0)
+        remapped = np.stack([rank[arcs[keep, 0]], rank[arcs[keep, 1]]], axis=1)
+    else:
+        remapped = np.zeros((0, 2), dtype=np.int64)
+    return DiGraph.from_edges(remapped, num_nodes=nodes.size), nodes

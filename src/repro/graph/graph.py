@@ -1,0 +1,245 @@
+"""Immutable compressed-sparse-row (CSR) undirected graph.
+
+This is the substrate every other subsystem builds on.  A :class:`Graph`
+stores the adjacency structure of a simple undirected graph (no self loops,
+no parallel edges) in two numpy arrays:
+
+``indptr``
+    ``int64`` array of length ``n + 1``; the neighbours of node ``i`` are
+    ``indices[indptr[i]:indptr[i + 1]]``.
+``indices``
+    ``int64`` array of length ``2m``; each undirected edge appears twice,
+    once in each endpoint's neighbour list, and every neighbour list is
+    sorted ascending.
+
+The representation is append-only by construction: all mutating operations
+(`repro.graph.transforms`) return new graphs.  This makes graphs safe to
+cache and share between experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .._util import check_node_index, unique_sorted_edges
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A simple undirected graph in CSR form.
+
+    Instances should normally be created through the constructors
+    :meth:`from_edges`, :meth:`from_adjacency`, or the functions in
+    :mod:`repro.graph.builders` / :mod:`repro.generators`, rather than by
+    passing raw CSR arrays.
+
+    Parameters
+    ----------
+    indptr, indices:
+        CSR arrays as described in the module docstring.  They are
+        validated unless ``validate=False`` (used internally by trusted
+        constructors to skip redundant work).
+    """
+
+    __slots__ = ("_indptr", "_indices", "_degrees")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if validate:
+            self._validate(indptr, indices)
+        self._indptr = indptr
+        self._indices = indices
+        self._degrees = np.diff(indptr)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(indptr: np.ndarray, indices: np.ndarray) -> None:
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphFormatError("indptr and indices must be 1-D arrays")
+        if indptr.size == 0:
+            raise GraphFormatError("indptr must have length n + 1 >= 1")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise GraphFormatError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphFormatError("indptr must be nondecreasing")
+        n = indptr.size - 1
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= n:
+                raise GraphFormatError("indices contain out-of-range node ids")
+        for i in range(n):
+            row = indices[indptr[i]:indptr[i + 1]]
+            if row.size == 0:
+                continue
+            if np.any(np.diff(row) <= 0):
+                raise GraphFormatError(
+                    f"neighbour list of node {i} is not strictly increasing "
+                    "(unsorted or parallel edges)"
+                )
+            if np.any(row == i):
+                raise GraphFormatError(f"self loop at node {i}")
+        # Symmetry: every arc must have its reverse.  Checked by sorting
+        # the arc sets, which is O(m log m) but only runs when validate=True.
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        fwd = src * np.int64(n) + indices
+        rev = indices * np.int64(n) + src
+        if not np.array_equal(np.sort(fwd), np.sort(rev)):
+            raise GraphFormatError("adjacency is not symmetric")
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]], *, num_nodes: Optional[int] = None) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Self loops and duplicate edges (in either orientation) are dropped.
+        ``num_nodes`` extends the node set beyond ``max id + 1`` to include
+        isolated nodes.
+        """
+        edge_arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
+        if edge_arr.size == 0:
+            n = int(num_nodes or 0)
+            return cls(np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64), validate=False)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise GraphFormatError(f"edges must be (k, 2)-shaped, got {edge_arr.shape}")
+        if edge_arr.min() < 0:
+            raise GraphFormatError("negative node ids are not allowed")
+        u, v = unique_sorted_edges(edge_arr[:, 0], edge_arr[:, 1])
+        n = int(edge_arr.max()) + 1
+        if num_nodes is not None:
+            if num_nodes < n:
+                raise GraphFormatError(f"num_nodes={num_nodes} smaller than max node id + 1 = {n}")
+            n = int(num_nodes)
+        return cls._from_canonical_edges(u, v, n)
+
+    @classmethod
+    def _from_canonical_edges(cls, u: np.ndarray, v: np.ndarray, n: int) -> "Graph":
+        """Build from deduplicated, loop-free edges with ``u < v`` (trusted)."""
+        src = np.concatenate([u, v])
+        dst = np.concatenate([v, u])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, dst, validate=False)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Iterable[Iterable[int]]) -> "Graph":
+        """Build a graph from an adjacency-list representation.
+
+        The input must describe a symmetric structure; missing reverse arcs
+        are added automatically (the union of both directions is used).
+        """
+        edges = []
+        num_nodes = 0
+        for i, nbrs in enumerate(adjacency):
+            num_nodes = i + 1
+            for j in nbrs:
+                edges.append((i, int(j)))
+        return cls.from_edges(edges, num_nodes=num_nodes)
+
+    @classmethod
+    def empty(cls, num_nodes: int = 0) -> "Graph":
+        """A graph with ``num_nodes`` nodes and no edges."""
+        return cls(np.zeros(int(num_nodes) + 1, dtype=np.int64), np.zeros(0, dtype=np.int64), validate=False)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n`` (paper notation: :math:`n = |V|`)."""
+        return self._indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m`` (paper notation: :math:`m = |E|`)."""
+        return self._indices.size // 2
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only CSR row pointer (length ``n + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only CSR column indices (length ``2m``)."""
+        return self._indices
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as an int64 array of length ``n``."""
+        return self._degrees
+
+    def degree(self, node: int) -> int:
+        """Degree of a single node."""
+        node = check_node_index(node, self.num_nodes)
+        return int(self._degrees[node])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbour ids of ``node`` (a view — do not mutate)."""
+        node = check_node_index(node, self.num_nodes)
+        return self._indices[self._indptr[node]:self._indptr[node + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists (binary search)."""
+        u = check_node_index(u, self.num_nodes, name="u")
+        v = check_node_index(v, self.num_nodes, name="v")
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < row.size and row[pos] == v)
+
+    def edges(self) -> np.ndarray:
+        """All undirected edges as a ``(m, 2)`` array with ``u < v`` per row."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self._degrees)
+        mask = src < self._indices
+        return np.stack([src[mask], self._indices[mask]], axis=1)
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over undirected edges as python int pairs with ``u < v``."""
+        for u, v in self.edges():
+            yield int(u), int(v)
+
+    # ------------------------------------------------------------------
+    # Linear-algebra views
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self):
+        """The adjacency matrix as a ``scipy.sparse.csr_matrix`` of float64."""
+        from scipy.sparse import csr_matrix
+
+        data = np.ones(self._indices.size, dtype=np.float64)
+        n = self.num_nodes
+        return csr_matrix((data, self._indices.copy(), self._indptr.copy()), shape=(n, n))
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __contains__(self, node) -> bool:
+        try:
+            idx = int(node)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= idx < self.num_nodes
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:
+        # Graphs are immutable; hash on a cheap structural summary.
+        return hash((self.num_nodes, self.num_edges, self._indices[:64].tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_nodes}, m={self.num_edges})"

@@ -1,0 +1,244 @@
+"""Structural graph metrics.
+
+Degree statistics, clustering, assortativity, and cut quantities.  These
+feed the dataset registry (Table 1 columns), the generator calibration
+tests, and the community-structure analysis (conductance relates to the
+spectral gap via :math:`\\Phi \\geq 1 - \\mu`, Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from .._util import as_rng
+from .graph import Graph
+from .traversal import bfs_distances
+
+__all__ = [
+    "DegreeStats",
+    "GraphSummary",
+    "summarize",
+    "degree_stats",
+    "degree_histogram",
+    "average_degree",
+    "density",
+    "local_clustering",
+    "average_clustering",
+    "global_clustering",
+    "degree_assortativity",
+    "cut_size",
+    "volume",
+    "conductance_of_set",
+    "approximate_diameter",
+]
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary statistics of the degree sequence."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    std: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "median": self.median,
+            "std": self.std,
+        }
+
+
+def degree_stats(graph: Graph) -> DegreeStats:
+    """Min/max/mean/median/std of the degree sequence."""
+    deg = graph.degrees
+    if deg.size == 0:
+        return DegreeStats(0, 0, 0.0, 0.0, 0.0)
+    return DegreeStats(
+        minimum=int(deg.min()),
+        maximum=int(deg.max()),
+        mean=float(deg.mean()),
+        median=float(np.median(deg)),
+        std=float(deg.std()),
+    )
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """``hist[d]`` = number of nodes of degree ``d``."""
+    deg = graph.degrees
+    if deg.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(deg)
+
+
+def average_degree(graph: Graph) -> float:
+    """Mean degree ``2m / n`` (0 for the empty graph)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_nodes
+
+
+def density(graph: Graph) -> float:
+    """Edge density ``2m / (n(n-1))``."""
+    n = graph.num_nodes
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def local_clustering(graph: Graph) -> np.ndarray:
+    """Local clustering coefficient of every node.
+
+    ``c[v] = 2 * triangles(v) / (deg(v) * (deg(v) - 1))``; nodes of degree
+    < 2 get coefficient 0.  Triangle counting intersects sorted neighbour
+    lists, so the cost is O(sum_v deg(v)^2 log) in the worst case — fine at
+    laptop scale.
+    """
+    n = graph.num_nodes
+    coeff = np.zeros(n, dtype=np.float64)
+    indptr, indices = graph.indptr, graph.indices
+    for v in range(n):
+        nbrs = indices[indptr[v]:indptr[v + 1]]
+        d = nbrs.size
+        if d < 2:
+            continue
+        links = 0
+        nbr_set = nbrs  # sorted array; use searchsorted membership
+        for u in nbrs:
+            row = indices[indptr[u]:indptr[u + 1]]
+            links += np.searchsorted(row, nbr_set, side="right").sum() - np.searchsorted(row, nbr_set, side="left").sum()
+        coeff[v] = links / (d * (d - 1))
+    return coeff
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean of the local clustering coefficients (Watts–Strogatz C)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return float(local_clustering(graph).mean())
+
+
+def global_clustering(graph: Graph) -> float:
+    """Transitivity: 3 * triangles / open-and-closed wedges."""
+    deg = graph.degrees.astype(np.float64)
+    wedges = float((deg * (deg - 1) / 2).sum())
+    if wedges == 0:
+        return 0.0
+    # Sum over nodes of closed-wedge counts = 2 * triangles * 3.
+    closed = float((local_clustering(graph) * deg * (deg - 1) / 2).sum())
+    return closed / wedges
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of degrees across edges (Newman's r).
+
+    Returns NaN for graphs with no edges or constant degree.
+    """
+    edges = graph.edges()
+    if edges.shape[0] == 0:
+        return float("nan")
+    deg = graph.degrees.astype(np.float64)
+    x = np.concatenate([deg[edges[:, 0]], deg[edges[:, 1]]])
+    y = np.concatenate([deg[edges[:, 1]], deg[edges[:, 0]]])
+    sx = x.std()
+    if sx == 0:
+        return float("nan")
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * y.std()))
+
+
+def volume(graph: Graph, nodes: np.ndarray) -> int:
+    """Sum of degrees over ``nodes`` (the set's volume)."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    return int(graph.degrees[nodes].sum())
+
+
+def cut_size(graph: Graph, nodes: np.ndarray) -> int:
+    """Number of edges with exactly one endpoint in ``nodes``."""
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    mask[np.asarray(nodes, dtype=np.int64)] = True
+    edges = graph.edges()
+    if edges.size == 0:
+        return 0
+    return int((mask[edges[:, 0]] != mask[edges[:, 1]]).sum())
+
+
+def conductance_of_set(graph: Graph, nodes: np.ndarray) -> float:
+    """Conductance of the cut ``(S, V \\ S)``: cut(S) / min(vol(S), vol(V\\S)).
+
+    Raises :class:`ValueError` when either side has zero volume.
+    """
+    nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+    vol_s = volume(graph, nodes)
+    vol_rest = 2 * graph.num_edges - vol_s
+    denom = min(vol_s, vol_rest)
+    if denom == 0:
+        raise ValueError("conductance undefined: one side of the cut has zero volume")
+    return cut_size(graph, nodes) / denom
+
+
+def approximate_diameter(graph: Graph, *, trials: int = 8, seed=None) -> int:
+    """Lower bound on the diameter by double-sweep BFS from random starts."""
+    if graph.num_nodes == 0:
+        return 0
+    rng = as_rng(seed)
+    best = 0
+    for _ in range(max(1, trials)):
+        start = int(rng.integers(graph.num_nodes))
+        dist = bfs_distances(graph, start)
+        reached = dist >= 0
+        far = int(np.flatnonzero(dist == dist[reached].max())[0])
+        dist2 = bfs_distances(graph, far)
+        best = max(best, int(dist2[dist2 >= 0].max()))
+    return best
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-stop structural summary of a graph (for reports and the CLI)."""
+
+    num_nodes: int
+    num_edges: int
+    degree: DegreeStats
+    density: float
+    average_clustering: float
+    assortativity: float
+    approx_diameter: int
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        return "\n".join(
+            [
+                f"nodes:           {self.num_nodes:,}",
+                f"edges:           {self.num_edges:,}",
+                f"degree:          min {self.degree.minimum}, mean {self.degree.mean:.2f}, "
+                f"median {self.degree.median:.0f}, max {self.degree.maximum}",
+                f"density:         {self.density:.6f}",
+                f"clustering:      {self.average_clustering:.4f}",
+                f"assortativity:   {self.assortativity:.4f}",
+                f"diameter (>=):   {self.approx_diameter}",
+            ]
+        )
+
+
+def summarize(graph: Graph, *, seed=None) -> GraphSummary:
+    """Compute the :class:`GraphSummary` of a graph.
+
+    The diameter field is the double-sweep lower bound (exact diameters
+    are O(nm)); clustering is exact.
+    """
+    return GraphSummary(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        degree=degree_stats(graph),
+        density=density(graph),
+        average_clustering=average_clustering(graph),
+        assortativity=degree_assortativity(graph),
+        approx_diameter=approximate_diameter(graph, seed=seed) if graph.num_nodes else 0,
+    )

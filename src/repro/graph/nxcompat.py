@@ -1,0 +1,52 @@
+"""Optional interoperability with ``networkx``.
+
+networkx is *not* a runtime dependency of the core library — all
+algorithms are implemented on the CSR :class:`~repro.graph.Graph` — but it
+is ubiquitous in the measurement community, so converting both ways makes
+the toolkit easy to adopt.  Import errors are raised lazily.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise ImportError(
+            "networkx is required for repro.graph.nxcompat; install with "
+            "`pip install networkx` or `pip install repro[dev]`"
+        ) from exc
+    return nx
+
+
+def to_networkx(graph: Graph):
+    """Convert a :class:`Graph` to an undirected ``networkx.Graph``.
+
+    Isolated nodes are preserved.
+    """
+    nx = _require_networkx()
+    out = nx.Graph()
+    out.add_nodes_from(range(graph.num_nodes))
+    out.add_edges_from(graph.iter_edges())
+    return out
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Convert any networkx graph to an undirected CSR :class:`Graph`.
+
+    Node labels are compacted to ``0..n-1`` in sorted-by-insertion order;
+    directed graphs are symmetrised; multi-edges and self loops are
+    dropped.  The mapping is intentionally not returned — callers who need
+    label round-trips should relabel to integers first with
+    ``networkx.convert_node_labels_to_integers``.
+    """
+    _require_networkx()
+    nodes = list(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in nx_graph.edges()]
+    return Graph.from_edges(edges, num_nodes=len(nodes))

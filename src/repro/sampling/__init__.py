@@ -1,0 +1,14 @@
+"""Subgraph sampling: BFS (snowball), random-walk, and uniform sampling."""
+
+from .bfs_sample import bfs_sample, multi_scale_bfs_samples
+from .random_walk_sample import metropolis_hastings_sample, random_walk_sample
+from .node_sample import random_edge_sample, random_node_sample
+
+__all__ = [
+    "bfs_sample",
+    "multi_scale_bfs_samples",
+    "metropolis_hastings_sample",
+    "random_walk_sample",
+    "random_edge_sample",
+    "random_node_sample",
+]

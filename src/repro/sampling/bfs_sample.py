@@ -1,0 +1,97 @@
+"""BFS (snowball) subgraph sampling — the paper's Figure 7 methodology.
+
+Section 4: "we sample the representative subgraphs from each of the four
+large data sets ... using the breadth first search (BFS) algorithm
+beginning from a random node in the graph as an initial point", producing
+10K / 100K / 1000K node samples.  The paper's own footnote 3 notes that
+BFS biases samples toward *faster* mixing (it harvests a dense ball),
+which only strengthens the slow-mixing conclusion; tests in this repo
+verify that bias empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SamplingError
+from ..graph import Graph, bfs_order, induced_subgraph, largest_connected_component
+from .._util import as_rng
+
+__all__ = ["bfs_sample", "multi_scale_bfs_samples"]
+
+
+def bfs_sample(
+    graph: Graph,
+    target_nodes: int,
+    *,
+    source: Optional[int] = None,
+    seed=None,
+    keep_largest_component: bool = True,
+) -> Tuple[Graph, np.ndarray]:
+    """Induced subgraph on the first ``target_nodes`` BFS discoveries.
+
+    Parameters
+    ----------
+    source:
+        Start node; a uniform random node when omitted (the paper's
+        choice).
+    keep_largest_component:
+        The induced subgraph of a BFS ball is connected by construction,
+        but guard anyway (isolated nodes can appear only if
+        ``target_nodes`` exceeds the component size and extra components
+        get pulled in — which raises instead, see below).
+
+    Raises
+    ------
+    SamplingError
+        When the component containing ``source`` has fewer than
+        ``target_nodes`` nodes, rather than silently returning a smaller
+        sample.
+    """
+    if target_nodes <= 0:
+        raise SamplingError("target_nodes must be positive")
+    if target_nodes > graph.num_nodes:
+        raise SamplingError(
+            f"target_nodes={target_nodes} exceeds graph size {graph.num_nodes}"
+        )
+    rng = as_rng(seed)
+    if source is None:
+        source = int(rng.integers(graph.num_nodes))
+    order = bfs_order(graph, source, limit=target_nodes)
+    if order.size < target_nodes:
+        raise SamplingError(
+            f"BFS from node {source} reached only {order.size} nodes "
+            f"(< {target_nodes}); component too small"
+        )
+    sub, node_map = induced_subgraph(graph, order)
+    if keep_largest_component:
+        sub2, inner = largest_connected_component(sub)
+        return sub2, node_map[inner]
+    return sub, node_map
+
+
+def multi_scale_bfs_samples(
+    graph: Graph,
+    sizes: Sequence[int],
+    *,
+    seed=None,
+    nested: bool = True,
+) -> Dict[int, Tuple[Graph, np.ndarray]]:
+    """BFS samples at several sizes from one random start (Figure 7 setup).
+
+    With ``nested=True`` (default) all samples share the same source, so
+    smaller samples are prefixes of larger ones — matching the paper's
+    10K ⊂ 100K ⊂ 1000K construction from one BFS pass per graph.
+    """
+    sizes = sorted(set(int(s) for s in sizes))
+    if not sizes:
+        raise SamplingError("sizes must be non-empty")
+    rng = as_rng(seed)
+    source = int(rng.integers(graph.num_nodes))
+    out: Dict[int, Tuple[Graph, np.ndarray]] = {}
+    for size in sizes:
+        src = source if nested else int(rng.integers(graph.num_nodes))
+        out[size] = bfs_sample(graph, size, source=src, seed=rng)
+    return out

@@ -1,0 +1,71 @@
+"""Uniform node and edge sampling (baseline samplers).
+
+Uniform node sampling shatters sparse social graphs into fragments, which
+is exactly why the paper (and crawls generally) use BFS; keeping these
+baselines around lets experiments demonstrate that difference.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import SamplingError
+from ..graph import Graph, induced_subgraph, largest_connected_component
+from .._util import as_rng
+
+__all__ = ["random_node_sample", "random_edge_sample"]
+
+
+def random_node_sample(
+    graph: Graph,
+    target_nodes: int,
+    *,
+    seed=None,
+    keep_largest_component: bool = True,
+) -> Tuple[Graph, np.ndarray]:
+    """Induced subgraph on a uniform node sample (without replacement).
+
+    Returns ``(subgraph, node_map)``.  With ``keep_largest_component``
+    (default) the returned graph is the sample's largest component, which
+    is usually *much* smaller than ``target_nodes`` on sparse graphs.
+    """
+    if not 0 < target_nodes <= graph.num_nodes:
+        raise SamplingError("target_nodes out of range")
+    rng = as_rng(seed)
+    nodes = rng.choice(graph.num_nodes, size=target_nodes, replace=False)
+    sub, node_map = induced_subgraph(graph, nodes)
+    if keep_largest_component and sub.num_nodes:
+        sub2, inner = largest_connected_component(sub)
+        return sub2, node_map[inner]
+    return sub, node_map
+
+
+def random_edge_sample(
+    graph: Graph,
+    target_edges: int,
+    *,
+    seed=None,
+    keep_largest_component: bool = True,
+) -> Tuple[Graph, np.ndarray]:
+    """Subgraph on a uniform edge sample: keep ``target_edges`` edges and
+    the nodes they touch.
+
+    Returns ``(subgraph, node_map)``.
+    """
+    if not 0 < target_edges <= graph.num_edges:
+        raise SamplingError("target_edges out of range")
+    rng = as_rng(seed)
+    all_edges = graph.edges()
+    picked = all_edges[rng.choice(all_edges.shape[0], size=target_edges, replace=False)]
+    nodes = np.unique(picked)
+    rank = {int(v): i for i, v in enumerate(nodes)}
+    remapped = np.asarray(
+        [(rank[int(u)], rank[int(v)]) for u, v in picked], dtype=np.int64
+    )
+    sub = Graph.from_edges(remapped, num_nodes=nodes.size)
+    if keep_largest_component and sub.num_nodes:
+        sub2, inner = largest_connected_component(sub)
+        return sub2, nodes[inner]
+    return sub, nodes

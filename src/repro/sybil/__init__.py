@@ -1,0 +1,75 @@
+"""Social-network Sybil defenses and the attack scenario model."""
+
+from .scenario import (
+    SybilScenario,
+    attach_sybil_region,
+    no_attack_scenario,
+    random_sybil_region,
+)
+from .routes import RouteInstances, arc_sources, reverse_slots
+from .sybilguard import SybilGuard, SybilGuardOutcome, recommended_route_length
+from .sybillimit import (
+    SybilLimit,
+    SybilLimitOutcome,
+    SybilLimitParams,
+    default_num_instances,
+)
+from .sybilinfer import SybilInfer, SybilInferParams, SybilInferResult, generate_traces
+from .sumup import SumUpOutcome, SumUpParams, sumup_collect_votes, ticket_capacities
+from .sybilrank import (
+    SybilRankResult,
+    ranking_quality,
+    recommended_iterations,
+    sybilrank,
+)
+from .whanau import (
+    WhanauLookupStats,
+    WhanauTables,
+    build_whanau,
+    lookup_success_rate,
+)
+from .maxflow import FlowNetwork
+from .metrics import (
+    AdmissionMetrics,
+    escape_probability,
+    evaluate_admission,
+    sybil_bound_per_attack_edge,
+)
+
+__all__ = [
+    "SybilScenario",
+    "attach_sybil_region",
+    "no_attack_scenario",
+    "random_sybil_region",
+    "RouteInstances",
+    "arc_sources",
+    "reverse_slots",
+    "SybilGuard",
+    "SybilGuardOutcome",
+    "recommended_route_length",
+    "SybilLimit",
+    "SybilLimitOutcome",
+    "SybilLimitParams",
+    "default_num_instances",
+    "SybilInfer",
+    "SybilInferParams",
+    "SybilInferResult",
+    "generate_traces",
+    "SumUpOutcome",
+    "SumUpParams",
+    "sumup_collect_votes",
+    "ticket_capacities",
+    "SybilRankResult",
+    "ranking_quality",
+    "recommended_iterations",
+    "sybilrank",
+    "WhanauLookupStats",
+    "WhanauTables",
+    "build_whanau",
+    "lookup_success_rate",
+    "FlowNetwork",
+    "AdmissionMetrics",
+    "escape_probability",
+    "evaluate_admission",
+    "sybil_bound_per_attack_edge",
+]

@@ -1,0 +1,135 @@
+"""Maximum flow (Dinic's algorithm) on small directed capacity networks.
+
+SumUp's vote aggregation is a max-flow computation from voters to the
+vote collector over a ticket-capacitated graph; this module provides the
+solver.  It is deliberately self-contained (adjacency lists of residual
+arcs) rather than reusing :class:`~repro.graph.Graph`, because flow
+networks are directed, capacitated, and mutated during the computation —
+none of which the immutable CSR graph models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FlowNetwork"]
+
+
+class FlowNetwork:
+    """A directed flow network with integer/float capacities.
+
+    Arcs are stored as a flat list; each arc keeps the index of its
+    residual twin (``arc ^ 1``), the classic pairing trick.
+    """
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 2:
+            raise ValueError("a flow network needs at least two nodes")
+        self._n = int(num_nodes)
+        self._to: List[int] = []
+        self._cap: List[float] = []
+        self._head: List[List[int]] = [[] for _ in range(self._n)]
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    def add_edge(self, u: int, v: int, capacity: float) -> int:
+        """Add arc u→v with the given capacity; returns the arc id.
+
+        The residual reverse arc (capacity 0) is created automatically.
+        """
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise IndexError("arc endpoint out of range")
+        if capacity < 0:
+            raise ValueError("capacity must be nonnegative")
+        arc_id = len(self._to)
+        self._to.extend((v, u))
+        self._cap.extend((float(capacity), 0.0))
+        self._head[u].append(arc_id)
+        self._head[v].append(arc_id + 1)
+        return arc_id
+
+    def flow_on(self, arc_id: int) -> float:
+        """Flow currently routed over an arc (its twin's residual)."""
+        return self._cap[arc_id ^ 1]
+
+    # ------------------------------------------------------------------
+    def _bfs_levels(self, source: int, sink: int) -> Optional[List[int]]:
+        level = [-1] * self._n
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for arc in self._head[u]:
+                v = self._to[arc]
+                if self._cap[arc] > 1e-12 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level if level[sink] >= 0 else None
+
+    def _dfs_push(self, source: int, sink: int, level: List[int], it: List[int]) -> float:
+        """One blocking-path push, implemented iteratively.
+
+        An explicit stack of (node, arc-taken-to-get-here) avoids python's
+        recursion limit on long augmenting paths.
+        """
+        path: List[int] = []  # arcs from source to the stack top
+        u = source
+        while True:
+            if u == sink:
+                bottleneck = min(self._cap[arc] for arc in path)
+                for arc in path:
+                    self._cap[arc] -= bottleneck
+                    self._cap[arc ^ 1] += bottleneck
+                return bottleneck
+            advanced = False
+            while it[u] < len(self._head[u]):
+                arc = self._head[u][it[u]]
+                v = self._to[arc]
+                if self._cap[arc] > 1e-12 and level[v] == level[u] + 1:
+                    path.append(arc)
+                    u = v
+                    advanced = True
+                    break
+                it[u] += 1
+            if advanced:
+                continue
+            if not path:
+                return 0.0
+            # Dead end: retreat and retire the arc that led here.
+            level[u] = -1  # no augmenting path through u in this phase
+            arc = path.pop()
+            u = self._to[arc ^ 1]
+            it[u] += 1
+
+    def max_flow(self, source: int, sink: int) -> float:
+        """Dinic's algorithm: O(V²E) worst case, far better in practice."""
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        total = 0.0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level is None:
+                return total
+            it = [0] * self._n
+            while True:
+                pushed = self._dfs_push(source, sink, level, it)
+                if pushed <= 1e-12:
+                    break
+                total += pushed
+
+    def min_cut_reachable(self, source: int) -> List[bool]:
+        """After :meth:`max_flow`, the source side of a minimum cut."""
+        seen = [False] * self._n
+        seen[source] = True
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for arc in self._head[u]:
+                v = self._to[arc]
+                if self._cap[arc] > 1e-12 and not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+        return seen

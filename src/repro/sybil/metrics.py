@@ -1,0 +1,161 @@
+"""Evaluation metrics for Sybil defenses.
+
+Section 2 criticises SybilGuard/SybilLimit for reporting only the false
+acceptance rate "and not other characteristics, like the rejection rate
+of honest nodes, which would be expected to increase with insufficient
+walk lengths".  This module computes both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .scenario import SybilScenario
+
+__all__ = [
+    "AdmissionMetrics",
+    "evaluate_admission",
+    "sybil_bound_per_attack_edge",
+    "escape_probability",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionMetrics:
+    """Joint honest/sybil admission statistics for one verifier pass."""
+
+    honest_total: int
+    honest_accepted: int
+    sybil_total: int
+    sybil_accepted: int
+
+    @property
+    def honest_admission_rate(self) -> float:
+        """Fraction of honest suspects admitted (the utility side)."""
+        if self.honest_total == 0:
+            return float("nan")
+        return self.honest_accepted / self.honest_total
+
+    @property
+    def honest_rejection_rate(self) -> float:
+        """1 - honest admission rate — the cost the paper highlights."""
+        return 1.0 - self.honest_admission_rate
+
+    @property
+    def sybil_acceptance_rate(self) -> float:
+        """Fraction of sybil identities admitted (the security side)."""
+        if self.sybil_total == 0:
+            return float("nan")
+        return self.sybil_accepted / self.sybil_total
+
+    def sybils_per_attack_edge(self, num_attack_edges: int) -> float:
+        """Accepted sybils normalised by g (SybilLimit's guarantee unit)."""
+        if num_attack_edges <= 0:
+            return float("nan")
+        return self.sybil_accepted / num_attack_edges
+
+
+def evaluate_admission(
+    scenario: SybilScenario,
+    suspects: np.ndarray,
+    accepted: np.ndarray,
+) -> AdmissionMetrics:
+    """Split a verifier's verdicts into honest/sybil statistics."""
+    suspects = np.asarray(suspects, dtype=np.int64)
+    accepted = np.asarray(accepted, dtype=bool)
+    if suspects.shape != accepted.shape:
+        raise ValueError("suspects and accepted must align")
+    honest = suspects < scenario.num_honest
+    return AdmissionMetrics(
+        honest_total=int(honest.sum()),
+        honest_accepted=int(accepted[honest].sum()),
+        sybil_total=int((~honest).sum()),
+        sybil_accepted=int(accepted[~honest].sum()),
+    )
+
+
+def escape_probability(
+    scenario: SybilScenario,
+    walk_lengths,
+    *,
+    sources=None,
+) -> np.ndarray:
+    """Exact probability that a length-w walk escapes into the sybil region.
+
+    Section 5: "if one uses longer random walks in order to reach such
+    isolated parts of the network it would be equally likely to escape to
+    the Sybil region".  This computes the claim exactly by treating the
+    sybil region as *absorbing*: evolve the honest-restricted distribution
+    and track the mass that has crossed an attack edge by each step.
+
+    Parameters
+    ----------
+    walk_lengths:
+        Increasing nonnegative walk lengths to report.
+    sources:
+        Honest source nodes to average over (default: every honest node,
+        weighted uniformly).
+
+    Returns
+    -------
+    ``escape[j]`` — mean escape probability by ``walk_lengths[j]``.
+    """
+    from scipy.sparse import csr_matrix
+
+    walk_lengths = np.asarray(list(walk_lengths), dtype=np.int64)
+    if walk_lengths.size == 0 or np.any(walk_lengths < 0) or np.any(np.diff(walk_lengths) <= 0):
+        raise ValueError("walk_lengths must be strictly increasing and nonnegative")
+    if scenario.num_sybil == 0:
+        return np.zeros(walk_lengths.size)
+    graph = scenario.graph
+    n_honest = scenario.num_honest
+    degrees = graph.degrees.astype(np.float64)
+    if np.any(degrees[:n_honest] == 0):
+        raise ValueError("honest region contains isolated nodes")
+
+    # Sub-stochastic transition matrix restricted to honest -> honest
+    # moves; the per-step mass deficit is exactly the newly absorbed
+    # (escaped) probability.
+    src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees)
+    keep = (src < n_honest) & (graph.indices < n_honest)
+    rows = src[keep]
+    cols = graph.indices[keep]
+    data = 1.0 / degrees[rows]
+    sub = csr_matrix((data, (rows, cols)), shape=(n_honest, n_honest))
+
+    if sources is None:
+        x = np.full(n_honest, 1.0 / n_honest)
+    else:
+        sources = np.asarray(list(sources), dtype=np.int64)
+        if np.any(sources < 0) or np.any(sources >= n_honest):
+            raise ValueError("sources must be honest nodes")
+        x = np.zeros(n_honest)
+        x[sources] = 1.0 / sources.size
+
+    out = np.empty(walk_lengths.size)
+    col = 0
+    max_len = int(walk_lengths[-1])
+    for t in range(0, max_len + 1):
+        if col < walk_lengths.size and walk_lengths[col] == t:
+            out[col] = 1.0 - x.sum()
+            col += 1
+        if t < max_len:
+            x = np.asarray(x @ sub).ravel()
+    return out
+
+
+def sybil_bound_per_attack_edge(route_length: int) -> float:
+    """SybilLimit's per-attack-edge bound on accepted sybils.
+
+    Each attack edge admits O(w) sybil tails (every route crossing it
+    yields at most one tail per instance, and crossings per instance are
+    bounded by the route length), so accepted sybils <= g * w — the
+    ``t * g`` expression in Section 5.  The defense stays meaningful
+    while g * w stays well under the honest population.
+    """
+    if route_length < 1:
+        raise ValueError("route_length must be >= 1")
+    return float(route_length)

@@ -1,0 +1,249 @@
+"""Random routes — the core primitive of SybilGuard and SybilLimit.
+
+A *random route* differs from a random walk: every node ``v`` fixes, per
+protocol instance, one uniformly random permutation ``pi_v`` of its edge
+slots.  A route entering ``v`` through its ``j``-th incident edge always
+leaves through edge ``pi_v[j]``.  Two consequences drive the protocols:
+
+* **Convergence** — routes entering a node through the same edge follow
+  identical suffixes.
+* **Back-traceability** — the route map is a bijection on directed edge
+  slots, so routes never "merge then split".
+
+Representation: a directed edge slot ``e`` is an index into the graph's
+CSR ``indices`` array; slot ``e`` is the arc ``src(e) → indices[e]``.
+The whole instance is one permutation array ``next_slot`` of length
+``2m`` mapping each arc to the arc a route takes next.  Advancing every
+route in the system one step is a single numpy gather.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+from .._util import as_rng
+
+__all__ = ["RouteInstances", "arc_sources", "reverse_slots"]
+
+
+def arc_sources(graph: Graph) -> np.ndarray:
+    """``src[e]`` — the source node of each directed edge slot."""
+    return np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees)
+
+
+def reverse_slots(graph: Graph) -> np.ndarray:
+    """``rev[e]`` — the slot of the reverse arc of slot ``e``.
+
+    Slots are sorted by ``(src, dst)``; the reverse arc of ``e`` has key
+    ``(dst, src)``, so its slot is the lexicographic rank of that pair.
+    """
+    src = arc_sources(graph)
+    dst = graph.indices
+    order = np.lexsort((src, dst))  # arcs ordered by (dst, src)
+    rev = np.empty(src.size, dtype=np.int64)
+    rev[order] = np.arange(src.size, dtype=np.int64)
+    return rev
+
+
+class RouteInstances:
+    """``r`` independent random-route instances over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The (combined) social graph.
+    num_instances:
+        ``r`` — SybilLimit uses ``r = r0 * sqrt(m)``; SybilGuard uses 1.
+    seed:
+        RNG seed; instances are deterministic given it.
+
+    Notes
+    -----
+    Memory is ``O(r * 2m)`` int64 for the ``next_slot`` tables.  For the
+    laptop-scale graphs used here (m ≤ ~2·10⁵, r ≤ ~10³) that is a few
+    hundred MB at most; experiments that need many instances on larger
+    graphs should stream instances with :meth:`single_instance`.
+    """
+
+    def __init__(self, graph: Graph, num_instances: int, *, seed=None, cache_tables: bool = True):
+        if num_instances < 1:
+            raise ValueError("num_instances must be at least 1")
+        if graph.num_edges == 0:
+            raise ValueError("routes need at least one edge")
+        self._graph = graph
+        self._rev = reverse_slots(graph)
+        self._num_instances = int(num_instances)
+        self._cache_tables = bool(cache_tables)
+        # One child seed per instance so tables are reproducible whether
+        # they are cached or regenerated on demand.
+        root = np.random.SeedSequence(
+            seed if isinstance(seed, (int, np.integer)) else as_rng(seed).integers(2**63)
+        )
+        self._instance_seeds = root.spawn(self._num_instances)
+        self._rng = np.random.default_rng(root.spawn(1)[0])
+        self._cache: dict = {}
+
+    def _build_instance(self, index: int) -> np.ndarray:
+        """One instance's ``next_slot`` permutation.
+
+        Per-node permutations are drawn in one vectorised shot: random
+        keys are assigned to every slot and slots are lexsorted by
+        ``(node, key)``.  The result enumerates each node's slots in a
+        uniformly random order, and pairing the j-th CSR slot of a node
+        with the j-th element of that ordering is exactly a uniform
+        per-node permutation ``pi_v``.
+        """
+        graph = self._graph
+        rng = np.random.default_rng(self._instance_seeds[index])
+        keys = rng.random(graph.indices.size)
+        src = arc_sources(graph)
+        perm_flat = np.lexsort((keys, src)).astype(np.int64)
+        # A route occupying arc e=(u->v) entered v via the reverse slot's
+        # position; it exits through pi_v applied to that position.
+        return perm_flat[self._rev]
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def num_instances(self) -> int:
+        return self._num_instances
+
+    def single_instance(self, index: int) -> np.ndarray:
+        """The ``next_slot`` table of one instance (built lazily).
+
+        With ``cache_tables=False`` the table is regenerated on each call
+        (deterministically), trading CPU for O(2m) instead of O(r·2m)
+        memory — the right trade at SybilLimit's r = Θ(√m).
+        """
+        if not 0 <= index < self._num_instances:
+            raise IndexError(f"instance {index} out of range [0, {self._num_instances})")
+        if index in self._cache:
+            return self._cache[index]
+        table = self._build_instance(index)
+        if self._cache_tables:
+            self._cache[index] = table
+        return table
+
+    # ------------------------------------------------------------------
+    def start_slots(self, nodes: np.ndarray, *, seed=None) -> np.ndarray:
+        """A uniformly random outgoing slot per node (routes' first hop)."""
+        rng = as_rng(seed)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        deg = self._graph.degrees[nodes]
+        if np.any(deg == 0):
+            raise ValueError("cannot start a route at an isolated node")
+        offsets = (rng.random(nodes.size) * deg).astype(np.int64)
+        return self._graph.indptr[nodes] + offsets
+
+    def advance(self, slots: np.ndarray, steps: int, instance: int) -> np.ndarray:
+        """Advance route positions ``steps`` arcs within one instance."""
+        table = self.single_instance(instance)
+        out = np.asarray(slots, dtype=np.int64).copy()
+        for _ in range(max(0, steps)):
+            out = table[out]
+        return out
+
+    def tails(
+        self,
+        nodes: np.ndarray,
+        length: int,
+        *,
+        seed=None,
+    ) -> np.ndarray:
+        """Tail arcs of every node's route in every instance.
+
+        Each node starts one route per instance (independent random first
+        hops) and follows it for ``length`` edges; the *tail* is the final
+        directed arc.  Returns shape ``(len(nodes), r)`` of slot indices.
+
+        ``length`` must be >= 1 (a route's tail is its last traversed
+        edge, so a zero-length route has none).
+        """
+        if length < 1:
+            raise ValueError("route length must be >= 1")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        rng = as_rng(seed)
+        out = np.empty((nodes.size, self._num_instances), dtype=np.int64)
+        for i in range(self._num_instances):
+            slots = self.start_slots(nodes, seed=rng)
+            out[:, i] = self.advance(slots, length - 1, i)
+        return out
+
+    def tails_at_lengths(
+        self,
+        nodes: np.ndarray,
+        lengths: np.ndarray,
+        *,
+        seed=None,
+    ) -> np.ndarray:
+        """Tails of every node's routes at several route lengths at once.
+
+        ``lengths`` must be strictly increasing and >= 1.  Returns shape
+        ``(len(nodes), r, len(lengths))``.  Within one instance the walk
+        is advanced incrementally, so the cost is one pass to
+        ``max(lengths)`` per instance rather than one per checkpoint —
+        this is what makes sweeping Figure 8's walk lengths cheap.
+
+        The same first-hop randomness is reused across checkpoint lengths
+        (tails at length w and w' come from the *same* route, truncated),
+        matching how a deployment would extend its routes.
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.size == 0 or lengths[0] < 1 or np.any(np.diff(lengths) <= 0):
+            raise ValueError("lengths must be strictly increasing and >= 1")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        rng = as_rng(seed)
+        out = np.empty((nodes.size, self._num_instances, lengths.size), dtype=np.int64)
+        max_len = int(lengths[-1])
+        for i in range(self._num_instances):
+            table = self.single_instance(i)
+            slots = self.start_slots(nodes, seed=rng)
+            col = 0
+            for step in range(1, max_len + 1):
+                if step > 1:
+                    slots = table[slots]
+                if col < lengths.size and lengths[col] == step:
+                    out[:, i, col] = slots
+                    col += 1
+        return out
+
+    def trajectories(
+        self,
+        start_slots: np.ndarray,
+        length: int,
+        instance: int = 0,
+    ) -> np.ndarray:
+        """Node sequences visited by routes from the given start arcs.
+
+        Returns shape ``(len(start_slots), length + 1)``; column 0 is each
+        route's source node, column ``t`` the node reached after ``t``
+        edges.
+        """
+        if length < 1:
+            raise ValueError("route length must be >= 1")
+        slots = np.asarray(start_slots, dtype=np.int64)
+        table = self.single_instance(instance)
+        src = arc_sources(self._graph)
+        out = np.empty((slots.size, length + 1), dtype=np.int64)
+        out[:, 0] = src[slots]
+        current = slots.copy()
+        out[:, 1] = self._graph.indices[current]
+        for t in range(2, length + 1):
+            current = table[current]
+            out[:, t] = self._graph.indices[current]
+        return out
+
+    def undirected_edge_ids(self, slots: np.ndarray) -> np.ndarray:
+        """Map arc slots to undirected edge ids (both directions equal).
+
+        SybilLimit's intersection condition compares tails as *undirected*
+        edges; this id is ``min(slot, rev[slot])``.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        return np.minimum(slots, self._rev[slots])

@@ -1,0 +1,160 @@
+"""Sybil attack scenarios: an honest region, a sybil region, attack edges.
+
+The standard threat model of SybilGuard/SybilLimit/SybilInfer (Section 5
+of the mixing-time paper): the full graph is the union of
+
+* the **honest region** — a real social graph,
+* the **sybil region** — arbitrarily structured identities all controlled
+  by one attacker, and
+* ``g`` **attack edges** — the few real social links the attacker managed
+  to establish with honest users.
+
+Because the attack-edge cut is small, the combined graph mixes slowly
+across it; every random-walk defense exploits exactly that asymmetry.
+The paper's point is that *honest* social graphs already contain similar
+small cuts, making the defenses mis-classify slow-mixing honest regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ScenarioError
+from ..graph import Graph, disjoint_union
+from ..generators import erdos_renyi_gnm, powerlaw_configuration_model
+from .._util import as_rng
+
+__all__ = ["SybilScenario", "attach_sybil_region", "no_attack_scenario", "random_sybil_region"]
+
+
+@dataclass(frozen=True)
+class SybilScenario:
+    """An attack scenario over a combined graph.
+
+    Attributes
+    ----------
+    graph:
+        The combined honest ∪ sybil graph (honest nodes keep their ids;
+        sybil ids are offset by the honest region's size).
+    num_honest:
+        Honest region size; honest node ids are ``0 .. num_honest - 1``.
+    attack_edges:
+        ``(g, 2)`` array of (honest node, sybil node) links.
+    """
+
+    graph: Graph
+    num_honest: int
+    attack_edges: np.ndarray
+
+    @property
+    def num_sybil(self) -> int:
+        """Number of sybil identities."""
+        return self.graph.num_nodes - self.num_honest
+
+    @property
+    def num_attack_edges(self) -> int:
+        """g — the attack-edge count."""
+        return self.attack_edges.shape[0]
+
+    def honest_nodes(self) -> np.ndarray:
+        """Ids of honest nodes."""
+        return np.arange(self.num_honest, dtype=np.int64)
+
+    def sybil_nodes(self) -> np.ndarray:
+        """Ids of sybil nodes."""
+        return np.arange(self.num_honest, self.graph.num_nodes, dtype=np.int64)
+
+    def is_honest(self, node: int) -> bool:
+        """Whether a node id belongs to the honest region."""
+        return 0 <= int(node) < self.num_honest
+
+    def honest_mask(self) -> np.ndarray:
+        """Boolean mask over all nodes, true for honest ones."""
+        mask = np.zeros(self.graph.num_nodes, dtype=bool)
+        mask[: self.num_honest] = True
+        return mask
+
+
+def random_sybil_region(
+    num_sybil: int,
+    *,
+    style: str = "dense",
+    seed=None,
+) -> Graph:
+    """A synthetic sybil region.
+
+    ``style="dense"`` builds a well-connected random graph (the attacker's
+    cheapest strategy: make the sybil region fast mixing internally so
+    escaped walks mix over all sybil identities); ``style="powerlaw"``
+    mimics an organically-grown fake region.
+    """
+    if num_sybil < 2:
+        raise ScenarioError("sybil region needs at least 2 nodes")
+    rng = as_rng(seed)
+    if style == "dense":
+        m = min(num_sybil * 5, num_sybil * (num_sybil - 1) // 2)
+        graph = erdos_renyi_gnm(num_sybil, m, seed=rng)
+    elif style == "powerlaw":
+        graph = powerlaw_configuration_model(
+            num_sybil, 2.3, target_edges=num_sybil * 3, seed=rng
+        )
+    else:
+        raise ScenarioError(f"unknown sybil region style {style!r}")
+    # An attacker gains nothing from unreachable identities: wire any
+    # isolated node (rare, but ER can produce them) to a random peer so
+    # every sybil participates in the protocols.
+    isolated = np.flatnonzero(graph.degrees == 0)
+    if isolated.size:
+        from ..graph import add_edges
+
+        extra = [
+            (int(v), int((v + 1 + rng.integers(num_sybil - 1)) % num_sybil))
+            for v in isolated
+        ]
+        graph = add_edges(graph, extra)
+    return graph
+
+
+def attach_sybil_region(
+    honest: Graph,
+    sybil: Graph,
+    num_attack_edges: int,
+    *,
+    seed=None,
+) -> SybilScenario:
+    """Join a sybil region to an honest graph with ``g`` attack edges.
+
+    Attack-edge endpoints are sampled uniformly (honest side without
+    replacement when possible — real attackers befriend distinct victims).
+    """
+    if num_attack_edges < 1:
+        raise ScenarioError("need at least one attack edge")
+    if num_attack_edges > honest.num_nodes * sybil.num_nodes:
+        raise ScenarioError("more attack edges than honest-sybil pairs")
+    rng = as_rng(seed)
+    combined = disjoint_union(honest, sybil)
+    replace_honest = num_attack_edges > honest.num_nodes
+    h_ends = rng.choice(honest.num_nodes, size=num_attack_edges, replace=replace_honest)
+    s_ends = rng.choice(sybil.num_nodes, size=num_attack_edges, replace=True) + honest.num_nodes
+    attack = np.stack([h_ends.astype(np.int64), s_ends.astype(np.int64)], axis=1)
+    from ..graph import add_edges
+
+    combined = add_edges(combined, attack)
+    return SybilScenario(graph=combined, num_honest=honest.num_nodes, attack_edges=attack)
+
+
+def no_attack_scenario(honest: Graph) -> SybilScenario:
+    """A scenario with no attacker at all (Figure 8's setting).
+
+    The combined graph is just the honest region; ``attack_edges`` is
+    empty.  Useful because the defense implementations are written
+    against :class:`SybilScenario`.
+    """
+    return SybilScenario(
+        graph=honest,
+        num_honest=honest.num_nodes,
+        attack_edges=np.zeros((0, 2), dtype=np.int64),
+    )

@@ -1,0 +1,267 @@
+"""SybilLimit (Yu, Gibbons, Kaminsky, Xiao — Oakland 2008).
+
+The defense the paper implements and measures (Section 5, Figure 8).
+Every node runs ``r = r0 * sqrt(m)`` random-route instances of length
+``w``; the *tail* of a route is its last (undirected) edge.  A verifier V
+accepts a suspect S when
+
+* **intersection** — some tail of S equals some tail of V, and
+* **balance** — crediting S to the least-loaded intersecting V-tail does
+  not push that tail's load above ``b = max(b0, a * (A + 1) / r)``, where
+  A counts suspects accepted so far.
+
+Correctness rests on tails being distributed ≈ stationarily over edges,
+which holds only when ``w`` reaches the graph's mixing time — exactly the
+assumption the paper falsifies.  The experiment: with no attacker, sweep
+``w`` and record the fraction of honest suspects a verifier admits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._util import as_rng
+from .routes import RouteInstances
+from .scenario import SybilScenario
+
+__all__ = ["SybilLimitParams", "SybilLimitOutcome", "SybilLimit", "default_num_instances"]
+
+
+def default_num_instances(num_edges: int, r0: float = 3.0) -> int:
+    """``r = r0 * sqrt(m)`` — the birthday-paradox sizing from the paper.
+
+    With both V's and S's tails ~uniform over the m undirected edges, the
+    probability that two r-sized samples intersect is ≈ 1 - exp(-r0²), so
+    r0 = 3 gives ≈ 99.99% (the paper: "r0 is computed from the birthday
+    paradox to guarantee a given intersection probability").
+    """
+    if num_edges < 1:
+        raise ValueError("num_edges must be positive")
+    return max(1, int(round(r0 * np.sqrt(num_edges))))
+
+
+@dataclass(frozen=True)
+class SybilLimitParams:
+    """Protocol parameters.
+
+    Attributes
+    ----------
+    route_length:
+        w — the random-route length (the knob Figure 8 sweeps).
+    num_instances:
+        r — number of independent instances (``None`` → r0·sqrt(m)).
+    r0:
+        Birthday-paradox multiplier used when ``num_instances`` is None.
+    balance_base:
+        b0 — the floor of the balance bound (SybilLimit uses Θ(log r)).
+    balance_factor:
+        a — multiplicative slack of the balance bound (paper uses 4).
+    enforce_balance:
+        Disable to measure the intersection condition alone.
+    """
+
+    route_length: int
+    num_instances: Optional[int] = None
+    r0: float = 3.0
+    balance_base: Optional[float] = None
+    balance_factor: float = 4.0
+    enforce_balance: bool = True
+
+    def resolve_instances(self, num_edges: int) -> int:
+        if self.num_instances is not None:
+            if self.num_instances < 1:
+                raise ValueError("num_instances must be >= 1")
+            return int(self.num_instances)
+        return default_num_instances(num_edges, self.r0)
+
+    def resolve_balance_base(self, r: int) -> float:
+        if self.balance_base is not None:
+            return float(self.balance_base)
+        return float(max(1.0, np.log(max(r, 2))))
+
+
+@dataclass
+class SybilLimitOutcome:
+    """Result of one verifier's admission pass.
+
+    ``accepted[i]`` says whether ``suspects[i]`` was admitted;
+    ``intersected[i]`` whether the tail sets even intersected (accepted
+    implies intersected; the gap is the balance condition's rejections).
+    """
+
+    verifier: int
+    suspects: np.ndarray
+    accepted: np.ndarray
+    intersected: np.ndarray
+    route_length: int
+    num_instances: int
+
+    @property
+    def admission_rate(self) -> float:
+        """Fraction of suspects accepted."""
+        if self.suspects.size == 0:
+            return float("nan")
+        return float(self.accepted.mean())
+
+    def accepted_nodes(self) -> np.ndarray:
+        return self.suspects[self.accepted]
+
+
+class SybilLimit:
+    """A SybilLimit deployment over a :class:`SybilScenario`.
+
+    All nodes (honest and sybil) participate in the same route instances
+    — exactly as in a real deployment, where the attacker's region is
+    simply part of the graph.
+    """
+
+    def __init__(
+        self,
+        scenario: SybilScenario,
+        params: SybilLimitParams,
+        *,
+        seed=None,
+    ):
+        self._scenario = scenario
+        self._params = params
+        graph = scenario.graph
+        self._r = params.resolve_instances(graph.num_edges)
+        rng = as_rng(seed)
+        self._route_seed = int(rng.integers(2**63))
+        self._tail_seed = int(rng.integers(2**63))
+        # Cache route tables only when r is small enough that the memory
+        # cost (r * 2m int64) stays under ~256 MB.
+        cache_ok = self._r * 2 * graph.num_edges * 8 <= 256 * 2**20
+        self._routes = RouteInstances(
+            graph, self._r, seed=self._route_seed, cache_tables=cache_ok
+        )
+
+    @property
+    def scenario(self) -> SybilScenario:
+        return self._scenario
+
+    @property
+    def num_instances(self) -> int:
+        return self._r
+
+    @property
+    def params(self) -> SybilLimitParams:
+        return self._params
+
+    # ------------------------------------------------------------------
+    def _tail_edge_sets(self, nodes: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Undirected tail-edge ids for each node/instance/length."""
+        slots = self._routes.tails_at_lengths(nodes, lengths, seed=self._tail_seed)
+        return self._routes.undirected_edge_ids(slots)
+
+    def _admit(
+        self,
+        verifier_tails: np.ndarray,
+        suspect_tails: np.ndarray,
+        suspects: np.ndarray,
+        *,
+        order_seed,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Run intersection + balance for one verifier at one length."""
+        r = self._r
+        params = self._params
+        # Map each verifier tail edge -> its tail indices (loads live per tail).
+        tail_index: Dict[int, List[int]] = {}
+        for idx, edge in enumerate(verifier_tails):
+            tail_index.setdefault(int(edge), []).append(idx)
+        loads = np.zeros(r, dtype=np.int64)
+        b0 = params.resolve_balance_base(r)
+        a = params.balance_factor
+
+        # Vectorised intersection screen: one isin over the whole
+        # (suspects x r) tail matrix replaces a python set per suspect,
+        # and the sequential balance loop below only touches the
+        # suspects that actually intersect.
+        verifier_edges = np.unique(verifier_tails)
+        hit_mask = np.isin(suspect_tails, verifier_edges)
+
+        accepted = np.zeros(suspects.size, dtype=bool)
+        intersected = np.zeros(suspects.size, dtype=bool)
+        order = as_rng(order_seed).permutation(suspects.size)
+        accepted_count = 0
+        for pos in order:
+            if not hit_mask[pos].any():
+                continue
+            candidate_tails: List[int] = []
+            for edge in set(int(e) for e in suspect_tails[pos][hit_mask[pos]]):
+                candidate_tails.extend(tail_index.get(edge, ()))
+            intersected[pos] = True
+            if not params.enforce_balance:
+                accepted[pos] = True
+                accepted_count += 1
+                continue
+            best = min(candidate_tails, key=lambda t: loads[t])
+            bound = max(b0, a * (accepted_count + 1) / r)
+            if loads[best] + 1 > bound:
+                continue
+            loads[best] += 1
+            accepted[pos] = True
+            accepted_count += 1
+        return accepted, intersected
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        verifier: int,
+        suspects: Optional[Sequence[int]] = None,
+        *,
+        seed=None,
+    ) -> SybilLimitOutcome:
+        """Admit ``suspects`` (default: every other node) against one verifier."""
+        outcomes = self.admission_sweep(verifier, [self._params.route_length], suspects=suspects, seed=seed)
+        return outcomes[0]
+
+    def admission_sweep(
+        self,
+        verifier: int,
+        walk_lengths: Sequence[int],
+        suspects: Optional[Sequence[int]] = None,
+        *,
+        seed=None,
+    ) -> List[SybilLimitOutcome]:
+        """Admission outcomes at several route lengths (Figure 8's sweep).
+
+        Routes are advanced incrementally, so the sweep costs one pass to
+        ``max(walk_lengths)`` regardless of how many checkpoints it has.
+        """
+        graph = self._scenario.graph
+        if suspects is None:
+            suspects = np.setdiff1d(
+                np.arange(graph.num_nodes, dtype=np.int64), [int(verifier)]
+            )
+        else:
+            suspects = np.asarray(list(suspects), dtype=np.int64)
+        lengths = np.asarray(sorted(set(int(w) for w in walk_lengths)), dtype=np.int64)
+        rng = as_rng(seed)
+
+        all_nodes = np.concatenate([[int(verifier)], suspects])
+        tails = self._tail_edge_sets(all_nodes, lengths)  # (1 + s, r, L)
+        outcomes: List[SybilLimitOutcome] = []
+        for li, w in enumerate(lengths):
+            verifier_tails = tails[0, :, li]
+            suspect_tails = tails[1:, :, li]
+            accepted, intersected = self._admit(
+                verifier_tails,
+                suspect_tails,
+                suspects,
+                order_seed=rng,
+            )
+            outcomes.append(
+                SybilLimitOutcome(
+                    verifier=int(verifier),
+                    suspects=suspects,
+                    accepted=accepted,
+                    intersected=intersected,
+                    route_length=int(w),
+                    num_instances=self._r,
+                )
+            )
+        return outcomes

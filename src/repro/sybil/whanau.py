@@ -1,0 +1,241 @@
+"""Whānau — the Sybil-proof DHT whose fast-mixing evidence the paper
+disputes (Section 2).
+
+Whānau (Lesniewski-Laas & Kaashoek, NSDI 2010) builds its routing state
+from random-walk samples: every node draws walks of length ``w`` and
+uses the endpoints as (approximately stationary) samples of the network
+to populate finger and successor tables.  The construction is correct
+*exactly when* ``w`` reaches the graph's mixing time — which is the
+paper's point of attack: on slow-mixing graphs the walk endpoints stay
+near their source, fingers cluster, and lookups fail.
+
+This is a single-layer, honest-network implementation (the layered-id
+machinery defends against clustering *attacks*; the paper's question is
+about honest *utility*, which the single layer already exhibits):
+
+* every node owns one record, keyed by a random point on the unit ring;
+* **fingers** — endpoints of ``num_fingers`` length-``w`` walks,
+  deduplicated, stored sorted by key;
+* **successors** — a two-phase assembly mirroring the protocol's
+  recursion: walk-sampled records in the node's forward ring window,
+  then a union of the sampled contacts' own runs over that window;
+* **lookup(key)** — try the fingers whose keys most closely precede the
+  target; succeed when a contacted finger's successor table covers the
+  target key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph import Graph
+from .._util import as_rng, check_node_index
+
+__all__ = ["WhanauTables", "WhanauLookupStats", "build_whanau", "lookup_success_rate"]
+
+
+def _walk_endpoints(graph: Graph, starts: np.ndarray, length: int, rng) -> np.ndarray:
+    """Vectorised simple-random-walk endpoints for many walks at once."""
+    current = starts.astype(np.int64).copy()
+    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    for _ in range(length):
+        offsets = (rng.random(current.size) * degrees[current]).astype(np.int64)
+        current = indices[indptr[current] + offsets]
+    return current
+
+
+@dataclass
+class WhanauTables:
+    """Routing state of every node.
+
+    Attributes
+    ----------
+    keys:
+        ``keys[v]`` — the ring position of node v's record, in [0, 1).
+    finger_nodes / finger_keys:
+        Ragged finger tables in flat form: node v's fingers are
+        ``finger_nodes[finger_ptr[v]:finger_ptr[v+1]]``, sorted by key.
+    successor_keys:
+        Same ragged layout; the record keys each node's successor table
+        holds (sorted).
+    walk_length:
+        The w the tables were built with.
+    """
+
+    keys: np.ndarray
+    finger_ptr: np.ndarray
+    finger_nodes: np.ndarray
+    finger_keys: np.ndarray
+    successor_ptr: np.ndarray
+    successor_keys: np.ndarray
+    walk_length: int
+
+    @property
+    def num_nodes(self) -> int:
+        return self.keys.size
+
+    def fingers_of(self, node: int) -> np.ndarray:
+        node = check_node_index(node, self.num_nodes)
+        return self.finger_nodes[self.finger_ptr[node]:self.finger_ptr[node + 1]]
+
+    def successors_of(self, node: int) -> np.ndarray:
+        node = check_node_index(node, self.num_nodes)
+        return self.successor_keys[self.successor_ptr[node]:self.successor_ptr[node + 1]]
+
+    # ------------------------------------------------------------------
+    def lookup(self, source: int, target_key: float, *, tries: int = 8) -> bool:
+        """Whether ``source`` can resolve ``target_key``.
+
+        Contacts up to ``tries`` fingers whose keys most closely precede
+        the target (cyclically); succeeds when one of them holds the
+        target key in its successor table.
+        """
+        source = check_node_index(source, self.num_nodes)
+        fingers = self.fingers_of(source)
+        if fingers.size == 0:
+            return False
+        fkeys = self.finger_keys[self.finger_ptr[source]:self.finger_ptr[source + 1]]
+        # Cyclic distance from finger key forward to the target.
+        forward = np.mod(target_key - fkeys, 1.0)
+        order = np.argsort(forward)
+        for idx in order[: max(1, tries)]:
+            contact = int(fingers[idx])
+            succ = self.successors_of(contact)
+            pos = np.searchsorted(succ, target_key)
+            if pos < succ.size and succ[pos] == target_key:
+                return True
+        return False
+
+
+def build_whanau(
+    graph: Graph,
+    walk_length: int,
+    *,
+    num_fingers: Optional[int] = None,
+    num_successors: Optional[int] = None,
+    seed=None,
+) -> WhanauTables:
+    """Run the table-construction protocol on an honest network.
+
+    Defaults: ``num_fingers = num_successors = ceil(3 sqrt(n))`` — the
+    Θ(sqrt(n)) state per node from the Whānau paper (constants shrunk to
+    keep laptop-scale runs quick).
+    """
+    if walk_length < 1:
+        raise ValueError("walk_length must be >= 1")
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    if np.any(graph.degrees == 0):
+        raise ValueError("whanau tables need a graph without isolated nodes")
+    rng = as_rng(seed)
+    if num_fingers is None:
+        num_fingers = int(np.ceil(3 * np.sqrt(n)))
+    if num_successors is None:
+        num_successors = int(np.ceil(3 * np.sqrt(n)))
+
+    # Record keys: a random permutation of equally spaced ring points
+    # (distinct by construction, so searchsorted-equality is exact).
+    keys = rng.permutation(n).astype(np.float64) / n
+
+    # Fingers: endpoints of num_fingers walks per node.
+    starts = np.repeat(np.arange(n, dtype=np.int64), num_fingers)
+    endpoints = _walk_endpoints(graph, starts, walk_length, rng).reshape(n, num_fingers)
+
+    finger_ptr = np.zeros(n + 1, dtype=np.int64)
+    finger_nodes_parts: List[np.ndarray] = []
+    finger_keys_parts: List[np.ndarray] = []
+    for v in range(n):
+        unique = np.unique(endpoints[v])
+        order = np.argsort(keys[unique])
+        finger_nodes_parts.append(unique[order])
+        finger_keys_parts.append(keys[unique][order])
+        finger_ptr[v + 1] = finger_ptr[v] + unique.size
+    finger_nodes = np.concatenate(finger_nodes_parts)
+    finger_keys = np.concatenate(finger_keys_parts)
+
+    # Successors, two-phase as in Whānau's recursive assembly.
+    #
+    # Phase 1 — every node samples owners by random walks and keeps the
+    # records whose keys fall in its *forward window* (the ring range
+    # [key(v), key(v) + num_successors/n) it is responsible for).
+    #
+    # Phase 2 — every node asks its sampled contacts for the parts of
+    # *their* phase-1 runs that fall inside its window and unions them.
+    # This squares the effective sample count (as the real protocol's
+    # recursion does), so with well-mixed walks the window is covered
+    # w.h.p. — while short walks keep both phases inside the local
+    # community, leaving holes exactly where out-of-community owners'
+    # keys land.
+    window = min(1.0, 4.0 * num_successors / n)
+    starts = np.repeat(np.arange(n, dtype=np.int64), num_successors)
+    succ_samples = _walk_endpoints(graph, starts, walk_length, rng).reshape(n, num_successors)
+
+    def in_window(v: int, candidate_keys: np.ndarray) -> np.ndarray:
+        forward = np.mod(candidate_keys - keys[v], 1.0)
+        return candidate_keys[forward < window]
+
+    phase1: List[np.ndarray] = []
+    for v in range(n):
+        sampled_keys = np.unique(keys[np.unique(succ_samples[v])])
+        phase1.append(np.sort(in_window(v, sampled_keys)))
+
+    successor_ptr = np.zeros(n + 1, dtype=np.int64)
+    successor_parts: List[np.ndarray] = []
+    for v in range(n):
+        pooled = [phase1[v]]
+        for u in np.unique(succ_samples[v]):
+            pooled.append(in_window(v, phase1[int(u)]))
+        kept = np.unique(np.concatenate(pooled))
+        successor_parts.append(kept)
+        successor_ptr[v + 1] = successor_ptr[v] + kept.size
+    successor_keys = np.concatenate(successor_parts)
+
+    return WhanauTables(
+        keys=keys,
+        finger_ptr=finger_ptr,
+        finger_nodes=finger_nodes,
+        finger_keys=finger_keys,
+        successor_ptr=successor_ptr,
+        successor_keys=successor_keys,
+        walk_length=walk_length,
+    )
+
+
+@dataclass(frozen=True)
+class WhanauLookupStats:
+    """Outcome of a lookup trial batch."""
+
+    walk_length: int
+    lookups: int
+    successes: int
+
+    @property
+    def success_rate(self) -> float:
+        if self.lookups == 0:
+            return float("nan")
+        return self.successes / self.lookups
+
+
+def lookup_success_rate(
+    tables: WhanauTables,
+    *,
+    num_lookups: int = 500,
+    tries: int = 8,
+    seed=None,
+) -> WhanauLookupStats:
+    """Random (source, target) lookups against the built tables."""
+    rng = as_rng(seed)
+    n = tables.num_nodes
+    successes = 0
+    for _ in range(num_lookups):
+        source = int(rng.integers(n))
+        target = int(rng.integers(n))
+        if tables.lookup(source, float(tables.keys[target]), tries=tries):
+            successes += 1
+    return WhanauLookupStats(
+        walk_length=tables.walk_length, lookups=num_lookups, successes=successes
+    )

@@ -1,0 +1,46 @@
+"""Unit tests for label propagation."""
+
+import numpy as np
+import pytest
+
+from repro.community import label_propagation
+from repro.generators import planted_partition, two_community_bridge
+
+
+class TestLabelPropagation:
+    def test_labels_compact(self, er_medium):
+        labels = label_propagation(er_medium, seed=1)
+        assert labels.min() == 0
+        assert np.unique(labels).size == labels.max() + 1
+
+    def test_recovers_planted_communities(self):
+        g, truth = planted_partition(3, 60, 0.4, 0.005, seed=2)
+        labels = label_propagation(g, seed=3)
+        # Every planted block should be (almost) label-pure.
+        for block in range(3):
+            block_labels = labels[truth == block]
+            values, counts = np.unique(block_labels, return_counts=True)
+            assert counts.max() / block_labels.size > 0.9
+
+    def test_bridge_graph_two_communities(self):
+        g, truth = two_community_bridge(60, 8, 1, seed=4)
+        labels = label_propagation(g, seed=5)
+        # The two sides must not share their majority label.
+        side0 = np.bincount(labels[truth == 0]).argmax()
+        side1 = np.bincount(labels[truth == 1]).argmax()
+        assert side0 != side1
+
+    def test_dense_graph_single_community(self, complete5):
+        labels = label_propagation(complete5, seed=6)
+        assert np.unique(labels).size == 1
+
+    def test_deterministic_given_seed(self, er_medium):
+        a = label_propagation(er_medium, seed=7)
+        b = label_propagation(er_medium, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_isolated_nodes_keep_own_label(self, triangle_plus_isolated):
+        labels = label_propagation(triangle_plus_isolated, seed=8)
+        assert labels.size == 5
+        # The two isolated nodes keep distinct singleton communities.
+        assert labels[3] != labels[4]

@@ -1,0 +1,65 @@
+"""Unit tests for Louvain community detection."""
+
+import numpy as np
+import pytest
+
+from repro.community import label_propagation, louvain, modularity
+from repro.generators import planted_partition, two_community_bridge
+from repro.graph import Graph
+
+
+class TestLouvain:
+    def test_recovers_planted_partition(self):
+        g, truth = planted_partition(4, 60, 0.35, 0.004, seed=1)
+        labels = louvain(g, seed=2)
+        assert int(labels.max()) + 1 == 4
+        # Label-agreement up to permutation: every block is label-pure.
+        for block in range(4):
+            block_labels = labels[truth == block]
+            _values, counts = np.unique(block_labels, return_counts=True)
+            assert counts.max() / block_labels.size > 0.95
+
+    def test_modularity_at_least_label_propagation(self):
+        g, _ = planted_partition(3, 70, 0.25, 0.01, seed=3)
+        q_louvain = modularity(g, louvain(g, seed=4))
+        q_lp = modularity(g, label_propagation(g, seed=5))
+        assert q_louvain >= q_lp - 0.02
+
+    def test_bridge_graph_split(self):
+        g, truth = two_community_bridge(60, 8, 1, seed=6)
+        labels = louvain(g, seed=7)
+        side0 = np.bincount(labels[truth == 0]).argmax()
+        side1 = np.bincount(labels[truth == 1]).argmax()
+        assert side0 != side1
+
+    def test_complete_graph_one_community(self, complete5):
+        labels = louvain(complete5, seed=8)
+        assert np.unique(labels).size == 1
+
+    def test_isolated_nodes_singletons(self, triangle_plus_isolated):
+        labels = louvain(triangle_plus_isolated, seed=9)
+        assert labels[3] != labels[4]
+        assert labels[0] == labels[1] == labels[2]
+
+    def test_empty_graphs(self):
+        assert louvain(Graph.empty(0)).size == 0
+        assert louvain(Graph.empty(4), seed=1).tolist() == [0, 1, 2, 3]
+
+    def test_deterministic(self):
+        g, _ = planted_partition(3, 40, 0.3, 0.01, seed=10)
+        a = louvain(g, seed=11)
+        b = louvain(g, seed=11)
+        assert np.array_equal(a, b)
+
+    def test_labels_compact(self):
+        g, _ = planted_partition(5, 30, 0.4, 0.01, seed=12)
+        labels = louvain(g, seed=13)
+        assert labels.min() == 0
+        assert np.unique(labels).size == labels.max() + 1
+
+    def test_nontrivial_modularity_on_social_standin(self):
+        from repro.datasets import load_cached
+
+        graph = load_cached("physics1")
+        labels = louvain(graph, seed=14)
+        assert modularity(graph, labels) > 0.7  # strong community structure

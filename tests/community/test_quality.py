@@ -1,0 +1,61 @@
+"""Unit tests for partition quality measures."""
+
+import numpy as np
+import pytest
+
+from repro.community import (
+    community_conductances,
+    modularity,
+    worst_community_conductance,
+)
+from repro.generators import two_community_bridge
+
+
+class TestModularity:
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.generators import planted_partition
+        from repro.graph.nxcompat import to_networkx
+
+        g, labels = planted_partition(3, 40, 0.3, 0.01, seed=1)
+        communities = [set(np.flatnonzero(labels == c).tolist()) for c in range(3)]
+        ours = modularity(g, labels)
+        theirs = nx.algorithms.community.modularity(to_networkx(g), communities)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_single_community_zero(self, petersen):
+        assert modularity(petersen, np.zeros(10, dtype=np.int64)) == pytest.approx(0.0)
+
+    def test_good_partition_positive(self):
+        g, labels = two_community_bridge(50, 6, 1, seed=2)
+        assert modularity(g, labels) > 0.4
+
+    def test_label_length_validated(self, petersen):
+        with pytest.raises(ValueError):
+            modularity(petersen, np.zeros(3, dtype=np.int64))
+
+    def test_no_edges(self):
+        from repro.graph import Graph
+
+        assert modularity(Graph.empty(4), np.zeros(4, dtype=np.int64)) == 0.0
+
+
+class TestConductances:
+    def test_per_community_values(self):
+        g, labels = two_community_bridge(50, 6, 2, seed=3)
+        values = community_conductances(g, labels)
+        assert set(values) == {0, 1}
+        for phi in values.values():
+            assert phi == pytest.approx(2 / (50 * 6 + 2), rel=0.1)
+
+    def test_worst_is_min(self):
+        g, labels = two_community_bridge(50, 6, 2, seed=4)
+        assert worst_community_conductance(g, labels) == min(
+            community_conductances(g, labels).values()
+        )
+
+    def test_whole_graph_label_skipped(self, petersen):
+        values = community_conductances(petersen, np.zeros(10, dtype=np.int64))
+        assert values == {}
+        with pytest.raises(ValueError):
+            worst_community_conductance(petersen, np.zeros(10, dtype=np.int64))

@@ -1,0 +1,65 @@
+"""Unit tests for spectral sweep cuts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotConnectedError
+from repro.community import second_eigenvector, spectral_sweep_cut
+from repro.core import cheeger_bounds, transition_spectrum_extremes
+from repro.generators import two_community_bridge
+from repro.graph import conductance_of_set
+
+
+class TestSecondEigenvector:
+    def test_orthogonal_to_stationary_direction(self, petersen):
+        vec = second_eigenvector(petersen)
+        deg = petersen.degrees.astype(float)
+        # P-eigenvectors for distinct eigenvalues are D-orthogonal.
+        assert abs((vec * deg).sum()) < 1e-8
+
+    def test_signs_split_bridge_graph(self):
+        g, labels = two_community_bridge(60, 6, 1, seed=1)
+        vec = second_eigenvector(g)
+        side = vec > np.median(vec)
+        agreement = max((side == (labels == 0)).mean(), (side == (labels == 1)).mean())
+        assert agreement > 0.95
+
+    def test_disconnected_rejected(self, triangle_plus_isolated):
+        with pytest.raises(NotConnectedError):
+            second_eigenvector(triangle_plus_isolated)
+
+    def test_small_graph_dense_path(self, complete5):
+        vec = second_eigenvector(complete5)
+        assert vec.size == 5
+
+
+class TestSweepCut:
+    def test_finds_planted_bottleneck(self):
+        g, labels = two_community_bridge(80, 6, 2, seed=2)
+        cut = spectral_sweep_cut(g)
+        # The sweep must recover (almost exactly) one community.
+        side_labels = labels[cut.side]
+        assert cut.size == pytest.approx(80, abs=4)
+        assert (side_labels == side_labels[0]).mean() > 0.95
+
+    def test_conductance_matches_reported_side(self, bridge_graph):
+        cut = spectral_sweep_cut(bridge_graph)
+        assert cut.conductance == pytest.approx(
+            conductance_of_set(bridge_graph, cut.side), rel=1e-9
+        )
+
+    def test_within_cheeger_bounds(self, bridge_graph):
+        summary = transition_spectrum_extremes(bridge_graph)
+        lo, hi = cheeger_bounds(summary.lambda2)
+        cut = spectral_sweep_cut(bridge_graph)
+        assert lo - 1e-9 <= cut.conductance <= hi + 1e-9
+
+    def test_cut_edges_counted(self):
+        g, _ = two_community_bridge(50, 6, 3, seed=3)
+        cut = spectral_sweep_cut(g)
+        assert cut.cut_edges == 3
+
+    def test_er_graph_no_small_cut(self, er_medium):
+        cut = spectral_sweep_cut(er_medium)
+        # Expanders have conductance bounded away from zero.
+        assert cut.conductance > 0.1

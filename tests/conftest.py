@@ -1,0 +1,115 @@
+"""Shared fixtures: canonical small graphs with known properties.
+
+Every fixture returns a fresh object per test (graphs are immutable, but
+freshness keeps accidental cross-test state impossible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.generators import (
+    erdos_renyi_gnm,
+    random_regular,
+    ring_lattice,
+    two_community_bridge,
+)
+from repro.graph import largest_connected_component
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_dataset_cache(tmp_path_factory):
+    """Point the dataset disk cache at a session-scoped temp directory so
+    tests never touch (or depend on) the user's real cache."""
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("repro-dataset-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path4():
+    """Path graph 0-1-2-3 (bipartite, tree)."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def cycle5():
+    """5-cycle: 2-regular, non-bipartite, vertex transitive."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+
+
+@pytest.fixture
+def cycle6():
+    """6-cycle: 2-regular and bipartite (periodic plain walk)."""
+    return Graph.from_edges([(i, (i + 1) % 6) for i in range(6)])
+
+
+@pytest.fixture
+def complete5():
+    """K5: the fastest-mixing 5-node graph."""
+    return Graph.from_edges([(i, j) for i in range(5) for j in range(i + 1, 5)])
+
+
+@pytest.fixture
+def star6():
+    """Star with 5 leaves: bipartite, hub-dominated stationary mass."""
+    return Graph.from_edges([(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def triangle_plus_isolated():
+    """A triangle and two isolated nodes (disconnected)."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)], num_nodes=5)
+
+
+@pytest.fixture
+def two_triangles_bridged():
+    """Two triangles joined by one edge — the minimal bottleneck graph."""
+    return Graph.from_edges(
+        [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    )
+
+
+@pytest.fixture
+def petersen():
+    """The Petersen graph: 3-regular, non-bipartite, vertex transitive;
+    adjacency spectrum {3, 1 (x5), -2 (x4)} → walk spectrum {1, 1/3, -2/3}."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return Graph.from_edges(outer + spokes + inner)
+
+
+@pytest.fixture
+def er_medium():
+    """A connected ER graph, n≈400: the fast-mixing control."""
+    graph = erdos_renyi_gnm(400, 2400, seed=99)
+    lcc, _ = largest_connected_component(graph)
+    return lcc
+
+
+@pytest.fixture
+def bridge_graph():
+    """Two 150-node communities with 2 bridge edges: slow mixing."""
+    graph, _labels = two_community_bridge(150, 6, 2, seed=7)
+    return graph
+
+
+@pytest.fixture
+def regular_graph():
+    """Random 6-regular graph on 120 nodes (uniform stationary dist)."""
+    return random_regular(120, 6, seed=11)

@@ -1,0 +1,76 @@
+"""Unit tests for figure aggregation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_BANDS,
+    PercentileBands,
+    cdf_at_walk_length,
+    empirical_cdf,
+    measure_mixing,
+    percentile_bands,
+)
+
+
+class TestEmpiricalCdf:
+    def test_sorted_and_normalised(self):
+        values, cdf = empirical_cdf(np.asarray([3.0, 1.0, 2.0]))
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert cdf.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_single_value(self):
+        values, cdf = empirical_cdf(np.asarray([5.0]))
+        assert cdf.tolist() == [1.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.asarray([]))
+
+    def test_cdf_is_nondecreasing(self, rng):
+        _values, cdf = empirical_cdf(rng.random(100))
+        assert np.all(np.diff(cdf) >= 0)
+
+
+class TestCdfAtWalkLength:
+    def test_matches_column(self, petersen):
+        m = measure_mixing(petersen, [1, 4])
+        values, cdf = cdf_at_walk_length(m, 4)
+        assert values.size == 10
+        assert np.allclose(np.sort(m.distances[:, 1]), values)
+
+    def test_cdf_shifts_left_with_longer_walks(self, bridge_graph):
+        """Longer walks produce stochastically smaller distances."""
+        m = measure_mixing(bridge_graph, [2, 50], sources=40, seed=1)
+        short, _ = cdf_at_walk_length(m, 2)
+        long, _ = cdf_at_walk_length(m, 50)
+        assert np.median(long) < np.median(short)
+
+
+class TestPercentileBands:
+    def test_band_structure(self, bridge_graph):
+        m = measure_mixing(bridge_graph, [1, 10, 40], sources=50, seed=2)
+        bands = percentile_bands(m)
+        assert set(bands.labels()) == {"best10", "median20", "worst10"}
+        assert bands.band("best10").size == 3
+
+    def test_band_ordering(self, bridge_graph):
+        m = measure_mixing(bridge_graph, [5, 20], sources=60, seed=3)
+        bands = percentile_bands(m)
+        assert np.all(bands.band("best10") <= bands.band("median20") + 1e-12)
+        assert np.all(bands.band("median20") <= bands.band("worst10") + 1e-12)
+
+    def test_custom_bands(self, petersen):
+        m = measure_mixing(petersen, [3])
+        bands = percentile_bands(m, [("all", 0.0, 100.0)])
+        assert bands.band("all")[0] == pytest.approx(m.distances[:, 0].mean())
+
+    def test_unknown_band_raises(self, petersen):
+        m = measure_mixing(petersen, [3])
+        bands = percentile_bands(m)
+        with pytest.raises(KeyError):
+            bands.band("nope")
+
+    def test_paper_bands_constant(self):
+        labels = [label for label, _lo, _hi in PAPER_BANDS]
+        assert labels == ["best10", "median20", "worst10"]

@@ -1,0 +1,122 @@
+"""Unit tests for equation (4) mixing-time bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundCurve,
+    epsilon_for_walk_length,
+    fast_mixing_walk_length,
+    lower_bound_curve,
+    mixing_time_lower_bound,
+    mixing_time_upper_bound,
+    upper_bound_curve,
+)
+
+
+class TestLowerBound:
+    def test_known_value(self):
+        # mu=0.9, eps=0.1: (0.9 / 0.2) * ln(5).
+        assert mixing_time_lower_bound(0.9, 0.1) == pytest.approx(4.5 * np.log(5))
+
+    def test_monotone_in_mu(self):
+        values = [mixing_time_lower_bound(mu, 0.1) for mu in (0.5, 0.9, 0.99, 0.999)]
+        assert values == sorted(values)
+        assert values[-1] > 100 * values[0] / 10
+
+    def test_monotone_in_eps(self):
+        assert mixing_time_lower_bound(0.99, 0.01) > mixing_time_lower_bound(0.99, 0.1)
+
+    def test_vacuous_at_large_eps(self):
+        # ln(1/2eps) <= 0 for eps >= 0.5, so the bound clamps to zero.
+        assert mixing_time_lower_bound(0.9, 0.6) == 0.0
+        assert mixing_time_lower_bound(0.9, 0.49) > 0.0
+
+    def test_mu_one_is_infinite(self):
+        assert mixing_time_lower_bound(1.0, 0.1) == float("inf")
+
+    def test_mu_zero(self):
+        assert mixing_time_lower_bound(0.0, 0.1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixing_time_lower_bound(1.5, 0.1)
+        with pytest.raises(ValueError):
+            mixing_time_lower_bound(0.9, 0.0)
+        with pytest.raises(ValueError):
+            mixing_time_lower_bound(0.9, 1.0)
+
+
+class TestUpperBound:
+    def test_known_value(self):
+        expected = (np.log(100) + np.log(10)) / 0.1
+        assert mixing_time_upper_bound(0.9, 0.1, 100) == pytest.approx(expected)
+
+    def test_upper_above_lower(self):
+        for mu in (0.5, 0.9, 0.99):
+            for eps in (0.01, 0.1):
+                assert mixing_time_upper_bound(mu, eps, 1000) >= mixing_time_lower_bound(mu, eps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixing_time_upper_bound(0.9, 0.1, 0)
+
+    def test_mu_one_infinite(self):
+        assert mixing_time_upper_bound(1.0, 0.1, 100) == float("inf")
+
+
+class TestCurves:
+    def test_lower_curve_shape(self):
+        curve = lower_bound_curve(0.99, points=32, label="x")
+        assert curve.epsilons.size == 32
+        assert curve.label == "x"
+        # Walk length decreases as epsilon grows.
+        order = np.argsort(curve.epsilons)
+        assert np.all(np.diff(curve.lengths[order]) <= 0)
+
+    def test_upper_curve(self):
+        curve = upper_bound_curve(0.99, 500, points=16)
+        assert np.all(curve.lengths > 0)
+
+    def test_length_at_interpolates(self):
+        curve = lower_bound_curve(0.99, points=64)
+        direct = mixing_time_lower_bound(0.99, 0.05)
+        assert curve.length_at(0.05) == pytest.approx(direct, rel=1e-3)
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            BoundCurve(epsilons=np.asarray([0.1, 0.2]), lengths=np.asarray([1.0]))
+
+
+class TestInversion:
+    def test_epsilon_for_walk_length_roundtrip(self):
+        mu = 0.995
+        for eps in (0.2, 0.05, 0.001):
+            t = mixing_time_lower_bound(mu, eps)
+            assert epsilon_for_walk_length(mu, t) == pytest.approx(eps, rel=1e-9)
+
+    def test_zero_walk(self):
+        assert epsilon_for_walk_length(0.9, 0) == pytest.approx(0.5)
+
+    def test_decreasing_in_t(self):
+        values = [epsilon_for_walk_length(0.99, t) for t in (0, 10, 100, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            epsilon_for_walk_length(0.9, -1)
+
+
+class TestFastMixingYardstick:
+    def test_log_n(self):
+        assert fast_mixing_walk_length(1000) == pytest.approx(np.log(1000))
+        assert fast_mixing_walk_length(1000, constant=2) == pytest.approx(2 * np.log(1000))
+
+    def test_sybil_literature_scale(self):
+        # For n ~ 1e6 the O(log n) yardstick is 10-15: the walk lengths
+        # SybilGuard/SybilLimit used.
+        assert 10 <= fast_mixing_walk_length(1_000_000) <= 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fast_mixing_walk_length(0)

@@ -1,0 +1,133 @@
+"""Unit tests for directed-walk mixing machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, NotConnectedError
+from repro.graph import DiGraph
+from repro.core import (
+    DirectedTransitionOperator,
+    directed_second_eigenvalue_modulus,
+    directed_variation_curve,
+)
+
+
+@pytest.fixture
+def strongly_connected_digraph():
+    """A directed expander-ish graph: cycle + chords (aperiodic)."""
+    n = 30
+    arcs = [(i, (i + 1) % n) for i in range(n)]
+    arcs += [(i, (i + 2) % n) for i in range(n)]  # even shift: aperiodic
+    arcs += [(i, (i + 7) % n) for i in range(n)]
+    return DiGraph.from_edges(arcs)
+
+
+@pytest.fixture
+def directed_cycle():
+    return DiGraph.from_edges([(i, (i + 1) % 6) for i in range(6)])
+
+
+class TestOperator:
+    def test_step_preserves_mass(self, strongly_connected_digraph):
+        op = DirectedTransitionOperator(strongly_connected_digraph)
+        x = op.point_mass(0)
+        for _ in range(5):
+            x = op.step(x)
+            assert x.sum() == pytest.approx(1.0)
+            assert x.min() >= 0
+
+    def test_stationary_is_fixed_point(self, strongly_connected_digraph):
+        op = DirectedTransitionOperator(strongly_connected_digraph)
+        pi = op.stationary()
+        assert np.allclose(op.step(pi), pi, atol=1e-10)
+
+    def test_stationary_not_degree_proportional(self):
+        """Unlike undirected walks, directed stationary mass is not a
+        simple out-degree ratio."""
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 0), (0, 2)])
+        op = DirectedTransitionOperator(g)
+        pi = op.stationary()
+        out = g.out_degrees / g.out_degrees.sum()
+        assert not np.allclose(pi, out, atol=1e-3)
+
+    def test_pure_walk_rejects_dangling(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])  # node 2 dangles
+        with pytest.raises(NotConnectedError, match="dangling"):
+            DirectedTransitionOperator(g)
+
+    def test_pure_walk_rejects_reducible(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (2, 3), (3, 2)])
+        # strongly connected; now a genuinely reducible one:
+        reducible = DiGraph.from_edges([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        with pytest.raises(NotConnectedError, match="strongly connected"):
+            DirectedTransitionOperator(reducible)
+
+    def test_teleport_repairs_dangling(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        op = DirectedTransitionOperator(g, damping=0.85)
+        pi = op.stationary()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi > 0)
+
+    def test_periodic_pure_walk_never_mixes_from_point_mass(self, directed_cycle):
+        # The uniform distribution is invariant even for this periodic
+        # chain (so stationary() finds it), but a point mass cycles
+        # forever at TVD = 5/6 — the ergodicity failure shows up in the
+        # variation curve, not the fixed point.
+        op = DirectedTransitionOperator(directed_cycle)
+        assert np.allclose(op.stationary(max_iter=500), 1 / 6)
+        curve = directed_variation_curve(directed_cycle, 0, 30)
+        assert curve[-1] == pytest.approx(5 / 6)
+
+    def test_teleport_fixes_periodicity(self, directed_cycle):
+        op = DirectedTransitionOperator(directed_cycle, damping=0.9)
+        pi = op.stationary()
+        # By symmetry the stationary distribution is uniform.
+        assert np.allclose(pi, 1 / 6, atol=1e-9)
+
+    def test_damping_validation(self, directed_cycle):
+        with pytest.raises(ValueError):
+            DirectedTransitionOperator(directed_cycle, damping=0.0)
+        with pytest.raises(ValueError):
+            DirectedTransitionOperator(directed_cycle, damping=1.5)
+
+    def test_evolve_matches_steps(self, strongly_connected_digraph):
+        op = DirectedTransitionOperator(strongly_connected_digraph)
+        x = op.point_mass(3)
+        manual = x
+        for _ in range(4):
+            manual = op.step(manual)
+        assert np.allclose(op.evolve(x, 4), manual)
+
+
+class TestSpectrumAndCurves:
+    def test_second_modulus_below_one(self, strongly_connected_digraph):
+        mod = directed_second_eigenvalue_modulus(strongly_connected_digraph)
+        assert 0.0 <= mod < 1.0
+
+    def test_undirected_graph_matches_slem(self, petersen):
+        """On a symmetrised digraph the directed machinery must agree
+        with the undirected SLEM."""
+        from repro.core import slem
+
+        d = DiGraph.from_undirected(petersen)
+        assert directed_second_eigenvalue_modulus(d) == pytest.approx(
+            slem(petersen), abs=1e-8
+        )
+
+    def test_teleport_scales_spectrum(self, strongly_connected_digraph):
+        pure = directed_second_eigenvalue_modulus(strongly_connected_digraph)
+        damped = directed_second_eigenvalue_modulus(
+            strongly_connected_digraph, damping=0.5
+        )
+        assert damped == pytest.approx(0.5 * pure, abs=1e-6)
+
+    def test_variation_curve_converges(self, strongly_connected_digraph):
+        curve = directed_variation_curve(strongly_connected_digraph, 0, 80)
+        assert curve[0] > 0.9
+        assert curve[-1] < 0.01
+        assert curve.size == 81
+
+    def test_variation_curve_with_teleport(self, directed_cycle):
+        curve = directed_variation_curve(directed_cycle, 0, 60, damping=0.8)
+        assert curve[-1] < 0.05

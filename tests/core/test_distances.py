@@ -1,0 +1,113 @@
+"""Unit tests for distribution distances."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    hellinger_distance,
+    kl_divergence,
+    l2_distance,
+    separation_distance,
+    total_variation_distance,
+)
+
+
+def uniform(n):
+    return np.full(n, 1.0 / n)
+
+
+def point(n, i):
+    out = np.zeros(n)
+    out[i] = 1.0
+    return out
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        assert total_variation_distance(uniform(4), uniform(4)) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance(point(4, 0), point(4, 3)) == 1.0
+
+    def test_known_value(self):
+        p = np.asarray([0.5, 0.5, 0.0])
+        q = np.asarray([0.25, 0.25, 0.5])
+        assert total_variation_distance(p, q) == pytest.approx(0.5)
+
+    def test_point_vs_uniform(self):
+        # TVD(delta_0, uniform_n) = 1 - 1/n.
+        for n in (2, 5, 10):
+            assert total_variation_distance(point(n, 0), uniform(n)) == pytest.approx(1 - 1 / n)
+
+    def test_symmetry(self):
+        p = np.asarray([0.7, 0.2, 0.1])
+        q = np.asarray([0.1, 0.3, 0.6])
+        assert total_variation_distance(p, q) == total_variation_distance(q, p)
+
+    def test_validation_rejects_non_distribution(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.asarray([0.5, 0.4]), uniform(2))
+        with pytest.raises(ValueError):
+            total_variation_distance(np.asarray([1.5, -0.5]), uniform(2))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(uniform(3), uniform(4))
+
+
+class TestSeparation:
+    def test_identical_is_zero(self):
+        assert separation_distance(uniform(4), uniform(4)) == 0.0
+
+    def test_upper_bounds_tv(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = rng.dirichlet(np.ones(6))
+            q = rng.dirichlet(np.ones(6))
+            assert separation_distance(p, q) >= total_variation_distance(p, q) - 1e-12
+
+    def test_escaping_support_is_one(self):
+        p = np.asarray([0.5, 0.5, 0.0])
+        q = np.asarray([1.0, 0.0, 0.0])
+        assert separation_distance(p, q) == 1.0
+
+    def test_missing_mass(self):
+        p = np.asarray([1.0, 0.0])
+        q = np.asarray([0.5, 0.5])
+        assert separation_distance(p, q) == pytest.approx(1.0)
+
+    def test_not_symmetric(self):
+        p = np.asarray([0.9, 0.1])
+        q = np.asarray([0.5, 0.5])
+        assert separation_distance(p, q) != separation_distance(q, p)
+
+
+class TestOtherDistances:
+    def test_l2(self):
+        assert l2_distance(point(2, 0), point(2, 1)) == pytest.approx(np.sqrt(2))
+
+    def test_kl_zero_for_identical(self):
+        assert kl_divergence(uniform(5), uniform(5)) == pytest.approx(0.0)
+
+    def test_kl_infinite_outside_support(self):
+        assert kl_divergence(point(3, 0), np.asarray([0.0, 0.5, 0.5])) == float("inf")
+
+    def test_kl_known_value(self):
+        p = np.asarray([0.5, 0.5])
+        q = np.asarray([0.25, 0.75])
+        expected = 0.5 * np.log(2) + 0.5 * np.log(2 / 3)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_hellinger_bounds(self):
+        assert hellinger_distance(uniform(3), uniform(3)) == 0.0
+        assert hellinger_distance(point(3, 0), point(3, 1)) == pytest.approx(1.0)
+
+    def test_pinsker_inequality(self):
+        # TV <= sqrt(KL / 2) for all distribution pairs with support match.
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            p = rng.dirichlet(np.ones(5))
+            q = rng.dirichlet(np.ones(5))
+            tv = total_variation_distance(p, q)
+            kl = kl_divergence(p, q)
+            assert tv <= np.sqrt(kl / 2) + 1e-9

@@ -1,0 +1,179 @@
+"""Unit tests for definition-based mixing measurement (equation (2))."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.core import (
+    TransitionOperator,
+    estimate_mixing_time,
+    measure_mixing,
+    mixing_time_from_source,
+    mixing_time_lower_bound,
+    sample_sources,
+    slem,
+    variation_distance_curve,
+)
+
+
+class TestVariationDistanceCurve:
+    def test_starts_at_point_mass_distance(self, petersen):
+        op = TransitionOperator(petersen)
+        curve = variation_distance_curve(op, 0, 10)
+        pi = op.stationary()
+        assert curve[0] == pytest.approx(1 - pi[0])
+
+    def test_decreasing_envelope(self, petersen):
+        op = TransitionOperator(petersen)
+        curve = variation_distance_curve(op, 0, 30)
+        # Distance at the end must be (weakly) below the start; strict
+        # per-step monotonicity is not guaranteed for non-lazy walks.
+        assert curve[-1] < 1e-4
+        assert curve[-1] <= curve[0]
+
+    def test_length(self, cycle5):
+        op = TransitionOperator(cycle5)
+        assert variation_distance_curve(op, 0, 7).size == 8
+
+    def test_negative_steps(self, cycle5):
+        op = TransitionOperator(cycle5)
+        with pytest.raises(ValueError):
+            variation_distance_curve(op, 0, -1)
+
+
+class TestMixingTimeFromSource:
+    def test_complete_graph_fast(self, complete5):
+        op = TransitionOperator(complete5)
+        t = mixing_time_from_source(op, 0, 0.1)
+        assert t <= 5
+
+    def test_bridge_graph_slow(self, bridge_graph):
+        op = TransitionOperator(bridge_graph)
+        t = mixing_time_from_source(op, 0, 0.1, max_steps=20000)
+        assert t > 50
+
+    def test_zero_if_already_close(self, complete5):
+        op = TransitionOperator(complete5)
+        # eps close to 1: the point mass is already within distance.
+        assert mixing_time_from_source(op, 0, 0.9) == 0
+
+    def test_raises_on_budget_exhaustion(self, bridge_graph):
+        op = TransitionOperator(bridge_graph)
+        with pytest.raises(ConvergenceError) as err:
+            mixing_time_from_source(op, 0, 1e-4, max_steps=3)
+        assert err.value.partial is not None
+
+    def test_epsilon_validation(self, cycle5):
+        op = TransitionOperator(cycle5)
+        with pytest.raises(ValueError):
+            mixing_time_from_source(op, 0, 0.0)
+
+
+class TestSampleSources:
+    def test_none_means_all(self, petersen):
+        assert sample_sources(petersen, None).tolist() == list(range(10))
+
+    def test_count_at_least_n_means_all(self, petersen):
+        assert sample_sources(petersen, 99).size == 10
+
+    def test_subsample_distinct_and_sorted(self, er_medium):
+        src = sample_sources(er_medium, 50, seed=1)
+        assert src.size == 50
+        assert np.unique(src).size == 50
+        assert np.all(np.diff(src) > 0)
+
+    def test_deterministic(self, er_medium):
+        a = sample_sources(er_medium, 20, seed=9)
+        b = sample_sources(er_medium, 20, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_invalid_count(self, petersen):
+        with pytest.raises(ValueError):
+            sample_sources(petersen, 0)
+
+
+class TestMeasureMixing:
+    def test_shape_and_metadata(self, petersen):
+        m = measure_mixing(petersen, [1, 5, 10])
+        assert m.distances.shape == (10, 3)
+        assert m.walk_lengths.tolist() == [1, 5, 10]
+        assert m.sources.size == 10
+
+    def test_matches_per_source_curve(self, petersen):
+        m = measure_mixing(petersen, [2, 6])
+        op = TransitionOperator(petersen)
+        for i, src in enumerate(m.sources):
+            curve = variation_distance_curve(op, int(src), 6)
+            assert m.distances[i, 0] == pytest.approx(curve[2])
+            assert m.distances[i, 1] == pytest.approx(curve[6])
+
+    def test_source_subset(self, petersen):
+        m = measure_mixing(petersen, [3], sources=[2, 7])
+        assert m.sources.tolist() == [2, 7]
+
+    def test_invalid_walk_lengths(self, petersen):
+        with pytest.raises(ValueError):
+            measure_mixing(petersen, [])
+        with pytest.raises(ValueError):
+            measure_mixing(petersen, [5, 5])
+        with pytest.raises(ValueError):
+            measure_mixing(petersen, [5, 1])
+
+    def test_worst_and_average(self, bridge_graph):
+        m = measure_mixing(bridge_graph, [5, 40], sources=30, seed=2)
+        assert np.all(m.worst_case() >= m.average_case())
+        assert np.all(m.quantile(0.5) <= m.worst_case())
+
+    def test_mixing_time_lookup(self, complete5):
+        m = measure_mixing(complete5, [1, 2, 3, 4, 5])
+        assert m.mixing_time(0.2) <= 3
+
+    def test_mixing_time_unreachable_raises(self, bridge_graph):
+        m = measure_mixing(bridge_graph, [1, 2], sources=10, seed=3)
+        with pytest.raises(ConvergenceError):
+            m.mixing_time(1e-6)
+
+    def test_epsilon_at_unknown_length(self, petersen):
+        m = measure_mixing(petersen, [1, 5])
+        with pytest.raises(KeyError):
+            m.epsilon_at(3)
+
+    def test_bipartite_needs_laziness(self, cycle6):
+        from repro.errors import NotErgodicError
+
+        with pytest.raises(NotErgodicError):
+            measure_mixing(cycle6, [1, 2])
+        m = measure_mixing(cycle6, [1, 2], laziness=0.2)
+        assert m.distances.shape == (6, 2)
+
+
+class TestEstimateMixingTime:
+    def test_exhaustive_flag(self, petersen):
+        est = estimate_mixing_time(petersen, 0.2)
+        assert est.exhaustive
+        assert est.per_source.size == 10
+
+    def test_walk_length_is_max_over_sources(self, two_triangles_bridged):
+        est = estimate_mixing_time(two_triangles_bridged, 0.1)
+        assert est.walk_length == est.per_source.max()
+
+    def test_average_below_worst(self, bridge_graph):
+        est = estimate_mixing_time(bridge_graph, 0.2, sources=20, seed=4, max_steps=20000)
+        assert est.average_walk_length <= est.walk_length
+
+    def test_sampled_lower_bounds_definition(self, bridge_graph):
+        """A sampled estimate can only under-estimate the exhaustive one."""
+        full = estimate_mixing_time(bridge_graph, 0.2, max_steps=20000)
+        sampled = estimate_mixing_time(bridge_graph, 0.2, sources=15, seed=5, max_steps=20000)
+        assert sampled.walk_length <= full.walk_length
+
+    def test_consistent_with_slem_bound(self, bridge_graph):
+        """Theorem 2: the measured T(eps) must respect the lower bound."""
+        eps = 0.05
+        bound = mixing_time_lower_bound(slem(bridge_graph), eps)
+        est = estimate_mixing_time(bridge_graph, eps, max_steps=30000)
+        assert est.walk_length >= bound * 0.99
+
+    def test_no_source_converges_raises(self, bridge_graph):
+        with pytest.raises(ConvergenceError):
+            estimate_mixing_time(bridge_graph, 1e-5, sources=5, seed=6, max_steps=5)

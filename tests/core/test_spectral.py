@@ -1,0 +1,143 @@
+"""Unit tests for spectral machinery (SLEM, Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotConnectedError
+from repro.graph import Graph
+from repro.core import (
+    cheeger_bounds,
+    conductance_lower_bound,
+    normalized_adjacency,
+    slem,
+    spectral_gap,
+    transition_spectrum_extremes,
+)
+
+
+class TestNormalizedAdjacency:
+    def test_symmetric(self, petersen):
+        mat = normalized_adjacency(petersen).toarray()
+        assert np.allclose(mat, mat.T)
+
+    def test_same_spectrum_as_transition(self, two_triangles_bridged):
+        from repro.core import TransitionOperator
+
+        n_eigs = np.sort(np.linalg.eigvalsh(normalized_adjacency(two_triangles_bridged).toarray()))
+        op = TransitionOperator(two_triangles_bridged)
+        p_eigs = np.sort(np.real(np.linalg.eigvals(op.matrix().toarray())))
+        assert np.allclose(n_eigs, p_eigs, atol=1e-9)
+
+    def test_isolated_node_raises(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=3)
+        with pytest.raises(NotConnectedError):
+            normalized_adjacency(g)
+
+
+class TestKnownSpectra:
+    def test_complete_graph(self, complete5):
+        # K_n: lambda_2 = ... = lambda_n = -1/(n-1).
+        summary = transition_spectrum_extremes(complete5, method="dense")
+        assert summary.lambda2 == pytest.approx(-0.25, abs=1e-9)
+        assert summary.lambda_min == pytest.approx(-0.25, abs=1e-9)
+        assert summary.slem == pytest.approx(0.25, abs=1e-9)
+
+    def test_petersen(self, petersen):
+        # Walk spectrum {1, 1/3 x5, -2/3 x4} -> slem = 2/3.
+        summary = transition_spectrum_extremes(petersen, method="dense")
+        assert summary.lambda2 == pytest.approx(1 / 3, abs=1e-9)
+        assert summary.lambda_min == pytest.approx(-2 / 3, abs=1e-9)
+        assert summary.slem == pytest.approx(2 / 3, abs=1e-9)
+
+    def test_cycle(self, cycle5):
+        # C_n: eigenvalues cos(2 pi k / n); slem = max(|cos(2pi/5)|, |cos(4pi/5)|).
+        summary = transition_spectrum_extremes(cycle5, method="dense")
+        assert summary.slem == pytest.approx(abs(np.cos(4 * np.pi / 5)), abs=1e-9)
+
+    def test_bipartite_slem_is_one(self, cycle6):
+        summary = transition_spectrum_extremes(cycle6, method="dense")
+        assert summary.lambda_min == pytest.approx(-1.0, abs=1e-9)
+        assert summary.slem == pytest.approx(1.0, abs=1e-9)
+        assert summary.gap == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("method", ["sparse", "dense", "power"])
+    def test_er_graph(self, er_medium, method):
+        reference = transition_spectrum_extremes(er_medium, method="dense")
+        value = transition_spectrum_extremes(er_medium, method=method)
+        assert value.slem == pytest.approx(reference.slem, abs=1e-6)
+        assert value.method == method
+
+    @pytest.mark.parametrize("method", ["sparse", "power"])
+    def test_bridge_graph(self, bridge_graph, method):
+        reference = transition_spectrum_extremes(bridge_graph, method="dense")
+        value = transition_spectrum_extremes(bridge_graph, method=method)
+        assert value.slem == pytest.approx(reference.slem, abs=1e-6)
+
+    def test_dense_cap(self):
+        from repro.generators import erdos_renyi_gnm
+        from repro.graph import largest_connected_component
+
+        g, _ = largest_connected_component(erdos_renyi_gnm(4100, 30000, seed=1))
+        with pytest.raises(ValueError, match="capped"):
+            transition_spectrum_extremes(g, method="dense")
+
+    def test_unknown_method(self, petersen):
+        with pytest.raises(ValueError, match="unknown method"):
+            transition_spectrum_extremes(petersen, method="magic")
+
+
+class TestBehaviour:
+    def test_bottleneck_raises_slem(self):
+        from repro.generators import two_community_bridge
+
+        slems = []
+        for bridges in (1, 8, 40):
+            g, _ = two_community_bridge(100, 6, bridges, seed=5)
+            slems.append(slem(g))
+        assert slems[0] > slems[1] > slems[2]
+
+    def test_disconnected_raises(self, triangle_plus_isolated):
+        with pytest.raises(NotConnectedError):
+            slem(triangle_plus_isolated)
+
+    def test_check_connected_can_be_skipped(self, petersen):
+        assert slem(petersen, check_connected=False) == pytest.approx(2 / 3, abs=1e-6)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ValueError):
+            transition_spectrum_extremes(Graph.empty(1))
+
+    def test_gap_complements_slem(self, er_medium):
+        assert spectral_gap(er_medium) == pytest.approx(1 - slem(er_medium), abs=1e-9)
+
+    def test_relabel_invariance(self, bridge_graph, rng):
+        from repro.graph import relabel_random
+
+        relabelled, _perm = relabel_random(bridge_graph, rng)
+        assert slem(relabelled) == pytest.approx(slem(bridge_graph), abs=1e-8)
+
+
+class TestConductanceBounds:
+    def test_conductance_lower_bound(self):
+        assert conductance_lower_bound(0.9) == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            conductance_lower_bound(1.5)
+
+    def test_cheeger_ordering(self):
+        lo, hi = cheeger_bounds(0.95)
+        assert 0 < lo < hi
+
+    def test_cheeger_validates(self):
+        with pytest.raises(ValueError):
+            cheeger_bounds(1.5)
+
+    def test_cheeger_contains_true_conductance(self, two_triangles_bridged):
+        from repro.graph import conductance_of_set
+        from repro.community import spectral_sweep_cut
+
+        summary = transition_spectrum_extremes(two_triangles_bridged, method="dense")
+        lo, hi = cheeger_bounds(summary.lambda2)
+        cut = spectral_sweep_cut(two_triangles_bridged)
+        assert lo - 1e-9 <= cut.conductance <= hi + 1e-9

@@ -1,0 +1,67 @@
+"""Unit tests for stationary distributions (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotConnectedError
+from repro.graph import Graph
+from repro.core import (
+    edge_stationary_distribution,
+    is_stationary,
+    stationary_distribution,
+    stationary_residual,
+    uniform_distribution,
+)
+
+
+class TestStationaryDistribution:
+    def test_degree_proportional(self, star6):
+        pi = stationary_distribution(star6)
+        assert pi[0] == pytest.approx(0.5)  # hub: 5 / (2*5)
+        assert pi[1] == pytest.approx(0.1)
+
+    def test_sums_to_one(self, petersen):
+        assert stationary_distribution(petersen).sum() == pytest.approx(1.0)
+
+    def test_regular_graph_is_uniform(self, cycle5):
+        pi = stationary_distribution(cycle5)
+        assert np.allclose(pi, uniform_distribution(5))
+
+    def test_invariance(self, petersen, two_triangles_bridged):
+        for g in (petersen, two_triangles_bridged):
+            pi = stationary_distribution(g)
+            assert is_stationary(g, pi)
+            assert stationary_residual(g, pi) < 1e-12
+
+    def test_uniform_not_stationary_on_irregular(self, star6):
+        assert not is_stationary(star6, uniform_distribution(6))
+        assert stationary_residual(star6, uniform_distribution(6)) > 0.1
+
+    def test_no_edges_raises(self):
+        with pytest.raises(NotConnectedError):
+            stationary_distribution(Graph.empty(3))
+
+    def test_isolated_node_raises(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=3)
+        with pytest.raises(NotConnectedError):
+            stationary_distribution(g)
+
+    def test_residual_rejects_wrong_length(self, cycle5):
+        with pytest.raises(ValueError):
+            stationary_residual(cycle5, uniform_distribution(4))
+
+
+class TestHelpers:
+    def test_uniform_distribution(self):
+        assert uniform_distribution(4).tolist() == [0.25] * 4
+        with pytest.raises(ValueError):
+            uniform_distribution(0)
+
+    def test_edge_stationary(self, cycle5):
+        dist = edge_stationary_distribution(cycle5)
+        assert dist.size == 10
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_edge_stationary_no_edges(self):
+        with pytest.raises(NotConnectedError):
+            edge_stationary_distribution(Graph.empty(2))

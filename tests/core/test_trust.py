@@ -1,0 +1,180 @@
+"""Unit tests for trust-aware walks."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TransitionOperator,
+    WeightedTransitionOperator,
+    jaccard_arc_weights,
+    originator_biased_curve,
+    stationary_distribution,
+)
+from repro.graph import Graph
+
+
+class TestJaccardWeights:
+    def test_alignment_and_positivity(self, petersen):
+        w = jaccard_arc_weights(petersen)
+        assert w.shape == (2 * petersen.num_edges,)
+        assert np.all(w > 0)
+
+    def test_symmetry(self, two_triangles_bridged):
+        from repro.sybil.routes import reverse_slots
+
+        w = jaccard_arc_weights(two_triangles_bridged)
+        rev = reverse_slots(two_triangles_bridged)
+        assert np.allclose(w, w[rev])
+
+    def test_triangle_edges_heavier_than_bridge(self, two_triangles_bridged):
+        g = two_triangles_bridged
+        w = jaccard_arc_weights(g, smoothing=0.1)
+        # Slot of arc (0 -> 1): inside a triangle, 1 shared neighbour.
+        slot_tri = int(g.indptr[0] + np.searchsorted(g.neighbors(0), 1))
+        # Slot of the bridge arc (2 -> 3): no shared neighbours.
+        slot_bridge = int(g.indptr[2] + np.searchsorted(g.neighbors(2), 3))
+        assert w[slot_tri] > w[slot_bridge]
+        assert w[slot_bridge] == pytest.approx(0.1)
+
+    def test_smoothing_validation(self, petersen):
+        with pytest.raises(ValueError):
+            jaccard_arc_weights(petersen, smoothing=0.0)
+
+
+class TestWeightedOperator:
+    def test_uniform_weights_match_plain_walk(self, petersen):
+        weights = np.ones(2 * petersen.num_edges)
+        weighted = WeightedTransitionOperator(petersen, weights)
+        plain = TransitionOperator(petersen)
+        x = plain.point_mass(0)
+        for _ in range(4):
+            assert np.allclose(weighted.step(x), plain.step(x))
+            x = plain.step(x)
+
+    def test_stationary_is_strength_proportional(self, two_triangles_bridged):
+        w = jaccard_arc_weights(two_triangles_bridged)
+        op = WeightedTransitionOperator(two_triangles_bridged, w)
+        pi = op.stationary()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.allclose(op.step(pi), pi, atol=1e-12)
+
+    def test_rejects_asymmetric_weights(self, petersen):
+        w = np.ones(2 * petersen.num_edges)
+        w[0] = 5.0  # breaks symmetry for one arc
+        with pytest.raises(ValueError, match="symmetric"):
+            WeightedTransitionOperator(petersen, w)
+
+    def test_rejects_nonpositive(self, petersen):
+        w = np.ones(2 * petersen.num_edges)
+        w[3] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            WeightedTransitionOperator(petersen, w)
+
+    def test_rejects_misaligned(self, petersen):
+        with pytest.raises(ValueError, match="align"):
+            WeightedTransitionOperator(petersen, np.ones(5))
+
+    def test_variation_curve_converges(self, er_medium):
+        w = jaccard_arc_weights(er_medium)
+        op = WeightedTransitionOperator(er_medium, w)
+        curve = op.variation_curve(0, 60)
+        assert curve[-1] < curve[0]
+        assert curve[-1] < 0.05
+
+    def test_similarity_weighting_slows_community_graph(self):
+        """Down-weighting weak ties strengthens the bottleneck.
+
+        Needs communities with triangles (Jaccard is zero on the
+        triangle-free random-regular bridge fixture): dense planted
+        blocks give intra-block similarity ~p while the sparse cut has
+        nearly none, so the weighting widens the mixing gap.
+        """
+        from repro.generators import planted_partition
+        from repro.graph import largest_connected_component
+        from repro.core import total_variation_distance
+
+        raw, _ = planted_partition(2, 60, 0.4, 0.004, seed=3)
+        g, _ = largest_connected_component(raw)
+        plain = TransitionOperator(g)
+        pi = plain.stationary()
+        x = plain.point_mass(0)
+        for _ in range(40):
+            x = plain.step(x)
+        plain_d = total_variation_distance(x, pi, validate=False)
+
+        weighted = WeightedTransitionOperator(g, jaccard_arc_weights(g))
+        wd = weighted.variation_curve(0, 40)[-1]
+        assert wd > plain_d
+
+
+class TestOriginatorBias:
+    def test_beta_zero_matches_plain(self, petersen):
+        plain_op = TransitionOperator(petersen)
+        pi = stationary_distribution(petersen)
+        from repro.core import total_variation_distance
+
+        x = plain_op.point_mass(0)
+        expected = [total_variation_distance(x, pi, validate=False)]
+        for _ in range(10):
+            x = plain_op.step(x)
+            expected.append(total_variation_distance(x, pi, validate=False))
+        curve = originator_biased_curve(petersen, 0, 0.0, 10)
+        assert np.allclose(curve, expected)
+
+    def test_bias_floors_the_curve(self, er_medium):
+        unbiased = originator_biased_curve(er_medium, 0, 0.0, 80)
+        biased = originator_biased_curve(er_medium, 0, 0.3, 80)
+        assert unbiased[-1] < 0.01
+        assert biased[-1] > 0.2  # never mixes
+
+    def test_monotone_in_beta(self, er_medium):
+        finals = [
+            originator_biased_curve(er_medium, 0, beta, 60)[-1]
+            for beta in (0.0, 0.1, 0.3)
+        ]
+        assert finals[0] < finals[1] < finals[2]
+
+    def test_validation(self, petersen):
+        with pytest.raises(ValueError):
+            originator_biased_curve(petersen, 0, 1.0, 5)
+        with pytest.raises(ValueError):
+            originator_biased_curve(petersen, 0, 0.5, -1)
+        with pytest.raises(IndexError):
+            originator_biased_curve(petersen, 99, 0.5, 5)
+
+
+class TestWeightedSlem:
+    def test_uniform_weights_match_plain_slem(self, er_medium):
+        from repro.core import slem, weighted_slem
+
+        uniform = np.ones(2 * er_medium.num_edges)
+        assert weighted_slem(er_medium, uniform) == pytest.approx(
+            slem(er_medium), abs=1e-8
+        )
+
+    def test_small_graph_dense_path(self, petersen):
+        from repro.core import slem, weighted_slem
+
+        uniform = np.ones(2 * petersen.num_edges)
+        assert weighted_slem(petersen, uniform) == pytest.approx(2 / 3, abs=1e-9)
+
+    def test_similarity_weighting_raises_slem_on_communities(self):
+        from repro.core import slem, weighted_slem
+        from repro.generators import planted_partition
+        from repro.graph import largest_connected_component
+
+        raw, _ = planted_partition(2, 80, 0.35, 0.004, seed=3)
+        g, _ = largest_connected_component(raw)
+        assert weighted_slem(g, jaccard_arc_weights(g)) > slem(g)
+
+    def test_bounds_within_unit_interval(self, bridge_graph):
+        from repro.core import weighted_slem
+
+        mu = weighted_slem(bridge_graph, jaccard_arc_weights(bridge_graph))
+        assert 0.0 <= mu <= 1.0
+
+    def test_validates_weights(self, petersen):
+        from repro.core import weighted_slem
+
+        with pytest.raises(ValueError):
+            weighted_slem(petersen, np.ones(3))

@@ -1,0 +1,159 @@
+"""Unit tests for TransitionOperator and walk simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotConnectedError, NotErgodicError
+from repro.graph import Graph
+from repro.core import (
+    TransitionOperator,
+    is_bipartite,
+    simulate_walk,
+    simulate_walk_endpoints,
+    stationary_distribution,
+    total_variation_distance,
+)
+
+
+class TestBipartite:
+    def test_even_cycle(self, cycle6):
+        assert is_bipartite(cycle6)
+
+    def test_odd_cycle(self, cycle5):
+        assert not is_bipartite(cycle5)
+
+    def test_star_and_path(self, star6, path4):
+        assert is_bipartite(star6)
+        assert is_bipartite(path4)
+
+    def test_petersen(self, petersen):
+        assert not is_bipartite(petersen)
+
+    def test_per_component(self):
+        # A triangle plus a disjoint edge: not bipartite overall.
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4)])
+        assert not is_bipartite(g)
+
+
+class TestTransitionOperator:
+    def test_rows_are_stochastic(self, petersen):
+        op = TransitionOperator(petersen)
+        rows = np.asarray(op.matrix().sum(axis=1)).ravel()
+        assert np.allclose(rows, 1.0)
+
+    def test_transition_probability(self, star6):
+        op = TransitionOperator(star6, laziness=0.0, check_aperiodic=False)
+        assert op.transition_probability(0, 1) == pytest.approx(0.2)
+        assert op.transition_probability(1, 0) == pytest.approx(1.0)
+        assert op.transition_probability(1, 2) == 0.0
+
+    def test_lazy_transition_probability(self, cycle5):
+        op = TransitionOperator(cycle5, laziness=0.5)
+        assert op.transition_probability(0, 0) == pytest.approx(0.5)
+        assert op.transition_probability(0, 1) == pytest.approx(0.25)
+
+    def test_rejects_disconnected(self, triangle_plus_isolated):
+        with pytest.raises(NotConnectedError):
+            TransitionOperator(triangle_plus_isolated)
+
+    def test_rejects_bipartite_without_laziness(self, cycle6):
+        with pytest.raises(NotErgodicError):
+            TransitionOperator(cycle6)
+
+    def test_bipartite_ok_with_laziness(self, cycle6):
+        op = TransitionOperator(cycle6, laziness=0.25)
+        assert op.laziness == 0.25
+
+    def test_rejects_empty(self):
+        with pytest.raises(NotConnectedError):
+            TransitionOperator(Graph.empty(0))
+
+    def test_invalid_laziness(self, cycle5):
+        with pytest.raises(ValueError):
+            TransitionOperator(cycle5, laziness=1.0)
+
+    def test_point_mass(self, cycle5):
+        op = TransitionOperator(cycle5)
+        x = op.point_mass(2)
+        assert x[2] == 1.0 and x.sum() == 1.0
+
+    def test_step_spreads_mass(self, cycle5):
+        op = TransitionOperator(cycle5)
+        x = op.step(op.point_mass(0))
+        assert x[1] == pytest.approx(0.5)
+        assert x[4] == pytest.approx(0.5)
+
+    def test_evolve_matches_repeated_step(self, petersen):
+        op = TransitionOperator(petersen)
+        x = op.point_mass(0)
+        manual = x
+        for _ in range(5):
+            manual = op.step(manual)
+        assert np.allclose(op.evolve(x, 5), manual)
+
+    def test_evolve_preserves_mass(self, petersen):
+        op = TransitionOperator(petersen)
+        out = op.evolve(op.point_mass(3), 17)
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out >= 0)
+
+    def test_trajectory_shape_and_consistency(self, petersen):
+        op = TransitionOperator(petersen)
+        traj = op.trajectory(op.point_mass(0), 4)
+        assert traj.shape == (5, 10)
+        assert np.allclose(traj[4], op.evolve(op.point_mass(0), 4))
+
+    def test_stationary_is_fixed_point(self, two_triangles_bridged):
+        op = TransitionOperator(two_triangles_bridged)
+        pi = op.stationary()
+        assert np.allclose(op.step(pi), pi)
+
+    def test_lazy_walk_same_stationary(self, two_triangles_bridged):
+        lazy = TransitionOperator(two_triangles_bridged, laziness=0.3)
+        pi = lazy.stationary()
+        assert np.allclose(lazy.step(pi), pi)
+
+    def test_convergence_to_stationary(self, petersen):
+        op = TransitionOperator(petersen)
+        pi = op.stationary()
+        x = op.evolve(op.point_mass(0), 60)
+        assert total_variation_distance(x, pi, validate=False) < 1e-9
+
+    def test_negative_steps_rejected(self, cycle5):
+        op = TransitionOperator(cycle5)
+        with pytest.raises(ValueError):
+            op.evolve(op.point_mass(0), -1)
+
+
+class TestSimulateWalk:
+    def test_path_is_valid(self, petersen):
+        path = simulate_walk(petersen, 0, 50, seed=1)
+        assert path.size == 51
+        assert path[0] == 0
+        for a, b in zip(path[:-1], path[1:]):
+            assert petersen.has_edge(int(a), int(b))
+
+    def test_lazy_walk_can_stay(self, cycle5):
+        path = simulate_walk(cycle5, 0, 100, seed=2, laziness=0.9)
+        stays = (path[:-1] == path[1:]).sum()
+        assert stays > 50
+
+    def test_zero_length(self, cycle5):
+        assert simulate_walk(cycle5, 3, 0, seed=3).tolist() == [3]
+
+    def test_isolated_start_raises(self, triangle_plus_isolated):
+        with pytest.raises(NotConnectedError):
+            simulate_walk(triangle_plus_isolated, 3, 5, seed=4)
+
+    def test_deterministic_given_seed(self, petersen):
+        a = simulate_walk(petersen, 0, 30, seed=42)
+        b = simulate_walk(petersen, 0, 30, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_endpoints_match_evolved_distribution(self, petersen):
+        """Monte Carlo endpoints must converge to the exact distribution."""
+        op = TransitionOperator(petersen)
+        exact = op.evolve(op.point_mass(0), 4)
+        ends = simulate_walk_endpoints(petersen, 0, 4, 4000, seed=5)
+        empirical = np.bincount(ends, minlength=10) / ends.size
+        assert total_variation_distance(empirical, exact, validate=False) < 0.05

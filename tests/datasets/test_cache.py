@@ -1,0 +1,69 @@
+"""Unit tests for the dataset cache hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets import clear_memory_cache, default_cache_dir, load_cached
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memory():
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+class TestMemoryCache:
+    def test_same_object_returned(self, tmp_path):
+        a = load_cached("physics1", cache_dir=tmp_path)
+        b = load_cached("physics1", cache_dir=tmp_path)
+        assert a is b
+
+    def test_distinct_seeds_distinct_entries(self, tmp_path):
+        a = load_cached("physics1", seed=1, cache_dir=tmp_path)
+        b = load_cached("physics1", seed=2, cache_dir=tmp_path)
+        assert a is not b
+        assert a != b
+
+    def test_clear_forgets(self, tmp_path):
+        a = load_cached("physics1", cache_dir=tmp_path)
+        clear_memory_cache()
+        b = load_cached("physics1", cache_dir=tmp_path)
+        assert a is not b
+        assert a == b  # regenerated deterministically
+
+
+class TestDiskCache:
+    def test_writes_npz(self, tmp_path):
+        load_cached("physics1", cache_dir=tmp_path)
+        assert (tmp_path / "physics1-default.npz").exists()
+
+    def test_disk_hit_after_memory_clear(self, tmp_path):
+        a = load_cached("physics1", cache_dir=tmp_path)
+        clear_memory_cache()
+        b = load_cached("physics1", cache_dir=tmp_path)
+        assert a == b
+
+    def test_no_disk_mode(self, tmp_path):
+        load_cached("physics1", use_disk=False, cache_dir=tmp_path)
+        assert not list(tmp_path.iterdir())
+
+    def test_seeded_file_name(self, tmp_path):
+        load_cached("physics1", seed=42, cache_dir=tmp_path)
+        assert (tmp_path / "physics1-42.npz").exists()
+
+    def test_unknown_name_raises_before_io(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_cached("unknown_graph", cache_dir=tmp_path)
+        assert not list(tmp_path.iterdir())
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_fallback_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro-mixing"

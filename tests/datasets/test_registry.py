@@ -1,0 +1,70 @@
+"""Unit tests for the Table 1 dataset registry."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets import (
+    REGISTRY,
+    dataset_names,
+    figure7_dataset_names,
+    get_spec,
+    large_dataset_names,
+    physics_dataset_names,
+    small_dataset_names,
+)
+
+
+class TestRegistryContents:
+    def test_fifteen_table1_rows(self):
+        assert len(REGISTRY) == 15
+
+    def test_paper_sizes_match_table1(self):
+        # Spot-check the sizes printed in the paper's Table 1.
+        assert get_spec("wiki_vote").paper_nodes == 7_066
+        assert get_spec("dblp").paper_nodes == 614_981
+        assert get_spec("dblp").paper_edges == 1_155_086
+        assert get_spec("youtube").paper_nodes == 1_134_890
+        assert get_spec("facebook_a").paper_edges == 20_353_734
+        assert get_spec("physics1").paper_nodes == 4_158
+
+    def test_categories_are_known(self):
+        for spec in REGISTRY.values():
+            assert spec.category in ("acquaintance", "interaction", "osn")
+
+    def test_scales_partition(self):
+        small = set(small_dataset_names())
+        large = set(large_dataset_names())
+        assert small | large == set(dataset_names())
+        assert not (small & large)
+
+    def test_physics_names(self):
+        assert physics_dataset_names() == ["physics1", "physics2", "physics3"]
+
+    def test_figure7_names(self):
+        assert figure7_dataset_names() == [
+            "facebook_a",
+            "facebook_b",
+            "livejournal_a",
+            "livejournal_b",
+        ]
+
+    def test_standins_are_downscaled(self):
+        for spec in REGISTRY.values():
+            assert spec.nodes <= spec.paper_nodes
+            assert spec.edges <= spec.paper_edges
+
+
+class TestSpecBehaviour:
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            get_spec("friendster")
+
+    def test_seed_is_deterministic_and_distinct(self):
+        seeds = {spec.seed for spec in REGISTRY.values()}
+        assert len(seeds) == len(REGISTRY)
+        assert get_spec("dblp").seed == get_spec("dblp").seed
+
+    def test_specs_are_frozen(self):
+        spec = get_spec("enron")
+        with pytest.raises(AttributeError):
+            spec.nodes = 1

@@ -1,0 +1,100 @@
+"""Unit tests for the CLI (argument handling; heavy runners are mocked)."""
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_defaults(self):
+        args = cli.build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert not args.full
+        assert args.seed is None
+
+    def test_full_and_seed(self):
+        args = cli.build_parser().parse_args(["fig3", "--full", "--seed", "7"])
+        assert args.full
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig8" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli.main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_selected_experiment(self, capsys, monkeypatch):
+        calls = []
+
+        def fake(config):
+            calls.append(config.mode)
+            return "RESULT-TEXT"
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig1", fake)
+        assert cli.main(["fig1"]) == 0
+        assert calls == ["fast"]
+        out = capsys.readouterr().out
+        assert "RESULT-TEXT" in out
+        assert "finished in" in out
+
+    def test_full_flag_propagates(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake(config):
+            seen["mode"] = config.mode
+            seen["seed"] = config.seed
+            return ""
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig2", fake)
+        assert cli.main(["fig2", "--full", "--seed", "99"]) == 0
+        assert seen == {"mode": "full", "seed": 99}
+
+    def test_all_runs_everything(self, monkeypatch, capsys):
+        ran = []
+        for name in list(cli.EXPERIMENTS):
+            monkeypatch.setitem(
+                cli.EXPERIMENTS, name, (lambda n: lambda c: ran.append(n) or "")(name)
+            )
+        assert cli.main(["all"]) == 0
+        assert set(ran) == set(cli.EXPERIMENTS)
+
+    def test_experiment_registry_covers_all_figures(self):
+        for name in ["table1"] + [f"fig{i}" for i in range(1, 9)]:
+            assert name in cli.EXPERIMENTS
+
+
+class TestOutputFlag:
+    def test_writes_output_files(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig1", lambda c: "SERIES-DATA")
+        assert cli.main(["fig1", "--output", str(tmp_path / "out")]) == 0
+        written = (tmp_path / "out" / "fig1.txt").read_text()
+        assert "SERIES-DATA" in written
+
+    def test_no_output_flag_writes_nothing(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig1", lambda c: "X")
+        assert cli.main(["fig1"]) == 0
+        assert not (tmp_path / "fig1.txt").exists()
+
+
+class TestDatasetsCommand:
+    def test_lists_registry(self, capsys, monkeypatch):
+        # Patch the loader so the test does not generate all 15 graphs.
+        from repro.datasets import registry as reg
+        from repro.graph import Graph
+
+        import repro.datasets as ds
+
+        monkeypatch.setattr(
+            ds, "load_cached", lambda name: Graph.from_edges([(0, 1)]), raising=True
+        )
+        assert cli.main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("wiki_vote", "dblp", "livejournal_a"):
+            assert name in out
+        assert "paper: n=614,981" in out

@@ -1,0 +1,39 @@
+"""Unit tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments import FAST, FULL, ExperimentConfig
+
+
+class TestConfig:
+    def test_modes(self):
+        assert FAST.is_fast
+        assert not FULL.is_fast
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(mode="medium")
+
+    def test_fast_is_smaller_everywhere(self):
+        assert FAST.sampled_sources < FULL.sampled_sources
+        assert FAST.max_walk < FULL.max_walk
+        assert len(FAST.figure8_walks) < len(FULL.figure8_walks)
+
+    def test_full_brute_forces_physics(self):
+        assert FULL.brute_force_sources is None
+        assert FAST.brute_force_sources is not None
+
+    def test_paper_parameters_in_full_mode(self):
+        assert FULL.sampled_sources == 1000  # "we repeat this many times (i.e., 1000)"
+        assert FULL.short_walks == (1, 5, 10, 20, 40)  # Figure 3 grid
+        assert 500 in FULL.long_walks  # Figure 4 reaches w=500
+
+    def test_figure7_sizes_ascending(self):
+        for config in (FAST, FULL):
+            sizes = config.figure7_sizes
+            assert list(sizes) == sorted(sizes)
+            assert len(sizes) == 3  # 10K / 100K / 1000K stand-ins
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FAST.mode = "full"

@@ -1,0 +1,167 @@
+"""Smoke + shape tests for the extension experiments (future-work runners)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_cached
+from repro.experiments import (
+    FAST,
+    run_sybilguard_admission,
+    run_whanau_lookup,
+    average_case_table,
+    make_directed_standin,
+    run_average_case,
+    run_directed_conversion,
+    run_trust_models,
+    run_whanau_tails,
+    tail_arc_distribution,
+)
+
+
+class TestWhanauTails:
+    def test_tail_distribution_is_distribution(self):
+        graph = load_cached("wiki_vote")
+        q = tail_arc_distribution(graph, 10)
+        assert q.size == 2 * graph.num_edges
+        assert q.sum() == pytest.approx(1.0)
+        assert q.min() >= 0
+
+    def test_tail_distribution_converges_to_uniform(self):
+        graph = load_cached("wiki_vote")
+        uniform = 1.0 / (2 * graph.num_edges)
+        q = tail_arc_distribution(graph, 200)
+        assert np.abs(q - uniform).sum() < 1e-4
+
+    def test_length_validation(self):
+        graph = load_cached("wiki_vote")
+        with pytest.raises(ValueError):
+            tail_arc_distribution(graph, 0)
+
+    def test_figure_shape_and_claim(self):
+        fig = run_whanau_tails(FAST, datasets=("physics1", "wiki_vote"), walk_lengths=(10, 80))
+        phys = {s.label: s for s in fig.panels["physics1"]}
+        wiki = {s.label: s for s in fig.panels["wiki_vote"]}
+        # Separation upper-bounds TVD everywhere.
+        for panel in (phys, wiki):
+            assert np.all(
+                panel["separation distance"].y >= panel["TVD to uniform arcs"].y - 1e-12
+            )
+        # The critique: at w=80 the slow graph is still far from 1/n ...
+        assert phys["TVD to uniform arcs"].y[-1] > 10 * phys["target eps = 1/n"].y[-1]
+        # ... while the fast OSN is essentially converged.
+        assert wiki["TVD to uniform arcs"].y[-1] < wiki["target eps = 1/n"].y[-1]
+
+
+class TestAverageCase:
+    def test_rows_and_ordering(self):
+        rows = run_average_case(FAST, datasets=("physics1", "wiki_vote"), epsilon=0.1)
+        by_name = {r.dataset: r for r in rows}
+        for row in rows:
+            assert row.mean <= row.worst
+            assert row.median <= row.worst
+            assert 0.0 <= row.within_15_steps <= 1.0
+        # Average-case gap is the paper's Section 5/6 point.
+        slow = by_name["physics1"]
+        assert slow.mean < 0.8 * slow.worst
+        # The fast OSN largely fits the literature's budget; physics not at all.
+        assert by_name["wiki_vote"].within_15_steps > 0.5
+        assert slow.within_15_steps == 0.0
+
+    def test_table_render(self):
+        rows = run_average_case(FAST, datasets=("wiki_vote",), epsilon=0.2)
+        table = average_case_table(rows)
+        assert table.rows[0][0] == "wiki_vote"
+
+
+class TestTrustModels:
+    def test_orderings(self):
+        fig = run_trust_models(
+            FAST, dataset="physics1", betas=(0.05, 0.2), num_sources=12,
+            walk_lengths=(5, 20, 80),
+        )
+        series = {s.label: s for s in fig.panels["main"]}
+        plain = series["plain walk"].y
+        weighted = series["similarity-weighted walk"].y
+        b_small = series["originator-biased beta=0.05"].y
+        b_large = series["originator-biased beta=0.2"].y
+        # Trust knobs slow mixing at the longest walk, monotonically.
+        assert plain[-1] < b_small[-1] < b_large[-1]
+        assert plain[-1] <= weighted[-1] + 1e-9
+        # The bias floors: beta=0.2 keeps at least ~beta distance forever.
+        assert b_large[-1] > 0.19
+
+
+class TestDirectedConversion:
+    def test_standin_orientation(self):
+        graph = load_cached("wiki_vote")
+        fully = make_directed_standin(graph, reciprocity=1.0, seed=1)
+        assert fully.num_arcs == 2 * graph.num_edges
+        oneway = make_directed_standin(graph, reciprocity=0.0, seed=1)
+        assert oneway.num_arcs == graph.num_edges
+
+    def test_reciprocity_validation(self):
+        graph = load_cached("wiki_vote")
+        with pytest.raises(ValueError):
+            make_directed_standin(graph, reciprocity=1.5)
+
+    def test_figure_series(self):
+        fig = run_directed_conversion(
+            FAST, dataset="wiki_vote", num_sources=8, walk_lengths=(5, 20, 60)
+        )
+        series = {s.label.split(" (")[0]: s for s in fig.panels["main"]}
+        directed = series["directed walk"]
+        undirected = series["undirected conversion"]
+        # Both converge along the sweep.
+        assert directed.y[-1] < directed.y[0]
+        assert undirected.y[-1] < undirected.y[0]
+
+
+class TestWhanauLookup:
+    def test_success_rises_with_walk_length_on_slow_graph(self):
+        fig = run_whanau_lookup(
+            FAST, datasets=("physics1",), walk_lengths=(3, 40), num_lookups=150
+        )
+        s = fig.panels["main"][0]
+        assert s.y[1] > s.y[0] + 0.2
+
+    def test_fast_graph_high_floor(self):
+        fig = run_whanau_lookup(
+            FAST, datasets=("wiki_vote",), walk_lengths=(3, 20), num_lookups=150
+        )
+        assert fig.panels["main"][0].y.min() > 0.8
+
+
+class TestSybilGuardAdmission:
+    def test_admission_monotone_and_split(self):
+        fig = run_sybilguard_admission(
+            FAST,
+            datasets=("physics1", "wiki_vote"),
+            walk_lengths=(10, 80),
+            sample_size=800,
+            max_suspects=120,
+        )
+        series = {s.label.split(" ")[0]: s for s in fig.panels["main"]}
+        slow = series["physics1"]
+        fast = series["wiki_vote"]
+        assert slow.y[-1] >= slow.y[0]
+        assert fast.y[-1] > slow.y[-1]
+        # The reference length annotation is present.
+        assert "sqrt(n log n)" in fig.panels["main"][0].label
+
+
+class TestReplication:
+    def test_stats_shape(self):
+        from repro.experiments import run_replication, replication_table
+
+        stats = run_replication(FAST, datasets=("wiki_vote",), replicas=2)
+        assert len(stats) == 1
+        assert stats[0].mus.size == 2
+        assert stats[0].t01_mean > 0
+        table = replication_table(stats)
+        assert table.rows[0][0] == "wiki_vote"
+
+    def test_replica_count_validated(self):
+        from repro.experiments import run_replication
+
+        with pytest.raises(ValueError):
+            run_replication(FAST, datasets=("wiki_vote",), replicas=1)

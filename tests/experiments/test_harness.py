@@ -1,0 +1,107 @@
+"""Unit tests for experiment result containers and renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import FigureResult, Series, TableResult, render_figure, render_table
+
+
+class TestTableResult:
+    def test_column_lookup(self):
+        table = TableResult(
+            title="T", headers=["a", "b"], rows=[["1", "x"], ["2", "y"]]
+        )
+        assert table.column("b") == ["x", "y"]
+        with pytest.raises(ValueError):
+            table.column("missing")
+
+    def test_render_alignment(self):
+        table = TableResult(
+            title="Demo", headers=["name", "value"], rows=[["longest-name", "7"]]
+        )
+        text = render_table(table)
+        assert "Demo" in text
+        assert "longest-name" in text
+        lines = text.splitlines()
+        header_line = next(l for l in lines if l.startswith("name"))
+        assert "value" in header_line
+
+
+class TestSeries:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            Series(label="s", x=np.asarray([1.0, 2.0]), y=np.asarray([1.0]))
+
+    def test_coerces_to_float(self):
+        s = Series(label="s", x=[1, 2], y=[3, 4])
+        assert s.x.dtype == np.float64
+
+
+class TestFigureResult:
+    def make_figure(self):
+        fig = FigureResult(title="F", xlabel="x", ylabel="y")
+        fig.panels["main"] = [
+            Series(label="a", x=np.arange(30), y=np.arange(30) * 2.0),
+            Series(label="b", x=np.arange(3), y=np.asarray([0.0, 0.5, 1.0])),
+        ]
+        return fig
+
+    def test_series_lookup(self):
+        fig = self.make_figure()
+        assert fig.series("main", "a").label == "a"
+        with pytest.raises(KeyError):
+            fig.series("main", "zzz")
+        with pytest.raises(KeyError):
+            fig.panel("other")
+
+    def test_render_thins_long_series(self):
+        fig = self.make_figure()
+        text = render_figure(fig, max_points=5)
+        assert "F" in text
+        a_lines = [l for l in text.splitlines() if l.strip().startswith("x:")]
+        assert len(a_lines[0].split()) <= 7  # "x:" + 5 values + margin
+
+    def test_render_includes_notes(self):
+        fig = self.make_figure()
+        fig.notes = "important caveat"
+        assert "important caveat" in render_figure(fig)
+
+    def test_render_special_values(self):
+        fig = FigureResult(title="F", xlabel="x", ylabel="y")
+        fig.panels["main"] = [
+            Series(label="odd", x=np.asarray([0.0, 1.0]), y=np.asarray([np.inf, 1e-9]))
+        ]
+        text = render_figure(fig)
+        assert "inf" in text
+        assert "1e-09" in text
+
+
+class TestCsvExport:
+    def test_table_csv(self):
+        from repro.experiments import table_to_csv
+
+        table = TableResult(title="T", headers=["a", "b"], rows=[["1", "x,y"]])
+        csv_text = table_to_csv(table)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == '1,"x,y"'
+
+    def test_figure_csv_long_format(self):
+        from repro.experiments import figure_to_csv
+
+        fig = FigureResult(title="F", xlabel="x", ylabel="y")
+        fig.panels["p"] = [Series(label="s", x=np.asarray([1.0, 2.0]), y=np.asarray([3.0, 4.0]))]
+        lines = figure_to_csv(fig).strip().splitlines()
+        assert lines[0] == "panel,series,x,y"
+        assert len(lines) == 3
+        assert lines[1].startswith("p,s,1.0,3.0")
+
+    def test_csv_roundtrips_through_csv_reader(self):
+        import csv as csv_module
+        import io
+
+        from repro.experiments import table_to_csv
+
+        table = TableResult(title="T", headers=["name"], rows=[['quo"te']])
+        parsed = list(csv_module.reader(io.StringIO(table_to_csv(table))))
+        assert parsed[1] == ['quo"te']

@@ -1,0 +1,180 @@
+"""Smoke + shape tests for the experiment runners.
+
+These run the real pipelines on the *smallest* dataset stand-ins (and
+reduced parameters) so the whole file stays under ~2 minutes; the
+full-size reproductions live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import measure_mixing
+from repro.datasets import load_cached
+from repro.experiments import (
+    FAST,
+    bound_vs_sampling_figure,
+    cdf_figure,
+    lower_bound_figure,
+    measure_physics,
+    run_conductance_ablation,
+    run_figure8,
+    run_sampling_bias_ablation,
+    run_sybil_bound_ablation,
+    run_table1,
+    table1_result,
+    trim_levels,
+    trim_summary_table,
+)
+from repro.experiments.admission import admission_curve
+
+
+class TestTable1:
+    def test_two_datasets(self):
+        rows = run_table1(FAST, names=["physics1", "wiki_vote"])
+        assert [r.name for r in rows] == ["physics1", "wiki_vote"]
+        for row in rows:
+            assert 0 < row.mu < 1
+            assert row.nodes > 0
+        # The acquaintance graph must mix slower than the OSN.
+        assert rows[0].mu > rows[1].mu
+
+    def test_render(self):
+        rows = run_table1(FAST, names=["physics1"])
+        table = table1_result(rows)
+        text_cols = table.headers
+        assert "mu" in text_cols
+        assert table.rows[0][0] == "Physics 1"
+
+
+class TestLowerBoundFigures:
+    def test_figure_from_precomputed_mus(self):
+        mus = {"physics1": 0.997, "wiki_vote": 0.87}
+        fig = lower_bound_figure(["physics1", "wiki_vote"], FAST, title="t", mus=mus)
+        series = fig.panels["main"]
+        assert len(series) == 2
+        phys = fig.series("main", "Physics 1")
+        wiki = fig.series("main", "Wiki-vote")
+        # Slower graph needs longer walks at every epsilon.
+        assert np.all(phys.y >= wiki.y)
+
+    def test_bound_values_match_formula(self):
+        from repro.core import mixing_time_lower_bound
+
+        fig = lower_bound_figure(["physics1"], FAST, title="t", mus={"physics1": 0.99})
+        s = fig.panels["main"][0]
+        for eps, length in zip(s.x[:5], s.y[:5]):
+            assert length == pytest.approx(mixing_time_lower_bound(0.99, eps))
+
+
+class TestCdfFigures:
+    def test_cdf_panels(self):
+        measurements = measure_physics([1, 5, 10], FAST, names=["physics1"])
+        fig = cdf_figure(measurements, [1, 5, 10], title="t")
+        series = fig.panels["physics1"]
+        assert [s.label for s in series] == ["w=1", "w=5", "w=10"]
+        for s in series:
+            assert np.all(np.diff(s.y) >= 0)  # CDFs are nondecreasing
+
+    def test_longer_walks_stochastically_smaller(self):
+        measurements = measure_physics([1, 40], FAST, names=["physics1"])
+        fig = cdf_figure(measurements, [1, 40], title="t")
+        w1 = fig.series("physics1", "w=1")
+        w40 = fig.series("physics1", "w=40")
+        assert np.median(w40.x) < np.median(w1.x)
+
+
+class TestBoundVsSampling:
+    def test_band_ordering_and_bound(self):
+        measurements = measure_physics([5, 20, 80], FAST, names=["physics1"])
+        from repro.core import slem
+
+        mus = {"physics1": slem(load_cached("physics1"))}
+        fig = bound_vs_sampling_figure(measurements, mus, title="t")
+        series = {s.label: s for s in fig.panels["physics1"]}
+        best = series["best 10% of sources"]
+        worst = series["worst 10% of sources (top 99.9%)"]
+        assert np.all(best.y <= worst.y + 1e-12)
+        assert "SLEM lower bound" in series
+
+
+class TestTrimming:
+    def test_levels_shrink_and_summary(self):
+        levels = trim_levels(FAST, dataset="physics1", degrees=(1, 2, 3))
+        sizes = [lvl.graph.num_nodes for lvl in levels]
+        assert sizes == sorted(sizes, reverse=True)
+        table = trim_summary_table(levels)
+        assert len(table.rows) == 3
+
+    def test_trimming_improves_average_mixing(self):
+        levels = trim_levels(FAST, dataset="physics1", degrees=(1, 3))
+        # At the longest shared checkpoint, the trimmed graph's average
+        # distance must not be worse.
+        assert levels[1].avg_distance[-1] <= levels[0].avg_distance[-1] * 1.3
+
+
+class TestAdmission:
+    def test_admission_curve_rises(self):
+        curve = admission_curve("physics1", FAST, max_suspects=120)
+        assert curve.admission_rates[-1] > curve.admission_rates[0]
+        assert curve.admission_rates[-1] > 0.9
+        assert curve.num_instances > 50
+
+    def test_walk_length_for_target(self):
+        curve = admission_curve("physics1", FAST, max_suspects=120)
+        w = curve.walk_length_for(0.9)
+        assert w is not None
+        assert w > 15  # the paper's point: way beyond SybilLimit's 10-15
+        assert curve.walk_length_for(2.0) is None
+
+    def test_run_figure8_subset(self):
+        fig = run_figure8(FAST, datasets={"physics1": 800})
+        series = fig.panels["main"]
+        assert len(series) == 1
+        assert series[0].y.max() <= 100.0
+
+
+class TestAblations:
+    def test_conductance_table(self):
+        table = run_conductance_ablation(FAST, datasets=["physics1", "wiki_vote"])
+        assert len(table.rows) == 2
+        for row in table.rows:
+            one_minus_mu = float(row[2])
+            sweep_phi = float(row[3])
+            cheeger_hi = float(row[4])
+            assert one_minus_mu <= sweep_phi + 1e-6
+            assert sweep_phi <= cheeger_hi + 1e-6
+
+    def test_sybil_bound_table(self):
+        table = run_sybil_bound_ablation(
+            FAST,
+            dataset="physics1",
+            attack_edges=(2,),
+            route_lengths=(10, 60),
+            sybil_size=100,
+        )
+        assert len(table.rows) == 2
+        accepted = [int(row[2]) for row in table.rows]
+        assert accepted[1] >= accepted[0]  # more sybils at longer walks
+
+    def test_sampling_bias_table(self):
+        table = run_sampling_bias_ablation(FAST, dataset="dblp", sample_size=800, trials=2)
+        values = {row[0]: float(row[2]) for row in table.rows}
+        assert values["BFS sample"] <= values["full graph"] + 1e-6
+
+
+class TestFullModeSmoke:
+    def test_full_config_runs_cheap_paths(self):
+        """The --full code path must work end to end (exercised on the
+        cheap runners; the heavy ones only differ in loop sizes)."""
+        from repro.experiments import FULL, lower_bound_figure, run_table1
+
+        rows = run_table1(FULL, names=["wiki_vote"])
+        assert rows[0].mu > 0
+        fig = lower_bound_figure(["wiki_vote"], FULL, title="t", mus={"wiki_vote": 0.9})
+        assert fig.panels["main"][0].y.size > 0
+
+    def test_full_walk_grids_superset_of_fast(self):
+        from repro.experiments import FAST, FULL
+
+        assert set(FAST.figure8_walks) <= set(FULL.figure8_walks) | {320}
+        assert FULL.max_walk >= FAST.max_walk

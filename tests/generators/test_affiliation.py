@@ -1,0 +1,64 @@
+"""Unit tests for the affiliation (co-authorship) generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators import affiliation_coauthorship
+from repro.graph import (
+    average_clustering,
+    core_numbers,
+    largest_connected_component,
+    trim_min_degree,
+)
+
+
+class TestAffiliation:
+    def test_basic_shape(self):
+        g, labels = affiliation_coauthorship(500, 1200, seed=1)
+        assert g.num_nodes == 500
+        assert labels.size == 500
+        assert g.num_edges > 0
+
+    def test_edge_budget_approximate(self):
+        g, _ = affiliation_coauthorship(3000, 6000, seed=2)
+        # Dedup across papers loses some edges; stay within a loose band.
+        assert 0.5 * 6000 <= g.num_edges <= 1.2 * 6000
+
+    def test_high_clustering(self):
+        """Clique unions must be far more clustered than a degree-matched
+        configuration model."""
+        g, _ = affiliation_coauthorship(1500, 4000, seed=3)
+        lcc, _ = largest_connected_component(g)
+        assert average_clustering(lcc) > 0.3
+
+    def test_nontrivial_core_structure(self):
+        """The k-core must survive trimming (the DBLP/Figure 6 property)."""
+        g, _ = affiliation_coauthorship(3000, 6000, seed=4)
+        lcc, _ = largest_connected_component(g)
+        core5, _ = trim_min_degree(lcc, 5)
+        assert core5.num_nodes > 0.03 * lcc.num_nodes
+        assert core_numbers(lcc).max() >= 5
+
+    def test_deterministic(self):
+        a, la = affiliation_coauthorship(400, 900, seed=5)
+        b, lb = affiliation_coauthorship(400, 900, seed=5)
+        assert a == b
+        assert np.array_equal(la, lb)
+
+    def test_mu_frac_zero_isolates_communities(self):
+        g, labels = affiliation_coauthorship(
+            800, 2000, mu_frac=0.0, num_communities=8, seed=6
+        )
+        edges = g.edges()
+        cross = (labels[edges[:, 0]] != labels[edges[:, 1]]).sum()
+        assert cross == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            affiliation_coauthorship(1, 10)
+        with pytest.raises(ValueError):
+            affiliation_coauthorship(100, 10, mu_frac=2.0)
+        with pytest.raises(ValueError):
+            affiliation_coauthorship(100, 0)
+        with pytest.raises(ValueError):
+            affiliation_coauthorship(100, 10, paper_size_min=1)

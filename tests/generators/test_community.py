@@ -1,0 +1,116 @@
+"""Unit tests for community-structured generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import slem
+from repro.generators import (
+    community_powerlaw,
+    planted_partition,
+    stochastic_block_model,
+    two_community_bridge,
+)
+from repro.graph import conductance_of_set, is_connected, largest_connected_component
+
+
+class TestSBM:
+    def test_shapes_and_labels(self):
+        probs = np.asarray([[0.3, 0.01], [0.01, 0.3]])
+        g, labels = stochastic_block_model([50, 70], probs, seed=1)
+        assert g.num_nodes == 120
+        assert labels.tolist() == [0] * 50 + [1] * 70
+
+    def test_edge_counts_concentrate(self):
+        probs = np.asarray([[0.2, 0.02], [0.02, 0.2]])
+        g, labels = stochastic_block_model([200, 200], probs, seed=2)
+        intra_expected = 2 * 0.2 * (200 * 199 / 2)
+        cross_expected = 0.02 * 200 * 200
+        cross = sum(1 for u, v in g.iter_edges() if labels[u] != labels[v])
+        intra = g.num_edges - cross
+        assert intra == pytest.approx(intra_expected, rel=0.1)
+        assert cross == pytest.approx(cross_expected, rel=0.25)
+
+    def test_asymmetric_probs_rejected(self):
+        probs = np.asarray([[0.1, 0.2], [0.3, 0.1]])
+        with pytest.raises(ValueError):
+            stochastic_block_model([10, 10], probs)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([10], np.asarray([[1.5]]))
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([0, 10], np.full((2, 2), 0.1))
+
+    def test_zero_prob_block_pair(self):
+        probs = np.asarray([[0.5, 0.0], [0.0, 0.5]])
+        g, labels = stochastic_block_model([30, 30], probs, seed=3)
+        cross = sum(1 for u, v in g.iter_edges() if labels[u] != labels[v])
+        assert cross == 0
+
+
+class TestPlantedPartition:
+    def test_stronger_communities_mix_slower(self):
+        mus = []
+        for p_out in (0.002, 0.01, 0.05):
+            g, _ = planted_partition(4, 100, 0.2, p_out, seed=4)
+            lcc, _ = largest_connected_component(g)
+            mus.append(slem(lcc))
+        assert mus[0] > mus[1] > mus[2]
+
+
+class TestCommunityPowerlaw:
+    def test_labels_cover_nodes(self):
+        g, labels = community_powerlaw(1000, 2.4, 0.1, seed=5)
+        assert labels.size == 1000
+        assert labels.min() == 0
+
+    def test_mu_frac_controls_cut(self):
+        """Cross-community edge fraction tracks mu_frac."""
+        for mu_frac in (0.05, 0.3):
+            g, labels = community_powerlaw(
+                2000, 2.4, mu_frac, target_edges=6000, num_communities=10, seed=6
+            )
+            edges = g.edges()
+            cross = (labels[edges[:, 0]] != labels[edges[:, 1]]).mean()
+            assert cross == pytest.approx(mu_frac, abs=0.35 * mu_frac + 0.02)
+
+    def test_smaller_mu_frac_slower_mixing(self):
+        mus = []
+        for mu_frac in (0.02, 0.1, 0.5):
+            g, _ = community_powerlaw(
+                1500, 2.4, mu_frac, target_edges=6000, num_communities=15, seed=7
+            )
+            lcc, _ = largest_connected_component(g)
+            mus.append(slem(lcc))
+        assert mus[0] > mus[1] > mus[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            community_powerlaw(100, 2.4, 1.5)
+
+
+class TestTwoCommunityBridge:
+    def test_structure(self):
+        g, labels = two_community_bridge(50, 6, 3, seed=8)
+        assert g.num_nodes == 100
+        assert labels.tolist() == [0] * 50 + [1] * 50
+        cross = sum(1 for u, v in g.iter_edges() if labels[u] != labels[v])
+        assert cross == 3
+
+    def test_connected(self):
+        g, _ = two_community_bridge(40, 4, 1, seed=9)
+        assert is_connected(g)
+
+    def test_conductance_matches_bridges(self):
+        g, labels = two_community_bridge(100, 8, 2, seed=10)
+        side = np.flatnonzero(labels == 0)
+        phi = conductance_of_set(g, side)
+        assert phi == pytest.approx(2 / (100 * 8 + 2), rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_community_bridge(50, 4, 0)
+        with pytest.raises(ValueError):
+            two_community_bridge(50, 4, 51)

@@ -1,0 +1,72 @@
+"""Unit tests for power-law degree sequences and configuration model."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    fit_powerlaw_exponent,
+    powerlaw_configuration_model,
+    powerlaw_degree_sequence,
+)
+
+
+class TestDegreeSequence:
+    def test_respects_bounds(self):
+        deg = powerlaw_degree_sequence(500, 2.5, k_min=2, k_max=40, seed=1)
+        assert deg.min() >= 2
+        assert deg.max() <= 41  # +1 possible from the even-sum bump
+
+    def test_even_sum(self):
+        for seed in range(5):
+            deg = powerlaw_degree_sequence(101, 2.2, seed=seed)
+            assert deg.sum() % 2 == 0
+
+    def test_target_edges_hit(self):
+        target = 3000
+        deg = powerlaw_degree_sequence(1000, 2.5, target_edges=target, seed=2)
+        assert deg.sum() == pytest.approx(2 * target, rel=0.05)
+
+    def test_heavier_tail_for_smaller_gamma(self):
+        d1 = powerlaw_degree_sequence(4000, 2.0, k_min=1, seed=3)
+        d2 = powerlaw_degree_sequence(4000, 3.5, k_min=1, seed=3)
+        assert d1.mean() > d2.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(0, 2.5)
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(10, 1.0)
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(10, 2.5, k_min=0)
+
+    def test_default_cutoff_scales_with_n(self):
+        deg = powerlaw_degree_sequence(10000, 2.1, seed=4)
+        assert deg.max() <= 4 * np.sqrt(10000) + 1
+
+
+class TestConfigurationModel:
+    def test_size(self):
+        g = powerlaw_configuration_model(800, 2.5, target_edges=2400, seed=1)
+        assert g.num_nodes == 800
+        assert g.num_edges == pytest.approx(2400, rel=0.1)
+
+    def test_deterministic(self):
+        a = powerlaw_configuration_model(200, 2.3, seed=5)
+        b = powerlaw_configuration_model(200, 2.3, seed=5)
+        assert a == b
+
+    def test_degree_tail_is_heavy(self):
+        g = powerlaw_configuration_model(5000, 2.2, k_min=1, target_edges=10000, seed=6)
+        deg = g.degrees
+        assert deg.max() > 10 * np.median(deg[deg > 0])
+
+
+class TestExponentFit:
+    def test_recovers_exponent(self):
+        deg = powerlaw_degree_sequence(50_000, 2.5, k_min=3, k_max=100_000, seed=7)
+        gamma = fit_powerlaw_exponent(deg, k_min=3)
+        assert gamma == pytest.approx(2.5, abs=0.2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fit_powerlaw_exponent(np.asarray([1, 1]), k_min=5)

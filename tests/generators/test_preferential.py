@@ -1,0 +1,59 @@
+"""Unit tests for preferential-attachment generators."""
+
+import numpy as np
+import pytest
+
+from repro.generators import barabasi_albert, holme_kim
+from repro.graph import average_clustering, is_connected
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(200, 3, seed=1)
+        # m seed-star edges + 3 per arriving node.
+        assert g.num_edges == 3 + 3 * (200 - 4)
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert(500, 2, seed=2))
+
+    def test_hub_emerges(self):
+        g = barabasi_albert(2000, 2, seed=3)
+        assert g.degrees.max() > 20 * g.degrees[np.argsort(g.degrees)[1000]]
+
+    def test_min_degree(self):
+        g = barabasi_albert(300, 4, seed=4)
+        assert g.degrees.min() >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+    def test_deterministic(self):
+        assert barabasi_albert(100, 2, seed=9) == barabasi_albert(100, 2, seed=9)
+
+
+class TestHolmeKim:
+    def test_connected(self):
+        assert is_connected(holme_kim(400, 3, 0.5, seed=1))
+
+    def test_triad_closure_raises_clustering(self):
+        plain = holme_kim(800, 4, 0.0, seed=2)
+        clustered = holme_kim(800, 4, 0.9, seed=2)
+        assert average_clustering(clustered) > 2 * average_clustering(plain)
+
+    def test_triad_prob_zero_like_ba(self):
+        g = holme_kim(300, 3, 0.0, seed=3)
+        assert g.degrees.min() >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            holme_kim(100, 3, 1.5)
+        with pytest.raises(ValueError):
+            holme_kim(100, 0, 0.5)
+        with pytest.raises(ValueError):
+            holme_kim(3, 3, 0.5)
+
+    def test_deterministic(self):
+        assert holme_kim(150, 3, 0.4, seed=11) == holme_kim(150, 3, 0.4, seed=11)

@@ -1,0 +1,90 @@
+"""Unit tests for ER and random regular generators."""
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi_gnm, erdos_renyi_gnp, random_regular
+
+
+class TestGnm:
+    def test_exact_counts(self):
+        g = erdos_renyi_gnm(100, 300, seed=1)
+        assert g.num_nodes == 100
+        assert g.num_edges == 300
+
+    def test_zero_edges(self):
+        g = erdos_renyi_gnm(10, 0, seed=2)
+        assert g.num_edges == 0
+
+    def test_complete(self):
+        g = erdos_renyi_gnm(8, 28, seed=3)
+        assert g.num_edges == 28
+        assert np.all(g.degrees == 7)
+
+    def test_m_out_of_range(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(5, 11)
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(5, -1)
+
+    def test_deterministic(self):
+        assert erdos_renyi_gnm(50, 120, seed=7) == erdos_renyi_gnm(50, 120, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi_gnm(50, 120, seed=7) != erdos_renyi_gnm(50, 120, seed=8)
+
+    def test_dense_regime_path(self):
+        # max_edges <= 4m triggers the choice-without-replacement path.
+        g = erdos_renyi_gnm(20, 120, seed=4)
+        assert g.num_edges == 120
+
+    def test_no_self_loops(self):
+        g = erdos_renyi_gnm(30, 100, seed=5)
+        for u, v in g.iter_edges():
+            assert u != v
+
+    def test_degree_distribution_binomial_ish(self):
+        g = erdos_renyi_gnm(2000, 10000, seed=6)
+        mean_deg = g.degrees.mean()
+        assert mean_deg == pytest.approx(10.0, rel=0.01)
+        assert g.degrees.std() == pytest.approx(np.sqrt(10), rel=0.2)
+
+
+class TestGnp:
+    def test_edge_count_concentrates(self):
+        n, p = 200, 0.1
+        g = erdos_renyi_gnp(n, p, seed=1)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 4 * np.sqrt(expected)
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi_gnp(10, 0.0, seed=2).num_edges == 0
+        assert erdos_renyi_gnp(10, 1.0, seed=3).num_edges == 45
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnp(10, 1.5)
+
+
+class TestRandomRegular:
+    def test_exact_regularity(self):
+        g = random_regular(60, 4, seed=1)
+        assert np.all(g.degrees == 4)
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 3)
+
+    def test_d_out_of_range(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 5)
+
+    def test_zero_regular(self):
+        g = random_regular(6, 0, seed=2)
+        assert g.num_edges == 0
+
+    def test_stationary_is_uniform(self, regular_graph):
+        from repro.core import stationary_distribution, uniform_distribution
+
+        pi = stationary_distribution(regular_graph)
+        assert np.allclose(pi, uniform_distribution(regular_graph.num_nodes))

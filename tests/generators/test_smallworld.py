@@ -1,0 +1,62 @@
+"""Unit tests for Watts–Strogatz small-world graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core import slem
+from repro.generators import ring_lattice, watts_strogatz
+from repro.graph import average_clustering, is_connected
+
+
+class TestRingLattice:
+    def test_regularity(self):
+        g = ring_lattice(20, 4)
+        assert np.all(g.degrees == 4)
+        assert g.num_edges == 40
+
+    def test_k_zero(self):
+        assert ring_lattice(5, 0).num_edges == 0
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            ring_lattice(10, 3)
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            ring_lattice(4, 4)
+
+    def test_neighbours_are_closest(self):
+        g = ring_lattice(12, 4)
+        assert sorted(g.neighbors(0).tolist()) == [1, 2, 10, 11]
+
+
+class TestWattsStrogatz:
+    def test_p_zero_is_lattice(self):
+        assert watts_strogatz(30, 4, 0.0, seed=1) == ring_lattice(30, 4)
+
+    def test_edge_count_preserved(self):
+        g = watts_strogatz(100, 6, 0.3, seed=2)
+        assert g.num_edges == 300
+
+    def test_rewiring_reduces_clustering(self):
+        lattice = watts_strogatz(300, 8, 0.0, seed=3)
+        rewired = watts_strogatz(300, 8, 0.8, seed=3)
+        assert average_clustering(rewired) < average_clustering(lattice)
+
+    def test_rewiring_speeds_mixing(self):
+        """The WS knob is the calibration test for the whole pipeline:
+        mixing must improve monotonically with rewiring probability."""
+        slems = []
+        for p in (0.0, 0.05, 0.4):
+            g = watts_strogatz(200, 6, p, seed=4)
+            if is_connected(g):
+                slems.append(slem(g, check_connected=False))
+        assert len(slems) == 3
+        assert slems[0] > slems[1] > slems[2]
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 4, -0.1)
+
+    def test_deterministic(self):
+        assert watts_strogatz(50, 4, 0.2, seed=8) == watts_strogatz(50, 4, 0.2, seed=8)

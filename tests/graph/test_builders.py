@@ -1,0 +1,103 @@
+"""Unit tests for GraphBuilder and configuration-model wiring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph, GraphBuilder, graph_from_degree_sequence_stubs
+
+
+class TestGraphBuilder:
+    def test_empty_build(self):
+        assert GraphBuilder().build() == Graph.empty(0)
+
+    def test_preallocated_nodes(self):
+        assert GraphBuilder(5).build().num_nodes == 5
+
+    def test_add_edge_grows_nodes(self):
+        b = GraphBuilder()
+        b.add_edge(0, 9)
+        assert b.num_nodes == 10
+
+    def test_add_node_allocates_sequential_ids(self):
+        b = GraphBuilder(2)
+        assert b.add_node() == 2
+        assert b.add_node() == 3
+
+    def test_add_nodes_batch(self):
+        b = GraphBuilder()
+        ids = b.add_nodes(4)
+        assert ids.tolist() == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            b.add_nodes(-1)
+
+    def test_dedup_on_build(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edge(1, 0)
+        b.add_edge(2, 2)
+        assert b.build().num_edges == 1
+
+    def test_add_edges_array_fast_path(self):
+        b = GraphBuilder()
+        b.add_edges(np.asarray([[0, 1], [1, 2]]))
+        assert b.build().num_edges == 2
+
+    def test_add_edges_empty(self):
+        b = GraphBuilder(3)
+        b.add_edges([])
+        assert b.build().num_edges == 0
+
+    def test_negative_ids_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphFormatError):
+            b.add_edge(-1, 0)
+        with pytest.raises(GraphFormatError):
+            b.add_edges(np.asarray([[0, -2]]))
+
+    def test_edge_count_upper_bound(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edges([(1, 2), (2, 3)])
+        assert b.edge_count_upper_bound() == 3
+
+    def test_many_small_edges_flush(self):
+        b = GraphBuilder()
+        for i in range(70000):  # crosses the internal flush threshold
+            b.add_edge(i % 300, (i * 7 + 1) % 300)
+        g = b.build()
+        assert g.num_nodes == 300
+        assert g.num_edges > 0
+
+    def test_mixed_batches_and_singles(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edges([(1, 2)])
+        b.add_edge(2, 3)
+        assert b.build().num_edges == 3
+
+
+class TestConfigurationModel:
+    def test_degree_sum_must_be_even(self, rng):
+        with pytest.raises(ValueError, match="even"):
+            graph_from_degree_sequence_stubs(np.asarray([1, 1, 1]), rng)
+
+    def test_negative_degrees_rejected(self, rng):
+        with pytest.raises(ValueError):
+            graph_from_degree_sequence_stubs(np.asarray([-1, 1]), rng)
+
+    def test_realised_degrees_bounded_by_requested(self, rng):
+        degrees = np.asarray([3, 3, 2, 2, 2])
+        g = graph_from_degree_sequence_stubs(degrees, rng)
+        assert np.all(g.degrees <= degrees)
+
+    def test_zero_degrees(self, rng):
+        g = graph_from_degree_sequence_stubs(np.zeros(4, dtype=np.int64), rng)
+        assert g.num_nodes == 4
+        assert g.num_edges == 0
+
+    def test_large_sequence_nearly_realised(self, rng):
+        # Sparse regime: erased loops/multi-edges are a tiny fraction.
+        degrees = np.full(2000, 4, dtype=np.int64)
+        g = graph_from_degree_sequence_stubs(degrees, rng)
+        assert g.num_edges >= 0.98 * degrees.sum() / 2

@@ -1,0 +1,98 @@
+"""Unit tests for connected-component analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    connected_component_labels,
+    connected_components,
+    induced_subgraph,
+    is_connected,
+    largest_component_nodes,
+    largest_connected_component,
+    num_connected_components,
+)
+
+
+class TestLabels:
+    def test_single_component(self, cycle5):
+        labels = connected_component_labels(cycle5)
+        assert np.all(labels == 0)
+
+    def test_multiple_components(self, triangle_plus_isolated):
+        labels = connected_component_labels(triangle_plus_isolated)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] != labels[0]
+        assert labels[4] != labels[3]
+
+    def test_empty_graph(self):
+        assert connected_component_labels(Graph.empty(0)).size == 0
+
+
+class TestComponents:
+    def test_sorted_largest_first(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert comps[0].size == 3
+        assert comps[1].size == 2
+
+    def test_count(self, triangle_plus_isolated):
+        assert num_connected_components(triangle_plus_isolated) == 3
+
+    def test_empty_count(self):
+        assert num_connected_components(Graph.empty(0)) == 0
+
+    def test_is_connected(self, petersen, triangle_plus_isolated):
+        assert is_connected(petersen)
+        assert not is_connected(triangle_plus_isolated)
+        assert not is_connected(Graph.empty(0))
+
+    def test_single_node_is_connected(self):
+        assert is_connected(Graph.empty(1))
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, two_triangles_bridged):
+        sub, node_map = induced_subgraph(two_triangles_bridged, [0, 1, 2, 3])
+        assert sub.num_nodes == 4
+        # Triangle 0-1-2 plus the bridge edge 2-3.
+        assert sub.num_edges == 4
+        assert node_map.tolist() == [0, 1, 2, 3]
+
+    def test_relabels_compactly(self, two_triangles_bridged):
+        sub, node_map = induced_subgraph(two_triangles_bridged, [3, 4, 5])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+        assert node_map.tolist() == [3, 4, 5]
+
+    def test_deduplicates_input(self, cycle5):
+        sub, node_map = induced_subgraph(cycle5, [1, 1, 2])
+        assert sub.num_nodes == 2
+        assert node_map.tolist() == [1, 2]
+
+    def test_out_of_range(self, cycle5):
+        with pytest.raises(IndexError):
+            induced_subgraph(cycle5, [99])
+
+    def test_empty_selection(self, cycle5):
+        sub, node_map = induced_subgraph(cycle5, np.asarray([], dtype=np.int64))
+        assert sub.num_nodes == 0
+        assert node_map.size == 0
+
+
+class TestLargestComponent:
+    def test_nodes(self, triangle_plus_isolated):
+        assert largest_component_nodes(triangle_plus_isolated).tolist() == [0, 1, 2]
+
+    def test_graph(self, triangle_plus_isolated):
+        lcc, node_map = largest_connected_component(triangle_plus_isolated)
+        assert lcc.num_nodes == 3
+        assert lcc.num_edges == 3
+        assert node_map.tolist() == [0, 1, 2]
+
+    def test_connected_graph_unchanged(self, petersen):
+        lcc, node_map = largest_connected_component(petersen)
+        assert lcc == petersen
+        assert node_map.tolist() == list(range(10))

@@ -1,0 +1,137 @@
+"""Unit tests for the directed-graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    DiGraph,
+    Graph,
+    largest_strongly_connected_component,
+    strongly_connected_components,
+)
+
+
+@pytest.fixture
+def two_cycles():
+    """Two directed 3-cycles joined by a one-way arc (two SCCs)."""
+    return DiGraph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]
+    )
+
+
+@pytest.fixture
+def directed_cycle4():
+    return DiGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_arcs == 2
+        assert g.has_arc(0, 1)
+        assert not g.has_arc(1, 0)
+
+    def test_dedup_and_loops(self):
+        g = DiGraph.from_edges([(0, 1), (0, 1), (1, 1)])
+        assert g.num_arcs == 1
+
+    def test_num_nodes_extension(self):
+        g = DiGraph.from_edges([(0, 1)], num_nodes=5)
+        assert g.num_nodes == 5
+
+    def test_num_nodes_too_small(self):
+        with pytest.raises(GraphFormatError):
+            DiGraph.from_edges([(0, 9)], num_nodes=3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphFormatError):
+            DiGraph.from_edges([(-1, 0)])
+
+    def test_empty(self):
+        g = DiGraph.empty(3)
+        assert g.num_nodes == 3
+        assert g.num_arcs == 0
+
+    def test_degrees(self, two_cycles):
+        assert two_cycles.out_degrees.tolist() == [1, 1, 2, 1, 1, 1]
+        assert two_cycles.in_degrees.tolist() == [1, 1, 1, 2, 1, 1]
+
+    def test_predecessors_successors(self, two_cycles):
+        assert two_cycles.successors(2).tolist() == [0, 3]
+        assert two_cycles.predecessors(3).tolist() == [2, 5]
+
+    def test_arcs_roundtrip(self, two_cycles):
+        rebuilt = DiGraph.from_edges(two_cycles.arcs(), num_nodes=6)
+        assert rebuilt == two_cycles
+
+    def test_equality_and_repr(self, directed_cycle4):
+        same = DiGraph.from_edges([(3, 0), (0, 1), (1, 2), (2, 3)])
+        assert same == directed_cycle4
+        assert "DiGraph" in repr(directed_cycle4)
+
+
+class TestConversions:
+    def test_to_undirected(self, two_cycles):
+        und = two_cycles.to_undirected()
+        assert isinstance(und, Graph)
+        assert und.num_edges == 7  # every arc unique as undirected edge
+
+    def test_to_undirected_merges_mutual(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+        assert g.to_undirected().num_edges == 2
+
+    def test_from_undirected_roundtrip(self, petersen):
+        d = DiGraph.from_undirected(petersen)
+        assert d.num_arcs == 2 * petersen.num_edges
+        assert d.to_undirected() == petersen
+
+    def test_reverse(self, two_cycles):
+        rev = two_cycles.reverse()
+        for u, v in two_cycles.iter_arcs():
+            assert rev.has_arc(v, u)
+        assert rev.reverse() == two_cycles
+
+
+class TestStronglyConnected:
+    def test_two_sccs(self, two_cycles):
+        comps = strongly_connected_components(two_cycles)
+        assert len(comps) == 2
+        assert {frozenset(c.tolist()) for c in comps} == {
+            frozenset({0, 1, 2}),
+            frozenset({3, 4, 5}),
+        }
+
+    def test_cycle_is_one_scc(self, directed_cycle4):
+        assert len(strongly_connected_components(directed_cycle4)) == 1
+
+    def test_dag_all_singletons(self):
+        dag = DiGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert len(strongly_connected_components(dag)) == 3
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(5)
+        arcs = rng.integers(0, 40, size=(150, 2))
+        g = DiGraph.from_edges(arcs, num_nodes=40)
+        ours = {frozenset(c.tolist()) for c in strongly_connected_components(g)}
+        nxg = nx.DiGraph(list(g.iter_arcs()))
+        nxg.add_nodes_from(range(40))
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+        assert ours == theirs
+
+    def test_largest_scc_extraction(self, two_cycles):
+        sub, node_map = largest_strongly_connected_component(two_cycles)
+        assert sub.num_nodes == 3
+        assert len(strongly_connected_components(sub)) == 1
+        assert node_map.size == 3
+
+    def test_deep_recursion_safe(self):
+        """A 5000-node directed cycle must not hit the recursion limit."""
+        n = 5000
+        arcs = [(i, (i + 1) % n) for i in range(n)]
+        g = DiGraph.from_edges(arcs)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert comps[0].size == n

@@ -1,0 +1,137 @@
+"""Unit tests for the CSR Graph core."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_dedups_and_drops_loops(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1), (2, 2)])
+        assert g.num_edges == 1
+        assert g.num_nodes == 3
+        assert not g.has_edge(2, 2)
+
+    def test_from_edges_num_nodes_extends(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=10)
+        assert g.num_nodes == 10
+        assert g.degree(9) == 0
+
+    def test_from_edges_num_nodes_too_small(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([(0, 5)], num_nodes=3)
+
+    def test_from_edges_negative_id(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([(-1, 2)])
+
+    def test_from_edges_bad_shape(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges(np.asarray([[1, 2, 3]]))
+
+    def test_empty_graph(self):
+        g = Graph.empty(4)
+        assert g.num_nodes == 4
+        assert g.num_edges == 0
+        assert list(g.iter_edges()) == []
+
+    def test_empty_edge_list(self):
+        g = Graph.from_edges([])
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_from_adjacency(self):
+        g = Graph.from_adjacency([[1, 2], [0], [0]])
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_from_adjacency_symmetrises(self):
+        # Missing reverse arcs are added.
+        g = Graph.from_adjacency([[1], [], []])
+        assert g.has_edge(1, 0)
+        assert g.num_nodes == 3
+
+    def test_csr_validation_rejects_asymmetric(self):
+        indptr = np.asarray([0, 1, 1])
+        indices = np.asarray([1])
+        with pytest.raises(GraphFormatError):
+            Graph(indptr, indices)
+
+    def test_csr_validation_rejects_self_loop(self):
+        indptr = np.asarray([0, 1])
+        indices = np.asarray([0])
+        with pytest.raises(GraphFormatError):
+            Graph(indptr, indices)
+
+    def test_csr_validation_rejects_unsorted_rows(self):
+        indptr = np.asarray([0, 2, 3, 4])
+        indices = np.asarray([2, 1, 0, 0])
+        with pytest.raises(GraphFormatError):
+            Graph(indptr, indices)
+
+
+class TestAccessors:
+    def test_degrees(self, star6):
+        assert star6.degree(0) == 5
+        assert star6.degree(3) == 1
+        assert star6.degrees.sum() == 2 * star6.num_edges
+
+    def test_neighbors_sorted(self, petersen):
+        for v in range(petersen.num_nodes):
+            nbrs = petersen.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_neighbors_out_of_range(self, path4):
+        with pytest.raises(IndexError):
+            path4.neighbors(99)
+
+    def test_has_edge(self, path4):
+        assert path4.has_edge(0, 1)
+        assert path4.has_edge(1, 0)
+        assert not path4.has_edge(0, 2)
+
+    def test_edges_canonical_orientation(self, petersen):
+        edges = petersen.edges()
+        assert edges.shape == (15, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_iter_edges_matches_edges(self, cycle5):
+        assert list(cycle5.iter_edges()) == [tuple(e) for e in cycle5.edges()]
+
+    def test_adjacency_matrix(self, cycle5):
+        mat = cycle5.adjacency_matrix()
+        dense = mat.toarray()
+        assert (dense == dense.T).all()
+        assert dense.sum() == 2 * cycle5.num_edges
+        assert np.all(np.diag(dense) == 0)
+
+    def test_len_and_contains(self, path4):
+        assert len(path4) == 4
+        assert 3 in path4
+        assert 4 not in path4
+        assert "x" not in path4
+
+    def test_equality_and_hash(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        c = Graph.from_edges([(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a graph"
+
+    def test_repr(self, cycle5):
+        assert repr(cycle5) == "Graph(n=5, m=5)"
+
+    def test_edge_appears_in_both_rows(self, two_triangles_bridged):
+        g = two_triangles_bridged
+        for u, v in g.iter_edges():
+            assert v in g.neighbors(u)
+            assert u in g.neighbors(v)

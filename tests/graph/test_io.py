@@ -1,0 +1,104 @@
+"""Unit tests for graph I/O (SNAP edge lists + npz cache format)."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    Graph,
+    load_graph,
+    load_npz,
+    parse_edge_list,
+    read_edge_list,
+    save_graph,
+    save_npz,
+    write_edge_list,
+)
+
+
+class TestParseEdgeList:
+    def test_basic(self):
+        edges = parse_edge_list("0 1\n1 2\n")
+        assert edges.tolist() == [[0, 1], [1, 2]]
+
+    def test_comments_and_blanks(self):
+        text = "# SNAP header\n% other comment\n\n0\t1\n"
+        assert parse_edge_list(text).tolist() == [[0, 1]]
+
+    def test_extra_fields_ignored(self):
+        assert parse_edge_list("3 4 1290000000\n").tolist() == [[3, 4]]
+
+    def test_empty(self):
+        assert parse_edge_list("# nothing\n").shape == (0, 2)
+
+    def test_non_integer_raises(self):
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            parse_edge_list("a b\n")
+
+    def test_single_field_raises(self):
+        with pytest.raises(GraphFormatError, match="expected two"):
+            parse_edge_list("42\n")
+
+    def test_negative_raises(self):
+        with pytest.raises(GraphFormatError, match="negative"):
+            parse_edge_list("-1 2\n")
+
+
+class TestRoundTrips:
+    def test_edge_list_roundtrip(self, petersen, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(petersen, path)
+        assert load_graph(path) == petersen
+
+    def test_gzipped_roundtrip(self, petersen, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(petersen, path)
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("#")
+        assert load_graph(path) == petersen
+
+    def test_header_lines_written_as_comments(self, path4, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(path4, path, header="source: test\nline two")
+        text = path.read_text()
+        assert "# source: test" in text
+        assert "# line two" in text
+        assert load_graph(path) == path4
+
+    def test_npz_roundtrip(self, bridge_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(bridge_graph, path)
+        assert load_npz(path) == bridge_graph
+
+    def test_npz_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_npz(path)
+
+    def test_save_graph_dispatches_on_extension(self, cycle5, tmp_path):
+        npz = tmp_path / "c.npz"
+        txt = tmp_path / "c.edges"
+        save_graph(cycle5, npz)
+        save_graph(cycle5, txt)
+        assert load_npz(npz) == cycle5
+        assert load_graph(txt) == cycle5
+
+    def test_load_graph_symmetrises(self, tmp_path):
+        path = tmp_path / "d.txt"
+        path.write_text("0 1\n1 0\n1 2\n")
+        g = load_graph(path)
+        assert g.num_edges == 2
+
+    def test_load_graph_num_nodes(self, tmp_path):
+        path = tmp_path / "d.txt"
+        path.write_text("0 1\n")
+        assert load_graph(path, num_nodes=7).num_nodes == 7
+
+    def test_isolated_nodes_preserved_by_npz(self, tmp_path):
+        g = Graph.from_edges([(0, 1)], num_nodes=5)
+        path = tmp_path / "iso.npz"
+        save_npz(g, path)
+        assert load_npz(path).num_nodes == 5

@@ -1,0 +1,160 @@
+"""Unit tests for structural metrics; cross-validated against networkx."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    approximate_diameter,
+    average_clustering,
+    average_degree,
+    conductance_of_set,
+    cut_size,
+    degree_assortativity,
+    degree_histogram,
+    degree_stats,
+    density,
+    global_clustering,
+    local_clustering,
+    volume,
+)
+
+
+class TestDegreeStats:
+    def test_star(self, star6):
+        stats = degree_stats(star6)
+        assert stats.minimum == 1
+        assert stats.maximum == 5
+        assert stats.mean == pytest.approx(10 / 6)
+        assert stats.median == 1.0
+
+    def test_empty(self):
+        stats = degree_stats(Graph.empty(0))
+        assert stats.maximum == 0
+
+    def test_as_dict(self, cycle5):
+        d = degree_stats(cycle5).as_dict()
+        assert d["min"] == d["max"] == 2
+
+    def test_histogram(self, star6):
+        hist = degree_histogram(star6)
+        assert hist[1] == 5
+        assert hist[5] == 1
+
+    def test_average_degree(self, cycle5):
+        assert average_degree(cycle5) == 2.0
+        assert average_degree(Graph.empty(0)) == 0.0
+
+    def test_density(self, complete5):
+        assert density(complete5) == pytest.approx(1.0)
+        assert density(Graph.empty(1)) == 0.0
+
+
+class TestClustering:
+    def test_triangle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert local_clustering(g).tolist() == [1.0, 1.0, 1.0]
+        assert global_clustering(g) == pytest.approx(1.0)
+
+    def test_path_no_triangles(self, path4):
+        assert np.all(local_clustering(path4) == 0)
+        assert global_clustering(path4) == 0.0
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.generators import erdos_renyi_gnm
+        from repro.graph.nxcompat import to_networkx
+
+        g = erdos_renyi_gnm(80, 400, seed=5)
+        ours = average_clustering(g)
+        theirs = nx.average_clustering(to_networkx(g))
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_transitivity_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.generators import erdos_renyi_gnm
+        from repro.graph.nxcompat import to_networkx
+
+        g = erdos_renyi_gnm(80, 400, seed=6)
+        assert global_clustering(g) == pytest.approx(
+            nx.transitivity(to_networkx(g)), abs=1e-12
+        )
+
+
+class TestAssortativity:
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.generators import barabasi_albert
+        from repro.graph.nxcompat import to_networkx
+
+        g = barabasi_albert(300, 3, seed=8)
+        ours = degree_assortativity(g)
+        theirs = nx.degree_assortativity_coefficient(to_networkx(g))
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_no_edges_nan(self):
+        assert np.isnan(degree_assortativity(Graph.empty(3)))
+
+    def test_regular_graph_nan(self, cycle5):
+        assert np.isnan(degree_assortativity(cycle5))
+
+
+class TestCuts:
+    def test_volume(self, star6):
+        assert volume(star6, [0]) == 5
+        assert volume(star6, [1, 2]) == 2
+
+    def test_cut_size(self, two_triangles_bridged):
+        assert cut_size(two_triangles_bridged, [0, 1, 2]) == 1
+        assert cut_size(two_triangles_bridged, [0, 1]) == 2
+
+    def test_conductance(self, two_triangles_bridged):
+        phi = conductance_of_set(two_triangles_bridged, [0, 1, 2])
+        assert phi == pytest.approx(1 / 7)
+
+    def test_conductance_symmetric_in_complement(self, two_triangles_bridged):
+        g = two_triangles_bridged
+        a = conductance_of_set(g, [0, 1, 2])
+        b = conductance_of_set(g, [3, 4, 5])
+        assert a == pytest.approx(b)
+
+    def test_conductance_empty_side_raises(self, cycle5):
+        with pytest.raises(ValueError):
+            conductance_of_set(cycle5, [0, 1, 2, 3, 4])
+
+
+class TestDiameter:
+    def test_lower_bounds_true_diameter(self, path4):
+        assert approximate_diameter(path4, trials=4, seed=1) == 3
+
+    def test_cycle(self, cycle6):
+        assert approximate_diameter(cycle6, trials=4, seed=2) == 3
+
+    def test_empty(self):
+        assert approximate_diameter(Graph.empty(0)) == 0
+
+
+class TestGraphSummary:
+    def test_fields_consistent(self, petersen):
+        from repro.graph import summarize
+
+        summary = summarize(petersen, seed=1)
+        assert summary.num_nodes == 10
+        assert summary.num_edges == 15
+        assert summary.degree.minimum == summary.degree.maximum == 3
+        assert summary.approx_diameter == 2
+
+    def test_describe_renders(self, petersen):
+        from repro.graph import summarize
+
+        text = summarize(petersen, seed=1).describe()
+        assert "nodes:" in text
+        assert "10" in text
+        assert "diameter" in text
+
+    def test_empty_graph(self):
+        from repro.graph import Graph, summarize
+
+        summary = summarize(Graph.empty(0))
+        assert summary.num_nodes == 0
+        assert summary.approx_diameter == 0

@@ -1,0 +1,55 @@
+"""Unit tests for networkx interoperability."""
+
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.graph import Graph
+from repro.graph.nxcompat import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_roundtrip(self, petersen):
+        assert from_networkx(to_networkx(petersen)) == petersen
+
+    def test_isolated_nodes_preserved(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=4)
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 1
+
+    def test_structure_matches(self, two_triangles_bridged):
+        nxg = to_networkx(two_triangles_bridged)
+        assert nx.is_connected(nxg)
+        assert nx.number_connected_components(nxg) == 1
+
+
+class TestFromNetworkx:
+    def test_petersen_builtin(self):
+        g = from_networkx(nx.petersen_graph())
+        assert g.num_nodes == 10
+        assert g.num_edges == 15
+        assert set(g.degrees.tolist()) == {3}
+
+    def test_directed_symmetrised(self):
+        d = nx.DiGraph([(0, 1), (1, 0), (1, 2)])
+        g = from_networkx(d)
+        assert g.num_edges == 2
+
+    def test_string_labels_compacted(self):
+        nxg = nx.Graph([("a", "b"), ("b", "c")])
+        g = from_networkx(nxg)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_multigraph_collapsed(self):
+        m = nx.MultiGraph()
+        m.add_edge(0, 1)
+        m.add_edge(0, 1)
+        g = from_networkx(m)
+        assert g.num_edges == 1
+
+    def test_self_loops_dropped(self):
+        nxg = nx.Graph([(0, 0), (0, 1)])
+        g = from_networkx(nxg)
+        assert g.num_edges == 1

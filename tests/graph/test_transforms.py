@@ -1,0 +1,161 @@
+"""Unit tests for graph transforms (including Figure 6's trimming)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    add_edges,
+    core_numbers,
+    disjoint_union,
+    k_core,
+    relabel_random,
+    remove_edges,
+    remove_nodes,
+    to_undirected,
+    trim_min_degree,
+)
+
+
+class TestToUndirected:
+    def test_symmetrises_directed_input(self):
+        g = to_undirected(np.asarray([[0, 1], [1, 0], [2, 1]]))
+        assert g.num_edges == 2
+
+    def test_num_nodes_override(self):
+        g = to_undirected(np.asarray([[0, 1]]), num_nodes=5)
+        assert g.num_nodes == 5
+
+
+class TestRemove:
+    def test_remove_nodes(self, two_triangles_bridged):
+        g, node_map = remove_nodes(two_triangles_bridged, [2])
+        assert g.num_nodes == 5
+        assert 2 not in node_map.tolist()
+        # Removing the bridge endpoint disconnects the triangles.
+        assert g.num_edges == 4  # edge 0-1 plus triangle 3-4-5
+
+    def test_remove_edges(self, cycle5):
+        g = remove_edges(cycle5, [(0, 1), (1, 0), (9, 9)] if False else [(0, 1)])
+        assert g.num_edges == 4
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge_is_noop(self, cycle5):
+        g = remove_edges(cycle5, [(0, 2)])
+        assert g.num_edges == 5
+
+    def test_remove_edges_either_orientation(self, cycle5):
+        g = remove_edges(cycle5, [(1, 0)])
+        assert not g.has_edge(0, 1)
+
+
+class TestAddEdges:
+    def test_adds(self, path4):
+        g = add_edges(path4, [(0, 3)])
+        assert g.has_edge(0, 3)
+        assert g.num_edges == 4
+
+    def test_grows_node_set(self, path4):
+        g = add_edges(path4, [(0, 7)])
+        assert g.num_nodes == 8
+
+    def test_duplicate_is_noop(self, path4):
+        g = add_edges(path4, [(0, 1)])
+        assert g.num_edges == 3
+
+
+class TestCoreNumbers:
+    def test_cycle_core_two(self, cycle5):
+        assert core_numbers(cycle5).tolist() == [2] * 5
+
+    def test_star_core_one(self, star6):
+        assert core_numbers(star6).tolist() == [1] * 6
+
+    def test_complete_graph(self, complete5):
+        assert core_numbers(complete5).tolist() == [4] * 5
+
+    def test_triangle_with_tail(self):
+        # 0-1-2 triangle, tail 2-3-4.
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        cores = core_numbers(g)
+        assert cores.tolist() == [2, 2, 2, 1, 1]
+
+    def test_empty(self):
+        assert core_numbers(Graph.empty(0)).size == 0
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.generators import erdos_renyi_gnm
+        from repro.graph.nxcompat import to_networkx
+
+        g = erdos_renyi_gnm(150, 450, seed=3)
+        ours = core_numbers(g)
+        theirs = nx.core_number(to_networkx(g))
+        for v in range(g.num_nodes):
+            assert ours[v] == theirs[v]
+
+
+class TestKCoreAndTrimming:
+    def test_k_core_two_drops_tail(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        sub, node_map = k_core(g, 2)
+        assert sorted(node_map.tolist()) == [0, 1, 2]
+        assert sub.num_edges == 3
+
+    def test_k_core_zero_keeps_all(self, star6):
+        sub, node_map = k_core(star6, 0)
+        assert sub.num_nodes == 6
+
+    def test_k_core_negative_raises(self, star6):
+        with pytest.raises(ValueError):
+            k_core(star6, -1)
+
+    def test_trim_is_idempotent(self, bridge_graph):
+        t1, _m1 = trim_min_degree(bridge_graph, 3)
+        t2, _m2 = trim_min_degree(t1, 3)
+        assert t1 == t2
+
+    def test_trim_min_degree_guarantee(self, bridge_graph):
+        trimmed, _node_map = trim_min_degree(bridge_graph, 4)
+        if trimmed.num_nodes:
+            assert trimmed.degrees.min() >= 4
+
+    def test_trim_keeps_largest_component(self):
+        # Two triangles NOT bridged: trimming keeps only the larger piece.
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (5, 6), (6, 3)])
+        trimmed, node_map = trim_min_degree(g, 2, keep_largest_component=True)
+        assert trimmed.num_nodes == 4
+        assert set(node_map.tolist()) == {3, 4, 5, 6}
+
+    def test_trim_without_component_filter(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        trimmed, _node_map = trim_min_degree(g, 2, keep_largest_component=False)
+        assert trimmed.num_nodes == 6
+
+    def test_trim_node_map_points_to_originals(self, bridge_graph):
+        trimmed, node_map = trim_min_degree(bridge_graph, 3)
+        assert node_map.size == trimmed.num_nodes
+        # Degrees can only grow back in context: original degree >= trimmed.
+        for new_id, old_id in enumerate(node_map):
+            assert bridge_graph.degree(int(old_id)) >= trimmed.degree(new_id)
+
+
+class TestRelabelAndUnion:
+    def test_relabel_preserves_structure(self, petersen, rng):
+        relabelled, perm = relabel_random(petersen, rng)
+        assert relabelled.num_edges == petersen.num_edges
+        assert sorted(relabelled.degrees.tolist()) == sorted(petersen.degrees.tolist())
+        for u, v in petersen.iter_edges():
+            assert relabelled.has_edge(int(perm[u]), int(perm[v]))
+
+    def test_disjoint_union(self, cycle5, path4):
+        g = disjoint_union(cycle5, path4)
+        assert g.num_nodes == 9
+        assert g.num_edges == 8
+        assert g.has_edge(5, 6)  # path edge, offset by 5
+        assert not g.has_edge(4, 5)
+
+    def test_disjoint_union_with_empty(self, cycle5):
+        g = disjoint_union(cycle5, Graph.empty(3))
+        assert g.num_nodes == 8
+        assert g.num_edges == 5

@@ -1,0 +1,114 @@
+"""Unit tests for BFS/DFS traversal."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    bfs_layers,
+    bfs_order,
+    bfs_tree,
+    dfs_order,
+    eccentricity,
+)
+
+
+class TestBfsOrder:
+    def test_visits_whole_component(self, petersen):
+        order = bfs_order(petersen, 0)
+        assert sorted(order.tolist()) == list(range(10))
+
+    def test_starts_at_source(self, path4):
+        assert bfs_order(path4, 2)[0] == 2
+
+    def test_limit_truncates(self, petersen):
+        order = bfs_order(petersen, 0, limit=4)
+        assert order.size == 4
+        assert order[0] == 0
+
+    def test_limit_zero(self, path4):
+        assert bfs_order(path4, 0, limit=0).size == 0
+
+    def test_does_not_cross_components(self, triangle_plus_isolated):
+        order = bfs_order(triangle_plus_isolated, 0)
+        assert sorted(order.tolist()) == [0, 1, 2]
+
+    def test_source_out_of_range(self, path4):
+        with pytest.raises(IndexError):
+            bfs_order(path4, 10)
+
+
+class TestBfsTree:
+    def test_parents_form_tree(self, petersen):
+        order, parents = bfs_tree(petersen, 0)
+        assert parents[0] == -1
+        for v in order[1:]:
+            p = parents[v]
+            assert p >= 0
+            assert petersen.has_edge(int(v), int(p))
+
+    def test_unreached_parent_is_minus_one(self, triangle_plus_isolated):
+        _order, parents = bfs_tree(triangle_plus_isolated, 0)
+        assert parents[3] == -1
+        assert parents[4] == -1
+
+
+class TestBfsDistances:
+    def test_path_distances(self, path4):
+        assert bfs_distances(path4, 0).tolist() == [0, 1, 2, 3]
+
+    def test_unreachable_is_minus_one(self, triangle_plus_isolated):
+        dist = bfs_distances(triangle_plus_isolated, 0)
+        assert dist[3] == -1 and dist[4] == -1
+
+    def test_petersen_diameter_two(self, petersen):
+        for v in range(10):
+            dist = bfs_distances(petersen, v)
+            assert dist.max() == 2
+
+    def test_matches_bfs_tree_depth(self, two_triangles_bridged):
+        g = two_triangles_bridged
+        dist = bfs_distances(g, 0)
+        _order, parents = bfs_tree(g, 0)
+        for v in range(g.num_nodes):
+            depth, cur = 0, v
+            while parents[cur] != -1:
+                cur = parents[cur]
+                depth += 1
+            assert depth == dist[v]
+
+
+class TestBfsLayers:
+    def test_layers_partition_component(self, petersen):
+        layers = list(bfs_layers(petersen, 0))
+        assert sorted(np.concatenate(layers).tolist()) == list(range(10))
+        assert layers[0].tolist() == [0]
+
+    def test_layer_sizes_path(self, path4):
+        sizes = [layer.size for layer in bfs_layers(path4, 0)]
+        assert sizes == [1, 1, 1, 1]
+
+
+class TestDfsOrder:
+    def test_visits_whole_component(self, petersen):
+        order = dfs_order(petersen, 3)
+        assert sorted(order.tolist()) == list(range(10))
+        assert order[0] == 3
+
+    def test_path_dfs_is_linear(self, path4):
+        assert dfs_order(path4, 0).tolist() == [0, 1, 2, 3]
+
+    def test_prefers_smallest_neighbor(self):
+        g = Graph.from_edges([(0, 2), (0, 1), (1, 3), (2, 3)])
+        order = dfs_order(g, 0)
+        assert order[1] == 1  # smaller neighbour first
+
+
+class TestEccentricity:
+    def test_path_endpoint(self, path4):
+        assert eccentricity(path4, 0) == 3
+        assert eccentricity(path4, 1) == 2
+
+    def test_complete_graph(self, complete5):
+        assert eccentricity(complete5, 0) == 1

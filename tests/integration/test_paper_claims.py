@@ -1,0 +1,143 @@
+"""Integration tests encoding the paper's qualitative findings.
+
+Each test pins one claim from the paper to the synthetic stand-ins, so a
+regression in generators, measurement, or calibration that would change
+the *story* fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    fast_mixing_walk_length,
+    measure_mixing,
+    mixing_time_lower_bound,
+    slem,
+)
+from repro.datasets import REGISTRY, load_cached
+from repro.experiments import FAST
+from repro.experiments.admission import admission_curve
+from repro.graph import trim_min_degree
+
+
+@pytest.fixture(scope="module")
+def slems():
+    wanted = [
+        "physics1",
+        "physics3",
+        "enron",
+        "epinion",
+        "wiki_vote",
+        "facebook",
+        "dblp",
+        "youtube",
+        "livejournal_a",
+        "facebook_a",
+    ]
+    return {name: slem(load_cached(name)) for name in wanted}
+
+
+class TestHeadlineClaim:
+    def test_mixing_much_slower_than_literature_assumed(self, slems):
+        """Main finding: T(0.1) on acquaintance graphs is orders of
+        magnitude above the 10-15 steps SybilGuard/SybilLimit used."""
+        yardstick = fast_mixing_walk_length(1_000_000, constant=1.0)  # ~14
+        for name in ("physics1", "physics3", "enron", "epinion", "dblp"):
+            bound = mixing_time_lower_bound(slems[name], 0.1)
+            assert bound > 5 * yardstick, name
+
+    def test_small_acquaintance_graphs_need_hundreds_of_steps(self, slems):
+        """Figure 1: physics/Enron/Epinion need T(0.1) in the hundreds."""
+        for name in ("physics1", "physics3", "enron", "epinion"):
+            bound = mixing_time_lower_bound(slems[name], 0.1)
+            assert 100 <= bound <= 900, (name, bound)
+
+    def test_livejournal_slowest_large_graph(self, slems):
+        """Figure 2: LiveJournal needs ~1500-2500 steps at eps=0.1."""
+        bound = mixing_time_lower_bound(slems["livejournal_a"], 0.1)
+        assert bound > 1000
+        for other in ("dblp", "youtube", "facebook_a"):
+            assert bound > 3 * mixing_time_lower_bound(slems[other], 0.1)
+
+    def test_trust_model_ordering(self, slems):
+        """Acquaintance graphs mix slower than weak-trust OSNs."""
+        slow = min(slems[n] for n in ("physics1", "physics3", "enron"))
+        fast = max(slems[n] for n in ("wiki_vote", "facebook"))
+        assert slow > fast
+
+
+class TestAverageVsWorstCase:
+    def test_majority_of_sources_beat_the_worst_case(self):
+        """Section 5: 'the majority of walks ... reach closer to the
+        stationary distribution at higher rate than that of the mixing
+        time'."""
+        graph = load_cached("physics1")
+        m = measure_mixing(graph, [100], sources=150, seed=1)
+        distances = m.distances[:, 0]
+        assert np.median(distances) < distances.max() * 0.7
+
+    def test_average_mixing_better_than_bound(self):
+        graph = load_cached("physics1")
+        mu = slem(graph)
+        from repro.core import epsilon_for_walk_length
+
+        m = measure_mixing(graph, [200], sources=150, seed=2)
+        bound_eps = epsilon_for_walk_length(mu, 200)
+        assert m.average_case()[0] < bound_eps + 0.35  # avg beats/approaches bound
+        assert np.quantile(m.distances[:, 0], 0.25) < bound_eps
+
+
+class TestTrimmingClaim:
+    def test_trimming_improves_mixing_but_shrinks_graph(self):
+        """Figure 6: pruning low-degree nodes improves mixing at a huge
+        membership cost."""
+        graph = load_cached("dblp")
+        base = measure_mixing(graph, [100], sources=100, seed=3).average_case()[0]
+        trimmed, node_map = trim_min_degree(graph, 4)
+        after = measure_mixing(trimmed, [100], sources=100, seed=4).average_case()[0]
+        assert after < base
+        assert trimmed.num_nodes < 0.6 * graph.num_nodes  # large exclusion
+
+
+class TestSybilLimitClaim:
+    def test_walk_length_for_admission_far_above_ten(self):
+        """Figure 8 + Section 5: admitting ~all honest nodes takes walks
+        far longer than the 10-15 the SybilLimit paper used."""
+        curve = admission_curve("physics1", FAST, max_suspects=150)
+        w95 = curve.walk_length_for(0.95)
+        assert w95 is not None
+        assert w95 >= 40
+
+    def test_fast_osn_needs_much_shorter_walks(self):
+        slow = admission_curve("physics1", FAST, max_suspects=150)
+        fast = admission_curve("wiki_vote", FAST, max_suspects=150)
+        w_slow = slow.walk_length_for(0.9)
+        w_fast = fast.walk_length_for(0.9)
+        assert w_fast is not None and w_slow is not None
+        assert w_fast < w_slow
+
+
+class TestBfsBiasClaim:
+    def test_bfs_samples_mix_faster_than_parent(self):
+        """Footnote 3: BFS sampling biases toward faster mixing."""
+        from repro.sampling import bfs_sample
+
+        graph = load_cached("dblp")
+        parent_mu = slem(graph)
+        sample_mus = []
+        for seed in range(3):
+            sub, _ = bfs_sample(graph, 1200, seed=seed)
+            sample_mus.append(slem(sub))
+        assert np.mean(sample_mus) < parent_mu
+
+
+class TestCommunityStructureClaim:
+    def test_slow_mixing_graphs_have_low_conductance_cuts(self):
+        """Viswanath et al. agreement: slow mixing <=> community structure;
+        the sweep cut exposes a far sparser cut on physics1 than on the
+        fast-mixing wiki_vote."""
+        from repro.community import spectral_sweep_cut
+
+        slow_cut = spectral_sweep_cut(load_cached("physics1"))
+        fast_cut = spectral_sweep_cut(load_cached("wiki_vote"))
+        assert slow_cut.conductance < fast_cut.conductance / 5

@@ -1,0 +1,83 @@
+"""Integration tests: the full measurement pipeline across subpackages."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_mixing_time,
+    measure_mixing,
+    mixing_time_lower_bound,
+    mixing_time_upper_bound,
+    slem,
+    transition_spectrum_extremes,
+)
+from repro.datasets import load_cached
+from repro.generators import community_powerlaw, erdos_renyi_gnm
+from repro.graph import largest_connected_component, load_graph, write_edge_list
+from repro.sampling import bfs_sample
+
+
+class TestEndToEnd:
+    def test_generate_measure_bound_consistency(self):
+        """Generator -> LCC -> SLEM -> definition-based measurement must
+        satisfy Theorem 2 on both sides."""
+        raw, _labels = community_powerlaw(
+            800, 2.4, 0.08, target_edges=2500, num_communities=8, seed=17
+        )
+        graph, _ = largest_connected_component(raw)
+        summary = transition_spectrum_extremes(graph)
+        eps = 0.1
+        lower = mixing_time_lower_bound(summary.slem, eps)
+        upper = mixing_time_upper_bound(summary.slem, eps, graph.num_nodes)
+        measured = estimate_mixing_time(graph, eps, max_steps=int(upper) + 50)
+        assert lower - 1 <= measured.walk_length <= upper + 1
+
+    def test_io_roundtrip_preserves_measurement(self, tmp_path):
+        """Serialise a dataset to SNAP format, re-load, measurements agree."""
+        graph = load_cached("physics1")
+        path = tmp_path / "physics1.txt.gz"
+        write_edge_list(graph, path)
+        reloaded = load_graph(path)
+        assert reloaded == graph
+        assert slem(reloaded) == pytest.approx(slem(graph), abs=1e-9)
+
+    def test_bfs_sample_pipeline(self):
+        """Sampling a dataset and measuring the sample runs end to end."""
+        graph = load_cached("youtube")
+        sample, _node_map = bfs_sample(graph, 1200, seed=3)
+        m = measure_mixing(sample, [5, 20, 80], sources=40, seed=4)
+        assert m.worst_case()[0] > m.worst_case()[-1] * 0.99
+        assert 0 < slem(sample) < 1
+
+    def test_networkx_crossvalidation_of_slem(self):
+        """Our SLEM must match one computed via networkx's matrix."""
+        nx = pytest.importorskip("networkx")
+        from repro.graph.nxcompat import to_networkx
+
+        graph, _ = largest_connected_component(erdos_renyi_gnm(300, 1200, seed=5))
+        ours = slem(graph)
+        nxg = to_networkx(graph)
+        import scipy.sparse.linalg as sla
+        import scipy.sparse as sp
+
+        adjacency = nx.to_scipy_sparse_array(nxg, format="csr", dtype=float)
+        deg = np.asarray(adjacency.sum(axis=1)).ravel()
+        inv_sqrt = sp.diags(1.0 / np.sqrt(deg))
+        norm = inv_sqrt @ adjacency @ inv_sqrt
+        top = sla.eigsh(norm, k=2, which="LA", return_eigenvectors=False)
+        bottom = sla.eigsh(norm, k=1, which="SA", return_eigenvectors=False)
+        theirs = max(abs(np.sort(top)[0]), abs(bottom[0]))
+        assert ours == pytest.approx(theirs, abs=1e-8)
+
+    def test_full_experiment_chain_on_one_dataset(self):
+        """Table 1 row -> Figure 1 curve -> sampled check, one dataset."""
+        from repro.core import lower_bound_curve
+
+        graph = load_cached("wiki_vote")
+        mu = slem(graph)
+        curve = lower_bound_curve(mu, points=16)
+        eps = 0.1
+        bound = curve.length_at(eps)
+        measured = estimate_mixing_time(graph, eps, sources=60, seed=6, max_steps=2000)
+        # Sampled T(eps) respects the bound (allowing interpolation slack).
+        assert measured.walk_length >= bound - 1.0

@@ -1,0 +1,107 @@
+"""End-to-end pipeline on a *real* (public domain) social network.
+
+The Zachary karate club (1977) is the canonical two-faction social
+graph: 34 members, 78 ties, and a documented real-world split into two
+communities around the instructor (node 0) and the president (node 33).
+Running the whole measurement stack on it validates the bring-your-own-
+data path the README promises, against ground truth that is not of our
+own making.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.community import louvain, spectral_sweep_cut
+from repro.core import (
+    estimate_mixing_time,
+    mixing_time_lower_bound,
+    mixing_time_upper_bound,
+    slem,
+    stationary_distribution,
+    transition_spectrum_extremes,
+)
+from repro.graph import (
+    is_connected,
+    largest_connected_component,
+    load_graph,
+    summarize,
+    trim_min_degree,
+)
+
+KARATE_PATH = Path(__file__).parent.parent / "data" / "karate.txt"
+
+#: Zachary's reported factions (instructor's side = Mr. Hi, node 0).
+MR_HI_FACTION = {0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 16, 17, 19, 21}
+
+
+@pytest.fixture(scope="module")
+def karate():
+    graph = load_graph(KARATE_PATH)
+    assert graph.num_nodes == 34
+    assert graph.num_edges == 78
+    return graph
+
+
+class TestStructure:
+    def test_connected_single_component(self, karate):
+        assert is_connected(karate)
+        lcc, node_map = largest_connected_component(karate)
+        assert lcc == karate
+
+    def test_summary_matches_known_facts(self, karate):
+        summary = summarize(karate, seed=1)
+        assert summary.degree.maximum == 17  # node 33 (the president)
+        assert summary.degree.minimum == 1
+        assert summary.approx_diameter == 5
+        assert summary.average_clustering > 0.5
+
+    def test_stationary_hubs(self, karate):
+        pi = stationary_distribution(karate)
+        # The two faction leaders carry the most stationary mass.
+        top2 = set(np.argsort(pi)[-2:].tolist())
+        assert top2 == {0, 33}
+
+
+class TestMixing:
+    def test_slem_moderate(self, karate):
+        # Two loosely-joined factions: clearly not an expander, but small.
+        mu = slem(karate, method="dense")
+        assert 0.85 < mu < 0.99
+
+    def test_bounds_sandwich_measurement(self, karate):
+        summary = transition_spectrum_extremes(karate, method="dense")
+        eps = 0.1
+        lower = mixing_time_lower_bound(summary.slem, eps)
+        upper = mixing_time_upper_bound(summary.slem, eps, karate.num_nodes)
+        measured = estimate_mixing_time(karate, eps, max_steps=int(upper) + 50)
+        assert lower - 1 <= measured.walk_length <= upper + 1
+
+    def test_mixing_far_exceeds_log_n(self, karate):
+        # log2(34) ~ 5; the club needs several times that even at eps=0.1.
+        measured = estimate_mixing_time(karate, 0.1, max_steps=2000)
+        assert measured.walk_length > 10
+
+
+class TestCommunities:
+    def test_sweep_cut_recovers_factions(self, karate):
+        cut = spectral_sweep_cut(karate)
+        side = set(cut.side.tolist())
+        sides = (side, set(range(34)) - side)
+        # One side must be (nearly) Mr. Hi's documented faction.
+        best_overlap = max(
+            len(s & MR_HI_FACTION) / len(s | MR_HI_FACTION) for s in sides
+        )
+        assert best_overlap > 0.8
+
+    def test_louvain_separates_leaders(self, karate):
+        labels = louvain(karate, seed=3)
+        assert labels[0] != labels[33]
+
+    def test_trimming_removes_periphery(self, karate):
+        trimmed, node_map = trim_min_degree(karate, 3)
+        assert 0 in node_map and 33 in node_map  # leaders stay
+        assert trimmed.num_nodes < 34
+        # Trimming the periphery speeds mixing here too.
+        assert slem(trimmed, method="dense") < slem(karate, method="dense")

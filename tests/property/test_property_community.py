@@ -1,0 +1,49 @@
+"""Property-based tests for community detection and partition quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.community import label_propagation, louvain, modularity
+from repro.graph import Graph
+
+from .test_property_walks import connected_graphs
+
+
+class TestPartitionInvariants:
+    @given(connected_graphs(min_nodes=3, max_nodes=20), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_louvain_labels_valid(self, g, seed):
+        labels = louvain(g, seed=seed)
+        assert labels.size == g.num_nodes
+        assert labels.min() == 0
+        assert np.unique(labels).size == labels.max() + 1
+
+    @given(connected_graphs(min_nodes=3, max_nodes=20), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_label_propagation_labels_valid(self, g, seed):
+        labels = label_propagation(g, seed=seed)
+        assert labels.size == g.num_nodes
+        assert labels.min() == 0
+        assert np.unique(labels).size == labels.max() + 1
+
+    @given(connected_graphs(min_nodes=3, max_nodes=20), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_modularity_bounds(self, g, seed):
+        """Q always lies in [-1/2, 1) for any partition."""
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, max(1, g.num_nodes // 2), size=g.num_nodes)
+        q = modularity(g, labels.astype(np.int64))
+        assert -0.5 - 1e-9 <= q < 1.0
+
+    @given(connected_graphs(min_nodes=3, max_nodes=20))
+    @settings(max_examples=50, deadline=None)
+    def test_single_community_zero_modularity(self, g):
+        assert modularity(g, np.zeros(g.num_nodes, dtype=np.int64)) == pytest.approx(0.0)
+
+    @given(connected_graphs(min_nodes=4, max_nodes=20), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_louvain_never_below_trivial(self, g, seed):
+        """Louvain's partition must score at least the all-in-one baseline."""
+        labels = louvain(g, seed=seed)
+        assert modularity(g, labels) >= -1e-9

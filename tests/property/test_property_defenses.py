@@ -1,0 +1,89 @@
+"""Property-based tests for defense-layer invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generators import erdos_renyi_gnm
+from repro.graph import largest_connected_component
+from repro.sybil import (
+    attach_sybil_region,
+    build_whanau,
+    no_attack_scenario,
+    random_sybil_region,
+    sybilrank,
+)
+
+
+@st.composite
+def connected_er(draw):
+    n = draw(st.integers(min_value=30, max_value=120))
+    m = draw(st.integers(min_value=3 * n, max_value=6 * n))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    graph, _ = largest_connected_component(erdos_renyi_gnm(n, min(m, n * (n - 1) // 2), seed=seed))
+    return graph
+
+
+class TestSybilRankInvariants:
+    @given(connected_er(), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_trust_conservation(self, graph, iterations):
+        scen = no_attack_scenario(graph)
+        result = sybilrank(scen, [0], iterations=iterations)
+        total = (result.scores * graph.degrees).sum()
+        assert total == pytest.approx(graph.num_nodes)
+        assert np.all(result.scores >= 0)
+
+    @given(connected_er())
+    @settings(max_examples=30, deadline=None)
+    def test_ranking_is_permutation(self, graph):
+        scen = no_attack_scenario(graph)
+        result = sybilrank(scen, [0])
+        ranking = result.ranking()
+        assert np.array_equal(np.sort(ranking), np.arange(graph.num_nodes))
+
+
+class TestWhanauInvariants:
+    @given(connected_er(), st.integers(min_value=1, max_value=15))
+    @settings(max_examples=20, deadline=None)
+    def test_table_structure(self, graph, walk_length):
+        tables = build_whanau(graph, walk_length, num_fingers=6, num_successors=6, seed=1)
+        assert np.unique(tables.keys).size == graph.num_nodes
+        # Finger pointers are consistent ragged arrays.
+        assert tables.finger_ptr[0] == 0
+        assert tables.finger_ptr[-1] == tables.finger_nodes.size
+        assert np.all(np.diff(tables.finger_ptr) >= 0)
+        assert tables.successor_ptr[-1] == tables.successor_keys.size
+
+    @given(connected_er())
+    @settings(max_examples=15, deadline=None)
+    def test_lookup_never_crashes_and_is_deterministic(self, graph):
+        tables = build_whanau(graph, 5, num_fingers=6, num_successors=6, seed=2)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            s = int(rng.integers(graph.num_nodes))
+            t = float(tables.keys[int(rng.integers(graph.num_nodes))])
+            assert tables.lookup(s, t) == tables.lookup(s, t)
+
+
+class TestScenarioInvariants:
+    @given(
+        connected_er(),
+        st.integers(min_value=10, max_value=40),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_attach_preserves_regions(self, honest, sybil_size, g_attack, seed):
+        sybil = random_sybil_region(sybil_size, seed=seed)
+        scen = attach_sybil_region(honest, sybil, g_attack, seed=seed + 1)
+        assert scen.num_honest == honest.num_nodes
+        assert scen.num_sybil == sybil_size
+        assert scen.num_attack_edges == g_attack
+        # Honest subgraph is untouched.
+        for u, v in honest.iter_edges():
+            assert scen.graph.has_edge(u, v)
+        # Exactly g crossing edges.
+        mask = scen.honest_mask()
+        edges = scen.graph.edges()
+        assert (mask[edges[:, 0]] != mask[edges[:, 1]]).sum() == g_attack

@@ -1,0 +1,86 @@
+"""Property-based tests for the directed-graph substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    DiGraph,
+    largest_strongly_connected_component,
+    strongly_connected_components,
+)
+
+
+@st.composite
+def digraphs(draw, max_nodes=16):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    k = draw(st.integers(min_value=0, max_value=3 * max_nodes))
+    arcs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return DiGraph.from_edges(arcs, num_nodes=n)
+
+
+class TestDiGraphInvariants:
+    @given(digraphs())
+    @settings(max_examples=80, deadline=None)
+    def test_degree_sums_match(self, g):
+        assert g.out_degrees.sum() == g.in_degrees.sum() == g.num_arcs
+
+    @given(digraphs())
+    @settings(max_examples=80, deadline=None)
+    def test_arcs_roundtrip(self, g):
+        rebuilt = DiGraph.from_edges(g.arcs(), num_nodes=g.num_nodes)
+        assert rebuilt == g
+
+    @given(digraphs())
+    @settings(max_examples=80, deadline=None)
+    def test_reverse_involution(self, g):
+        assert g.reverse().reverse() == g
+
+    @given(digraphs())
+    @settings(max_examples=80, deadline=None)
+    def test_predecessors_successors_consistent(self, g):
+        for u, v in g.iter_arcs():
+            assert v in g.successors(u)
+            assert u in g.predecessors(v)
+
+    @given(digraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_scc_partition(self, g):
+        comps = strongly_connected_components(g)
+        all_nodes = np.sort(np.concatenate(comps)) if comps else np.zeros(0, dtype=np.int64)
+        assert np.array_equal(all_nodes, np.arange(g.num_nodes))
+        # Components are pairwise disjoint by the partition check above;
+        # each is strongly connected: taking the largest and re-running
+        # must yield a single component.
+        if comps and comps[0].size > 1:
+            sub, _map = largest_strongly_connected_component(g)
+            assert len(strongly_connected_components(sub)) == 1
+
+    @given(digraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_to_undirected_symmetrises(self, g):
+        und = g.to_undirected()
+        for u, v in g.iter_arcs():
+            assert und.has_edge(u, v)
+        # Undirected edge count: unique unordered pairs.
+        pairs = {(min(u, v), max(u, v)) for u, v in g.iter_arcs()}
+        assert und.num_edges == len(pairs)
+
+    @given(digraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_scc_matches_networkx(self, g):
+        nx = pytest.importorskip("networkx")
+        nxg = nx.DiGraph(list(g.iter_arcs()))
+        nxg.add_nodes_from(range(g.num_nodes))
+        ours = {frozenset(c.tolist()) for c in strongly_connected_components(g)}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+        assert ours == theirs

@@ -1,0 +1,85 @@
+"""Property-based tests for distribution distances."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    hellinger_distance,
+    kl_divergence,
+    separation_distance,
+    total_variation_distance,
+)
+
+
+@st.composite
+def distributions(draw, size=None):
+    n = size or draw(st.integers(min_value=1, max_value=12))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        ).filter(lambda ws: sum(ws) > 1e-9)
+    )
+    arr = np.asarray(weights, dtype=np.float64)
+    return arr / arr.sum()
+
+
+@st.composite
+def distribution_pairs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return draw(distributions(size=n)), draw(distributions(size=n))
+
+
+class TestMetricProperties:
+    @given(distribution_pairs())
+    @settings(max_examples=150, deadline=None)
+    def test_tv_is_metric_like(self, pq):
+        p, q = pq
+        d = total_variation_distance(p, q)
+        assert 0.0 <= d <= 1.0 + 1e-12
+        assert d == total_variation_distance(q, p)
+        assert total_variation_distance(p, p) == 0.0
+
+    @given(distribution_pairs(), distributions())
+    @settings(max_examples=100, deadline=None)
+    def test_tv_triangle_inequality(self, pq, r):
+        p, q = pq
+        if r.size != p.size:
+            return
+        d_pq = total_variation_distance(p, q)
+        d_pr = total_variation_distance(p, r)
+        d_rq = total_variation_distance(r, q)
+        assert d_pq <= d_pr + d_rq + 1e-12
+
+    @given(distribution_pairs())
+    @settings(max_examples=150, deadline=None)
+    def test_separation_dominates_tv(self, pq):
+        p, q = pq
+        assert separation_distance(p, q) >= total_variation_distance(p, q) - 1e-12
+
+    @given(distribution_pairs())
+    @settings(max_examples=150, deadline=None)
+    def test_hellinger_tv_sandwich(self, pq):
+        """h^2 <= TV <= sqrt(2) h."""
+        p, q = pq
+        h = hellinger_distance(p, q)
+        tv = total_variation_distance(p, q)
+        assert h * h <= tv + 1e-9
+        assert tv <= np.sqrt(2.0) * h + 1e-9
+
+    @given(distribution_pairs())
+    @settings(max_examples=150, deadline=None)
+    def test_kl_nonnegative(self, pq):
+        p, q = pq
+        assert kl_divergence(p, q) >= -1e-9
+
+    @given(distribution_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_pinsker(self, pq):
+        p, q = pq
+        kl = kl_divergence(p, q)
+        if np.isfinite(kl):
+            # Float rounding can leave KL at -1e-300 for near-identical
+            # inputs; clamp before the square root.
+            assert total_variation_distance(p, q) <= np.sqrt(max(kl, 0.0) / 2.0) + 1e-9

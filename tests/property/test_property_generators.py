@@ -1,0 +1,65 @@
+"""Property-based tests for graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generators import (
+    erdos_renyi_gnm,
+    powerlaw_degree_sequence,
+    ring_lattice,
+    stochastic_block_model,
+    watts_strogatz,
+)
+
+
+class TestGeneratorProperties:
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_gnm_exact_edge_count(self, n, data):
+        max_edges = n * (n - 1) // 2
+        m = data.draw(st.integers(min_value=0, max_value=max_edges))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        g = erdos_renyi_gnm(n, m, seed=seed)
+        assert g.num_nodes == n
+        assert g.num_edges == m
+
+    @given(
+        st.integers(min_value=4, max_value=40),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_watts_strogatz_preserves_edge_count(self, n, seed):
+        k = min(4, (n - 1) // 2 * 2)
+        if k == 0:
+            return
+        g = watts_strogatz(n, k, 0.3, seed=seed)
+        assert g.num_edges == ring_lattice(n, k).num_edges
+
+    @given(
+        st.integers(min_value=10, max_value=300),
+        st.floats(min_value=1.5, max_value=3.5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_powerlaw_sequence_valid(self, n, gamma, seed):
+        deg = powerlaw_degree_sequence(n, gamma, seed=seed)
+        assert deg.size == n
+        assert deg.min() >= 1
+        assert deg.sum() % 2 == 0
+
+    @given(
+        st.lists(st.integers(min_value=2, max_value=15), min_size=1, max_size=4),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sbm_respects_blocks(self, sizes, seed):
+        k = len(sizes)
+        probs = np.full((k, k), 0.05)
+        np.fill_diagonal(probs, 0.5)
+        g, labels = stochastic_block_model(sizes, probs, seed=seed)
+        assert g.num_nodes == sum(sizes)
+        assert np.array_equal(np.bincount(labels, minlength=k), np.asarray(sizes))

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    Graph,
+    connected_component_labels,
+    core_numbers,
+    induced_subgraph,
+    k_core,
+    largest_connected_component,
+    num_connected_components,
+)
+
+MAX_NODES = 24
+
+
+@st.composite
+def edge_lists(draw, max_nodes=MAX_NODES):
+    """Random edge lists (possibly with duplicates/loops to exercise dedup)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    k = draw(st.integers(min_value=0, max_value=3 * max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return n, edges
+
+
+@st.composite
+def graphs(draw, max_nodes=MAX_NODES):
+    n, edges = draw(edge_lists(max_nodes))
+    return Graph.from_edges(edges, num_nodes=n)
+
+
+class TestGraphInvariants:
+    @given(edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_construction_invariants(self, n_edges):
+        n, edges = n_edges
+        g = Graph.from_edges(edges, num_nodes=n)
+        # Handshake lemma.
+        assert g.degrees.sum() == 2 * g.num_edges
+        # No loops, symmetric adjacency, sorted rows.
+        for v in range(g.num_nodes):
+            nbrs = g.neighbors(v)
+            assert np.all(nbrs != v)
+            assert np.all(np.diff(nbrs) > 0)
+            for u in nbrs:
+                assert g.has_edge(int(u), v)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_through_edges(self, n_edges):
+        n, edges = n_edges
+        g = Graph.from_edges(edges, num_nodes=n)
+        rebuilt = Graph.from_edges(g.edges(), num_nodes=n)
+        assert rebuilt == g
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_component_labels_partition(self, g):
+        labels = connected_component_labels(g)
+        assert labels.size == g.num_nodes
+        if g.num_nodes:
+            assert labels.min() >= 0
+            # Edges never cross components.
+            for u, v in g.iter_edges():
+                assert labels[u] == labels[v]
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_lcc_is_largest(self, g):
+        if g.num_nodes == 0:
+            return
+        lcc, node_map = largest_connected_component(g)
+        labels = connected_component_labels(g)
+        biggest = max(np.bincount(labels)) if labels.size else 0
+        assert lcc.num_nodes == biggest
+        assert node_map.size == lcc.num_nodes
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_core_number_invariants(self, g):
+        cores = core_numbers(g)
+        assert np.all(cores <= g.degrees)
+        for k in (1, 2, 3):
+            sub, node_map = k_core(g, k)
+            if sub.num_nodes:
+                assert sub.degrees.min() >= k
+            # k-core membership must match core numbers.
+            assert set(node_map.tolist()) == set(np.flatnonzero(cores >= k).tolist())
+
+    @given(graphs(), st.integers(min_value=0, max_value=MAX_NODES))
+    @settings(max_examples=60, deadline=None)
+    def test_induced_subgraph_edges_subset(self, g, size):
+        if g.num_nodes == 0:
+            return
+        rng = np.random.default_rng(0)
+        nodes = rng.choice(g.num_nodes, size=min(size, g.num_nodes), replace=False)
+        sub, node_map = induced_subgraph(g, nodes)
+        for u, v in sub.iter_edges():
+            assert g.has_edge(int(node_map[u]), int(node_map[v]))
+        # Edge count equals edges of g with both endpoints selected.
+        mask = np.zeros(g.num_nodes, dtype=bool)
+        mask[nodes] = True
+        expected = sum(1 for u, v in g.iter_edges() if mask[u] and mask[v])
+        assert sub.num_edges == expected
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_components_count_matches_networkx(self, g):
+        nx = pytest.importorskip("networkx")
+        from repro.graph.nxcompat import to_networkx
+
+        if g.num_nodes == 0:
+            return
+        assert num_connected_components(g) == nx.number_connected_components(
+            to_networkx(g)
+        )

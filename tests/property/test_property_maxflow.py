@@ -1,0 +1,72 @@
+"""Property-based tests for the Dinic max-flow solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sybil import FlowNetwork
+
+
+@st.composite
+def flow_networks(draw):
+    """Random capacitated digraphs with designated source 0, sink n-1."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    num_arcs = draw(st.integers(min_value=0, max_value=30))
+    arcs = []
+    for _ in range(num_arcs):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        cap = draw(st.integers(min_value=1, max_value=20))
+        arcs.append((u, v, float(cap)))
+    return n, arcs
+
+
+class TestMaxFlowProperties:
+    @given(flow_networks())
+    @settings(max_examples=120, deadline=None)
+    def test_flow_value_equals_min_cut(self, spec):
+        n, arcs = spec
+        net = FlowNetwork(n)
+        for u, v, cap in arcs:
+            net.add_edge(u, v, cap)
+        flow = net.max_flow(0, n - 1)
+        reachable = net.min_cut_reachable(0)
+        cut = sum(cap for u, v, cap in arcs if reachable[u] and not reachable[v])
+        assert flow == pytest.approx(cut)
+        # At termination the sink must be residual-unreachable (otherwise
+        # an augmenting path remains and the flow was not maximal).
+        assert not reachable[n - 1]
+
+    @given(flow_networks())
+    @settings(max_examples=120, deadline=None)
+    def test_conservation_and_capacity(self, spec):
+        n, arcs = spec
+        net = FlowNetwork(n)
+        ids = [net.add_edge(u, v, cap) for u, v, cap in arcs]
+        flow = net.max_flow(0, n - 1)
+        # Capacity constraints.
+        net_out = np.zeros(n)
+        for arc_id, (u, v, cap) in zip(ids, arcs):
+            f = net.flow_on(arc_id)
+            assert -1e-9 <= f <= cap + 1e-9
+            net_out[u] += f
+            net_out[v] -= f
+        # Conservation at internal nodes; source emits exactly the flow.
+        assert net_out[0] == pytest.approx(flow)
+        assert net_out[n - 1] == pytest.approx(-flow)
+        for v in range(1, n - 1):
+            assert net_out[v] == pytest.approx(0.0)
+
+    @given(flow_networks())
+    @settings(max_examples=60, deadline=None)
+    def test_flow_bounded_by_trivial_cuts(self, spec):
+        n, arcs = spec
+        net = FlowNetwork(n)
+        for u, v, cap in arcs:
+            net.add_edge(u, v, cap)
+        flow = net.max_flow(0, n - 1)
+        out_cap = sum(cap for u, _v, cap in arcs if u == 0)
+        in_cap = sum(cap for _u, v, cap in arcs if v == n - 1)
+        assert flow <= min(out_cap, in_cap) + 1e-9

@@ -1,0 +1,54 @@
+"""Property-based tests for random-route invariants (SybilGuard/Limit core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph
+from repro.sybil import RouteInstances, arc_sources, reverse_slots
+
+from .test_property_walks import connected_graphs
+
+
+class TestRouteProperties:
+    @given(connected_graphs(min_nodes=2, max_nodes=14), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_next_slot_is_permutation(self, g, seed):
+        ri = RouteInstances(g, 2, seed=seed)
+        for i in range(2):
+            table = ri.single_instance(i)
+            assert np.array_equal(np.sort(table), np.arange(table.size))
+
+    @given(connected_graphs(min_nodes=2, max_nodes=14))
+    @settings(max_examples=60, deadline=None)
+    def test_routes_respect_adjacency(self, g):
+        ri = RouteInstances(g, 1, seed=3)
+        src = arc_sources(g)
+        table = ri.single_instance(0)
+        # A route on arc (u -> v) continues from v: next arc's source is v.
+        assert np.array_equal(src[table], g.indices)
+
+    @given(connected_graphs(min_nodes=2, max_nodes=14))
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_slots_bijection(self, g):
+        rev = reverse_slots(g)
+        assert np.array_equal(np.sort(rev), np.arange(rev.size))
+        assert np.array_equal(rev[rev], np.arange(rev.size))
+
+    @given(connected_graphs(min_nodes=2, max_nodes=14), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_route_advancement_is_injective(self, g, steps):
+        """Back-traceability: distinct routes never merge."""
+        ri = RouteInstances(g, 1, seed=7)
+        slots = np.arange(2 * g.num_edges)
+        advanced = ri.advance(slots, steps, 0)
+        assert np.unique(advanced).size == slots.size
+
+    @given(connected_graphs(min_nodes=3, max_nodes=14))
+    @settings(max_examples=40, deadline=None)
+    def test_undirected_ids_partition_arcs(self, g):
+        ri = RouteInstances(g, 1, seed=9)
+        ids = ri.undirected_edge_ids(np.arange(2 * g.num_edges))
+        values, counts = np.unique(ids, return_counts=True)
+        assert values.size == g.num_edges
+        assert np.all(counts == 2)

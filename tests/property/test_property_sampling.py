@@ -1,0 +1,61 @@
+"""Property-based tests for subgraph samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SamplingError
+from repro.graph import is_connected
+from repro.sampling import bfs_sample, random_node_sample, random_walk_sample
+
+from .test_property_walks import connected_graphs
+
+
+class TestBfsSampleProperties:
+    @given(connected_graphs(min_nodes=4, max_nodes=16), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_sample_invariants(self, g, data):
+        target = data.draw(st.integers(min_value=1, max_value=g.num_nodes))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        sub, node_map = bfs_sample(g, target, seed=seed)
+        # LCC filtering can only shrink; map is injective into g.
+        assert sub.num_nodes <= target
+        assert np.unique(node_map).size == node_map.size
+        assert node_map.max() < g.num_nodes
+        assert sub.num_nodes == 0 or is_connected(sub)
+        # Every sampled edge exists in the parent.
+        for u, v in sub.iter_edges():
+            assert g.has_edge(int(node_map[u]), int(node_map[v]))
+
+    @given(connected_graphs(min_nodes=4, max_nodes=16), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_full_size_sample_is_whole_graph(self, g, seed):
+        sub, node_map = bfs_sample(g, g.num_nodes, seed=seed)
+        assert sub.num_nodes == g.num_nodes
+        assert sub.num_edges == g.num_edges
+
+
+class TestWalkSampleProperties:
+    @given(connected_graphs(min_nodes=4, max_nodes=16), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_walk_sample_invariants(self, g, data):
+        target = data.draw(st.integers(min_value=1, max_value=g.num_nodes))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        sub, node_map = random_walk_sample(g, target, seed=seed)
+        assert sub.num_nodes <= target
+        assert np.unique(node_map).size == node_map.size
+        for u, v in sub.iter_edges():
+            assert g.has_edge(int(node_map[u]), int(node_map[v]))
+
+
+class TestNodeSampleProperties:
+    @given(connected_graphs(min_nodes=4, max_nodes=16), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_node_sample_exact_without_filter(self, g, data):
+        target = data.draw(st.integers(min_value=1, max_value=g.num_nodes))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        sub, node_map = random_node_sample(
+            g, target, seed=seed, keep_largest_component=False
+        )
+        assert sub.num_nodes == target
+        assert np.unique(node_map).size == target

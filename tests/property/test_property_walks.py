@@ -1,0 +1,98 @@
+"""Property-based tests for the random-walk core on random graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    TransitionOperator,
+    is_bipartite,
+    stationary_distribution,
+    total_variation_distance,
+)
+from repro.errors import NotConnectedError, NotErgodicError
+from repro.graph import Graph, is_connected
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=2, max_nodes=16):
+    """Connected simple graphs built from a random spanning tree + extras."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    edges = []
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.append((parent, v))
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=2 * n,
+        )
+    )
+    edges.extend(extra)
+    return Graph.from_edges(edges, num_nodes=n)
+
+
+class TestWalkProperties:
+    @given(connected_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_stationarity_under_evolution(self, g):
+        pi = stationary_distribution(g)
+        op = TransitionOperator(g, laziness=0.0, check_aperiodic=False)
+        assert np.allclose(op.step(pi), pi, atol=1e-12)
+
+    @given(connected_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_evolution_preserves_simplex(self, g):
+        laziness = 0.2 if is_bipartite(g) else 0.0
+        op = TransitionOperator(g, laziness=laziness)
+        x = op.point_mass(0)
+        for _ in range(5):
+            x = op.step(x)
+            assert x.min() >= -1e-15
+            assert x.sum() == pytest.approx(1.0)
+
+    @given(connected_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_lazy_walk_converges_monotonically_enough(self, g):
+        """Lazy chains have positive spectrum: TVD to pi never increases."""
+        op = TransitionOperator(g, laziness=0.5)
+        pi = op.stationary()
+        x = op.point_mass(0)
+        prev = total_variation_distance(x, pi, validate=False)
+        for _ in range(10):
+            x = op.step(x)
+            cur = total_variation_distance(x, pi, validate=False)
+            assert cur <= prev + 1e-10
+            prev = cur
+
+    @given(connected_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_bipartite_detection_consistency(self, g):
+        nx = pytest.importorskip("networkx")
+        from repro.graph.nxcompat import to_networkx
+
+        assert is_bipartite(g) == nx.is_bipartite(to_networkx(g))
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_ergodicity_enforcement(self, g):
+        if is_bipartite(g):
+            with pytest.raises(NotErgodicError):
+                TransitionOperator(g)
+        else:
+            TransitionOperator(g)  # must not raise
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_spectral_summary_bounds(self, g):
+        if g.num_nodes < 2:
+            return
+        from repro.core import transition_spectrum_extremes
+
+        summary = transition_spectrum_extremes(g, method="dense")
+        assert -1.0 - 1e-9 <= summary.lambda_min <= summary.lambda2 <= 1.0 + 1e-9
+        assert 0.0 <= summary.slem <= 1.0
+        assert summary.gap == pytest.approx(1.0 - summary.slem)

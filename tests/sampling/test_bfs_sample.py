@@ -1,0 +1,80 @@
+"""Unit tests for BFS (snowball) sampling — Figure 7's methodology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph import is_connected
+from repro.sampling import bfs_sample, multi_scale_bfs_samples
+
+
+class TestBfsSample:
+    def test_exact_size(self, er_medium):
+        sub, node_map = bfs_sample(er_medium, 50, seed=1)
+        assert sub.num_nodes == 50
+        assert node_map.size == 50
+
+    def test_sample_is_connected(self, er_medium):
+        sub, _ = bfs_sample(er_medium, 80, seed=2)
+        assert is_connected(sub)
+
+    def test_node_map_into_original(self, er_medium):
+        sub, node_map = bfs_sample(er_medium, 60, seed=3)
+        assert node_map.max() < er_medium.num_nodes
+        # Every sampled edge exists in the original graph.
+        for u, v in sub.iter_edges():
+            assert er_medium.has_edge(int(node_map[u]), int(node_map[v]))
+
+    def test_fixed_source(self, er_medium):
+        sub, node_map = bfs_sample(er_medium, 30, source=5, seed=4)
+        assert 5 in node_map.tolist()
+
+    def test_full_graph_sample(self, er_medium):
+        sub, _ = bfs_sample(er_medium, er_medium.num_nodes, seed=5)
+        assert sub.num_nodes == er_medium.num_nodes
+
+    def test_component_too_small_raises(self, triangle_plus_isolated):
+        with pytest.raises(SamplingError, match="component too small"):
+            bfs_sample(triangle_plus_isolated, 4, source=0, seed=6)
+
+    def test_target_exceeds_graph(self, petersen):
+        with pytest.raises(SamplingError):
+            bfs_sample(petersen, 11)
+
+    def test_nonpositive_target(self, petersen):
+        with pytest.raises(SamplingError):
+            bfs_sample(petersen, 0)
+
+    def test_deterministic(self, er_medium):
+        a, ma = bfs_sample(er_medium, 40, seed=7)
+        b, mb = bfs_sample(er_medium, 40, seed=7)
+        assert a == b
+        assert np.array_equal(ma, mb)
+
+    def test_bfs_ball_is_local(self, bridge_graph):
+        """A small BFS ball must stay inside one community of the bridge
+        graph (locality is the source of the fast-mixing bias)."""
+        sub, node_map = bfs_sample(bridge_graph, 40, source=0, seed=8)
+        assert np.all(node_map < 150)  # community 0 ids
+
+
+class TestMultiScale:
+    def test_nested_prefix_property(self, er_medium):
+        samples = multi_scale_bfs_samples(er_medium, [20, 60], seed=1)
+        small_nodes = set(samples[20][1].tolist())
+        large_nodes = set(samples[60][1].tolist())
+        assert small_nodes <= large_nodes
+
+    def test_sizes_respected(self, er_medium):
+        samples = multi_scale_bfs_samples(er_medium, [10, 30, 90], seed=2)
+        assert sorted(samples) == [10, 30, 90]
+        for size, (sub, _map) in samples.items():
+            assert sub.num_nodes == size
+
+    def test_non_nested_mode(self, er_medium):
+        samples = multi_scale_bfs_samples(er_medium, [15, 45], seed=3, nested=False)
+        assert samples[15][0].num_nodes == 15
+
+    def test_empty_sizes(self, er_medium):
+        with pytest.raises(SamplingError):
+            multi_scale_bfs_samples(er_medium, [])

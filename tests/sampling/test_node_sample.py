@@ -1,0 +1,66 @@
+"""Unit tests for uniform node/edge sampling baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling import random_edge_sample, random_node_sample
+
+
+class TestNodeSample:
+    def test_without_component_filter(self, er_medium):
+        sub, node_map = random_node_sample(
+            er_medium, 100, seed=1, keep_largest_component=False
+        )
+        assert sub.num_nodes == 100
+        assert node_map.size == 100
+
+    def test_component_filter_shrinks(self, er_medium):
+        sub, _ = random_node_sample(er_medium, 100, seed=2)
+        assert sub.num_nodes <= 100
+
+    def test_uniform_sampling_shatters_sparse_graphs(self):
+        """The reason the paper uses BFS: uniform node samples of sparse
+        graphs fall apart."""
+        from repro.generators import powerlaw_configuration_model
+        from repro.graph import largest_connected_component
+
+        g = powerlaw_configuration_model(4000, 2.6, target_edges=8000, seed=3)
+        lcc, _ = largest_connected_component(g)
+        sub, _ = random_node_sample(lcc, 400, seed=4)
+        assert sub.num_nodes < 200  # most of the sample is disconnected
+
+    def test_out_of_range(self, petersen):
+        with pytest.raises(SamplingError):
+            random_node_sample(petersen, 0)
+        with pytest.raises(SamplingError):
+            random_node_sample(petersen, 99)
+
+    def test_deterministic(self, er_medium):
+        a, ma = random_node_sample(er_medium, 50, seed=5)
+        b, mb = random_node_sample(er_medium, 50, seed=5)
+        assert a == b and np.array_equal(ma, mb)
+
+
+class TestEdgeSample:
+    def test_edge_count(self, er_medium):
+        sub, _ = random_edge_sample(er_medium, 200, seed=1, keep_largest_component=False)
+        assert sub.num_edges == 200
+
+    def test_edges_exist_in_original(self, er_medium):
+        sub, node_map = random_edge_sample(er_medium, 100, seed=2, keep_largest_component=False)
+        for u, v in sub.iter_edges():
+            assert er_medium.has_edge(int(node_map[u]), int(node_map[v]))
+
+    def test_component_filter(self, er_medium):
+        sub, node_map = random_edge_sample(er_medium, 150, seed=3)
+        from repro.graph import is_connected
+
+        assert is_connected(sub)
+        assert node_map.size == sub.num_nodes
+
+    def test_out_of_range(self, petersen):
+        with pytest.raises(SamplingError):
+            random_edge_sample(petersen, 0)
+        with pytest.raises(SamplingError):
+            random_edge_sample(petersen, 16)

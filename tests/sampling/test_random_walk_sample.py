@@ -1,0 +1,63 @@
+"""Unit tests for random-walk and MHRW sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph import is_connected
+from repro.sampling import metropolis_hastings_sample, random_walk_sample
+
+
+class TestRandomWalkSample:
+    def test_target_size(self, er_medium):
+        sub, node_map = random_walk_sample(er_medium, 60, seed=1)
+        assert sub.num_nodes <= 60
+        assert sub.num_nodes >= 55  # LCC of a crawled set is nearly all of it
+
+    def test_connected_output(self, er_medium):
+        sub, _ = random_walk_sample(er_medium, 50, seed=2)
+        assert is_connected(sub)
+
+    def test_edges_exist_in_original(self, er_medium):
+        sub, node_map = random_walk_sample(er_medium, 40, seed=3)
+        for u, v in sub.iter_edges():
+            assert er_medium.has_edge(int(node_map[u]), int(node_map[v]))
+
+    def test_isolated_source_raises(self, triangle_plus_isolated):
+        with pytest.raises(SamplingError):
+            random_walk_sample(triangle_plus_isolated, 2, source=3, seed=4)
+
+    def test_component_budget_exhaustion(self, triangle_plus_isolated):
+        with pytest.raises(SamplingError):
+            random_walk_sample(triangle_plus_isolated, 4, source=0, seed=5)
+
+    def test_invalid_target(self, petersen):
+        with pytest.raises(SamplingError):
+            random_walk_sample(petersen, 0)
+        with pytest.raises(SamplingError):
+            random_walk_sample(petersen, 11)
+
+
+class TestMetropolisHastings:
+    def test_target_size(self, er_medium):
+        sub, _ = metropolis_hastings_sample(er_medium, 60, seed=1)
+        assert 55 <= sub.num_nodes <= 60
+
+    def test_degree_bias_correction(self):
+        """On a hub-heavy graph, plain RW over-samples high degrees;
+        MHRW's visited set leans lower-degree."""
+        from repro.generators import barabasi_albert
+
+        g = barabasi_albert(3000, 3, seed=7)
+        rw_degrees, mh_degrees = [], []
+        for seed in range(5):
+            _sub, rw_map = random_walk_sample(g, 300, seed=seed)
+            _sub2, mh_map = metropolis_hastings_sample(g, 300, seed=seed)
+            rw_degrees.append(g.degrees[rw_map].mean())
+            mh_degrees.append(g.degrees[mh_map].mean())
+        assert np.mean(mh_degrees) < np.mean(rw_degrees)
+
+    def test_deterministic(self, er_medium):
+        a, ma = metropolis_hastings_sample(er_medium, 30, seed=9)
+        b, mb = metropolis_hastings_sample(er_medium, 30, seed=9)
+        assert a == b and np.array_equal(ma, mb)

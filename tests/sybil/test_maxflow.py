@@ -1,0 +1,95 @@
+"""Unit tests for the Dinic max-flow solver."""
+
+import pytest
+
+from repro.sybil import FlowNetwork
+
+
+class TestFlowNetwork:
+    def test_single_arc(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 5.0)
+        assert net.max_flow(0, 1) == pytest.approx(5.0)
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 3.0)
+        assert net.max_flow(0, 2) == pytest.approx(3.0)
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(1, 3, 2.0)
+        net.add_edge(0, 2, 3.0)
+        net.add_edge(2, 3, 3.0)
+        assert net.max_flow(0, 3) == pytest.approx(5.0)
+
+    def test_classic_diamond_with_cross_edge(self):
+        # Needs the residual arc to reroute flow.
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(0, 2, 10.0)
+        net.add_edge(1, 2, 1.0)
+        net.add_edge(1, 3, 4.0)
+        net.add_edge(2, 3, 9.0)
+        assert net.max_flow(0, 3) == pytest.approx(13.0)
+
+    def test_disconnected_zero(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(2, 3, 1.0)
+        assert net.max_flow(0, 3) == 0.0
+
+    def test_flow_on_reports_used_capacity(self):
+        net = FlowNetwork(3)
+        a = net.add_edge(0, 1, 7.0)
+        b = net.add_edge(1, 2, 4.0)
+        net.max_flow(0, 2)
+        assert net.flow_on(a) == pytest.approx(4.0)
+        assert net.flow_on(b) == pytest.approx(4.0)
+
+    def test_min_cut_after_flow(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 3.0)
+        net.max_flow(0, 2)
+        reachable = net.min_cut_reachable(0)
+        assert reachable == [True, True, False]
+
+    def test_max_flow_equals_min_cut(self):
+        """Verify max-flow/min-cut duality on a random network."""
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        n = 30
+        net = FlowNetwork(n)
+        arcs = []
+        for _ in range(150):
+            u, v = rng.choice(n, size=2, replace=False)
+            cap = float(rng.integers(1, 10))
+            arcs.append((int(u), int(v), cap))
+            net.add_edge(int(u), int(v), cap)
+        flow = net.max_flow(0, n - 1)
+        reachable = net.min_cut_reachable(0)
+        cut_capacity = sum(cap for u, v, cap in arcs if reachable[u] and not reachable[v])
+        assert flow == pytest.approx(cut_capacity)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(1)
+        net = FlowNetwork(3)
+        with pytest.raises(IndexError):
+            net.add_edge(0, 5, 1.0)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1.0)
+        with pytest.raises(ValueError):
+            net.max_flow(1, 1)
+
+    def test_long_path_no_recursion_error(self):
+        """Iterative DFS must handle paths longer than the recursion limit."""
+        n = 5000
+        net = FlowNetwork(n)
+        for i in range(n - 1):
+            net.add_edge(i, i + 1, 2.0)
+        assert net.max_flow(0, n - 1) == pytest.approx(2.0)

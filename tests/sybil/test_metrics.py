@@ -1,0 +1,123 @@
+"""Unit tests for admission metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.sybil import (
+    AdmissionMetrics,
+    SybilScenario,
+    evaluate_admission,
+    sybil_bound_per_attack_edge,
+)
+
+
+def make_scenario(num_honest: int, num_sybil: int) -> SybilScenario:
+    edges = [(i, i + 1) for i in range(num_honest + num_sybil - 1)]
+    return SybilScenario(
+        graph=Graph.from_edges(edges),
+        num_honest=num_honest,
+        attack_edges=np.asarray([[num_honest - 1, num_honest]], dtype=np.int64),
+    )
+
+
+class TestAdmissionMetrics:
+    def test_rates(self):
+        m = AdmissionMetrics(honest_total=10, honest_accepted=8, sybil_total=5, sybil_accepted=1)
+        assert m.honest_admission_rate == pytest.approx(0.8)
+        assert m.honest_rejection_rate == pytest.approx(0.2)
+        assert m.sybil_acceptance_rate == pytest.approx(0.2)
+        assert m.sybils_per_attack_edge(2) == pytest.approx(0.5)
+
+    def test_empty_populations_nan(self):
+        m = AdmissionMetrics(honest_total=0, honest_accepted=0, sybil_total=0, sybil_accepted=0)
+        assert np.isnan(m.honest_admission_rate)
+        assert np.isnan(m.sybil_acceptance_rate)
+        assert np.isnan(m.sybils_per_attack_edge(0))
+
+
+class TestEvaluateAdmission:
+    def test_splits_by_region(self):
+        scen = make_scenario(4, 3)
+        suspects = np.asarray([0, 1, 4, 5, 6])
+        accepted = np.asarray([True, False, True, False, False])
+        m = evaluate_admission(scen, suspects, accepted)
+        assert m.honest_total == 2
+        assert m.honest_accepted == 1
+        assert m.sybil_total == 3
+        assert m.sybil_accepted == 1
+
+    def test_shape_mismatch(self):
+        scen = make_scenario(3, 2)
+        with pytest.raises(ValueError):
+            evaluate_admission(scen, np.asarray([0, 1]), np.asarray([True]))
+
+
+class TestBound:
+    def test_linear_in_route_length(self):
+        assert sybil_bound_per_attack_edge(25) == 25.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sybil_bound_per_attack_edge(0)
+
+
+class TestEscapeProbability:
+    def make_attack(self, g_attack: int):
+        from repro.generators import erdos_renyi_gnm
+        from repro.graph import largest_connected_component
+        from repro.sybil import attach_sybil_region, random_sybil_region
+
+        honest, _ = largest_connected_component(erdos_renyi_gnm(200, 1200, seed=71))
+        sybil = random_sybil_region(60, seed=72)
+        return attach_sybil_region(honest, sybil, g_attack, seed=73)
+
+    def test_monotone_in_walk_length(self):
+        from repro.sybil import escape_probability
+
+        scen = self.make_attack(4)
+        esc = escape_probability(scen, [1, 10, 50, 200])
+        assert np.all(np.diff(esc) > 0)
+        assert esc[0] >= 0
+        assert esc[-1] <= 1
+
+    def test_grows_with_attack_edges(self):
+        from repro.sybil import escape_probability
+
+        few = escape_probability(self.make_attack(2), [50])[0]
+        many = escape_probability(self.make_attack(12), [50])[0]
+        assert many > few
+
+    def test_no_attack_is_zero(self):
+        from repro.sybil import escape_probability, no_attack_scenario
+        from repro.generators import erdos_renyi_gnm
+        from repro.graph import largest_connected_component
+
+        honest, _ = largest_connected_component(erdos_renyi_gnm(100, 600, seed=74))
+        esc = escape_probability(no_attack_scenario(honest), [5, 20])
+        assert np.all(esc == 0)
+
+    def test_matches_monte_carlo(self):
+        from repro.core import simulate_walk
+        from repro.sybil import escape_probability
+
+        scen = self.make_attack(6)
+        w = 30
+        exact = escape_probability(scen, [w], sources=[0])[0]
+        rng = np.random.default_rng(75)
+        trials = 3000
+        hits = 0
+        for _ in range(trials):
+            path = simulate_walk(scen.graph, 0, w, seed=rng)
+            if np.any(path >= scen.num_honest):
+                hits += 1
+        assert hits / trials == pytest.approx(exact, abs=0.03)
+
+    def test_source_validation(self):
+        from repro.sybil import escape_probability
+
+        scen = self.make_attack(2)
+        with pytest.raises(ValueError):
+            escape_probability(scen, [5], sources=[scen.num_honest + 1])
+        with pytest.raises(ValueError):
+            escape_probability(scen, [5, 5])

@@ -1,0 +1,89 @@
+"""Unit tests for the Sybil attack scenario model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.sybil import (
+    attach_sybil_region,
+    no_attack_scenario,
+    random_sybil_region,
+)
+
+
+class TestRandomSybilRegion:
+    def test_dense_style(self):
+        g = random_sybil_region(50, seed=1)
+        assert g.num_nodes == 50
+        assert g.num_edges > 100
+
+    def test_powerlaw_style(self):
+        g = random_sybil_region(100, style="powerlaw", seed=2)
+        assert g.num_nodes == 100
+
+    def test_unknown_style(self):
+        with pytest.raises(ScenarioError):
+            random_sybil_region(50, style="botnet")
+
+    def test_too_small(self):
+        with pytest.raises(ScenarioError):
+            random_sybil_region(1)
+
+
+class TestAttach:
+    def test_structure(self, er_medium):
+        sybil = random_sybil_region(40, seed=3)
+        scen = attach_sybil_region(er_medium, sybil, 5, seed=4)
+        assert scen.num_honest == er_medium.num_nodes
+        assert scen.num_sybil == 40
+        assert scen.num_attack_edges == 5
+        assert scen.graph.num_nodes == er_medium.num_nodes + 40
+
+    def test_attack_edges_cross_regions(self, er_medium):
+        sybil = random_sybil_region(40, seed=5)
+        scen = attach_sybil_region(er_medium, sybil, 8, seed=6)
+        for h, s in scen.attack_edges:
+            assert scen.is_honest(h)
+            assert not scen.is_honest(s)
+            assert scen.graph.has_edge(int(h), int(s))
+
+    def test_attack_edge_count_in_graph(self, er_medium):
+        sybil = random_sybil_region(30, seed=7)
+        scen = attach_sybil_region(er_medium, sybil, 4, seed=8)
+        mask = scen.honest_mask()
+        edges = scen.graph.edges()
+        crossing = (mask[edges[:, 0]] != mask[edges[:, 1]]).sum()
+        assert crossing == 4
+
+    def test_honest_nodes_keep_ids(self, er_medium):
+        sybil = random_sybil_region(30, seed=9)
+        scen = attach_sybil_region(er_medium, sybil, 3, seed=10)
+        for u, v in er_medium.iter_edges():
+            assert scen.graph.has_edge(u, v)
+
+    def test_masks_and_node_sets(self, er_medium):
+        sybil = random_sybil_region(30, seed=11)
+        scen = attach_sybil_region(er_medium, sybil, 3, seed=12)
+        assert scen.honest_nodes().size == scen.num_honest
+        assert scen.sybil_nodes().size == 30
+        assert scen.honest_mask().sum() == scen.num_honest
+
+    def test_zero_attack_edges_rejected(self, er_medium):
+        with pytest.raises(ScenarioError):
+            attach_sybil_region(er_medium, random_sybil_region(10, seed=1), 0)
+
+    def test_deterministic(self, er_medium):
+        sybil = random_sybil_region(20, seed=13)
+        a = attach_sybil_region(er_medium, sybil, 3, seed=14)
+        b = attach_sybil_region(er_medium, sybil, 3, seed=14)
+        assert a.graph == b.graph
+        assert np.array_equal(a.attack_edges, b.attack_edges)
+
+
+class TestNoAttack:
+    def test_structure(self, petersen):
+        scen = no_attack_scenario(petersen)
+        assert scen.num_sybil == 0
+        assert scen.num_attack_edges == 0
+        assert scen.graph is petersen
+        assert scen.is_honest(0)

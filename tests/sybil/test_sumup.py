@@ -1,0 +1,95 @@
+"""Unit tests for SumUp vote collection."""
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi_gnm
+from repro.graph import largest_connected_component
+from repro.sybil import (
+    SumUpParams,
+    attach_sybil_region,
+    no_attack_scenario,
+    random_sybil_region,
+    sumup_collect_votes,
+    ticket_capacities,
+)
+
+
+@pytest.fixture(scope="module")
+def honest_graph():
+    g, _ = largest_connected_component(erdos_renyi_gnm(200, 1200, seed=41))
+    return g
+
+
+class TestTicketCapacities:
+    def test_outward_only(self, honest_graph):
+        from repro.graph import bfs_distances
+
+        caps = ticket_capacities(honest_graph, 0, 40)
+        dist = bfs_distances(honest_graph, 0)
+        for (u, v), cap in caps.items():
+            assert dist[v] == dist[u] + 1
+            assert cap >= 1.0
+
+    def test_total_tickets_bounded(self, honest_graph):
+        c_max = 40
+        caps = ticket_capacities(honest_graph, 0, c_max)
+        # Tickets sent out of the collector can't exceed c_max - 1.
+        outgoing = sum(cap - 1.0 for (u, _v), cap in caps.items() if u == 0)
+        assert outgoing <= c_max
+
+    def test_star_collector(self, star6):
+        caps = ticket_capacities(star6, 0, 11)
+        # 10 tickets split over 5 leaves -> 2 each, +1 base capacity.
+        for leaf in range(1, 6):
+            assert caps[(0, leaf)] == pytest.approx(3.0)
+
+
+class TestVoteCollection:
+    def test_honest_votes_mostly_collected(self, honest_graph):
+        scen = no_attack_scenario(honest_graph)
+        voters = list(range(1, 51))
+        outcome = sumup_collect_votes(scen, 0, voters, SumUpParams(c_max=60))
+        assert outcome.votes_cast == 50
+        assert outcome.votes_collected >= 40
+
+    def test_low_cmax_caps_collection(self, honest_graph):
+        scen = no_attack_scenario(honest_graph)
+        voters = list(range(1, 101))
+        low = sumup_collect_votes(scen, 0, voters, SumUpParams(c_max=10))
+        high = sumup_collect_votes(scen, 0, voters, SumUpParams(c_max=150))
+        assert low.votes_collected < high.votes_collected
+
+    def test_sybil_votes_bounded_by_attack_cut(self, honest_graph):
+        """Sybil votes must squeeze through the g attack edges (plus the
+        envelope's base capacity)."""
+        g_attack = 3
+        sybil = random_sybil_region(80, seed=42)
+        scen = attach_sybil_region(honest_graph, sybil, g_attack, seed=43)
+        sybil_voters = scen.sybil_nodes().tolist()
+        outcome = sumup_collect_votes(scen, 0, sybil_voters, SumUpParams(c_max=40))
+        # Each attack edge contributes bounded capacity.
+        per_edge_cap = max(
+            ticket_capacities(scen.graph, 0, 40).values(), default=1.0
+        )
+        assert outcome.votes_collected <= g_attack * per_edge_cap
+
+    def test_collection_rate(self, honest_graph):
+        scen = no_attack_scenario(honest_graph)
+        outcome = sumup_collect_votes(scen, 0, [1, 2, 3], SumUpParams(c_max=30))
+        assert outcome.collection_rate == outcome.votes_collected / 3
+
+    def test_no_voters(self, honest_graph):
+        scen = no_attack_scenario(honest_graph)
+        outcome = sumup_collect_votes(scen, 0, [], SumUpParams(c_max=10))
+        assert outcome.votes_collected == 0
+        assert np.isnan(outcome.collection_rate)
+
+    def test_collector_cannot_vote(self, honest_graph):
+        scen = no_attack_scenario(honest_graph)
+        with pytest.raises(ValueError):
+            sumup_collect_votes(scen, 0, [0, 1], SumUpParams(c_max=10))
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SumUpParams(c_max=0)

@@ -1,0 +1,73 @@
+"""Unit tests for SybilGuard."""
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi_gnm
+from repro.graph import largest_connected_component
+from repro.sybil import (
+    SybilGuard,
+    attach_sybil_region,
+    evaluate_admission,
+    no_attack_scenario,
+    random_sybil_region,
+    recommended_route_length,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_graph():
+    g, _ = largest_connected_component(erdos_renyi_gnm(250, 1500, seed=31))
+    return g
+
+
+class TestRouteLengthRecommendation:
+    def test_scales_as_sqrt_n_log_n(self):
+        w = recommended_route_length(10_000, constant=1.0)
+        assert w == pytest.approx(np.sqrt(10_000 * np.log(10_000)), abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommended_route_length(1)
+
+
+class TestSybilGuard:
+    def test_long_routes_admit_honest_nodes(self, fast_graph):
+        w = recommended_route_length(fast_graph.num_nodes)
+        guard = SybilGuard(no_attack_scenario(fast_graph), w, seed=1)
+        outcome = guard.run(0)
+        assert outcome.admission_rate > 0.95
+
+    def test_short_routes_admit_fewer(self, fast_graph):
+        long_rate = SybilGuard(no_attack_scenario(fast_graph), 60, seed=2).run(0).admission_rate
+        short_rate = SybilGuard(no_attack_scenario(fast_graph), 2, seed=2).run(0).admission_rate
+        assert short_rate < long_rate
+
+    def test_route_length_validation(self, fast_graph):
+        with pytest.raises(ValueError):
+            SybilGuard(no_attack_scenario(fast_graph), 0)
+
+    def test_explicit_suspects(self, fast_graph):
+        guard = SybilGuard(no_attack_scenario(fast_graph), 20, seed=3)
+        outcome = guard.run(0, suspects=[5, 6])
+        assert outcome.suspects.tolist() == [5, 6]
+
+    def test_verdicts_deterministic(self, fast_graph):
+        a = SybilGuard(no_attack_scenario(fast_graph), 25, seed=4).run(1)
+        b = SybilGuard(no_attack_scenario(fast_graph), 25, seed=4).run(1)
+        assert np.array_equal(a.accepted, b.accepted)
+
+    def test_sybils_with_few_attack_edges_mostly_rejected(self, fast_graph):
+        """With one attack edge and short routes, most sybils cannot
+        intersect the verifier's routes."""
+        sybil = random_sybil_region(120, seed=5)
+        scen = attach_sybil_region(fast_graph, sybil, 1, seed=6)
+        guard = SybilGuard(scen, 12, seed=7)
+        outcome = guard.run(0)
+        metrics = evaluate_admission(scen, outcome.suspects, outcome.accepted)
+        assert metrics.sybil_acceptance_rate < metrics.honest_admission_rate
+
+    def test_accepted_nodes_accessor(self, fast_graph):
+        guard = SybilGuard(no_attack_scenario(fast_graph), 30, seed=8)
+        outcome = guard.run(2)
+        assert set(outcome.accepted_nodes()) == set(outcome.suspects[outcome.accepted])

@@ -1,0 +1,93 @@
+"""Unit tests for SybilInfer."""
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi_gnm
+from repro.graph import largest_connected_component
+from repro.sybil import (
+    SybilInfer,
+    SybilInferParams,
+    attach_sybil_region,
+    generate_traces,
+    no_attack_scenario,
+    random_sybil_region,
+)
+
+
+@pytest.fixture(scope="module")
+def attack_scenario():
+    honest, _ = largest_connected_component(erdos_renyi_gnm(150, 900, seed=51))
+    sybil = random_sybil_region(50, seed=52)
+    return attach_sybil_region(honest, sybil, 3, seed=53)
+
+
+class TestTraces:
+    def test_shape_and_coverage(self, er_medium):
+        traces = generate_traces(er_medium, 5, 3, seed=1)
+        assert traces.shape == (3 * er_medium.num_nodes, 2)
+        assert np.unique(traces[:, 0]).size == er_medium.num_nodes
+
+    def test_endpoints_reachable(self, path4):
+        traces = generate_traces(path4, 1, 10, seed=2)
+        for s, e in traces:
+            assert path4.has_edge(int(s), int(e))
+
+    def test_validation(self, er_medium):
+        with pytest.raises(ValueError):
+            generate_traces(er_medium, 0, 1)
+        with pytest.raises(ValueError):
+            generate_traces(er_medium, 1, 0)
+
+    def test_isolated_node_rejected(self, triangle_plus_isolated):
+        with pytest.raises(ValueError):
+            generate_traces(triangle_plus_isolated, 2, 1)
+
+
+class TestParams:
+    def test_default_walk_length_log_n(self):
+        # Default is 3 * log2(n) (still O(log n); see the docstring).
+        params = SybilInferParams()
+        assert params.resolve_walk_length(1024) == 30
+        assert params.resolve_walk_length(2) == 3
+
+    def test_explicit_walk_length(self):
+        assert SybilInferParams(walk_length=7).resolve_walk_length(100) == 7
+
+
+class TestDetection:
+    def test_separates_regions(self, attack_scenario):
+        params = SybilInferParams(
+            num_samples=250, burn_in=500, steps_per_sample=5, walks_per_node=30
+        )
+        result = SybilInfer(attack_scenario, params, seed=54).run(0)
+        pred = result.honest_mask()
+        truth = attack_scenario.honest_mask()
+        accuracy = (pred == truth).mean()
+        assert accuracy > 0.9
+
+    def test_scores_in_unit_interval(self, attack_scenario):
+        params = SybilInferParams(num_samples=50, burn_in=50, steps_per_sample=2)
+        result = SybilInfer(attack_scenario, params, seed=55).run(0)
+        assert np.all(result.scores >= 0)
+        assert np.all(result.scores <= 1)
+
+    def test_trusted_node_always_honest(self, attack_scenario):
+        params = SybilInferParams(num_samples=50, burn_in=50, steps_per_sample=2)
+        result = SybilInfer(attack_scenario, params, seed=56).run(5)
+        assert result.scores[5] == 1.0
+
+    def test_detected_sybils_complement(self, attack_scenario):
+        params = SybilInferParams(num_samples=50, burn_in=50, steps_per_sample=2)
+        result = SybilInfer(attack_scenario, params, seed=57).run(0)
+        detected = set(result.detected_sybils().tolist())
+        honest = set(np.flatnonzero(result.honest_mask()).tolist())
+        assert not (detected & honest)
+        assert detected | honest == set(range(attack_scenario.graph.num_nodes))
+
+    def test_no_attack_keeps_most_nodes_honest(self):
+        honest, _ = largest_connected_component(erdos_renyi_gnm(120, 720, seed=58))
+        scen = no_attack_scenario(honest)
+        params = SybilInferParams(num_samples=100, burn_in=200, steps_per_sample=3)
+        result = SybilInfer(scen, params, seed=59).run(0)
+        assert result.honest_mask().mean() > 0.8

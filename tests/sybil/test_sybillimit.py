@@ -1,0 +1,149 @@
+"""Unit tests for the SybilLimit implementation (Figure 8's subject)."""
+
+import numpy as np
+import pytest
+
+from repro.generators import two_community_bridge, erdos_renyi_gnm
+from repro.graph import largest_connected_component
+from repro.sybil import (
+    SybilLimit,
+    SybilLimitParams,
+    attach_sybil_region,
+    default_num_instances,
+    evaluate_admission,
+    no_attack_scenario,
+    random_sybil_region,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_graph():
+    g, _ = largest_connected_component(erdos_renyi_gnm(300, 1800, seed=21))
+    return g
+
+
+@pytest.fixture(scope="module")
+def slow_scenario():
+    g, _ = two_community_bridge(150, 8, 2, seed=22)
+    return no_attack_scenario(g)
+
+
+class TestParams:
+    def test_default_num_instances(self):
+        assert default_num_instances(10_000) == 300
+        assert default_num_instances(10_000, r0=1.0) == 100
+        with pytest.raises(ValueError):
+            default_num_instances(0)
+
+    def test_resolve_instances_explicit(self):
+        params = SybilLimitParams(route_length=10, num_instances=7)
+        assert params.resolve_instances(999) == 7
+
+    def test_resolve_instances_birthday(self):
+        params = SybilLimitParams(route_length=10, r0=2.0)
+        assert params.resolve_instances(2500) == 100
+
+    def test_invalid_instances(self):
+        with pytest.raises(ValueError):
+            SybilLimitParams(route_length=10, num_instances=0).resolve_instances(10)
+
+    def test_balance_base_default_log_r(self):
+        params = SybilLimitParams(route_length=10)
+        assert params.resolve_balance_base(100) == pytest.approx(np.log(100))
+        assert params.resolve_balance_base(1) == 1.0
+
+    def test_balance_base_override(self):
+        params = SybilLimitParams(route_length=10, balance_base=9.0)
+        assert params.resolve_balance_base(5) == 9.0
+
+
+class TestNoAttackerAdmission:
+    def test_admission_increases_with_walk_length(self, slow_scenario):
+        protocol = SybilLimit(
+            slow_scenario, SybilLimitParams(route_length=200), seed=1
+        )
+        outcomes = protocol.admission_sweep(0, [5, 40, 200])
+        rates = [o.admission_rate for o in outcomes]
+        assert rates[0] < rates[1] < rates[2]
+        assert rates[2] > 0.9
+
+    def test_fast_graph_admits_quickly(self, fast_graph):
+        protocol = SybilLimit(
+            no_attack_scenario(fast_graph), SybilLimitParams(route_length=30), seed=2
+        )
+        outcome = protocol.run(0)
+        assert outcome.admission_rate > 0.95
+
+    def test_accepted_implies_intersected(self, slow_scenario):
+        protocol = SybilLimit(slow_scenario, SybilLimitParams(route_length=50), seed=3)
+        outcome = protocol.run(0)
+        assert np.all(outcome.intersected[outcome.accepted])
+
+    def test_balance_off_equals_intersection(self, fast_graph):
+        params = SybilLimitParams(route_length=30, enforce_balance=False)
+        protocol = SybilLimit(no_attack_scenario(fast_graph), params, seed=4)
+        outcome = protocol.run(0)
+        assert np.array_equal(outcome.accepted, outcome.intersected)
+
+    def test_explicit_suspects(self, fast_graph):
+        protocol = SybilLimit(
+            no_attack_scenario(fast_graph), SybilLimitParams(route_length=20), seed=5
+        )
+        outcome = protocol.run(0, suspects=[1, 2, 3])
+        assert outcome.suspects.tolist() == [1, 2, 3]
+        assert outcome.accepted.size == 3
+
+    def test_accepted_nodes_subset_of_suspects(self, fast_graph):
+        protocol = SybilLimit(
+            no_attack_scenario(fast_graph), SybilLimitParams(route_length=20), seed=6
+        )
+        outcome = protocol.run(0)
+        assert set(outcome.accepted_nodes()) <= set(outcome.suspects.tolist())
+
+    def test_sweep_is_sorted_and_deduped(self, fast_graph):
+        protocol = SybilLimit(
+            no_attack_scenario(fast_graph), SybilLimitParams(route_length=30), seed=7
+        )
+        outcomes = protocol.admission_sweep(0, [20, 5, 20])
+        assert [o.route_length for o in outcomes] == [5, 20]
+
+    def test_empty_admission_rate_nan(self, fast_graph):
+        protocol = SybilLimit(
+            no_attack_scenario(fast_graph), SybilLimitParams(route_length=10), seed=8
+        )
+        outcome = protocol.run(0, suspects=[])
+        assert np.isnan(outcome.admission_rate)
+
+
+class TestWithAttacker:
+    def test_sybil_acceptance_grows_with_walk_length(self, fast_graph):
+        sybil = random_sybil_region(100, seed=9)
+        scen = attach_sybil_region(fast_graph, sybil, 3, seed=10)
+        protocol = SybilLimit(scen, SybilLimitParams(route_length=120), seed=11)
+        outcomes = protocol.admission_sweep(0, [10, 120])
+        counts = []
+        for outcome in outcomes:
+            metrics = evaluate_admission(scen, outcome.suspects, outcome.accepted)
+            counts.append(metrics.sybil_accepted)
+        assert counts[1] > counts[0]
+
+    def test_balance_condition_limits_sybils(self, fast_graph):
+        """With balance off, an over-long walk accepts many more sybils."""
+        sybil = random_sybil_region(150, seed=12)
+        scen = attach_sybil_region(fast_graph, sybil, 2, seed=13)
+        with_balance = SybilLimit(
+            scen, SybilLimitParams(route_length=80), seed=14
+        ).run(0)
+        without_balance = SybilLimit(
+            scen, SybilLimitParams(route_length=80, enforce_balance=False), seed=14
+        ).run(0)
+        m_with = evaluate_admission(scen, with_balance.suspects, with_balance.accepted)
+        m_without = evaluate_admission(scen, without_balance.suspects, without_balance.accepted)
+        assert m_with.sybil_accepted <= m_without.sybil_accepted
+
+    def test_deterministic(self, fast_graph):
+        sybil = random_sybil_region(50, seed=15)
+        scen = attach_sybil_region(fast_graph, sybil, 2, seed=16)
+        a = SybilLimit(scen, SybilLimitParams(route_length=40), seed=17).run(0, seed=18)
+        b = SybilLimit(scen, SybilLimitParams(route_length=40), seed=17).run(0, seed=18)
+        assert np.array_equal(a.accepted, b.accepted)

@@ -1,0 +1,95 @@
+"""Unit tests for the Whānau DHT implementation."""
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi_gnm, two_community_bridge
+from repro.graph import largest_connected_component
+from repro.sybil import WhanauTables, build_whanau, lookup_success_rate
+
+
+@pytest.fixture(scope="module")
+def expander():
+    g, _ = largest_connected_component(erdos_renyi_gnm(300, 1800, seed=61))
+    return g
+
+
+@pytest.fixture(scope="module")
+def expander_tables(expander):
+    return build_whanau(expander, 20, seed=62)
+
+
+class TestConstruction:
+    def test_keys_distinct_on_ring(self, expander_tables):
+        keys = expander_tables.keys
+        assert np.unique(keys).size == keys.size
+        assert keys.min() >= 0 and keys.max() < 1
+
+    def test_fingers_sorted_by_key(self, expander_tables):
+        t = expander_tables
+        for v in range(0, t.num_nodes, 37):
+            fingers = t.fingers_of(v)
+            fkeys = t.finger_keys[t.finger_ptr[v]:t.finger_ptr[v + 1]]
+            assert np.all(np.diff(fkeys) > 0)
+            assert np.allclose(t.keys[fingers], fkeys)
+
+    def test_successor_tables_sorted(self, expander_tables):
+        t = expander_tables
+        for v in range(0, t.num_nodes, 41):
+            succ = t.successors_of(v)
+            assert np.all(np.diff(succ) > 0)
+
+    def test_deterministic(self, expander):
+        a = build_whanau(expander, 10, seed=5)
+        b = build_whanau(expander, 10, seed=5)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.finger_nodes, b.finger_nodes)
+        assert np.array_equal(a.successor_keys, b.successor_keys)
+
+    def test_validation(self, expander):
+        from repro.graph import Graph
+
+        with pytest.raises(ValueError):
+            build_whanau(expander, 0)
+        with pytest.raises(ValueError):
+            build_whanau(Graph.empty(5), 3)
+        iso = Graph.from_edges([(0, 1)], num_nodes=3)
+        with pytest.raises(ValueError, match="isolated"):
+            build_whanau(iso, 3)
+
+    def test_custom_table_sizes(self, expander):
+        t = build_whanau(expander, 10, num_fingers=8, num_successors=8, seed=6)
+        for v in range(0, t.num_nodes, 50):
+            assert t.fingers_of(v).size <= 8
+
+
+class TestLookup:
+    def test_high_success_on_expander(self, expander_tables):
+        stats = lookup_success_rate(expander_tables, num_lookups=300, seed=7)
+        assert stats.success_rate > 0.9
+
+    def test_self_lookup(self, expander_tables):
+        t = expander_tables
+        hits = sum(
+            t.lookup(v, float(t.keys[v])) for v in range(0, t.num_nodes, 23)
+        )
+        assert hits > 0
+
+    def test_success_improves_with_walk_length(self):
+        """The headline: short walks on a bottlenecked graph break Whānau."""
+        g, _ = two_community_bridge(200, 8, 2, seed=63)
+        short = build_whanau(g, 3, seed=64)
+        long = build_whanau(g, 120, seed=64)
+        r_short = lookup_success_rate(short, num_lookups=250, seed=65).success_rate
+        r_long = lookup_success_rate(long, num_lookups=250, seed=65).success_rate
+        assert r_long > r_short + 0.2
+
+    def test_stats_accessors(self, expander_tables):
+        stats = lookup_success_rate(expander_tables, num_lookups=50, seed=8)
+        assert stats.lookups == 50
+        assert 0 <= stats.successes <= 50
+        assert stats.walk_length == expander_tables.walk_length
+
+    def test_lookup_bounds_check(self, expander_tables):
+        with pytest.raises(IndexError):
+            expander_tables.lookup(10**6, 0.5)

@@ -1,0 +1,50 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    DatasetError,
+    GraphFormatError,
+    NotConnectedError,
+    NotErgodicError,
+    ReproError,
+    SamplingError,
+    ScenarioError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphFormatError,
+            NotConnectedError,
+            NotErgodicError,
+            ConvergenceError,
+            DatasetError,
+            ScenarioError,
+            SamplingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compat(self):
+        """Callers catching stdlib types keep working."""
+        assert issubclass(GraphFormatError, ValueError)
+        assert issubclass(NotConnectedError, ValueError)
+        assert issubclass(DatasetError, KeyError)
+        assert issubclass(ConvergenceError, RuntimeError)
+
+    def test_convergence_error_carries_partial(self):
+        err = ConvergenceError("nope", partial=0.42)
+        assert err.partial == 0.42
+        assert "nope" in str(err)
+
+    def test_convergence_error_default_partial(self):
+        assert ConvergenceError("x").partial is None
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise SamplingError("too big")

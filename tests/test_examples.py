@@ -1,0 +1,50 @@
+"""Syntax/structure checks for the example scripts.
+
+The examples double as documentation; full runs live in the benchmark
+tier (several take minutes), but every example must at least compile,
+carry a main() entry point, and a usage docstring.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestExamples:
+    def test_compiles(self, path):
+        source = path.read_text(encoding="utf-8")
+        compile(source, str(path), "exec")
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), path.name
+
+    def test_has_main_guard(self, path):
+        source = path.read_text(encoding="utf-8")
+        assert 'if __name__ == "__main__":' in source, path.name
+        assert "def main(" in source, path.name
+
+    def test_docstring_has_run_line(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        doc = ast.get_docstring(tree)
+        assert "Run:" in doc, f"{path.name} docstring should show how to run it"
+
+    def test_imports_resolve(self, path):
+        """Every repro import the example references must exist."""
+        import importlib
+
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), f"{node.module}.{alias.name}"
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLE_FILES) >= 5

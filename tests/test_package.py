@@ -1,0 +1,60 @@
+"""Package-surface tests: every public name resolves, exports stay honest."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.graph",
+    "repro.generators",
+    "repro.core",
+    "repro.sampling",
+    "repro.datasets",
+    "repro.sybil",
+    "repro.community",
+    "repro.experiments",
+]
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro"])
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), module_name
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_no_duplicate_exports(self, module_name):
+        module = importlib.import_module(module_name)
+        assert len(module.__all__) == len(set(module.__all__)), module_name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_exceptions_reachable_from_root(self):
+        assert issubclass(repro.NotConnectedError, repro.ReproError)
+        assert issubclass(repro.GraphFormatError, repro.ReproError)
+
+    def test_cli_entry_point_importable(self):
+        from repro.cli import main
+
+        assert callable(main)
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro", "repro.cli", "repro._util", "repro.errors"])
+    def test_docstrings_present(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+    def test_every_public_callable_documented(self):
+        """Every function/class exported by a subpackage has a docstring."""
+        import inspect
+
+        for module_name in SUBPACKAGES:
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if inspect.isfunction(obj) or inspect.isclass(obj):
+                    assert obj.__doc__ and obj.__doc__.strip(), f"{module_name}.{name}"

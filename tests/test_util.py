@@ -1,0 +1,122 @@
+"""Unit tests for internal helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_rng,
+    check_node_index,
+    check_probability_vector,
+    format_count,
+    geometric_grid,
+    percentile_slices,
+    stable_hash_u64,
+    unique_sorted_edges,
+)
+
+
+class TestAsRng:
+    def test_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert as_rng(rng) is rng
+
+    def test_int_seed_deterministic(self):
+        assert as_rng(5).integers(1000) == as_rng(5).integers(1000)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestProbabilityVector:
+    def test_valid(self):
+        out = check_probability_vector([0.25, 0.75])
+        assert out.dtype == np.float64
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.ones((2, 2)) / 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_probability_vector([-0.5, 1.5])
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probability_vector([0.3, 0.3])
+
+
+class TestNodeIndex:
+    def test_valid(self):
+        assert check_node_index(3, 5) == 3
+
+    def test_numpy_int(self):
+        assert check_node_index(np.int64(2), 5) == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            check_node_index(5, 5)
+        with pytest.raises(IndexError):
+            check_node_index(-1, 5)
+
+
+class TestUniqueSortedEdges:
+    def test_orientation_and_dedup(self):
+        u, v = unique_sorted_edges(np.asarray([3, 1, 1]), np.asarray([1, 3, 1]))
+        assert u.tolist() == [1]
+        assert v.tolist() == [3]
+
+    def test_drops_loops(self):
+        u, v = unique_sorted_edges(np.asarray([2]), np.asarray([2]))
+        assert u.size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            unique_sorted_edges(np.asarray([1]), np.asarray([1, 2]))
+
+
+class TestGrids:
+    def test_geometric_grid_endpoints(self):
+        grid = geometric_grid(0.001, 0.5, 10)
+        assert grid[0] == pytest.approx(0.001)
+        assert grid[-1] == pytest.approx(0.5)
+        ratios = grid[1:] / grid[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_grid(0, 1, 5)
+        with pytest.raises(ValueError):
+            geometric_grid(0.1, 1, 1)
+
+
+class TestPercentileSlices:
+    def test_bands(self):
+        values = np.arange(100, dtype=float)
+        out = percentile_slices(values, [("low", 0, 10), ("high", 90, 100)])
+        assert out["low"] == pytest.approx(np.mean(np.arange(10)))
+        assert out["high"] == pytest.approx(np.mean(np.arange(90, 100)))
+
+    def test_tiny_input(self):
+        out = percentile_slices(np.asarray([5.0]), [("only", 0, 100)])
+        assert out["only"] == 5.0
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            percentile_slices(np.asarray([1.0]), [("bad", 50, 10)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_slices(np.asarray([]), [("x", 0, 100)])
+
+
+class TestMisc:
+    def test_format_count(self):
+        assert format_count(1234567) == "1,234,567"
+
+    def test_stable_hash_deterministic(self):
+        assert stable_hash_u64("a", 1) == stable_hash_u64("a", 1)
+        assert stable_hash_u64("a", 1) != stable_hash_u64("a", 2)
