@@ -19,14 +19,13 @@ ergodicity at the cost of perturbing the chain.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConvergenceError, NotConnectedError
 from ..graph.digraph import DiGraph, strongly_connected_components
-from .._util import check_node_index, check_probability_vector
-from .distances import total_variation_distance
+from .operators import MarkovOperator
 
 __all__ = [
     "DirectedTransitionOperator",
@@ -35,7 +34,7 @@ __all__ = [
 ]
 
 
-class DirectedTransitionOperator:
+class DirectedTransitionOperator(MarkovOperator):
     """Row-stochastic operator of a directed random walk.
 
     Parameters
@@ -68,6 +67,9 @@ class DirectedTransitionOperator:
                     "digraph is not strongly connected; the pure walk is reducible"
                 )
         self._dangling = dangling
+        self._teleporting = damping < 1.0 or bool(dangling.any())
+        self._init_operator(graph.num_nodes)
+        self._power_cache: Dict[Tuple[float, int], np.ndarray] = {}
         from scipy.sparse import csr_matrix
 
         out_deg = np.maximum(graph.out_degrees, 1).astype(np.float64)
@@ -86,52 +88,30 @@ class DirectedTransitionOperator:
     def damping(self) -> float:
         return self._damping
 
-    @property
-    def num_states(self) -> int:
-        return self._graph.num_nodes
+    def _apply_block(self, block: np.ndarray) -> np.ndarray:
+        """One step of the (possibly teleporting) directed walk, batched.
 
-    def point_mass(self, node: int) -> np.ndarray:
-        node = check_node_index(node, self.num_states)
-        x = np.zeros(self.num_states, dtype=np.float64)
-        x[node] = 1.0
-        return x
-
-    def step(self, distribution: np.ndarray) -> np.ndarray:
-        """One step of the (possibly teleporting) directed walk."""
-        x = np.asarray(distribution, dtype=np.float64)
-        if x.shape != (self.num_states,):
-            raise ValueError(f"distribution must have shape ({self.num_states},)")
-        moved = np.asarray(x @ self._matrix).ravel()
-        if self._damping < 1.0 or self._dangling.any():
-            teleport_mass = (1.0 - self._damping) * (1.0 - x[self._dangling].sum())
-            teleport_mass += x[self._dangling].sum()  # dangling always jumps
+        Each row is treated independently; row ``i`` of the result is
+        bit-for-bit the single-vector step of row ``i``.
+        """
+        moved = np.asarray(block @ self._matrix)
+        if self._teleporting:
+            dangling_mass = block[:, self._dangling].sum(axis=1)
+            teleport_mass = (1.0 - self._damping) * (1.0 - dangling_mass)
+            teleport_mass = teleport_mass + dangling_mass  # dangling always jumps
             moved = self._damping * moved
             # Remove the damped contribution of dangling rows (their
             # matrix rows are zero anyway) and spread teleports uniformly.
-            return moved + teleport_mass / self.num_states
+            return moved + (teleport_mass / self.num_states)[:, np.newaxis]
         return moved
 
-    def evolve(self, distribution: np.ndarray, steps: int, *, validate: bool = True) -> np.ndarray:
-        if steps < 0:
-            raise ValueError("steps must be nonnegative")
-        x = (
-            check_probability_vector(distribution, name="distribution")
-            if validate
-            else np.asarray(distribution, dtype=np.float64)
-        )
-        for _ in range(steps):
-            x = self.step(x)
-        return x
+    def _compute_stationary(self) -> np.ndarray:
+        return self._power_stationary(tol=1e-12, max_iter=100_000)
 
-    def stationary(self, *, tol: float = 1e-12, max_iter: int = 100_000) -> np.ndarray:
-        """The stationary distribution by power iteration.
-
-        Raises :class:`ConvergenceError` when the chain fails to settle
-        (periodic pure walks do exactly that — use ``damping < 1``).
-        """
+    def _power_stationary(self, *, tol: float, max_iter: int) -> np.ndarray:
         x = np.full(self.num_states, 1.0 / self.num_states)
         for _ in range(max_iter):
-            nxt = self.step(x)
+            nxt = self._apply_block(x[np.newaxis, :])[0]
             if np.abs(nxt - x).sum() < tol:
                 return nxt
             x = nxt
@@ -139,6 +119,24 @@ class DirectedTransitionOperator:
             f"power iteration did not reach tol={tol}; chain may be periodic",
             partial=x,
         )
+
+    def stationary(self, *, tol: float = 1e-12, max_iter: int = 100_000) -> np.ndarray:
+        """The stationary distribution by power iteration (memoised).
+
+        The result is cached per ``(tol, max_iter)`` so repeated curve
+        measurements never re-run the iteration.  Raises
+        :class:`ConvergenceError` when the chain fails to settle
+        (periodic pure walks do exactly that — use ``damping < 1``).
+        """
+        key = (float(tol), int(max_iter))
+        cached = self._power_cache.get(key)
+        if cached is None:
+            cached = self._power_stationary(tol=tol, max_iter=max_iter)
+            cached.setflags(write=False)
+            self._power_cache[key] = cached
+            if self._stationary_cache is None and key == (1e-12, 100_000):
+                self._stationary_cache = cached
+        return cached
 
 
 def directed_second_eigenvalue_modulus(graph: DiGraph, *, damping: float = 1.0) -> float:
@@ -180,16 +178,16 @@ def directed_variation_curve(
     max_steps: int,
     *,
     damping: float = 1.0,
+    operator: Optional[DirectedTransitionOperator] = None,
 ) -> np.ndarray:
     """``curve[t]`` = TVD between the walk distribution after t steps and
     the stationary distribution (directed analogue of
-    :func:`repro.core.mixing.variation_distance_curve`)."""
-    op = DirectedTransitionOperator(graph, damping=damping)
-    pi = op.stationary(max_iter=200_000) if damping == 1.0 else op.stationary()
-    x = op.point_mass(source)
-    curve = np.empty(max_steps + 1, dtype=np.float64)
-    curve[0] = total_variation_distance(x, pi, validate=False)
-    for t in range(1, max_steps + 1):
-        x = op.step(x)
-        curve[t] = total_variation_distance(x, pi, validate=False)
-    return curve
+    :func:`repro.core.mixing.variation_distance_curve`).
+
+    Pass a prebuilt ``operator`` when measuring many sources on the same
+    digraph — its power-iterated stationary distribution is memoised, so
+    only the first call pays for it.
+    """
+    op = operator if operator is not None else DirectedTransitionOperator(graph, damping=damping)
+    pi = op.stationary(max_iter=200_000) if op.damping == 1.0 else op.stationary()
+    return op.variation_curve(source, max_steps, reference=pi)

@@ -14,6 +14,7 @@ from .._util import check_probability_vector
 
 __all__ = [
     "total_variation_distance",
+    "total_variation_to_reference",
     "separation_distance",
     "l2_distance",
     "kl_divergence",
@@ -33,6 +34,39 @@ def total_variation_distance(p: np.ndarray, q: np.ndarray, *, validate: bool = T
         if p.size != q.size:
             raise ValueError("p and q must have the same length")
     return float(0.5 * np.abs(p - q).sum())
+
+
+def total_variation_to_reference(
+    block: np.ndarray, reference: np.ndarray, *, validate: bool = True
+) -> np.ndarray:
+    """Row-wise TVD of an ``(s, n)`` block against one reference vector.
+
+    ``out[i] = (1/2) * sum_j |block[i, j] - reference[j]|`` — the batched
+    form of :func:`total_variation_distance` used by the
+    :class:`~repro.core.operators.MarkovOperator` block API.  Each entry
+    is bit-for-bit what the scalar function returns on the corresponding
+    row: the reduction runs per row as a contiguous 1-D pairwise sum
+    (``abs(x - ref).sum(axis=1)`` on a multi-row array picks a different
+    pairwise blocking than a 1-D sum, which would make results depend on
+    how sources are chunked into blocks — a 1-ulp drift the operator
+    layer promises never to introduce).
+    """
+    x = np.asarray(block, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"block must be 2-D (s, n), got shape {x.shape}")
+    if validate:
+        reference = check_probability_vector(reference, name="reference")
+        for i in range(x.shape[0]):
+            check_probability_vector(x[i], name=f"block[{i}]")
+    ref = np.asarray(reference, dtype=np.float64)
+    if ref.shape != (x.shape[1],):
+        raise ValueError("reference must have one entry per block column")
+    diff = np.abs(x - ref)
+    out = np.empty(x.shape[0], dtype=np.float64)
+    for i in range(x.shape[0]):
+        out[i] = diff[i].sum()
+    out *= 0.5
+    return out
 
 
 def separation_distance(p: np.ndarray, q: np.ndarray, *, validate: bool = True) -> float:

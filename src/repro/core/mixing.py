@@ -19,15 +19,15 @@ about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import ConvergenceError
 from ..graph import Graph
 from .._util import as_rng
-from .distances import total_variation_distance
+from .operators import MarkovOperator
 from .walks import TransitionOperator
 
 __all__ = [
@@ -42,25 +42,21 @@ __all__ = [
 
 
 def variation_distance_curve(
-    operator: TransitionOperator,
+    operator: MarkovOperator,
     source: int,
     max_steps: int,
 ) -> np.ndarray:
-    """``curve[t] = || pi - pi^{(source)} P^t ||_1`` for t = 0..max_steps."""
-    if max_steps < 0:
-        raise ValueError("max_steps must be nonnegative")
-    pi = operator.stationary()
-    x = operator.point_mass(source)
-    curve = np.empty(max_steps + 1, dtype=np.float64)
-    curve[0] = total_variation_distance(x, pi, validate=False)
-    for t in range(1, max_steps + 1):
-        x = operator.step(x)
-        curve[t] = total_variation_distance(x, pi, validate=False)
-    return curve
+    """``curve[t] = || pi - pi^{(source)} P^t ||_1`` for t = 0..max_steps.
+
+    Works for *any* :class:`~repro.core.operators.MarkovOperator`
+    (undirected, directed, weighted); delegates to the shared
+    :meth:`~repro.core.operators.MarkovOperator.variation_curve`.
+    """
+    return operator.variation_curve(source, max_steps)
 
 
 def mixing_time_from_source(
-    operator: TransitionOperator,
+    operator: MarkovOperator,
     source: int,
     epsilon: float,
     *,
@@ -71,22 +67,15 @@ def mixing_time_from_source(
     Raises :class:`ConvergenceError` (carrying the distance reached) when
     ``max_steps`` is hit first.
     """
-    if not 0.0 < epsilon < 1.0:
-        raise ValueError("epsilon must be in (0, 1)")
-    pi = operator.stationary()
-    x = operator.point_mass(source)
-    dist = total_variation_distance(x, pi, validate=False)
-    if dist < epsilon:
-        return 0
-    for t in range(1, max_steps + 1):
-        x = operator.step(x)
-        dist = total_variation_distance(x, pi, validate=False)
-        if dist < epsilon:
-            return t
-    raise ConvergenceError(
-        f"variation distance still {dist:.4g} >= {epsilon} after {max_steps} steps",
-        partial=dist,
-    )
+    result = operator.hitting_times([source], epsilon, max_steps=max_steps)
+    time = int(result.times[0])
+    if time < 0:
+        dist = float(result.final_distances[0])
+        raise ConvergenceError(
+            f"variation distance still {dist:.4g} >= {epsilon} after {max_steps} steps",
+            partial=dist,
+        )
+    return time
 
 
 def sample_sources(
@@ -176,6 +165,7 @@ def measure_mixing(
     seed=None,
     laziness: float = 0.0,
     check_aperiodic: bool = True,
+    block_size: Optional[int] = None,
 ) -> PerSourceMixing:
     """Measure variation distance at the given walk lengths.
 
@@ -190,6 +180,16 @@ def measure_mixing(
     laziness:
         Forwarded to :class:`TransitionOperator` (use > 0 on bipartite
         graphs).
+    block_size:
+        Sources per evolution chunk; ``None`` sizes the chunk from the
+        operator layer's memory budget (see
+        :func:`~repro.core.operators.resolve_block_size`).
+
+    All sources are evolved through the shared
+    :meth:`~repro.core.operators.MarkovOperator.variation_curves` block
+    API — one sparse-times-dense product advances a whole chunk per step,
+    an order of magnitude faster than per-source vector products (same
+    math, bit-identical results).
     """
     lengths = np.asarray(list(walk_lengths), dtype=np.int64)
     if lengths.size == 0:
@@ -205,26 +205,7 @@ def measure_mixing(
             raise ValueError("sources must be non-empty")
 
     operator = TransitionOperator(graph, laziness=laziness, check_aperiodic=check_aperiodic)
-    pi = operator.stationary()
-    matrix = operator.matrix()
-    max_len = int(lengths[-1])
-    out = np.empty((source_ids.size, lengths.size), dtype=np.float64)
-    # Evolve sources in blocks: one sparse-times-dense product advances a
-    # whole block per step, which is an order of magnitude faster than
-    # per-source vector products (same math, same results).
-    block = 64
-    n = graph.num_nodes
-    for lo in range(0, source_ids.size, block):
-        chunk = source_ids[lo:lo + block]
-        x = np.zeros((chunk.size, n), dtype=np.float64)
-        x[np.arange(chunk.size), chunk] = 1.0
-        col = 0
-        for t in range(0, max_len + 1):
-            if col < lengths.size and lengths[col] == t:
-                out[lo:lo + chunk.size, col] = 0.5 * np.abs(x - pi).sum(axis=1)
-                col += 1
-            if t < max_len:
-                x = x @ matrix
+    out = operator.variation_curves(source_ids, lengths, block_size=block_size)
     return PerSourceMixing(sources=source_ids, walk_lengths=lengths, distances=out)
 
 
@@ -261,8 +242,15 @@ def estimate_mixing_time(
     max_steps: int = 10_000,
     seed=None,
     laziness: float = 0.0,
+    block_size: Optional[int] = None,
 ) -> MixingTimeEstimate:
     """Estimate T(eps) by per-source hitting times of the eps ball.
+
+    All sources are evolved as one chunked block through
+    :meth:`~repro.core.operators.MarkovOperator.hitting_times`, with
+    early-exit masking: rows whose distance has already fallen below
+    ``epsilon`` stop being stepped, so the block shrinks as sources
+    converge.
 
     Returns a :class:`MixingTimeEstimate`; raises
     :class:`ConvergenceError` when *no* source converges within
@@ -275,12 +263,9 @@ def estimate_mixing_time(
         source_ids = np.asarray(list(sources), dtype=np.int64)
         exhaustive = False
     operator = TransitionOperator(graph, laziness=laziness)
-    times = np.empty(source_ids.size, dtype=np.int64)
-    for i, src in enumerate(source_ids):
-        try:
-            times[i] = mixing_time_from_source(operator, int(src), epsilon, max_steps=max_steps)
-        except ConvergenceError:
-            times[i] = -1
+    times = operator.hitting_times(
+        source_ids, epsilon, max_steps=max_steps, block_size=block_size
+    ).times
     if np.all(times < 0):
         raise ConvergenceError(
             f"no source reached epsilon={epsilon} within {max_steps} steps",

@@ -15,6 +15,7 @@ from ..graph import Graph
 
 __all__ = [
     "stationary_distribution",
+    "weighted_stationary_distribution",
     "is_stationary",
     "stationary_residual",
     "uniform_distribution",
@@ -34,6 +35,24 @@ def stationary_distribution(graph: Graph) -> np.ndarray:
     if np.any(deg == 0):
         raise NotConnectedError("stationary distribution undefined: graph has isolated nodes")
     return deg / (2.0 * graph.num_edges)
+
+
+def weighted_stationary_distribution(strength: np.ndarray) -> np.ndarray:
+    """``pi`` of a reversible weighted walk: ``pi_v = strength(v) / total``.
+
+    The weighted analogue of Theorem 1 — with symmetric positive edge
+    weights the chain ``P = D_s^{-1} W`` is reversible and its stationary
+    mass is strength-proportional.  Used by
+    :class:`~repro.core.trust.WeightedTransitionOperator`.
+    """
+    s = np.asarray(strength, dtype=np.float64)
+    if s.ndim != 1 or s.size == 0:
+        raise ValueError("strength must be a non-empty 1-D array")
+    if np.any(s <= 0):
+        raise NotConnectedError(
+            "weighted stationary distribution undefined: node with zero strength"
+        )
+    return s / s.sum()
 
 
 def uniform_distribution(n: int) -> np.ndarray:

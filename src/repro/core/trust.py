@@ -24,20 +24,22 @@ time.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..errors import NotConnectedError
 from ..graph import Graph, is_connected
 from .._util import check_node_index
-from .distances import total_variation_distance
-from .stationary import stationary_distribution
+from .distances import total_variation_to_reference
+from .operators import MarkovOperator, resolve_block_size
+from .stationary import stationary_distribution, weighted_stationary_distribution
 
 __all__ = [
     "jaccard_arc_weights",
     "WeightedTransitionOperator",
     "originator_biased_curve",
+    "originator_biased_curves",
     "weighted_slem",
 ]
 
@@ -66,7 +68,7 @@ def jaccard_arc_weights(graph: Graph, *, smoothing: float = 0.1) -> np.ndarray:
     return weights
 
 
-class WeightedTransitionOperator:
+class WeightedTransitionOperator(MarkovOperator):
     """Random walk with symmetric positive edge weights.
 
     ``P_{uv} = w_{uv} / strength(u)`` where ``strength(u) = sum_v w_{uv}``.
@@ -86,6 +88,7 @@ class WeightedTransitionOperator:
             raise NotConnectedError("graph is disconnected")
         self._graph = graph
         self._weights = arc_weights
+        self._init_operator(graph.num_nodes)
         strength = np.zeros(graph.num_nodes, dtype=np.float64)
         src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees)
         np.add.at(strength, src, arc_weights)
@@ -109,42 +112,74 @@ class WeightedTransitionOperator:
     def graph(self) -> Graph:
         return self._graph
 
-    @property
-    def num_states(self) -> int:
-        return self._graph.num_nodes
-
     def strength(self) -> np.ndarray:
         """Weighted degree of every node."""
         return self._strength
 
-    def stationary(self) -> np.ndarray:
-        """Strength-proportional stationary distribution."""
-        return self._strength / self._strength.sum()
+    def _compute_stationary(self) -> np.ndarray:
+        """Strength-proportional stationary distribution (weighted
+        Theorem 1: ``pi_v = strength(v) / total``)."""
+        return weighted_stationary_distribution(self._strength)
 
-    def point_mass(self, node: int) -> np.ndarray:
-        node = check_node_index(node, self.num_states)
-        x = np.zeros(self.num_states, dtype=np.float64)
-        x[node] = 1.0
-        return x
 
-    def step(self, distribution: np.ndarray) -> np.ndarray:
-        x = np.asarray(distribution, dtype=np.float64)
-        if x.shape != (self.num_states,):
-            raise ValueError(f"distribution must have shape ({self.num_states},)")
-        return np.asarray(x @ self._matrix).ravel()
+def originator_biased_curves(
+    graph: Graph,
+    sources: Sequence[int],
+    beta: float,
+    walk_lengths: Sequence[int],
+    *,
+    block_size: Optional[int] = None,
+) -> np.ndarray:
+    """Batched originator-biased measurement: ``(s, w)`` distances.
 
-    def variation_curve(self, source: int, max_steps: int) -> np.ndarray:
-        """TVD to the weighted stationary distribution after each step."""
-        if max_steps < 0:
-            raise ValueError("max_steps must be nonnegative")
-        pi = self.stationary()
-        x = self.point_mass(source)
-        curve = np.empty(max_steps + 1, dtype=np.float64)
-        curve[0] = total_variation_distance(x, pi, validate=False)
-        for t in range(1, max_steps + 1):
-            x = self.step(x)
-            curve[t] = total_variation_distance(x, pi, validate=False)
-        return curve
+    ``out[i, j]`` is the TVD between the *plain* stationary distribution
+    and the biased walk of length ``walk_lengths[j]`` whose originator is
+    ``sources[i]``.  Unlike the other chains, every source defines its
+    own operator (``P'_i = beta * (jump to sources[i]) + (1 - beta) P``),
+    so the per-row bias injection happens inside the block step — one
+    SpMM per step still advances all sources at once.
+    """
+    if not 0.0 <= beta < 1.0:
+        raise ValueError("beta must be in [0, 1)")
+    lengths = np.asarray(walk_lengths, dtype=np.int64).ravel()
+    if lengths.size == 0:
+        raise ValueError("walk_lengths must be non-empty")
+    if np.any(lengths < 0) or np.any(np.diff(lengths) <= 0):
+        raise ValueError("walk_lengths must be strictly increasing and nonnegative")
+    src = np.asarray(
+        [check_node_index(s, graph.num_nodes, name="source") for s in np.asarray(sources).ravel()],
+        dtype=np.int64,
+    )
+    if src.size == 0:
+        raise ValueError("sources must be non-empty")
+    pi = stationary_distribution(graph)
+    from scipy.sparse import csr_matrix
+
+    inv_deg = 1.0 / graph.degrees.astype(np.float64)
+    data = np.repeat(inv_deg, graph.degrees)
+    n = graph.num_nodes
+    plain = csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
+
+    chunk_rows = resolve_block_size(n, block_size)
+    max_len = int(lengths[-1])
+    out = np.empty((src.size, lengths.size), dtype=np.float64)
+    for lo in range(0, src.size, chunk_rows):
+        chunk = src[lo:lo + chunk_rows]
+        rows = np.arange(chunk.size)
+        x = np.zeros((chunk.size, n), dtype=np.float64)
+        x[rows, chunk] = 1.0
+        col = 0
+        for t in range(max_len + 1):
+            if col < lengths.size and lengths[col] == t:
+                out[lo:lo + chunk.size, col] = total_variation_to_reference(
+                    x, pi, validate=False
+                )
+                col += 1
+            if t < max_len:
+                moved = np.asarray(x @ plain)
+                x = (1.0 - beta) * moved
+                x[rows, chunk] += beta
+    return out
 
 
 def originator_biased_curve(
@@ -161,31 +196,12 @@ def originator_biased_curve(
     measuring against the unbiased ``pi`` quantifies how much of the
     graph the biased walk can actually cover — the utility/security
     trade-off of the trust design.  ``beta = 0`` recovers the plain
-    curve.
+    curve.  (Single-source convenience wrapper over
+    :func:`originator_biased_curves`.)
     """
-    if not 0.0 <= beta < 1.0:
-        raise ValueError("beta must be in [0, 1)")
     if max_steps < 0:
         raise ValueError("max_steps must be nonnegative")
-    source = check_node_index(source, graph.num_nodes, name="source")
-    pi = stationary_distribution(graph)
-    from scipy.sparse import csr_matrix
-
-    inv_deg = 1.0 / graph.degrees.astype(np.float64)
-    data = np.repeat(inv_deg, graph.degrees)
-    n = graph.num_nodes
-    plain = csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
-
-    x = np.zeros(n, dtype=np.float64)
-    x[source] = 1.0
-    curve = np.empty(max_steps + 1, dtype=np.float64)
-    curve[0] = total_variation_distance(x, pi, validate=False)
-    for t in range(1, max_steps + 1):
-        moved = np.asarray(x @ plain).ravel()
-        x = (1.0 - beta) * moved
-        x[source] += beta
-        curve[t] = total_variation_distance(x, pi, validate=False)
-    return curve
+    return originator_biased_curves(graph, [source], beta, np.arange(max_steps + 1))[0]
 
 
 def weighted_slem(graph: Graph, arc_weights: np.ndarray) -> float:

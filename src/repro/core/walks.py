@@ -3,7 +3,9 @@
 The central object is :class:`TransitionOperator` — the row-stochastic
 matrix ``P = D^{-1} A`` of Section 3.1, equation (1), wrapped so that
 distribution evolution (``x P^t``) runs as sparse matrix–vector products
-without ever materialising ``P^t``.
+without ever materialising ``P^t``.  All evolution machinery (point
+masses, stepping, block evolution, batched measurement) lives on the
+shared :class:`~repro.core.operators.MarkovOperator` base.
 
 A *lazy* variant ``P' = alpha I + (1-alpha) P`` is offered because the
 plain walk is periodic on bipartite graphs (the chain is then not
@@ -13,13 +15,12 @@ distribution.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..errors import NotConnectedError, NotErgodicError
 from ..graph import Graph, is_connected
-from .._util import as_rng, check_node_index, check_probability_vector
+from .._util import as_rng, check_node_index
+from .operators import MarkovOperator
 from .stationary import stationary_distribution
 
 __all__ = ["TransitionOperator", "simulate_walk", "simulate_walk_endpoints", "is_bipartite"]
@@ -49,7 +50,7 @@ def is_bipartite(graph: Graph) -> bool:
     return True
 
 
-class TransitionOperator:
+class TransitionOperator(MarkovOperator):
     """The simple-random-walk transition matrix of an undirected graph.
 
     Parameters
@@ -89,6 +90,7 @@ class TransitionOperator:
             )
         self._graph = graph
         self._laziness = float(laziness)
+        self._init_operator(graph.num_nodes)
         # Sparse row-stochastic matrix, stored CSR for fast x @ P.
         from scipy.sparse import csr_matrix
 
@@ -115,71 +117,13 @@ class TransitionOperator:
         """Self-loop probability alpha."""
         return self._laziness
 
-    @property
-    def num_states(self) -> int:
-        """Number of chain states (= graph nodes)."""
-        return self._graph.num_nodes
-
     def matrix(self):
         """The transition matrix as ``scipy.sparse.csr_matrix`` (copy-safe view)."""
         return self._matrix
 
-    def stationary(self) -> np.ndarray:
-        """The stationary distribution ``pi`` (Theorem 1: pi_v = deg(v)/2m).
-
-        Laziness does not change it.
-        """
+    def _compute_stationary(self) -> np.ndarray:
+        """Theorem 1: pi_v = deg(v)/2m.  Laziness does not change it."""
         return stationary_distribution(self._graph)
-
-    # ------------------------------------------------------------------
-    # Distribution evolution
-    # ------------------------------------------------------------------
-    def point_mass(self, node: int) -> np.ndarray:
-        """The initial distribution pi^{(i)} concentrated at ``node``."""
-        node = check_node_index(node, self.num_states)
-        x = np.zeros(self.num_states, dtype=np.float64)
-        x[node] = 1.0
-        return x
-
-    def step(self, distribution: np.ndarray) -> np.ndarray:
-        """One step: returns ``x P`` for a row distribution ``x``."""
-        x = np.asarray(distribution, dtype=np.float64)
-        if x.shape != (self.num_states,):
-            raise ValueError(f"distribution must have shape ({self.num_states},)")
-        return np.asarray(x @ self._matrix).ravel()
-
-    def evolve(self, distribution: np.ndarray, steps: int, *, validate: bool = True) -> np.ndarray:
-        """The distribution after ``steps`` applications of P."""
-        if steps < 0:
-            raise ValueError("steps must be nonnegative")
-        x = (
-            check_probability_vector(distribution, name="distribution")
-            if validate
-            else np.asarray(distribution, dtype=np.float64)
-        )
-        for _ in range(steps):
-            x = np.asarray(x @ self._matrix).ravel()
-        return x
-
-    def trajectory(self, distribution: np.ndarray, steps: int, *, validate: bool = True) -> np.ndarray:
-        """All intermediate distributions: shape ``(steps + 1, n)``.
-
-        Row ``t`` is the distribution after ``t`` steps (row 0 is the
-        input).  Memory is ``(steps + 1) * n`` floats — use
-        :meth:`evolve` when only the endpoint matters.
-        """
-        if steps < 0:
-            raise ValueError("steps must be nonnegative")
-        x = (
-            check_probability_vector(distribution, name="distribution")
-            if validate
-            else np.asarray(distribution, dtype=np.float64)
-        )
-        out = np.empty((steps + 1, self.num_states), dtype=np.float64)
-        out[0] = x
-        for t in range(1, steps + 1):
-            out[t] = np.asarray(out[t - 1] @ self._matrix).ravel()
-        return out
 
     def transition_probability(self, u: int, v: int) -> float:
         """The single entry ``p_{uv}`` of equation (1)."""

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from ..core import cdf_at_walk_length, measure_mixing, PerSourceMixing
 from ..datasets import load_cached, physics_dataset_names
 from .config import ExperimentConfig, FAST
@@ -47,6 +45,7 @@ def measure_physics(
             sorted(walks),
             sources=config.brute_force_sources,
             seed=config.seed,
+            block_size=config.evolution_block_size,
         )
     return out
 

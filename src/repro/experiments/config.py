@@ -10,8 +10,8 @@ shapes* are the same in both modes — fast mode only adds sampling noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 __all__ = ["ExperimentConfig", "FAST", "FULL"]
 
@@ -30,6 +30,12 @@ class ExperimentConfig:
         The ε values at which bound curves are reported (Figures 1-2).
     short_walks / long_walks:
         Figure 3 / Figure 4 walk-length checkpoints (paper values).
+    evolution_block_size:
+        Sources per chunk in the batched Markov-operator evolution
+        (``None`` → sized automatically from the operator layer's memory
+        budget; see :func:`repro.core.operators.resolve_block_size`).
+        Exposed as a knob so scaling studies can trade memory for fewer,
+        larger SpMM calls.
     """
 
     mode: str = "fast"
@@ -37,6 +43,7 @@ class ExperimentConfig:
     epsilon_grid: Tuple[float, ...] = (0.25, 0.1, 0.05, 0.01, 1e-3, 1e-4)
     short_walks: Tuple[int, ...] = (1, 5, 10, 20, 40)
     long_walks: Tuple[int, ...] = (80, 100, 200, 300, 400, 500)
+    evolution_block_size: Optional[int] = None
 
     def __post_init__(self):
         if self.mode not in ("fast", "full"):

@@ -13,7 +13,7 @@ Facebook panels; larger samples of the same graph mix slower.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -72,6 +72,7 @@ def run_figure7(
                 walks,
                 sources=min(config.sampled_sources, graph.num_nodes),
                 seed=config.seed,
+                block_size=config.evolution_block_size,
             )
             bands = percentile_bands(measurement, PAPER_BANDS)
             mu = slem(graph)

@@ -16,7 +16,7 @@ mixing, per trim level.  The claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -57,6 +57,7 @@ def trim_levels(
             walks,
             sources=min(config.sampled_sources, graph.num_nodes),
             seed=config.seed + k,
+            block_size=config.evolution_block_size,
         )
         out.append(
             TrimLevel(

@@ -29,7 +29,6 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .._util import as_rng
 from .scenario import SybilScenario
 
 __all__ = ["SybilRankResult", "sybilrank", "ranking_quality", "recommended_iterations"]
@@ -95,16 +94,17 @@ def sybilrank(
     if iterations < 0:
         raise ValueError("iterations must be nonnegative")
 
-    from scipy.sparse import csr_matrix
+    # Trust propagation *is* distribution evolution under the shared
+    # Markov-operator layer (the trust vector sums to n, not 1, but the
+    # operator is linear, so evolve without probability validation).
+    # Ergodicity checks are disabled: SybilRank deliberately runs on the
+    # raw scenario graph, early-terminated.
+    from ..core.walks import TransitionOperator
 
-    inv_deg = 1.0 / graph.degrees.astype(np.float64)
-    data = np.repeat(inv_deg, graph.degrees)
-    matrix = csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
-
+    operator = TransitionOperator(graph, check_connected=False, check_aperiodic=False)
     trust = np.zeros(n, dtype=np.float64)
     trust[seeds] = float(n) / seeds.size
-    for _ in range(iterations):
-        trust = np.asarray(trust @ matrix).ravel()
+    trust = operator.evolve(trust, int(iterations), validate=False)
     scores = trust / graph.degrees.astype(np.float64)
     return SybilRankResult(scores=scores, iterations=int(iterations), seeds=seeds)
 
