@@ -1,0 +1,277 @@
+"""Golden-value regression suite for the measurement pipeline.
+
+Pins Table-1-style numbers on small deterministic graphs against a
+committed JSON fixture (``tests/data/golden_values.json``):
+
+* the SLEM (and the signed ``lambda_2`` / ``lambda_min``) via **all
+  three** ``transition_spectrum_extremes`` back-ends,
+* the Theorem-2 lower/upper mixing-time bounds derived from the SLEM,
+* the definition-based ``measure_mixing`` TVD curves at fixed sources
+  and walk-length checkpoints,
+* the sampled ``estimate_mixing_time`` hitting-time summary.
+
+Every pinned value carries an explicit per-value tolerance (exact
+eigensolvers get ``1e-12``, ARPACK ``1e-8``, the deflated power method
+``1e-6``, evolved TVD curves ``1e-12``), so *any* future numeric drift —
+a refactor of the operator layer, a parallel runtime, a BLAS change that
+reorders reductions — fails loudly with the offending quantity named.
+
+The graphs are tiny and fully deterministic: the Zachary karate club
+(shipped in ``tests/data/karate.txt``), the Petersen graph (closed-form
+walk spectrum {1, 1/3, -2/3}), a seeded two-community bridge (the
+slow-mixing extreme) and a seeded Erdős–Rényi LCC (the fast-mixing
+control).
+
+Regenerating the fixture (only when a numeric change is *intended*)::
+
+    PYTHONPATH=src python tests/core/test_golden_values.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_mixing_time,
+    measure_mixing,
+    mixing_time_lower_bound,
+    mixing_time_upper_bound,
+    transition_spectrum_extremes,
+)
+from repro.generators import erdos_renyi_gnm, two_community_bridge
+from repro.graph import Graph, largest_connected_component
+from repro.graph.io import load_graph
+
+FIXTURE_PATH = Path(__file__).parent.parent / "data" / "golden_values.json"
+KARATE_PATH = Path(__file__).parent.parent / "data" / "karate.txt"
+
+#: Walk-length checkpoints for the pinned TVD curves (Figure-3 style).
+GOLDEN_WALKS = [1, 2, 5, 10, 20, 40]
+
+#: Fixed measurement sources (deterministic; all graphs have >= 10 nodes).
+GOLDEN_SOURCES = [0, 1, 2, 3, 5, 8]
+
+#: Epsilons at which the Theorem-2 bounds are pinned.
+GOLDEN_EPSILONS = [0.25, 0.1, 0.01]
+
+#: Per-back-end absolute tolerances for the spectral quantities.
+SPECTRAL_ATOL = {"dense": 1e-12, "sparse": 1e-8, "power": 1e-6}
+
+#: Absolute tolerance for evolved TVD curves (deterministic pairwise
+#: reductions; anything beyond a few ulps is a real numeric change).
+CURVE_ATOL = 1e-12
+
+#: Relative tolerance for the closed-form bound values.
+BOUND_RTOL = 1e-9
+
+
+def _petersen() -> Graph:
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return Graph.from_edges(outer + spokes + inner)
+
+
+def build_golden_graphs() -> "dict[str, Graph]":
+    """The deterministic graph zoo the goldens are pinned on."""
+    er, _ = largest_connected_component(erdos_renyi_gnm(80, 240, seed=11))
+    bridge, _ = two_community_bridge(30, 5, 1, seed=7)
+    return {
+        "karate": load_graph(KARATE_PATH),
+        "petersen": _petersen(),
+        "bridge": bridge,
+        "er80": er,
+    }
+
+
+def compute_golden_values() -> dict:
+    """Recompute every pinned quantity from scratch (the fixture's source)."""
+    out: dict = {}
+    for name, graph in build_golden_graphs().items():
+        entry: dict = {
+            "num_nodes": int(graph.num_nodes),
+            "num_edges": int(graph.num_edges),
+            "spectrum": {},
+        }
+        for method in ("dense", "sparse", "power"):
+            summary = transition_spectrum_extremes(graph, method=method)
+            entry["spectrum"][method] = {
+                "lambda2": summary.lambda2,
+                "lambda_min": summary.lambda_min,
+                "slem": summary.slem,
+            }
+        mu = entry["spectrum"]["dense"]["slem"]
+        entry["bounds"] = {
+            str(eps): {
+                "lower": mixing_time_lower_bound(mu, eps),
+                "upper": mixing_time_upper_bound(mu, eps, graph.num_nodes),
+            }
+            for eps in GOLDEN_EPSILONS
+        }
+        measurement = measure_mixing(graph, GOLDEN_WALKS, sources=GOLDEN_SOURCES)
+        entry["tvd_curves"] = {
+            "sources": GOLDEN_SOURCES,
+            "walk_lengths": GOLDEN_WALKS,
+            "distances": measurement.distances.tolist(),
+            "worst_case": measurement.worst_case().tolist(),
+            "average_case": measurement.average_case().tolist(),
+        }
+        estimate = estimate_mixing_time(graph, 0.2, sources=GOLDEN_SOURCES, max_steps=500)
+        entry["estimate"] = {
+            "epsilon": 0.2,
+            "walk_length": int(estimate.walk_length),
+            "per_source": [int(t) for t in estimate.per_source],
+        }
+        out[name] = entry
+    return out
+
+
+def load_fixture() -> dict:
+    with FIXTURE_PATH.open(encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+GRAPH_NAMES = ["karate", "petersen", "bridge", "er80"]
+
+
+@pytest.fixture(scope="module")
+def fixture() -> dict:
+    assert FIXTURE_PATH.exists(), (
+        "golden fixture missing; regenerate with "
+        "`PYTHONPATH=src python tests/core/test_golden_values.py --regenerate`"
+    )
+    return load_fixture()
+
+
+@pytest.fixture(scope="module")
+def graphs() -> "dict[str, Graph]":
+    return build_golden_graphs()
+
+
+class TestGraphIdentity:
+    """The graphs themselves must be reproduced bit-for-bit — a changed
+    generator invalidates every downstream golden, so fail here first."""
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_order_and_size(self, fixture, graphs, name):
+        assert graphs[name].num_nodes == fixture["graphs"][name]["num_nodes"]
+        assert graphs[name].num_edges == fixture["graphs"][name]["num_edges"]
+
+
+class TestSpectralGoldens:
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    @pytest.mark.parametrize("method", ["dense", "sparse", "power"])
+    def test_spectrum_extremes(self, fixture, graphs, name, method):
+        golden = fixture["graphs"][name]["spectrum"][method]
+        summary = transition_spectrum_extremes(graphs[name], method=method)
+        atol = SPECTRAL_ATOL[method]
+        for key, got in (
+            ("lambda2", summary.lambda2),
+            ("lambda_min", summary.lambda_min),
+            ("slem", summary.slem),
+        ):
+            assert got == pytest.approx(golden[key], abs=atol), (
+                f"{name}/{method}/{key} drifted: {got!r} != {golden[key]!r} (atol={atol})"
+            )
+
+    def test_petersen_closed_form(self, graphs):
+        """Sanity anchor independent of the fixture: the Petersen walk
+        spectrum is exactly {1, 1/3, -2/3}."""
+        summary = transition_spectrum_extremes(graphs["petersen"], method="dense")
+        assert summary.lambda2 == pytest.approx(1.0 / 3.0, abs=1e-12)
+        assert summary.lambda_min == pytest.approx(-2.0 / 3.0, abs=1e-12)
+        assert summary.slem == pytest.approx(2.0 / 3.0, abs=1e-12)
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_backends_agree(self, fixture, name):
+        """Cross-check: the three back-ends pin the *same* SLEM within the
+        loosest back-end tolerance."""
+        spectrum = fixture["graphs"][name]["spectrum"]
+        dense = spectrum["dense"]["slem"]
+        assert spectrum["sparse"]["slem"] == pytest.approx(dense, abs=1e-7)
+        assert spectrum["power"]["slem"] == pytest.approx(dense, abs=1e-5)
+
+
+class TestBoundGoldens:
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    @pytest.mark.parametrize("eps", GOLDEN_EPSILONS)
+    def test_lower_and_upper_bounds(self, fixture, graphs, name, eps):
+        entry = fixture["graphs"][name]
+        mu = entry["spectrum"]["dense"]["slem"]
+        golden = entry["bounds"][str(eps)]
+        lower = mixing_time_lower_bound(mu, eps)
+        upper = mixing_time_upper_bound(mu, eps, graphs[name].num_nodes)
+        assert lower == pytest.approx(golden["lower"], rel=BOUND_RTOL)
+        assert upper == pytest.approx(golden["upper"], rel=BOUND_RTOL)
+        if eps < 0.5:
+            assert lower <= upper
+
+
+class TestCurveGoldens:
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_tvd_curves(self, fixture, graphs, name):
+        golden = fixture["graphs"][name]["tvd_curves"]
+        measurement = measure_mixing(
+            graphs[name], golden["walk_lengths"], sources=golden["sources"]
+        )
+        got = measurement.distances
+        want = np.asarray(golden["distances"], dtype=np.float64)
+        assert got.shape == want.shape
+        worst = np.abs(got - want).max()
+        assert worst <= CURVE_ATOL, (
+            f"{name}: TVD curve drifted by {worst:.3e} (> {CURVE_ATOL})"
+        )
+        assert measurement.worst_case() == pytest.approx(
+            golden["worst_case"], abs=CURVE_ATOL
+        )
+        assert measurement.average_case() == pytest.approx(
+            golden["average_case"], abs=CURVE_ATOL
+        )
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_curves_monotone_envelope(self, fixture, name):
+        """Qualitative pin alongside the exact one: worst-case distance
+        never increases along the recorded checkpoints."""
+        worst = np.asarray(fixture["graphs"][name]["tvd_curves"]["worst_case"])
+        assert np.all(np.diff(worst) <= 1e-12)
+
+
+class TestEstimateGoldens:
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_hitting_time_estimate(self, fixture, graphs, name):
+        golden = fixture["graphs"][name]["estimate"]
+        estimate = estimate_mixing_time(
+            graphs[name], golden["epsilon"], sources=GOLDEN_SOURCES, max_steps=500
+        )
+        assert estimate.walk_length == golden["walk_length"]
+        assert [int(t) for t in estimate.per_source] == golden["per_source"]
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance entry point
+    payload = {
+        "_meta": {
+            "description": "Golden regression values for the mixing-time pipeline",
+            "regenerate": "PYTHONPATH=src python tests/core/test_golden_values.py --regenerate",
+            "tolerances": {
+                "spectral": SPECTRAL_ATOL,
+                "curves_atol": CURVE_ATOL,
+                "bounds_rtol": BOUND_RTOL,
+            },
+        },
+        "graphs": compute_golden_values(),
+    }
+    FIXTURE_PATH.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    print(f"wrote {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
