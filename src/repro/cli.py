@@ -105,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each experiment's text output to DIR/<name>.txt",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="processes for multi-source sweeps (-1 = all cores; "
+        "default serial; results are identical at any setting)",
+    )
     return parser
 
 
@@ -127,6 +135,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     config = ExperimentConfig(
         mode="full" if args.full else "fast",
+        workers=args.workers,
         **({"seed": args.seed} if args.seed is not None else {}),
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -31,6 +31,7 @@ __all__ = [
     "DirectedTransitionOperator",
     "directed_second_eigenvalue_modulus",
     "directed_variation_curve",
+    "directed_variation_curves",
 ]
 
 
@@ -191,3 +192,29 @@ def directed_variation_curve(
     op = operator if operator is not None else DirectedTransitionOperator(graph, damping=damping)
     pi = op.stationary(max_iter=200_000) if op.damping == 1.0 else op.stationary()
     return op.variation_curve(source, max_steps, reference=pi)
+
+
+def directed_variation_curves(
+    graph: DiGraph,
+    sources,
+    walk_lengths,
+    *,
+    damping: float = 1.0,
+    operator: Optional[DirectedTransitionOperator] = None,
+    block_size: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> np.ndarray:
+    """Multi-source directed measurement: ``(s, w)`` TVD checkpoints.
+
+    The batched companion of :func:`directed_variation_curve`: one
+    power-iterated stationary solve, then every source evolved through
+    the shared block API — with ``workers > 1`` fanned out across the
+    shared-memory sweep runtime (:mod:`repro.core.parallel`; both the
+    pure-CSR and the teleporting kernel are supported, dangling mask
+    included).
+    """
+    op = operator if operator is not None else DirectedTransitionOperator(graph, damping=damping)
+    pi = op.stationary(max_iter=200_000) if op.damping == 1.0 else op.stationary()
+    return op.variation_curves(
+        sources, walk_lengths, reference=pi, block_size=block_size, workers=workers
+    )

@@ -166,6 +166,7 @@ def measure_mixing(
     laziness: float = 0.0,
     check_aperiodic: bool = True,
     block_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> PerSourceMixing:
     """Measure variation distance at the given walk lengths.
 
@@ -184,6 +185,11 @@ def measure_mixing(
         Sources per evolution chunk; ``None`` sizes the chunk from the
         operator layer's memory budget (see
         :func:`~repro.core.operators.resolve_block_size`).
+    workers:
+        Process count for the shared-memory sweep runtime
+        (:mod:`repro.core.parallel`); ``None``/``1`` stays serial,
+        ``-1`` uses every core.  Parallel output is bit-for-bit equal
+        to serial.
 
     All sources are evolved through the shared
     :meth:`~repro.core.operators.MarkovOperator.variation_curves` block
@@ -205,7 +211,9 @@ def measure_mixing(
             raise ValueError("sources must be non-empty")
 
     operator = TransitionOperator(graph, laziness=laziness, check_aperiodic=check_aperiodic)
-    out = operator.variation_curves(source_ids, lengths, block_size=block_size)
+    out = operator.variation_curves(
+        source_ids, lengths, block_size=block_size, workers=workers
+    )
     return PerSourceMixing(sources=source_ids, walk_lengths=lengths, distances=out)
 
 
@@ -243,6 +251,7 @@ def estimate_mixing_time(
     seed=None,
     laziness: float = 0.0,
     block_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> MixingTimeEstimate:
     """Estimate T(eps) by per-source hitting times of the eps ball.
 
@@ -250,7 +259,9 @@ def estimate_mixing_time(
     :meth:`~repro.core.operators.MarkovOperator.hitting_times`, with
     early-exit masking: rows whose distance has already fallen below
     ``epsilon`` stop being stepped, so the block shrinks as sources
-    converge.
+    converge.  ``workers > 1`` shards the sources across the
+    shared-memory process pool (:mod:`repro.core.parallel`) with
+    bit-for-bit identical results.
 
     Returns a :class:`MixingTimeEstimate`; raises
     :class:`ConvergenceError` when *no* source converges within
@@ -264,7 +275,7 @@ def estimate_mixing_time(
         exhaustive = False
     operator = TransitionOperator(graph, laziness=laziness)
     times = operator.hitting_times(
-        source_ids, epsilon, max_steps=max_steps, block_size=block_size
+        source_ids, epsilon, max_steps=max_steps, block_size=block_size, workers=workers
     ).times
     if np.all(times < 0):
         raise ConvergenceError(

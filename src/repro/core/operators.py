@@ -78,16 +78,27 @@ def resolve_block_size(
 
     ``block_size=None`` sizes the chunk so one ``(s, n)`` float64 block
     stays under ``memory_budget_bytes`` (capped at ``1024`` rows, floored
-    at ``1``); an explicit positive ``block_size`` is honoured verbatim.
+    at ``1`` — a budget smaller than a single row still yields one row,
+    never a zero-row chunk); an explicit positive ``block_size`` is
+    honoured verbatim.  Degenerate inputs fail loudly instead of
+    producing degenerate block shapes: ``num_states < 1`` (a chain with
+    no states has no rows to chunk), non-positive or non-integral
+    ``block_size`` overrides, and non-positive memory budgets all raise
+    :class:`ValueError`.
     """
+    num_states = int(num_states)
+    if num_states < 1:
+        raise ValueError(f"num_states must be a positive integer, got {num_states}")
     if block_size is not None:
         size = int(block_size)
+        if size != block_size:
+            raise ValueError(f"block_size must be an integer, got {block_size!r}")
         if size < 1:
             raise ValueError("block_size must be a positive integer")
         return size
     if memory_budget_bytes < 1:
         raise ValueError("memory_budget_bytes must be positive")
-    rows = memory_budget_bytes // (8 * max(int(num_states), 1))
+    rows = int(memory_budget_bytes) // (8 * num_states)
     return int(max(1, min(rows, _MAX_BLOCK_ROWS)))
 
 
@@ -241,11 +252,25 @@ class MarkovOperator(ABC):
             block = self._apply_block(block)
         return block[0]
 
-    def evolve_block(self, block: np.ndarray, steps: int) -> np.ndarray:
-        """A whole block after ``steps`` applications of P."""
+    def evolve_block(
+        self, block: np.ndarray, steps: int, *, workers: Optional[int] = None
+    ) -> np.ndarray:
+        """A whole block after ``steps`` applications of P.
+
+        ``workers > 1`` shards the block's rows across a process pool
+        (rows are independent chains, so sharding is bit-for-bit
+        neutral); the serial path runs whenever the pool is unavailable
+        or pointless (see :mod:`repro.core.parallel`).
+        """
         if steps < 0:
             raise ValueError("steps must be nonnegative")
         x = self._check_block(block)
+        if workers is not None:
+            from .parallel import maybe_parallel_evolve_block
+
+            out = maybe_parallel_evolve_block(self, x, steps, workers=workers)
+            if out is not None:
+                return out
         for _ in range(steps):
             x = self._apply_block(x)
         return x
@@ -279,6 +304,7 @@ class MarkovOperator(ABC):
         max_steps: int,
         *,
         reference: Optional[np.ndarray] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
         """``curve[t] = || pi - pi^{(source)} P^t ||_1`` for t = 0..max_steps.
 
@@ -289,7 +315,7 @@ class MarkovOperator(ABC):
         if max_steps < 0:
             raise ValueError("max_steps must be nonnegative")
         return self.variation_curves(
-            [source], np.arange(max_steps + 1), reference=reference
+            [source], np.arange(max_steps + 1), reference=reference, workers=workers
         )[0]
 
     def variation_curves(
@@ -299,6 +325,7 @@ class MarkovOperator(ABC):
         *,
         reference: Optional[np.ndarray] = None,
         block_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
         """TVD to ``reference`` at each checkpoint for every source.
 
@@ -307,7 +334,10 @@ class MarkovOperator(ABC):
         Sources are evolved as one dense block per chunk (one SpMM per
         step advances the whole chunk), with ``block_size`` resolved via
         :func:`resolve_block_size` so the buffer respects the memory
-        budget.
+        budget.  ``workers > 1`` fans the chunks out across a
+        shared-memory process pool (:mod:`repro.core.parallel`) with
+        bit-for-bit identical, order-preserving results; the serial path
+        runs whenever the pool is unavailable.
         """
         lengths = np.asarray(walk_lengths, dtype=np.int64).ravel()
         if lengths.size == 0:
@@ -318,6 +348,14 @@ class MarkovOperator(ABC):
         ref = self.stationary() if reference is None else self._check_vector(
             reference, name="reference"
         )
+        if workers is not None:
+            from .parallel import maybe_parallel_variation_curves
+
+            out = maybe_parallel_variation_curves(
+                self, src, lengths, reference=ref, workers=workers, block_size=block_size
+            )
+            if out is not None:
+                return out
         chunk_rows = resolve_block_size(self._num_states, block_size)
         max_len = int(lengths[-1])
         out = np.empty((src.size, lengths.size), dtype=np.float64)
@@ -343,6 +381,7 @@ class MarkovOperator(ABC):
         max_steps: int = 10_000,
         reference: Optional[np.ndarray] = None,
         block_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> HittingTimes:
         """Per-source ``min { t : || ref - pi^{(i)} P^t ||_1 < eps }``.
 
@@ -351,6 +390,10 @@ class MarkovOperator(ABC):
         fallen below ``epsilon`` are *retired* from the block (early-exit
         masking), so the SpMM shrinks as sources converge.  Rows that
         never converge within ``max_steps`` get time ``-1``.
+        ``workers > 1`` shards the sources across the shared-memory
+        process pool (:mod:`repro.core.parallel`); early-exit masking
+        then runs independently inside every worker, and the reassembled
+        result is bit-for-bit equal to the serial one.
         """
         if not 0.0 < epsilon < 1.0:
             raise ValueError("epsilon must be in (0, 1)")
@@ -360,6 +403,20 @@ class MarkovOperator(ABC):
         ref = self.stationary() if reference is None else self._check_vector(
             reference, name="reference"
         )
+        if workers is not None:
+            from .parallel import maybe_parallel_hitting_times
+
+            out = maybe_parallel_hitting_times(
+                self,
+                src,
+                epsilon,
+                max_steps=max_steps,
+                reference=ref,
+                workers=workers,
+                block_size=block_size,
+            )
+            if out is not None:
+                return out
         chunk_rows = resolve_block_size(self._num_states, block_size)
         times = np.full(src.size, -1, dtype=np.int64)
         final = np.empty(src.size, dtype=np.float64)

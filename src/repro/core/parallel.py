@@ -1,0 +1,530 @@
+"""Shared-memory process-pool runtime for multi-source sweeps.
+
+The paper's definition-based measurement (equation (2)) is embarrassingly
+parallel across sources: every row of a
+:meth:`~repro.core.operators.MarkovOperator.variation_curves` /
+:meth:`~repro.core.operators.MarkovOperator.hitting_times` /
+:meth:`~repro.core.operators.MarkovOperator.evolve_block` call evolves an
+independent chain.  PR 1 turned the per-source python loop into chunked
+SpMM blocks; this module fans those blocks out across *processes* so a
+1000-source sweep uses every core instead of one.
+
+Design
+------
+* **Publish once, attach zero-copy.**  The operator's CSR arrays
+  (``indptr``/``indices``/``data``), the reference (stationary) vector
+  and — for teleporting chains — the dangling mask are packed into a
+  single :mod:`multiprocessing.shared_memory` segment by
+  :func:`publish_operator`.  Workers attach ``numpy`` views straight onto
+  the segment (no pickling of the matrix, no per-worker copy) and
+  rebuild a lightweight operator around them.
+* **Same kernel, same numbers.**  Worker operators either inherit the
+  base ``X @ P`` kernel or invoke
+  ``DirectedTransitionOperator._apply_block`` *itself* on duck-typed
+  state, so the arithmetic executed in a worker is the exact code the
+  serial path runs.  Rows are independent, scipy's CSR SpMM accumulates
+  each output row in a fixed order, and shards are reassembled in source
+  order — parallel output is therefore **bit-for-bit identical** to the
+  serial block path (``tests/core/test_parallel.py`` pins this for every
+  operator flavour, worker count and chunk boundary).
+* **Deterministic reassembly.**  Sources are sharded into contiguous
+  ``np.array_split`` slices; ``Pool.map`` preserves task order, and the
+  parent concatenates shard results positionally.  Scheduling order can
+  vary; output order and values cannot.
+* **Serial fallback.**  Every ``maybe_parallel_*`` entry point returns
+  ``None`` — and the caller runs the proven serial path — when
+  ``workers`` resolves to <= 1, the platform cannot ``fork`` (the pool
+  relies on copy-on-write module state), shared memory is unavailable,
+  ``REPRO_PARALLEL=0`` is set, or the operator carries a custom
+  ``_apply_block`` this runtime does not know how to replicate.
+
+The public surface for callers is the ``workers=`` keyword on the
+:class:`~repro.core.operators.MarkovOperator` block APIs (and the
+``--workers`` CLI flag / ``ExperimentConfig.workers`` knob above them);
+the functions here are the runtime those keywords dispatch to.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from .operators import HittingTimes, MarkovOperator, resolve_block_size
+
+__all__ = [
+    "OperatorPayload",
+    "SharedOperatorHandle",
+    "describe_operator",
+    "maybe_parallel_evolve_block",
+    "maybe_parallel_hitting_times",
+    "maybe_parallel_originator_curves",
+    "maybe_parallel_variation_curves",
+    "parallel_backend_available",
+    "publish_operator",
+    "resolve_workers",
+]
+
+#: Shards per worker: oversharding lets ``Pool.map`` rebalance uneven
+#: per-source work (hitting times vary wildly across sources) while the
+#: contiguous, order-preserving reassembly keeps results deterministic.
+_OVERSHARD = 4
+
+#: Byte alignment of each array inside the shared segment (cache line).
+_ALIGN = 64
+
+#: Environment kill-switch: ``REPRO_PARALLEL=0`` forces the serial path
+#: everywhere without touching call sites (debugging, constrained CI).
+_ENV_SWITCH = "REPRO_PARALLEL"
+
+
+# ----------------------------------------------------------------------
+# Worker-count resolution
+# ----------------------------------------------------------------------
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` request to a concrete process count.
+
+    ``None``, ``0`` and ``1`` mean *serial* (no pool); ``-1`` means one
+    worker per available core (``os.cpu_count()``); any other positive
+    integer is honoured verbatim.  Values below ``-1`` raise.
+    """
+    if workers is None:
+        return 1
+    count = int(workers)
+    if count == -1:
+        return max(1, os.cpu_count() or 1)
+    if count < 0:
+        raise ValueError(f"workers must be >= -1, got {workers}")
+    return max(1, count)
+
+
+def parallel_backend_available() -> bool:
+    """True when the fork + shared-memory runtime can be used here."""
+    if os.environ.get(_ENV_SWITCH, "") == "0":
+        return False
+    try:
+        import multiprocessing
+        import multiprocessing.shared_memory  # noqa: F401  (probe import)
+    except ImportError:  # pragma: no cover - stdlib always has these
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# Operator description (what gets published)
+# ----------------------------------------------------------------------
+def describe_operator(operator):
+    """Classify an operator for worker-side reconstruction.
+
+    Returns ``(kind, csr_matrix, extras)`` where ``kind`` is ``"csr"``
+    (plain/lazy/weighted/pure-directed — the base ``X @ P`` kernel) or
+    ``"teleport"`` (damped/dangling directed chains), or ``None`` when
+    the operator's step cannot be replicated from its CSR arrays alone
+    (unknown ``_apply_block`` override) — the caller then stays serial.
+    """
+    from scipy.sparse import issparse
+
+    from .directed import DirectedTransitionOperator
+    from .operators import MarkovOperator
+
+    matrix = getattr(operator, "_matrix", None)
+    if matrix is None or not issparse(matrix):
+        return None
+    matrix = matrix.tocsr()
+    if isinstance(operator, DirectedTransitionOperator):
+        if operator._teleporting:
+            return (
+                "teleport",
+                matrix,
+                {"damping": operator._damping, "dangling": operator._dangling},
+            )
+        return "csr", matrix, {}
+    if type(operator)._apply_block is not MarkovOperator._apply_block:
+        return None  # custom dynamics we cannot reproduce from CSR arrays
+    return "csr", matrix, {}
+
+
+# ----------------------------------------------------------------------
+# Shared-memory publication (parent side)
+# ----------------------------------------------------------------------
+class _ArrayField(NamedTuple):
+    name: str
+    offset: int
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+class OperatorPayload(NamedTuple):
+    """Picklable description of a published operator.
+
+    Only this tiny tuple crosses the process boundary per task — the
+    arrays themselves live in the named shared-memory segment.
+    """
+
+    kind: str  # "csr" | "teleport" | "originator"
+    num_states: int
+    shm_name: str
+    fields: Tuple[_ArrayField, ...]
+    damping: float = 1.0
+    beta: float = 0.0
+
+
+class SharedOperatorHandle:
+    """Owner of one published shared-memory segment (parent side).
+
+    The parent creates it, fans tasks referencing ``payload`` out to the
+    pool, and must :meth:`close` it afterwards (``with`` works too) —
+    workers only ever attach; lifecycle belongs to the parent.
+    """
+
+    def __init__(self, payload: OperatorPayload, shm) -> None:
+        self.payload = payload
+        self._shm = shm
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+
+    def __enter__(self) -> "SharedOperatorHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def publish_operator(
+    kind: str,
+    matrix,
+    reference: Optional[np.ndarray] = None,
+    *,
+    damping: float = 1.0,
+    dangling: Optional[np.ndarray] = None,
+    beta: float = 0.0,
+) -> SharedOperatorHandle:
+    """Pack CSR arrays (+ reference / dangling mask) into one segment.
+
+    Arrays are laid out back-to-back at cache-line alignment; the
+    returned handle's :attr:`~SharedOperatorHandle.payload` records the
+    layout so workers can rebuild zero-copy views.
+    """
+    from multiprocessing import shared_memory
+
+    named: List[Tuple[str, np.ndarray]] = [
+        ("data", np.ascontiguousarray(matrix.data)),
+        ("indices", np.ascontiguousarray(matrix.indices)),
+        ("indptr", np.ascontiguousarray(matrix.indptr)),
+    ]
+    if reference is not None:
+        named.append(("reference", np.ascontiguousarray(reference)))
+    if dangling is not None:
+        named.append(("dangling", np.ascontiguousarray(dangling)))
+
+    fields: List[_ArrayField] = []
+    offset = 0
+    for name, array in named:
+        offset = (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+        fields.append(_ArrayField(name, offset, array.dtype.str, array.shape))
+        offset += array.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    try:
+        for field, (_name, array) in zip(fields, named):
+            view = np.ndarray(
+                field.shape, dtype=np.dtype(field.dtype), buffer=shm.buf, offset=field.offset
+            )
+            view[...] = array
+    except BaseException:  # pragma: no cover - copy cannot realistically fail
+        shm.close()
+        shm.unlink()
+        raise
+    payload = OperatorPayload(
+        kind=kind,
+        num_states=int(matrix.shape[0]),
+        shm_name=shm.name,
+        fields=tuple(fields),
+        damping=float(damping),
+        beta=float(beta),
+    )
+    return SharedOperatorHandle(payload, shm)
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment and reconstruction
+# ----------------------------------------------------------------------
+#: Per-worker cache: segment name -> (shm, views, reconstruction cache).
+#: A pool worker serves many shards of the same sweep; attaching once
+#: per worker keeps the zero-copy promise.
+_ATTACHED: Dict[str, Tuple[object, Dict[str, np.ndarray], dict]] = {}
+
+
+def _attach(payload: OperatorPayload):
+    entry = _ATTACHED.get(payload.shm_name)
+    if entry is None:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=payload.shm_name)
+        # No resource-tracker bookkeeping here: fork workers inherit the
+        # parent's tracker, whose cache is a *set* — the attach-side
+        # registration collapses into the parent's create-side one, and
+        # the parent's unlink() retires it exactly once.  (An explicit
+        # unregister per worker would over-remove and make the tracker
+        # print KeyError noise at shutdown.)
+        views: Dict[str, np.ndarray] = {}
+        for field in payload.fields:
+            view = np.ndarray(
+                field.shape, dtype=np.dtype(field.dtype), buffer=shm.buf, offset=field.offset
+            )
+            view.flags.writeable = False  # shared state is sacrosanct
+            views[field.name] = view
+        entry = (shm, views, {})
+        _ATTACHED[payload.shm_name] = entry
+    return entry
+
+
+class _SharedCSROperator(MarkovOperator):
+    """Worker-side stand-in built on shared-memory CSR views.
+
+    Deliberately *not* constructed through any graph class — it owns the
+    minimal state the :class:`~repro.core.operators.MarkovOperator`
+    machinery needs and borrows that machinery wholesale (the inherited
+    ``X @ P`` kernel, chunking, early-exit masking), so a worker
+    executes the very same code path as the serial parent.
+    """
+
+    def __init__(self, matrix) -> None:
+        self._init_operator(matrix.shape[0])
+        self._matrix = matrix
+
+    def _compute_stationary(self):  # pragma: no cover - guarded
+        raise RuntimeError(
+            "worker operators require an explicit reference distribution"
+        )
+
+
+class _SharedTeleportOperator(_SharedCSROperator):
+    """Worker-side teleporting chain.
+
+    ``_apply_block`` delegates to ``DirectedTransitionOperator``'s own
+    method on duck-typed state — the teleport arithmetic cannot drift
+    from the serial implementation because it *is* the serial
+    implementation.
+    """
+
+    def __init__(self, matrix, damping: float, dangling: np.ndarray) -> None:
+        super().__init__(matrix)
+        self._damping = float(damping)
+        self._dangling = dangling
+        self._teleporting = True
+
+    def _apply_block(self, block: np.ndarray) -> np.ndarray:
+        from .directed import DirectedTransitionOperator
+
+        return DirectedTransitionOperator._apply_block(self, block)
+
+
+def _worker_operator(payload: OperatorPayload):
+    """Rebuild (and memoise) the operator inside a pool worker."""
+    _shm, views, cache = _attach(payload)
+    operator = cache.get("operator")
+    if operator is None:
+        from scipy.sparse import csr_matrix
+
+        n = payload.num_states
+        matrix = csr_matrix(
+            (views["data"], views["indices"], views["indptr"]), shape=(n, n)
+        )
+        if payload.kind == "teleport":
+            operator = _SharedTeleportOperator(
+                matrix, payload.damping, views["dangling"]
+            )
+        else:
+            operator = _SharedCSROperator(matrix)
+        cache["operator"] = operator
+    return operator, views.get("reference")
+
+
+# ----------------------------------------------------------------------
+# Worker task functions (must be module-level for pickling)
+# ----------------------------------------------------------------------
+def _curves_task(args) -> np.ndarray:
+    payload, sources, lengths, block_size = args
+    operator, reference = _worker_operator(payload)
+    return operator.variation_curves(
+        sources, lengths, reference=reference, block_size=block_size
+    )
+
+
+def _hitting_task(args) -> Tuple[np.ndarray, np.ndarray]:
+    payload, sources, epsilon, max_steps, block_size = args
+    operator, reference = _worker_operator(payload)
+    result = operator.hitting_times(
+        sources,
+        epsilon,
+        max_steps=max_steps,
+        reference=reference,
+        block_size=block_size,
+    )
+    return result.times, result.final_distances
+
+
+def _evolve_task(args) -> np.ndarray:
+    payload, block, steps = args
+    operator, _reference = _worker_operator(payload)
+    return operator.evolve_block(block, steps)
+
+
+def _originator_task(args) -> np.ndarray:
+    payload, sources, lengths, block_size = args
+    from .trust import _originator_curves_chunks
+
+    operator, reference = _worker_operator(payload)
+    return _originator_curves_chunks(
+        operator._matrix, reference, sources, payload.beta, lengths, block_size
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent-side fan-out
+# ----------------------------------------------------------------------
+def _pool_map(workers: int, task, items):
+    """Order-preserving map over a fresh fork pool."""
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=workers) as pool:
+        return pool.map(task, items, chunksize=1)
+
+
+def _shard(sources: np.ndarray, workers: int) -> List[np.ndarray]:
+    count = min(sources.size, workers * _OVERSHARD)
+    return [s for s in np.array_split(sources, count)]
+
+
+def _effective_workers(workers: Optional[int], num_rows: int) -> int:
+    return min(resolve_workers(workers), max(num_rows, 0))
+
+
+def maybe_parallel_variation_curves(
+    operator,
+    sources: np.ndarray,
+    walk_lengths: np.ndarray,
+    *,
+    reference: np.ndarray,
+    workers: Optional[int],
+    block_size: Optional[int] = None,
+) -> Optional[np.ndarray]:
+    """Fan a validated ``variation_curves`` call out to a pool.
+
+    Returns the assembled ``(s, w)`` array, or ``None`` when the serial
+    path should run instead (see module docstring for the fallback
+    rules).  Inputs are assumed validated by the calling operator.
+    """
+    count = _effective_workers(workers, sources.size)
+    if count <= 1 or not parallel_backend_available():
+        return None
+    described = describe_operator(operator)
+    if described is None:
+        return None
+    kind, matrix, extras = described
+    with publish_operator(kind, matrix, reference, **extras) as handle:
+        tasks = [
+            (handle.payload, shard, walk_lengths, block_size)
+            for shard in _shard(sources, count)
+        ]
+        results = _pool_map(count, _curves_task, tasks)
+        return np.concatenate(results, axis=0)
+
+
+def maybe_parallel_hitting_times(
+    operator,
+    sources: np.ndarray,
+    epsilon: float,
+    *,
+    max_steps: int,
+    reference: np.ndarray,
+    workers: Optional[int],
+    block_size: Optional[int] = None,
+) -> Optional[HittingTimes]:
+    """Parallel analogue of :func:`maybe_parallel_variation_curves` for
+    per-source hitting times (early-exit masking runs inside each
+    worker, exactly as in the serial chunks)."""
+    count = _effective_workers(workers, sources.size)
+    if count <= 1 or not parallel_backend_available():
+        return None
+    described = describe_operator(operator)
+    if described is None:
+        return None
+    kind, matrix, extras = described
+    with publish_operator(kind, matrix, reference, **extras) as handle:
+        tasks = [
+            (handle.payload, shard, epsilon, max_steps, block_size)
+            for shard in _shard(sources, count)
+        ]
+        results = _pool_map(count, _hitting_task, tasks)
+        times = np.concatenate([r[0] for r in results])
+        final = np.concatenate([r[1] for r in results])
+        return HittingTimes(times=times, final_distances=final)
+
+
+def maybe_parallel_evolve_block(
+    operator,
+    block: np.ndarray,
+    steps: int,
+    *,
+    workers: Optional[int],
+) -> Optional[np.ndarray]:
+    """Shard a dense ``(s, n)`` block row-wise across the pool.
+
+    Rows are independent chains, so splitting/reassembling rows is
+    bit-for-bit neutral; the block rows themselves travel by pickle (a
+    one-off cost the ``steps`` SpMMs amortise) while the operator rides
+    shared memory.
+    """
+    count = _effective_workers(workers, block.shape[0])
+    if count <= 1 or steps == 0 or not parallel_backend_available():
+        return None
+    described = describe_operator(operator)
+    if described is None:
+        return None
+    kind, matrix, extras = described
+    with publish_operator(kind, matrix, None, **extras) as handle:
+        shards = np.array_split(
+            np.arange(block.shape[0]), min(block.shape[0], count * _OVERSHARD)
+        )
+        tasks = [(handle.payload, block[rows], steps) for rows in shards]
+        results = _pool_map(count, _evolve_task, tasks)
+        return np.concatenate(results, axis=0)
+
+
+def maybe_parallel_originator_curves(
+    matrix,
+    reference: np.ndarray,
+    sources: np.ndarray,
+    beta: float,
+    walk_lengths: np.ndarray,
+    *,
+    workers: Optional[int],
+    block_size: Optional[int] = None,
+) -> Optional[np.ndarray]:
+    """Fan the originator-biased trust sweep out to the pool.
+
+    The biased chain is per-source (each row jumps back to *its own*
+    originator), so the payload carries ``beta`` and each worker runs
+    the shared chunk kernel from :mod:`repro.core.trust` on its shard.
+    """
+    count = _effective_workers(workers, sources.size)
+    if count <= 1 or not parallel_backend_available():
+        return None
+    chunk_rows = resolve_block_size(matrix.shape[0], block_size)
+    with publish_operator("originator", matrix, reference, beta=beta) as handle:
+        tasks = [
+            (handle.payload, shard, walk_lengths, chunk_rows)
+            for shard in _shard(sources, count)
+        ]
+        results = _pool_map(count, _originator_task, tasks)
+        return np.concatenate(results, axis=0)

@@ -122,6 +122,45 @@ class WeightedTransitionOperator(MarkovOperator):
         return weighted_stationary_distribution(self._strength)
 
 
+def _originator_curves_chunks(
+    plain,
+    pi: np.ndarray,
+    src: np.ndarray,
+    beta: float,
+    lengths: np.ndarray,
+    chunk_rows: int,
+) -> np.ndarray:
+    """Chunked kernel of the originator-biased sweep.
+
+    One function, two execution contexts: the serial path below calls it
+    with the full source list, and the shared-memory pool workers of
+    :mod:`repro.core.parallel` call it on their shard with CSR/``pi``
+    views attached straight to the published segment.  Rows are
+    independent (each row's bias targets its *own* originator), so the
+    split is bit-for-bit neutral.
+    """
+    n = plain.shape[0]
+    max_len = int(lengths[-1])
+    out = np.empty((src.size, lengths.size), dtype=np.float64)
+    for lo in range(0, src.size, chunk_rows):
+        chunk = src[lo:lo + chunk_rows]
+        rows = np.arange(chunk.size)
+        x = np.zeros((chunk.size, n), dtype=np.float64)
+        x[rows, chunk] = 1.0
+        col = 0
+        for t in range(max_len + 1):
+            if col < lengths.size and lengths[col] == t:
+                out[lo:lo + chunk.size, col] = total_variation_to_reference(
+                    x, pi, validate=False
+                )
+                col += 1
+            if t < max_len:
+                moved = np.asarray(x @ plain)
+                x = (1.0 - beta) * moved
+                x[rows, chunk] += beta
+    return out
+
+
 def originator_biased_curves(
     graph: Graph,
     sources: Sequence[int],
@@ -129,6 +168,7 @@ def originator_biased_curves(
     walk_lengths: Sequence[int],
     *,
     block_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Batched originator-biased measurement: ``(s, w)`` distances.
 
@@ -137,7 +177,9 @@ def originator_biased_curves(
     ``sources[i]``.  Unlike the other chains, every source defines its
     own operator (``P'_i = beta * (jump to sources[i]) + (1 - beta) P``),
     so the per-row bias injection happens inside the block step — one
-    SpMM per step still advances all sources at once.
+    SpMM per step still advances all sources at once.  ``workers > 1``
+    shards the sources across the shared-memory process pool
+    (:mod:`repro.core.parallel`) with identical results.
     """
     if not 0.0 <= beta < 1.0:
         raise ValueError("beta must be in [0, 1)")
@@ -160,26 +202,16 @@ def originator_biased_curves(
     n = graph.num_nodes
     plain = csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
 
+    if workers is not None:
+        from .parallel import maybe_parallel_originator_curves
+
+        out = maybe_parallel_originator_curves(
+            plain, pi, src, beta, lengths, workers=workers, block_size=block_size
+        )
+        if out is not None:
+            return out
     chunk_rows = resolve_block_size(n, block_size)
-    max_len = int(lengths[-1])
-    out = np.empty((src.size, lengths.size), dtype=np.float64)
-    for lo in range(0, src.size, chunk_rows):
-        chunk = src[lo:lo + chunk_rows]
-        rows = np.arange(chunk.size)
-        x = np.zeros((chunk.size, n), dtype=np.float64)
-        x[rows, chunk] = 1.0
-        col = 0
-        for t in range(max_len + 1):
-            if col < lengths.size and lengths[col] == t:
-                out[lo:lo + chunk.size, col] = total_variation_to_reference(
-                    x, pi, validate=False
-                )
-                col += 1
-            if t < max_len:
-                moved = np.asarray(x @ plain)
-                x = (1.0 - beta) * moved
-                x[rows, chunk] += beta
-    return out
+    return _originator_curves_chunks(plain, pi, src, beta, lengths, chunk_rows)
 
 
 def originator_biased_curve(

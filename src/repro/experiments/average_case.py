@@ -61,7 +61,9 @@ def run_average_case(
         graph = load_cached(name)
         sources = sample_sources(graph, config.sampled_sources, seed=config.seed)
         operator = TransitionOperator(graph)
-        times = operator.hitting_times(sources, epsilon, max_steps=budget).times
+        times = operator.hitting_times(
+            sources, epsilon, max_steps=budget, workers=config.workers
+        ).times
         converged = times[times >= 0]
         if converged.size == 0:
             raise ConvergenceError(f"no source of {name} converged within {budget} steps")

@@ -46,6 +46,7 @@ def measure_physics(
             sources=config.brute_force_sources,
             seed=config.seed,
             block_size=config.evolution_block_size,
+            workers=config.workers,
         )
     return out
 

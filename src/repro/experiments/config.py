@@ -36,6 +36,13 @@ class ExperimentConfig:
         budget; see :func:`repro.core.operators.resolve_block_size`).
         Exposed as a knob so scaling studies can trade memory for fewer,
         larger SpMM calls.
+    workers:
+        Process count for the shared-memory sweep runtime
+        (:mod:`repro.core.parallel`); forwarded by every runner to its
+        multi-source measurements.  ``None``/``1`` stays serial, ``-1``
+        uses every core, and any value is bit-for-bit neutral — parallel
+        sweeps reproduce the serial numbers exactly, so results never
+        depend on this knob.  Set via the ``--workers`` CLI flag.
     """
 
     mode: str = "fast"
@@ -44,6 +51,7 @@ class ExperimentConfig:
     short_walks: Tuple[int, ...] = (1, 5, 10, 20, 40)
     long_walks: Tuple[int, ...] = (80, 100, 200, 300, 400, 500)
     evolution_block_size: Optional[int] = None
+    workers: Optional[int] = None
 
     def __post_init__(self):
         if self.mode not in ("fast", "full"):

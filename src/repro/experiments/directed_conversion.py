@@ -86,9 +86,13 @@ def run_directed_conversion(
     # operator per chain (the directed stationary power iteration runs
     # once, not per source), all sources evolved as one chunked block.
     directed_op = DirectedTransitionOperator(scc, damping=damping)
-    directed_mean = directed_op.variation_curves(sources, walks).mean(axis=0)
+    directed_mean = directed_op.variation_curves(
+        sources, walks, workers=config.workers
+    ).mean(axis=0)
     undirected_op = TransitionOperator(undirected, check_aperiodic=False)
-    undirected_mean = undirected_op.variation_curves(sources, walks).mean(axis=0)
+    undirected_mean = undirected_op.variation_curves(
+        sources, walks, workers=config.workers
+    ).mean(axis=0)
 
     figure = FigureResult(
         title=f"Directed vs undirected-converted mixing on {dataset} "

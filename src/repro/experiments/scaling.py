@@ -73,6 +73,7 @@ def run_figure7(
                 sources=min(config.sampled_sources, graph.num_nodes),
                 seed=config.seed,
                 block_size=config.evolution_block_size,
+                workers=config.workers,
             )
             bands = percentile_bands(measurement, PAPER_BANDS)
             mu = slem(graph)

@@ -58,7 +58,9 @@ def run_sybilrank_iterations(
         seeds = [0] + [int(v) for v in honest.neighbors(0)]
         aucs = []
         for iters in iteration_grid:
-            result = sybilrank(scenario, seeds, iterations=int(iters))
+            result = sybilrank(
+                scenario, seeds, iterations=int(iters), workers=config.workers
+            )
             aucs.append(ranking_quality(result, scenario))
         log_n = recommended_iterations(scenario.graph.num_nodes)
         series.append(

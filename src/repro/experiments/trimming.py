@@ -58,6 +58,7 @@ def trim_levels(
             sources=min(config.sampled_sources, graph.num_nodes),
             seed=config.seed + k,
             block_size=config.evolution_block_size,
+            workers=config.workers,
         )
         out.append(
             TrimLevel(

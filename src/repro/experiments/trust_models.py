@@ -65,7 +65,9 @@ def run_trust_models(
         Series(
             label="plain walk",
             x=x_axis,
-            y=plain_op.variation_curves(sources, walks).mean(axis=0),
+            y=plain_op.variation_curves(
+                sources, walks, workers=config.workers
+            ).mean(axis=0),
         )
     ]
 
@@ -75,7 +77,9 @@ def run_trust_models(
         Series(
             label="similarity-weighted walk",
             x=x_axis,
-            y=weighted_op.variation_curves(sources, walks).mean(axis=0),
+            y=weighted_op.variation_curves(
+                sources, walks, workers=config.workers
+            ).mean(axis=0),
         )
     )
 
@@ -85,7 +89,9 @@ def run_trust_models(
             Series(
                 label=f"originator-biased beta={beta}",
                 x=x_axis,
-                y=originator_biased_curves(graph, sources, beta, walks).mean(axis=0),
+                y=originator_biased_curves(
+                    graph, sources, beta, walks, workers=config.workers
+                ).mean(axis=0),
             )
         )
     figure.panels["main"] = series

@@ -65,6 +65,7 @@ def sybilrank(
     seeds: Sequence[int],
     *,
     iterations: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> SybilRankResult:
     """Run SybilRank's early-terminated trust propagation.
 
@@ -75,6 +76,13 @@ def sybilrank(
         ``n`` is split evenly among them.
     iterations:
         Power-iteration count; ``None`` → ``ceil(log2 n)``.
+    workers:
+        Routed to the shared-memory sweep runtime
+        (:meth:`~repro.core.operators.MarkovOperator.evolve_block`).
+        The single aggregated trust vector is one block row, so it runs
+        serially either way; multi-community deployments that propagate
+        one trust vector *per seed group* (a ``(g, n)`` block) are where
+        the pool pays off.  Results are identical in all cases.
 
     Returns
     -------
@@ -104,7 +112,9 @@ def sybilrank(
     operator = TransitionOperator(graph, check_connected=False, check_aperiodic=False)
     trust = np.zeros(n, dtype=np.float64)
     trust[seeds] = float(n) / seeds.size
-    trust = operator.evolve(trust, int(iterations), validate=False)
+    trust = operator.evolve_block(
+        trust[np.newaxis, :], int(iterations), workers=workers
+    )[0]
     scores = trust / graph.degrees.astype(np.float64)
     return SybilRankResult(scores=scores, iterations=int(iterations), seeds=seeds)
 

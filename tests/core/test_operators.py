@@ -369,6 +369,35 @@ class TestResolveBlockSize:
         # Small graphs cap at 1024 rows regardless of budget.
         assert resolve_block_size(10, None, memory_budget_bytes=DEFAULT_BLOCK_BYTES) == 1024
 
+    @pytest.mark.parametrize("bad_states", [0, -1, -100])
+    def test_rejects_degenerate_state_counts(self, bad_states):
+        """A chain with no states has no rows to chunk — fail loudly
+        instead of emitting a zero-row block shape."""
+        with pytest.raises(ValueError):
+            resolve_block_size(bad_states, None)
+        with pytest.raises(ValueError):
+            resolve_block_size(bad_states, 4)
+
+    def test_rejects_non_integral_override(self):
+        with pytest.raises(ValueError):
+            resolve_block_size(100, 2.5)
+
+    def test_integral_float_override_accepted(self):
+        # np.int64 / integral floats normalise; only true fractions raise.
+        assert resolve_block_size(100, 8.0) == 8
+        assert resolve_block_size(100, np.int64(8)) == 8
+
+    @pytest.mark.parametrize("bad", [-1, -7])
+    def test_rejects_negative_override(self, bad):
+        with pytest.raises(ValueError):
+            resolve_block_size(100, bad)
+
+    def test_budget_smaller_than_one_row_clamps_to_one(self):
+        # One row needs 8*n bytes; any positive budget below that still
+        # yields a single-row chunk, never zero.
+        assert resolve_block_size(1000, None, memory_budget_bytes=1) == 1
+        assert resolve_block_size(1000, None, memory_budget_bytes=7999) == 1
+
 
 # ----------------------------------------------------------------------
 # Integration: measure_mixing block_size pass-through
