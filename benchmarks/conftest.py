@@ -24,6 +24,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import FAST, ExperimentConfig
+from repro.obs import OBS
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -55,6 +56,7 @@ def result_metadata(config: ExperimentConfig) -> dict:
         "seed": config.seed,
         "workers": config.workers,
         "evolution_block_size": config.evolution_block_size,
+        "telemetry": OBS.enabled,
     }
 
 
@@ -63,13 +65,15 @@ def save_result(results_dir, config):
     """Write a rendered table/figure under benchmarks/results/.
 
     Besides the ``.txt`` payload, a ``.json`` sidecar records the config
-    knobs (including ``workers``) so any result can be traced back to
-    the exact sweep configuration that produced it.
+    knobs (including ``workers``) plus a metric snapshot from the
+    telemetry registry, so any result can be traced back to the exact
+    sweep configuration — and, when run under ``REPRO_TELEMETRY=1``, the
+    operation counts — that produced it.
     """
 
     def _save(name: str, text: str) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
-        meta = {"name": name, **result_metadata(config)}
+        meta = {"name": name, **result_metadata(config), "metrics": OBS.snapshot()}
         (results_dir / f"{name}.json").write_text(
             json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )

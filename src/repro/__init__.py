@@ -39,10 +39,14 @@ Subpackages
 ``repro.experiments``
     One runner per paper table/figure plus ablations; also exposed via
     the ``repro-mixing`` CLI.
+``repro.obs``
+    Dependency-free observability: process-wide metrics registry, nested
+    trace spans, and the JSON run-manifests every experiment emits.
 """
 
-from . import community, core, datasets, errors, experiments, generators, graph, sampling, sybil
+from . import community, core, datasets, errors, experiments, generators, graph, obs, sampling, sybil
 from .errors import (
+    ConfigurationError,
     ConvergenceError,
     DatasetError,
     GraphFormatError,
@@ -64,10 +68,12 @@ __all__ = [
     "experiments",
     "generators",
     "graph",
+    "obs",
     "sampling",
     "sybil",
     "Graph",
     "ReproError",
+    "ConfigurationError",
     "GraphFormatError",
     "NotConnectedError",
     "NotErgodicError",

@@ -19,8 +19,11 @@ import sys
 import time
 from typing import Callable, Dict, Optional, Sequence
 
+from .errors import ConfigurationError
 from .experiments import (
     ExperimentConfig,
+    run_with_manifest,
+    validate_workers,
     average_case_table,
     run_average_case,
     run_directed_conversion,
@@ -79,6 +82,25 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], str]] = {
 }
 
 
+def _workers_arg(raw: str) -> int:
+    """Argparse ``type`` for ``--workers``: strict parse-time validation.
+
+    Invalid values (``0``, ``-2``, ``2.5``, ``two``) fail immediately
+    with argparse's usage error instead of surfacing hours into a sweep.
+    """
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer, got {raw!r}"
+        ) from None
+    try:
+        validate_workers(value)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mixing",
@@ -107,11 +129,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=None,
         metavar="N",
         help="processes for multi-source sweeps (-1 = all cores; "
         "default serial; results are identical at any setting)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="enable telemetry and write the metric snapshot (JSON) to FILE "
+        "after all experiments finish",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="enable telemetry and write the span trace (JSON) to FILE "
+        "after all experiments finish",
     )
     return parser
 
@@ -133,9 +169,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"(paper: n={spec.paper_nodes:,}, m={spec.paper_edges:,})"
             )
         return 0
+    telemetry = args.metrics_out is not None or args.trace_out is not None
     config = ExperimentConfig(
         mode="full" if args.full else "fast",
         workers=args.workers,
+        telemetry=telemetry,
         **({"seed": args.seed} if args.seed is not None else {}),
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -152,12 +190,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
         start = time.time()
-        output = EXPERIMENTS[name](config)
+        output, _manifest, manifest_path = run_with_manifest(
+            name, EXPERIMENTS[name], config, out_dir=out_dir
+        )
         elapsed = time.time() - start
         print(output)
         print(f"[{name} finished in {elapsed:.1f}s]\n")
         if out_dir is not None:
             (out_dir / f"{name}.txt").write_text(output + "\n", encoding="utf-8")
+            print(f"[manifest: {manifest_path}]\n")
+    if args.metrics_out is not None or args.trace_out is not None:
+        from .obs import OBS
+
+        if args.metrics_out is not None:
+            OBS.write_metrics(args.metrics_out)
+            print(f"[metrics: {args.metrics_out}]")
+        if args.trace_out is not None:
+            OBS.write_trace(args.trace_out)
+            print(f"[trace: {args.trace_out}]")
     return 0
 
 

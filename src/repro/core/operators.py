@@ -44,6 +44,7 @@ from typing import NamedTuple, Optional, Sequence
 import numpy as np
 
 from .._util import check_node_index, check_probability_vector
+from ..obs import OBS
 from .distances import total_variation_to_reference
 
 __all__ = [
@@ -236,7 +237,11 @@ class MarkovOperator(ABC):
         Row ``i`` of the result is bit-for-bit what ``step`` would return
         for row ``i`` of the input — batching is a pure speed transform.
         """
-        return self._apply_block(self._check_block(block))
+        x = self._check_block(block)
+        if OBS.enabled:
+            OBS.add("core.step_block.calls")
+            OBS.add("core.step_block.rows", x.shape[0])
+        return self._apply_block(x)
 
     def evolve(self, distribution: np.ndarray, steps: int, *, validate: bool = True) -> np.ndarray:
         """The distribution after ``steps`` applications of P."""
@@ -265,15 +270,24 @@ class MarkovOperator(ABC):
         if steps < 0:
             raise ValueError("steps must be nonnegative")
         x = self._check_block(block)
-        if workers is not None:
-            from .parallel import maybe_parallel_evolve_block
+        with OBS.span(
+            "core.evolve_block",
+            operator=type(self).__name__,
+            rows=int(x.shape[0]),
+            steps=int(steps),
+        ):
+            if workers is not None:
+                from .parallel import maybe_parallel_evolve_block
 
-            out = maybe_parallel_evolve_block(self, x, steps, workers=workers)
-            if out is not None:
-                return out
-        for _ in range(steps):
-            x = self._apply_block(x)
-        return x
+                out = maybe_parallel_evolve_block(self, x, steps, workers=workers)
+                if out is not None:
+                    return out
+            if OBS.enabled:
+                OBS.add("core.evolution.rows", x.shape[0])
+                OBS.add("core.evolution.steps", steps * x.shape[0])
+            for _ in range(steps):
+                x = self._apply_block(x)
+            return x
 
     def trajectory(self, distribution: np.ndarray, steps: int, *, validate: bool = True) -> np.ndarray:
         """All intermediate distributions: shape ``(steps + 1, n)``.
@@ -348,30 +362,55 @@ class MarkovOperator(ABC):
         ref = self.stationary() if reference is None else self._check_vector(
             reference, name="reference"
         )
-        if workers is not None:
-            from .parallel import maybe_parallel_variation_curves
+        with OBS.span(
+            "core.variation_curves",
+            operator=type(self).__name__,
+            sources=int(src.size),
+            checkpoints=int(lengths.size),
+            max_walk=int(lengths[-1]),
+        ) as span:
+            if workers is not None:
+                from .parallel import maybe_parallel_variation_curves
 
-            out = maybe_parallel_variation_curves(
-                self, src, lengths, reference=ref, workers=workers, block_size=block_size
-            )
-            if out is not None:
-                return out
-        chunk_rows = resolve_block_size(self._num_states, block_size)
-        max_len = int(lengths[-1])
-        out = np.empty((src.size, lengths.size), dtype=np.float64)
-        for lo in range(0, src.size, chunk_rows):
-            chunk = src[lo:lo + chunk_rows]
-            x = self.point_mass_block(chunk)
-            col = 0
-            for t in range(max_len + 1):
-                if col < lengths.size and lengths[col] == t:
-                    out[lo:lo + chunk.size, col] = total_variation_to_reference(
-                        x, ref, validate=False
-                    )
-                    col += 1
-                if t < max_len:
-                    x = self._apply_block(x)
-        return out
+                out = maybe_parallel_variation_curves(
+                    self, src, lengths, reference=ref, workers=workers, block_size=block_size
+                )
+                if out is not None:
+                    return out
+            chunk_rows = resolve_block_size(self._num_states, block_size)
+            telemetry = OBS.enabled
+            if telemetry:
+                span.set(chunk_rows=int(chunk_rows), path="serial")
+                OBS.add("core.evolution.rows", src.size)
+                OBS.add("core.evolution.steps", int(lengths[-1]) * src.size)
+                OBS.observe("core.evolution.chunk_rows", min(chunk_rows, src.size))
+            max_len = int(lengths[-1])
+            out = np.empty((src.size, lengths.size), dtype=np.float64)
+            for lo in range(0, src.size, chunk_rows):
+                chunk = src[lo:lo + chunk_rows]
+                x = self.point_mass_block(chunk)
+                col = 0
+                for t in range(max_len + 1):
+                    if col < lengths.size and lengths[col] == t:
+                        out[lo:lo + chunk.size, col] = total_variation_to_reference(
+                            x, ref, validate=False
+                        )
+                        if telemetry:
+                            # Convergence trace: how far this chunk still is
+                            # from the reference at each checkpoint.
+                            d = out[lo:lo + chunk.size, col]
+                            OBS.event(
+                                "tvd_checkpoint",
+                                step=t,
+                                chunk_lo=int(lo),
+                                rows=int(chunk.size),
+                                mean_tvd=float(d.mean()),
+                                max_tvd=float(d.max()),
+                            )
+                        col += 1
+                    if t < max_len:
+                        x = self._apply_block(x)
+            return out
 
     def hitting_times(
         self,
@@ -403,43 +442,72 @@ class MarkovOperator(ABC):
         ref = self.stationary() if reference is None else self._check_vector(
             reference, name="reference"
         )
-        if workers is not None:
-            from .parallel import maybe_parallel_hitting_times
+        with OBS.span(
+            "core.hitting_times",
+            operator=type(self).__name__,
+            sources=int(src.size),
+            epsilon=float(epsilon),
+            max_steps=int(max_steps),
+        ) as span:
+            if workers is not None:
+                from .parallel import maybe_parallel_hitting_times
 
-            out = maybe_parallel_hitting_times(
-                self,
-                src,
-                epsilon,
-                max_steps=max_steps,
-                reference=ref,
-                workers=workers,
-                block_size=block_size,
-            )
-            if out is not None:
-                return out
-        chunk_rows = resolve_block_size(self._num_states, block_size)
-        times = np.full(src.size, -1, dtype=np.int64)
-        final = np.empty(src.size, dtype=np.float64)
-        for lo in range(0, src.size, chunk_rows):
-            chunk = src[lo:lo + chunk_rows]
-            x = self.point_mass_block(chunk)
-            # Positions (into the global result arrays) still being stepped.
-            active = np.arange(lo, lo + chunk.size, dtype=np.int64)
-            dist = total_variation_to_reference(x, ref, validate=False)
-            hit = dist < epsilon
-            times[active[hit]] = 0
-            final[active] = dist
-            x = x[~hit]
-            active = active[~hit]
-            for t in range(1, max_steps + 1):
-                if active.size == 0:
-                    break
-                x = self._apply_block(x)
+                out = maybe_parallel_hitting_times(
+                    self,
+                    src,
+                    epsilon,
+                    max_steps=max_steps,
+                    reference=ref,
+                    workers=workers,
+                    block_size=block_size,
+                )
+                if out is not None:
+                    return out
+            chunk_rows = resolve_block_size(self._num_states, block_size)
+            telemetry = OBS.enabled
+            if telemetry:
+                span.set(chunk_rows=int(chunk_rows), path="serial")
+                OBS.add("core.evolution.rows", src.size)
+                OBS.observe("core.evolution.chunk_rows", min(chunk_rows, src.size))
+            times = np.full(src.size, -1, dtype=np.int64)
+            final = np.empty(src.size, dtype=np.float64)
+            for lo in range(0, src.size, chunk_rows):
+                chunk = src[lo:lo + chunk_rows]
+                x = self.point_mass_block(chunk)
+                # Positions (into the global result arrays) still being stepped.
+                active = np.arange(lo, lo + chunk.size, dtype=np.int64)
                 dist = total_variation_to_reference(x, ref, validate=False)
-                final[active] = dist
                 hit = dist < epsilon
-                if np.any(hit):
-                    times[active[hit]] = t
-                    x = x[~hit]
-                    active = active[~hit]
-        return HittingTimes(times=times, final_distances=final)
+                times[active[hit]] = 0
+                final[active] = dist
+                x = x[~hit]
+                active = active[~hit]
+                last_t = 0
+                for t in range(1, max_steps + 1):
+                    if active.size == 0:
+                        break
+                    x = self._apply_block(x)
+                    if telemetry:
+                        OBS.add("core.evolution.steps", active.size)
+                    dist = total_variation_to_reference(x, ref, validate=False)
+                    final[active] = dist
+                    hit = dist < epsilon
+                    if np.any(hit):
+                        if telemetry:
+                            # Convergence trace: early-exit masking means
+                            # the block shrinks; record every retirement.
+                            OBS.event(
+                                "rows_retired",
+                                step=t,
+                                chunk_lo=int(lo),
+                                retired=int(hit.sum()),
+                                still_active=int(active.size - hit.sum()),
+                            )
+                        times[active[hit]] = t
+                        x = x[~hit]
+                        active = active[~hit]
+                    last_t = t
+                if telemetry:
+                    OBS.observe("core.hitting.steps_per_chunk", last_t)
+                    OBS.add("core.hitting.unconverged_rows", int(active.size))
+            return HittingTimes(times=times, final_distances=final)

@@ -47,10 +47,13 @@ the functions here are the runtime those keywords dispatch to.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from ..obs import OBS
+from ..obs.metrics import NULL_CONTEXT
 from .operators import HittingTimes, MarkovOperator, resolve_block_size
 
 __all__ = [
@@ -198,6 +201,22 @@ class SharedOperatorHandle:
         self.close()
 
 
+def _copy_fields(
+    shm, fields: List[_ArrayField], named: List[Tuple[str, np.ndarray]]
+) -> None:
+    """Copy each source array into its slot inside the shared segment.
+
+    Module-level (rather than inlined in :func:`publish_operator`) so the
+    leak-safety tests can monkeypatch it to fail and assert the segment
+    is unlinked on the error path.
+    """
+    for field, (_name, array) in zip(fields, named):
+        view = np.ndarray(
+            field.shape, dtype=np.dtype(field.dtype), buffer=shm.buf, offset=field.offset
+        )
+        view[...] = array
+
+
 def publish_operator(
     kind: str,
     matrix,
@@ -212,8 +231,15 @@ def publish_operator(
     Arrays are laid out back-to-back at cache-line alignment; the
     returned handle's :attr:`~SharedOperatorHandle.payload` records the
     layout so workers can rebuild zero-copy views.
+
+    Exception-safe: if anything after segment creation fails (the copy,
+    payload assembly, …) the segment is closed **and unlinked** before
+    the exception propagates, so a failed publish never leaves a stray
+    ``/dev/shm`` entry behind (``tests/core/test_parallel_safety.py``).
     """
     from multiprocessing import shared_memory
+
+    publish_start = time.perf_counter() if OBS.enabled else 0.0
 
     named: List[Tuple[str, np.ndarray]] = [
         ("data", np.ascontiguousarray(matrix.data)),
@@ -233,24 +259,29 @@ def publish_operator(
         offset += array.nbytes
     shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
     try:
-        for field, (_name, array) in zip(fields, named):
-            view = np.ndarray(
-                field.shape, dtype=np.dtype(field.dtype), buffer=shm.buf, offset=field.offset
-            )
-            view[...] = array
-    except BaseException:  # pragma: no cover - copy cannot realistically fail
+        _copy_fields(shm, fields, named)
+        payload = OperatorPayload(
+            kind=kind,
+            num_states=int(matrix.shape[0]),
+            shm_name=shm.name,
+            fields=tuple(fields),
+            damping=float(damping),
+            beta=float(beta),
+        )
+        handle = SharedOperatorHandle(payload, shm)
+    except BaseException:
+        # Never leak the segment: close our mapping and unlink the name.
         shm.close()
-        shm.unlink()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
         raise
-    payload = OperatorPayload(
-        kind=kind,
-        num_states=int(matrix.shape[0]),
-        shm_name=shm.name,
-        fields=tuple(fields),
-        damping=float(damping),
-        beta=float(beta),
-    )
-    return SharedOperatorHandle(payload, shm)
+    if OBS.enabled:
+        OBS.add("parallel.publishes")
+        OBS.add("parallel.publish_bytes", int(shm.size))
+        OBS.observe("parallel.publish_seconds", time.perf_counter() - publish_start)
+    return handle
 
 
 # ----------------------------------------------------------------------
@@ -261,12 +292,36 @@ def publish_operator(
 #: per worker keeps the zero-copy promise.
 _ATTACHED: Dict[str, Tuple[object, Dict[str, np.ndarray], dict]] = {}
 
+#: Seconds the most recent :func:`_attach` in *this process* spent
+#: mapping the segment (0.0 when it hit the cache).  Read by
+#: :func:`_timed_task` so per-worker attach latency travels back to the
+#: parent alongside task results without a second IPC channel.
+_ATTACH_SECONDS_PENDING = 0.0
+
+
+def _build_views(shm, fields: Tuple[_ArrayField, ...]) -> Dict[str, np.ndarray]:
+    """Rebuild the read-only zero-copy array views over an attached segment.
+
+    Module-level so the leak-safety tests can monkeypatch it to fail and
+    assert the worker-side mapping is closed on the error path.
+    """
+    views: Dict[str, np.ndarray] = {}
+    for field in fields:
+        view = np.ndarray(
+            field.shape, dtype=np.dtype(field.dtype), buffer=shm.buf, offset=field.offset
+        )
+        view.flags.writeable = False  # shared state is sacrosanct
+        views[field.name] = view
+    return views
+
 
 def _attach(payload: OperatorPayload):
+    global _ATTACH_SECONDS_PENDING
     entry = _ATTACHED.get(payload.shm_name)
     if entry is None:
         from multiprocessing import shared_memory
 
+        attach_start = time.perf_counter()
         shm = shared_memory.SharedMemory(name=payload.shm_name)
         # No resource-tracker bookkeeping here: fork workers inherit the
         # parent's tracker, whose cache is a *set* — the attach-side
@@ -274,15 +329,18 @@ def _attach(payload: OperatorPayload):
         # the parent's unlink() retires it exactly once.  (An explicit
         # unregister per worker would over-remove and make the tracker
         # print KeyError noise at shutdown.)
-        views: Dict[str, np.ndarray] = {}
-        for field in payload.fields:
-            view = np.ndarray(
-                field.shape, dtype=np.dtype(field.dtype), buffer=shm.buf, offset=field.offset
-            )
-            view.flags.writeable = False  # shared state is sacrosanct
-            views[field.name] = view
+        try:
+            views = _build_views(shm, payload.fields)
+        except BaseException:
+            # Close this process's mapping; unlinking stays the parent's
+            # job (other workers may still be attached to the name).
+            shm.close()
+            raise
         entry = (shm, views, {})
         _ATTACHED[payload.shm_name] = entry
+        _ATTACH_SECONDS_PENDING = time.perf_counter() - attach_start
+    else:
+        _ATTACH_SECONDS_PENDING = 0.0
     return entry
 
 
@@ -391,18 +449,111 @@ def _originator_task(args) -> np.ndarray:
 # ----------------------------------------------------------------------
 # Parent-side fan-out
 # ----------------------------------------------------------------------
+#: Registry of the picklable worker task functions, keyed by sweep kind.
+#: :func:`_run_tasks` uses the key both to pick the function and to tag
+#: per-task telemetry, so the instrumented path and the bare path call
+#: the *same* module-level functions.
+_TASK_FNS = {
+    "curves": _curves_task,
+    "hitting": _hitting_task,
+    "evolve": _evolve_task,
+    "originator": _originator_task,
+}
+
+
+def _timed_task(args):
+    """Telemetry wrapper executed *inside* a pool worker.
+
+    Only dispatched when the parent has telemetry enabled (the fork
+    inherits ``OBS.enabled``, but worker-side registries die with the
+    child — so we ship the few scalars the parent wants back alongside
+    the result instead).  Returns
+    ``(elapsed_seconds, attach_seconds, worker_pid, result)``.
+    """
+    key, inner = args
+    start = time.perf_counter()
+    result = _TASK_FNS[key](inner)
+    elapsed = time.perf_counter() - start
+    return elapsed, _ATTACH_SECONDS_PENDING, os.getpid(), result
+
+
 def _pool_map(workers: int, task, items):
-    """Order-preserving map over a fresh fork pool."""
+    """Order-preserving map over a fresh fork pool.
+
+    Pool setup, the map itself and teardown are timed separately when
+    telemetry is on; on failure the pool is terminated (not drained) so
+    an exception in one shard cannot wedge the parent.
+    """
     import multiprocessing
 
+    telemetry = OBS.enabled
     context = multiprocessing.get_context("fork")
-    with context.Pool(processes=workers) as pool:
-        return pool.map(task, items, chunksize=1)
+    setup_start = time.perf_counter() if telemetry else 0.0
+    pool = context.Pool(processes=workers)
+    if telemetry:
+        OBS.observe("parallel.pool_setup_seconds", time.perf_counter() - setup_start)
+    try:
+        with OBS.timer("parallel.map_seconds") if telemetry else NULL_CONTEXT:
+            results = pool.map(task, items, chunksize=1)
+    except BaseException:
+        pool.terminate()
+        pool.join()
+        raise
+    teardown_start = time.perf_counter() if telemetry else 0.0
+    pool.close()
+    pool.join()
+    if telemetry:
+        OBS.observe(
+            "parallel.pool_teardown_seconds", time.perf_counter() - teardown_start
+        )
+    return results
+
+
+def _run_tasks(workers: int, key: str, tasks):
+    """Fan ``tasks`` out through the pool, recording telemetry when on.
+
+    Disabled path: exactly ``_pool_map(workers, _TASK_FNS[key], tasks)``
+    — no wrapper travels to the workers, no per-task bookkeeping.
+
+    Enabled path: each task runs through :func:`_timed_task`, and the
+    parent records per-task wall time, per-worker attach latency and the
+    distinct worker count before unwrapping the results (values are
+    untouched either way, preserving bit-for-bit serial equivalence).
+    """
+    if not OBS.enabled:
+        return _pool_map(workers, _TASK_FNS[key], tasks)
+    with OBS.span("parallel.pool", kind=key, workers=int(workers), tasks=len(tasks)):
+        wrapped = _pool_map(workers, _timed_task, [(key, t) for t in tasks])
+    pids: Dict[int, int] = {}
+    results = []
+    for elapsed, attach_seconds, pid, result in wrapped:
+        OBS.observe(f"parallel.task_seconds.{key}", elapsed)
+        if attach_seconds > 0.0:
+            OBS.observe("parallel.attach_seconds", attach_seconds)
+        pids[pid] = pids.get(pid, 0) + 1
+        results.append(result)
+    OBS.set_gauge("parallel.workers_used", len(pids))
+    if pids:
+        OBS.observe("parallel.tasks_per_worker_max", max(pids.values()))
+    return results
+
+
+def _note_parallel_path(workers: int, shards: int) -> None:
+    """Tag the enclosing operator span (if any) as having gone parallel."""
+    if not OBS.enabled:
+        return
+    span = OBS.current_span()
+    if span is not None:
+        span.set(path="parallel", workers=int(workers), shards=int(shards))
 
 
 def _shard(sources: np.ndarray, workers: int) -> List[np.ndarray]:
     count = min(sources.size, workers * _OVERSHARD)
-    return [s for s in np.array_split(sources, count)]
+    shards = [s for s in np.array_split(sources, count)]
+    if OBS.enabled:
+        for s in shards:
+            OBS.observe("parallel.shard_rows", s.size)
+    return shards
 
 
 def _effective_workers(workers: Optional[int], num_rows: int) -> int:
@@ -436,7 +587,8 @@ def maybe_parallel_variation_curves(
             (handle.payload, shard, walk_lengths, block_size)
             for shard in _shard(sources, count)
         ]
-        results = _pool_map(count, _curves_task, tasks)
+        _note_parallel_path(count, len(tasks))
+        results = _run_tasks(count, "curves", tasks)
         return np.concatenate(results, axis=0)
 
 
@@ -465,7 +617,8 @@ def maybe_parallel_hitting_times(
             (handle.payload, shard, epsilon, max_steps, block_size)
             for shard in _shard(sources, count)
         ]
-        results = _pool_map(count, _hitting_task, tasks)
+        _note_parallel_path(count, len(tasks))
+        results = _run_tasks(count, "hitting", tasks)
         times = np.concatenate([r[0] for r in results])
         final = np.concatenate([r[1] for r in results])
         return HittingTimes(times=times, final_distances=final)
@@ -497,7 +650,11 @@ def maybe_parallel_evolve_block(
             np.arange(block.shape[0]), min(block.shape[0], count * _OVERSHARD)
         )
         tasks = [(handle.payload, block[rows], steps) for rows in shards]
-        results = _pool_map(count, _evolve_task, tasks)
+        if OBS.enabled:
+            for rows in shards:
+                OBS.observe("parallel.shard_rows", rows.size)
+        _note_parallel_path(count, len(tasks))
+        results = _run_tasks(count, "evolve", tasks)
         return np.concatenate(results, axis=0)
 
 
@@ -526,5 +683,6 @@ def maybe_parallel_originator_curves(
             (handle.payload, shard, walk_lengths, chunk_rows)
             for shard in _shard(sources, count)
         ]
-        results = _pool_map(count, _originator_task, tasks)
+        _note_parallel_path(count, len(tasks))
+        results = _run_tasks(count, "originator", tasks)
         return np.concatenate(results, axis=0)

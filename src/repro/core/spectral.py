@@ -30,6 +30,7 @@ import numpy as np
 
 from ..errors import ConvergenceError, NotConnectedError
 from ..graph import Graph, is_connected
+from ..obs import OBS
 
 __all__ = [
     "SpectralSummary",
@@ -100,10 +101,14 @@ def _extremes_sparse(graph: Graph, *, tol: float = 0.0, maxiter=None) -> Tuple[f
     # vector keeps results reproducible.
     v0 = np.full(n, 1.0 / np.sqrt(n))
     try:
-        top = eigsh(matrix, k=k, which="LA", return_eigenvectors=False, tol=tol, maxiter=maxiter, v0=v0)
-        bottom = eigsh(matrix, k=1, which="SA", return_eigenvectors=False, tol=tol, maxiter=maxiter, v0=v0)
+        with OBS.timer("spectral.sparse.seconds"):
+            top = eigsh(matrix, k=k, which="LA", return_eigenvectors=False, tol=tol, maxiter=maxiter, v0=v0)
+            bottom = eigsh(matrix, k=1, which="SA", return_eigenvectors=False, tol=tol, maxiter=maxiter, v0=v0)
     except Exception as exc:  # ArpackNoConvergence and friends
         raise ConvergenceError(f"sparse eigensolver failed: {exc}") from exc
+    if OBS.enabled:
+        OBS.add("spectral.sparse.solves", 2)
+        OBS.observe("spectral.sparse.ritz_k", k)
     top = np.sort(top)[::-1]
     lambda2 = float(top[1])
     lambda_min = float(bottom[0])
@@ -148,18 +153,26 @@ def _extremes_power(
         x -= (x @ top_vec) * top_vec
         x /= np.linalg.norm(x)
         value = 0.0
-        for _ in range(maxiter):
+        for iteration in range(maxiter):
             y = apply_op(x)
             y -= (y @ top_vec) * top_vec  # re-deflate against drift
             norm = np.linalg.norm(y)
             if norm == 0:
+                if OBS.enabled:
+                    OBS.observe("spectral.power.iterations", iteration + 1)
                 return 0.0
             y /= norm
             new_value = float(y @ apply_op(y))
-            if abs(new_value - value) <= tol:
+            residual = abs(new_value - value)
+            if residual <= tol:
+                if OBS.enabled:
+                    OBS.observe("spectral.power.iterations", iteration + 1)
+                    OBS.observe("spectral.power.residual", residual)
                 return new_value
             value = new_value
             x = y
+        if OBS.enabled:
+            OBS.add("spectral.power.nonconverged")
         raise ConvergenceError("power iteration did not converge", partial=value)
 
     # lambda with the largest |.| among non-top eigenvalues:
@@ -204,14 +217,20 @@ def transition_spectrum_extremes(
         raise ValueError("spectral summary needs at least two nodes")
     if check_connected and not is_connected(graph):
         raise NotConnectedError("graph is disconnected; SLEM would trivially be 1")
-    if method == "sparse":
-        lambda2, lambda_min = _extremes_sparse(graph, tol=tol, maxiter=maxiter)
-    elif method == "dense":
-        lambda2, lambda_min = _extremes_dense(graph)
-    elif method == "power":
-        lambda2, lambda_min = _extremes_power(graph)
-    else:
-        raise ValueError(f"unknown method {method!r}; expected sparse|dense|power")
+    with OBS.span(
+        "spectral.extremes", method=method, nodes=int(graph.num_nodes)
+    ) as span:
+        if method == "sparse":
+            lambda2, lambda_min = _extremes_sparse(graph, tol=tol, maxiter=maxiter)
+        elif method == "dense":
+            lambda2, lambda_min = _extremes_dense(graph)
+        elif method == "power":
+            lambda2, lambda_min = _extremes_power(graph)
+        else:
+            raise ValueError(f"unknown method {method!r}; expected sparse|dense|power")
+        if OBS.enabled:
+            OBS.add(f"spectral.calls.{method}")
+            span.set(lambda2=float(lambda2), lambda_min=float(lambda_min))
     mu = max(abs(lambda2), abs(lambda_min))
     mu = min(mu, 1.0)
     return SpectralSummary(

@@ -11,7 +11,13 @@ from .registry import (
     small_dataset_names,
 )
 from .synthetic import generate, generate_raw, load_dataset
-from .cache import clear_memory_cache, default_cache_dir, load_cached
+from .cache import (
+    clear_memory_cache,
+    default_cache_dir,
+    load_cached,
+    loaded_dataset_names,
+    reset_load_log,
+)
 
 __all__ = [
     "REGISTRY",
@@ -28,4 +34,6 @@ __all__ = [
     "clear_memory_cache",
     "default_cache_dir",
     "load_cached",
+    "loaded_dataset_names",
+    "reset_load_log",
 ]

@@ -16,12 +16,35 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from ..graph import Graph, load_npz, save_npz
+from ..obs import OBS
 from .registry import get_spec
 from .synthetic import generate
 
-__all__ = ["load_cached", "clear_memory_cache", "default_cache_dir"]
+__all__ = [
+    "load_cached",
+    "clear_memory_cache",
+    "default_cache_dir",
+    "loaded_dataset_names",
+    "reset_load_log",
+]
 
 _MEMORY: Dict[Tuple[str, Optional[int]], Graph] = {}
+
+#: Insertion-ordered log of every dataset name served by
+#: :func:`load_cached` in this process (cache hits included — a runner
+#: that *uses* a cached graph still depends on it).  Run-manifests diff
+#: this log around a runner to record the datasets the run touched.
+_LOAD_LOG: Dict[str, None] = {}
+
+
+def loaded_dataset_names() -> Tuple[str, ...]:
+    """Dataset names served so far, in first-load order."""
+    return tuple(_LOAD_LOG)
+
+
+def reset_load_log() -> None:
+    """Forget the load log (mainly for tests)."""
+    _LOAD_LOG.clear()
 
 
 def default_cache_dir() -> Path:
@@ -50,7 +73,10 @@ def load_cached(
     returned.  Miss → generated, persisted (when ``use_disk``), memoised.
     """
     key = (name, seed)
+    _LOAD_LOG[name] = None
     if key in _MEMORY:
+        if OBS.enabled:
+            OBS.add("datasets.load.memory_hits")
         return _MEMORY[key]
     spec = get_spec(name)  # validates the name before any disk I/O
     path = None
@@ -61,7 +87,11 @@ def load_cached(
         if path.exists():
             graph = load_npz(path)
             _MEMORY[key] = graph
+            if OBS.enabled:
+                OBS.add("datasets.load.disk_hits")
             return graph
+    if OBS.enabled:
+        OBS.add("datasets.load.generated")
     graph = generate(spec, seed=seed)
     if path is not None:
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -12,6 +12,17 @@ class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """An experiment/CLI configuration value is invalid.
+
+    Raised at *parse time* (CLI argument handling,
+    :class:`~repro.experiments.config.ExperimentConfig` construction) so
+    a bad knob — e.g. ``workers=0`` or a non-integer worker count —
+    fails loudly up front instead of silently degrading to a serial run
+    hours into a sweep.
+    """
+
+
 class GraphFormatError(ReproError, ValueError):
     """An edge list, adjacency input, or serialized graph is malformed."""
 

@@ -1,6 +1,6 @@
 """Experiment runners: one per paper table/figure plus ablations."""
 
-from .config import FAST, FULL, ExperimentConfig
+from .config import FAST, FULL, ExperimentConfig, validate_workers
 from .harness import (
     FigureResult,
     Series,
@@ -8,6 +8,7 @@ from .harness import (
     figure_to_csv,
     render_figure,
     render_table,
+    run_with_manifest,
     table_to_csv,
 )
 from .table1 import Table1Row, collect_slems, run_table1, table1_result
@@ -35,11 +36,13 @@ __all__ = [
     "FAST",
     "FULL",
     "ExperimentConfig",
+    "validate_workers",
     "FigureResult",
     "Series",
     "TableResult",
     "render_figure",
     "render_table",
+    "run_with_manifest",
     "figure_to_csv",
     "table_to_csv",
     "Table1Row",

@@ -13,7 +13,36 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-__all__ = ["ExperimentConfig", "FAST", "FULL"]
+from ..errors import ConfigurationError
+
+__all__ = ["ExperimentConfig", "FAST", "FULL", "validate_workers"]
+
+
+def validate_workers(workers: Optional[int]) -> Optional[int]:
+    """Parse-time validation of a ``workers`` knob; returns it unchanged.
+
+    Accepts ``None`` (serial), ``-1`` (all cores) and positive integers.
+    Rejects ``0``, other negatives, booleans and non-integers with
+    :class:`~repro.errors.ConfigurationError` — *before* any sweep runs,
+    so a typo'd ``--workers`` fails in milliseconds instead of silently
+    degrading a multi-hour run.  (The runtime-level
+    :func:`repro.core.parallel.resolve_workers` keeps its lenient
+    ``0 -> serial`` contract for programmatic callers; this gate is the
+    strict front door for configuration surfaces.)
+    """
+    if workers is None:
+        return None
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ConfigurationError(
+            f"workers must be an integer, got {workers!r} ({type(workers).__name__})"
+        )
+    if workers == 0:
+        raise ConfigurationError(
+            "workers=0 is ambiguous; use workers=None (or omit the flag) for serial"
+        )
+    if workers < -1:
+        raise ConfigurationError(f"workers must be >= -1, got {workers}")
+    return workers
 
 
 @dataclass(frozen=True)
@@ -43,6 +72,13 @@ class ExperimentConfig:
         uses every core, and any value is bit-for-bit neutral — parallel
         sweeps reproduce the serial numbers exactly, so results never
         depend on this knob.  Set via the ``--workers`` CLI flag.
+        Validated at construction time by :func:`validate_workers`.
+    telemetry:
+        When true, the process-wide :data:`repro.obs.OBS` registry is
+        enabled before the runner executes (via
+        :func:`repro.experiments.harness.run_with_manifest` or the CLI),
+        so hot paths record metrics and spans.  Telemetry is provably
+        inert — flipping this never changes any numeric output.
     """
 
     mode: str = "fast"
@@ -52,10 +88,12 @@ class ExperimentConfig:
     long_walks: Tuple[int, ...] = (80, 100, 200, 300, 400, 500)
     evolution_block_size: Optional[int] = None
     workers: Optional[int] = None
+    telemetry: bool = False
 
     def __post_init__(self):
         if self.mode not in ("fast", "full"):
-            raise ValueError("mode must be 'fast' or 'full'")
+            raise ConfigurationError("mode must be 'fast' or 'full'")
+        validate_workers(self.workers)
 
     @property
     def is_fast(self) -> bool:

@@ -3,14 +3,24 @@
 Every experiment runner returns one of these structures; the benchmark
 harness and the CLI print them with the render functions, producing the
 same rows/series the paper's tables and figures report.
+
+:func:`run_with_manifest` is the instrumented front door: it runs any
+runner under a telemetry span and assembles the JSON run-manifest
+(:mod:`repro.obs.manifest`) recording seed, config, datasets touched,
+environment and a metric snapshot — written next to the results when an
+output directory is given.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..obs import OBS, build_run_manifest, validate_run_manifest, write_run_manifest
 
 __all__ = [
     "TableResult",
@@ -18,6 +28,7 @@ __all__ = [
     "FigureResult",
     "render_table",
     "render_figure",
+    "run_with_manifest",
     "table_to_csv",
     "figure_to_csv",
 ]
@@ -73,6 +84,54 @@ class FigureResult:
             if s.label == label:
                 return s
         raise KeyError(f"no series {label!r} in panel {panel!r}")
+
+
+def run_with_manifest(
+    name: str,
+    runner: Callable,
+    config,
+    *,
+    out_dir=None,
+) -> Tuple[object, dict, Optional[Path]]:
+    """Run ``runner(config)`` under a telemetry span and build its manifest.
+
+    Returns ``(result, manifest, manifest_path)``; ``manifest_path`` is
+    ``None`` unless ``out_dir`` was given, in which case the validated
+    manifest is written to ``out_dir/<name>.manifest.json``.
+
+    * ``config.telemetry`` (when present and true) enables the
+      process-wide :data:`repro.obs.OBS` registry before the run.
+    * Datasets are recorded by diffing the dataset load log
+      (:func:`repro.datasets.loaded_dataset_names`) around the run.
+    * The manifest embeds a registry snapshot either way — an empty one
+      documents that telemetry was off, keeping the run auditable.
+    """
+    from ..datasets import loaded_dataset_names
+
+    if getattr(config, "telemetry", False) and not OBS.enabled:
+        OBS.enable()
+    before = set(loaded_dataset_names())
+    start = time.perf_counter()
+    with OBS.span(
+        f"experiment.{name}",
+        mode=getattr(config, "mode", None),
+        seed=getattr(config, "seed", None),
+    ):
+        result = runner(config)
+    elapsed = time.perf_counter() - start
+    datasets = [n for n in loaded_dataset_names() if n not in before]
+    kwargs = dict(
+        config=config,
+        seed=getattr(config, "seed", None),
+        datasets=datasets,
+        extra={"elapsed_seconds": elapsed},
+    )
+    if out_dir is not None:
+        path = Path(out_dir) / f"{name}.manifest.json"
+        manifest = write_run_manifest(path, name, **kwargs)
+        return result, manifest, path
+    manifest = validate_run_manifest(build_run_manifest(name, **kwargs))
+    return result, manifest, None
 
 
 def _format_value(value: float) -> str:

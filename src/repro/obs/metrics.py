@@ -1,0 +1,359 @@
+"""Process-wide metrics: counters, gauges, histograms, monotonic timers.
+
+The registry is the accounting half of :mod:`repro.obs`.  Hot paths
+(:mod:`repro.core.operators`, :mod:`repro.core.parallel`,
+:mod:`repro.core.spectral`) record *into* it; experiment runs snapshot
+*out of* it into run-manifests and ``--metrics-out`` files.
+
+Design constraints, in order:
+
+1. **Inert.**  Recording a metric may never change a numeric result.
+   Every instrument only reads values the computation already produced
+   (row counts, wall-clock durations, residuals) — nothing feeds back.
+   ``tests/obs/test_inertness.py`` and the golden-value suite pin this.
+2. **Near-zero cost when disabled.**  The disabled fast path is a single
+   attribute read (``if OBS.enabled:``) per *chunk or call*, never per
+   element; disabled context managers are a shared no-op singleton.
+   ``benchmarks/bench_telemetry_overhead.py`` measures the residual.
+3. **Dependency-free.**  Pure stdlib + the numbers handed to it; no
+   prometheus client, no opentelemetry.
+
+Thread-safety: instrument *creation* is locked; updates rely on the GIL
+(a torn float add could only smudge a metric value, never a result).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS",
+    "telemetry_enabled_from_env",
+]
+
+#: Environment switch: ``REPRO_TELEMETRY=1`` turns the process-wide
+#: registry on at import time (CLI flags and ``ExperimentConfig.telemetry``
+#: flip it per run).
+_ENV_SWITCH = "REPRO_TELEMETRY"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def telemetry_enabled_from_env(environ=None) -> bool:
+    """Whether ``REPRO_TELEMETRY`` asks for telemetry at import time."""
+    env = os.environ if environ is None else environ
+    return str(env.get(_ENV_SWITCH, "")).strip().lower() in _TRUTHY
+
+
+class Counter:
+    """A monotonically increasing count (events, rows, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, delta: float = 1.0) -> None:
+        if delta < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (delta={delta})")
+        self.value += delta
+
+    def to_dict(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins scalar (current backend, last residual)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def to_dict(self) -> dict:
+        return {"value": self.value, "updates": self.updates}
+
+
+class Histogram:
+    """Streaming summary of observations (count/total/min/max/last).
+
+    Deliberately a summary, not a bucketed histogram: the consumers here
+    (run-manifests, bench sidecars) want "how many, how much, how
+    skewed" — full distributions belong in the trace spans, which record
+    each shard/chunk individually.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "last")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.last: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.last = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+        }
+
+
+class _NullContext:
+    """Shared no-op stand-in for timers and spans when telemetry is off.
+
+    Implements the full span surface (``set``/``event``) so call sites
+    never need an enabled-check around attribute updates on the object a
+    ``with OBS.span(...)`` handed them.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attributes) -> "_NullContext":
+        return self
+
+    def event(self, name: str, **attributes) -> "_NullContext":
+        return self
+
+
+NULL_CONTEXT = _NullContext()
+
+
+class _Timer:
+    """Context manager recording elapsed seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Process-wide named metrics plus the trace-span sink.
+
+    ``enabled`` is a plain attribute so the hot-path guard is one
+    attribute read.  All get-or-create accessors are cheap and
+    idempotent; :meth:`snapshot` renders everything JSON-ready.
+    """
+
+    #: Completed spans kept per registry; beyond this the oldest are kept
+    #: and new ones counted as dropped (a sweep can emit one span per
+    #: chunk — unbounded growth would turn telemetry into a leak).
+    MAX_SPANS = 20_000
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans: list = []
+        self._spans_dropped = 0
+        self._span_seq = 0
+        self._local = threading.local()
+
+    # -- lifecycle -----------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every metric and span (the enabled flag is untouched)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans = []
+            self._spans_dropped = 0
+            self._span_seq = 0
+
+    # -- get-or-create accessors ---------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram(name))
+        return instrument
+
+    # -- one-shot conveniences (no-ops when disabled) ------------------
+    def add(self, name: str, delta: float = 1.0) -> None:
+        if self.enabled:
+            self.counter(name).add(delta)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.histogram(name).observe(value)
+
+    def timer(self, name: str):
+        """``with OBS.timer("x"): ...`` — seconds into histogram ``x``."""
+        if not self.enabled:
+            return NULL_CONTEXT
+        return _Timer(self.histogram(name))
+
+    # -- span plumbing (implementation lives in obs.spans) -------------
+    def span(self, name: str, **attributes):
+        """Open a nested trace span; see :mod:`repro.obs.spans`."""
+        if not self.enabled:
+            return NULL_CONTEXT
+        from .spans import Span
+
+        return Span(self, name, attributes)
+
+    def event(self, name: str, **attributes) -> None:
+        """Attach a timestamped event to the innermost open span.
+
+        Silently dropped when telemetry is off or no span is open — hot
+        loops must not need to know whether anyone wrapped them.
+        """
+        if not self.enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            stack[-1].event(name, **attributes)
+
+    def current_span(self):
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _span_stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_span_id(self) -> int:
+        with self._lock:
+            self._span_seq += 1
+            return self._span_seq
+
+    def _record_span(self, record: dict) -> None:
+        with self._lock:
+            if len(self._spans) >= self.MAX_SPANS:
+                self._spans_dropped += 1
+            else:
+                self._spans.append(record)
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready view of every metric (spans excluded; see trace)."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "captured_unix": time.time(),
+                "counters": {k: v.to_dict() for k, v in sorted(self._counters.items())},
+                "gauges": {k: v.to_dict() for k, v in sorted(self._gauges.items())},
+                "histograms": {k: v.to_dict() for k, v in sorted(self._histograms.items())},
+                "spans": {"recorded": len(self._spans), "dropped": self._spans_dropped},
+            }
+
+    def trace(self) -> list:
+        """Completed spans, oldest first (each a JSON-ready dict)."""
+        with self._lock:
+            return list(self._spans)
+
+    def write_metrics(self, path) -> None:
+        """Write :meth:`snapshot` as pretty JSON to ``path``."""
+        payload = {"schema": "repro.obs.metrics/v1", **self.snapshot()}
+        _write_json(path, payload)
+
+    def write_trace(self, path) -> None:
+        """Write :meth:`trace` as pretty JSON to ``path``."""
+        payload = {"schema": "repro.obs.trace/v1", "spans": self.trace()}
+        _write_json(path, payload)
+
+
+def _write_json(path, payload: dict) -> None:
+    from pathlib import Path
+
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=_json_default) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _json_default(value):
+    """Coerce numpy scalars (and other oddballs) for json.dumps."""
+    for attr in ("item",):  # numpy scalar protocol without importing numpy
+        method = getattr(value, attr, None)
+        if callable(method):
+            return method()
+    return repr(value)
+
+
+#: The process-wide registry every instrument in :mod:`repro` records to.
+#: Honouring ``REPRO_TELEMETRY=1`` at import keeps CLI-less consumers
+#: (pytest, notebooks) one env var away from full telemetry.
+OBS = MetricsRegistry(enabled=telemetry_enabled_from_env())

@@ -1,0 +1,120 @@
+"""Nested trace spans with structured attributes and events.
+
+A span is one timed region of work — an experiment run, a sweep, a pool
+fan-out — carrying key/value *attributes* (set at open or during the
+region) and timestamped *events* (per-checkpoint observations such as
+TVD-at-step convergence traces).  Spans nest: opening a span inside
+another records the parent id, so a trace reconstructs the call tree::
+
+    experiment.fig3
+    └─ core.variation_curves        sources=250 checkpoints=5
+       ├─ parallel.pool             workers=4 tasks=16
+       └─ [events] tvd step=1 mean=0.93 ... tvd step=40 mean=0.41
+
+Spans are thread-local (each thread has its own open-span stack on the
+shared registry) and are recorded to the registry on close, rendered as
+plain dicts so :meth:`~repro.obs.metrics.MetricsRegistry.write_trace`
+can dump them without any custom serialisation.
+
+When telemetry is disabled, ``registry.span(...)`` returns a shared
+no-op object and none of this module runs — the import itself is lazy.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Span"]
+
+
+class Span:
+    """One open trace region (use via ``with registry.span(name, ...)``)."""
+
+    __slots__ = (
+        "_registry",
+        "name",
+        "attributes",
+        "events",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_unix",
+        "_start_perf",
+        "duration_s",
+        "status",
+    )
+
+    def __init__(self, registry, name: str, attributes: dict) -> None:
+        self._registry = registry
+        self.name = str(name)
+        self.attributes = dict(attributes)
+        self.events: list = []
+        self.span_id = registry._next_span_id()
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.start_unix = 0.0
+        self._start_perf = 0.0
+        self.duration_s: Optional[float] = None
+        self.status = "ok"
+
+    # -- structured payload --------------------------------------------
+    def set(self, **attributes) -> "Span":
+        """Merge attributes into the span (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name: str, **attributes) -> "Span":
+        """Record a timestamped event inside the span (chainable).
+
+        The timestamp is the offset from span start in seconds, so event
+        sequences read as a convergence trace without clock arithmetic.
+        """
+        self.events.append(
+            {
+                "name": str(name),
+                "offset_s": time.perf_counter() - self._start_perf,
+                **attributes,
+            }
+        )
+        return self
+
+    # -- context manager protocol --------------------------------------
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack()
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            self.depth = parent.depth + 1
+        self.start_unix = time.time()
+        self._start_perf = time.perf_counter()
+        stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._start_perf
+        if exc_type is not None:
+            self.status = "error"
+            self.attributes.setdefault("exception", exc_type.__name__)
+        stack = self._registry._span_stack()
+        # Pop defensively: mispaired enters/exits must not corrupt the
+        # sibling spans' ancestry (they only orphan this one).
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # pragma: no cover - mispaired nesting
+            stack.remove(self)
+        self._registry._record_span(self.to_dict())
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+        }

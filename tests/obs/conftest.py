@@ -1,0 +1,21 @@
+"""Shared fixtures for the observability suite."""
+
+import pytest
+
+from repro.obs import OBS
+
+
+@pytest.fixture
+def obs():
+    """The process-wide registry, reset and disabled around each test.
+
+    Restores the pre-test enabled flag afterwards so running the suite
+    under ``REPRO_TELEMETRY=1`` (as the CI inertness job does) leaves
+    the registry the way that environment expects it.
+    """
+    was_enabled = OBS.enabled
+    OBS.disable()
+    OBS.reset()
+    yield OBS
+    OBS.reset()
+    OBS.enabled = was_enabled

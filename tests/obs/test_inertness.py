@@ -1,0 +1,139 @@
+"""The inertness contract: telemetry may not change a single bit.
+
+Every numeric path that got instrumented in this package — operator
+block evolution, variation curves, hitting times, the spectral
+back-ends, the parallel runtime, experiment runners — is executed twice,
+telemetry off then on, and compared with **zero tolerance**
+(``np.array_equal`` / exact equality).  CI additionally runs the whole
+golden-value suite under ``REPRO_TELEMETRY=1`` so the contract is pinned
+against the frozen reference numbers too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_mixing_time,
+    parallel_backend_available,
+    transition_spectrum_extremes,
+)
+from tests.core.test_operators import ALL_KINDS, make_operator
+
+needs_pool = pytest.mark.skipif(
+    not parallel_backend_available(),
+    reason="fork + shared-memory backend unavailable",
+)
+
+
+def _with_flag(obs, enabled, fn):
+    obs.reset()
+    obs.enabled = bool(enabled)
+    try:
+        return fn()
+    finally:
+        obs.enabled = False
+        obs.reset()
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_variation_curves_bit_identical(obs, kind):
+    def run():
+        op = make_operator(kind)
+        sources = np.arange(op.num_states, dtype=np.int64)
+        return op.variation_curves(sources, [1, 2, 5, 9], block_size=4)
+
+    off = _with_flag(obs, False, run)
+    on = _with_flag(obs, True, run)
+    assert np.array_equal(off, on)
+
+
+@pytest.mark.parametrize("kind", ["plain", "teleport"])
+def test_hitting_times_bit_identical(obs, kind):
+    def run():
+        op = make_operator(kind)
+        sources = np.arange(op.num_states, dtype=np.int64)
+        result = op.hitting_times(sources, 0.2, max_steps=40, block_size=4)
+        return result.times.copy(), result.final_distances.copy()
+
+    off_t, off_d = _with_flag(obs, False, run)
+    on_t, on_d = _with_flag(obs, True, run)
+    assert np.array_equal(off_t, on_t)
+    assert np.array_equal(off_d, on_d)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_evolve_block_bit_identical(obs, kind):
+    def run():
+        op = make_operator(kind)
+        block = op.point_mass_block(np.arange(min(6, op.num_states), dtype=np.int64))
+        return op.evolve_block(block, 7)
+
+    assert np.array_equal(_with_flag(obs, False, run), _with_flag(obs, True, run))
+
+
+@pytest.mark.parametrize("method", ["sparse", "dense", "power"])
+def test_spectral_backends_bit_identical(obs, method, er_medium):
+    def run():
+        s = transition_spectrum_extremes(er_medium, method=method)
+        return (s.lambda2, s.lambda_min, s.slem, s.gap)
+
+    assert _with_flag(obs, False, run) == _with_flag(obs, True, run)
+
+
+def test_estimate_mixing_time_bit_identical(obs, er_medium):
+    def run():
+        return estimate_mixing_time(er_medium, 0.1, sources=20, seed=7)
+
+    off = _with_flag(obs, False, run)
+    on = _with_flag(obs, True, run)
+    for attr in ("times", "final_distances", "sources"):
+        off_v = getattr(off, attr, None)
+        on_v = getattr(on, attr, None)
+        if off_v is not None:
+            assert np.array_equal(np.asarray(off_v), np.asarray(on_v)), attr
+
+
+@needs_pool
+@pytest.mark.parametrize("kind", ["plain", "teleport"])
+def test_parallel_sweep_bit_identical(obs, kind):
+    """Telemetry on must not perturb the pool path either — the timed
+    task wrapper unwraps to exactly the bare task results."""
+
+    def run():
+        op = make_operator(kind)
+        sources = np.arange(op.num_states, dtype=np.int64)
+        return op.variation_curves(sources, [1, 3, 6], block_size=4, workers=2)
+
+    off = _with_flag(obs, False, run)
+    on = _with_flag(obs, True, run)
+    assert np.array_equal(off, on)
+
+
+def test_serial_equals_parallel_under_telemetry(obs):
+    """Cross-check: with telemetry ON, workers=2 still equals workers=1."""
+    if not parallel_backend_available():
+        pytest.skip("no pool backend")
+
+    def run(workers):
+        op = make_operator("plain")
+        sources = np.arange(op.num_states, dtype=np.int64)
+        return op.variation_curves(sources, [2, 4], block_size=4, workers=workers)
+
+    serial = _with_flag(obs, True, lambda: run(1))
+    parallel = _with_flag(obs, True, lambda: run(2))
+    assert np.array_equal(serial, parallel)
+
+
+def test_telemetry_actually_recorded(obs):
+    """Guard against the vacuous pass: the enabled arm must have
+    recorded real metrics (otherwise inertness proves nothing)."""
+    obs.reset()
+    obs.enable()
+    op = make_operator("plain")
+    sources = np.arange(op.num_states, dtype=np.int64)
+    op.variation_curves(sources, [1, 2], block_size=4)
+    snap = obs.snapshot()
+    obs.disable()
+    obs.reset()
+    assert snap["counters"]["core.evolution.rows"] > 0
+    assert snap["spans"]["recorded"] >= 1

@@ -1,0 +1,148 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms, timers)."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, telemetry_enabled_from_env
+from repro.obs.metrics import NULL_CONTEXT
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("rows")
+        c.add()
+        c.add(41.0)
+        assert c.value == 42.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("rows").add(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("backend")
+        assert g.value is None
+        g.set(1)
+        g.set(7.5)
+        assert g.value == 7.5
+        assert g.updates == 2
+
+    def test_histogram_summary(self):
+        h = Histogram("chunk")
+        for v in (4.0, 1.0, 7.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 3
+        assert d["total"] == 12.0
+        assert d["mean"] == 4.0
+        assert d["min"] == 1.0 and d["max"] == 7.0 and d["last"] == 7.0
+
+    def test_empty_histogram_mean_is_none(self):
+        assert Histogram("x").mean is None
+
+
+class TestRegistry:
+    def test_disabled_one_shots_are_noops(self, obs):
+        obs.add("a")
+        obs.set_gauge("b", 1.0)
+        obs.observe("c", 2.0)
+        snap = obs.snapshot()
+        assert snap["counters"] == {} and snap["gauges"] == {} and snap["histograms"] == {}
+
+    def test_disabled_contexts_are_shared_null(self, obs):
+        assert obs.timer("t") is NULL_CONTEXT
+        assert obs.span("s") is NULL_CONTEXT
+        # The null context accepts the full span surface.
+        with obs.span("s") as span:
+            span.set(rows=3).event("tick", step=1)
+
+    def test_enabled_records(self, obs):
+        obs.enable()
+        obs.add("rows", 5)
+        obs.add("rows", 2)
+        obs.set_gauge("workers", 4)
+        obs.observe("shard", 10)
+        snap = obs.snapshot()
+        assert snap["counters"]["rows"] == 7.0
+        assert snap["gauges"]["workers"]["value"] == 4.0
+        assert snap["histograms"]["shard"]["count"] == 1
+
+    def test_timer_observes_elapsed(self, obs):
+        obs.enable()
+        with obs.timer("t"):
+            pass
+        d = obs.histogram("t").to_dict()
+        assert d["count"] == 1
+        assert d["last"] >= 0.0
+
+    def test_reset_keeps_enabled_flag(self, obs):
+        obs.enable()
+        obs.add("x")
+        obs.reset()
+        assert obs.enabled
+        assert obs.snapshot()["counters"] == {}
+
+    def test_get_or_create_is_idempotent(self, obs):
+        assert obs.counter("k") is obs.counter("k")
+        assert obs.gauge("k") is obs.gauge("k")
+        assert obs.histogram("k") is obs.histogram("k")
+
+    def test_concurrent_creation_single_instrument(self):
+        registry = MetricsRegistry(enabled=True)
+        seen = []
+
+        def grab():
+            seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+
+    def test_span_cap_counts_drops(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.MAX_SPANS = 3
+        for _ in range(5):
+            with registry.span("s"):
+                pass
+        snap = registry.snapshot()
+        assert snap["spans"]["recorded"] == 3
+        assert snap["spans"]["dropped"] == 2
+
+
+class TestExport:
+    def test_write_metrics_schema(self, obs, tmp_path):
+        obs.enable()
+        obs.add("rows", np.int64(3))  # numpy scalars must serialise
+        path = tmp_path / "metrics.json"
+        obs.write_metrics(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro.obs.metrics/v1"
+        assert payload["counters"]["rows"] == 3.0
+
+    def test_write_trace_schema(self, obs, tmp_path):
+        obs.enable()
+        with obs.span("outer", rows=np.int64(7)):
+            pass
+        path = tmp_path / "trace.json"
+        obs.write_trace(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro.obs.trace/v1"
+        assert payload["spans"][0]["name"] == "outer"
+        assert payload["spans"][0]["attributes"]["rows"] == 7
+
+
+class TestEnvSwitch:
+    @pytest.mark.parametrize("raw,expected", [
+        ("1", True), ("true", True), ("YES", True), (" on ", True),
+        ("0", False), ("", False), ("off", False), ("no", False),
+    ])
+    def test_truthy_parsing(self, raw, expected):
+        assert telemetry_enabled_from_env({"REPRO_TELEMETRY": raw}) is expected
+
+    def test_absent_is_disabled(self):
+        assert telemetry_enabled_from_env({}) is False

@@ -1,0 +1,114 @@
+"""Unit tests for nested trace spans."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+
+
+class TestNesting:
+    def test_parent_child_linkage(self, obs):
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == outer.depth + 1
+        trace = obs.trace()
+        assert [s["name"] for s in trace] == ["inner", "outer"]
+        assert trace[0]["parent_id"] == trace[1]["id"]
+
+    def test_siblings_share_parent(self, obs):
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        by_name = {s["name"]: s for s in obs.trace()}
+        assert by_name["a"]["parent_id"] == outer.span_id
+        assert by_name["b"]["parent_id"] == outer.span_id
+        assert by_name["a"]["id"] != by_name["b"]["id"]
+
+    def test_current_span_tracks_stack(self, obs):
+        obs.enable()
+        assert obs.current_span() is None
+        with obs.span("outer") as outer:
+            assert obs.current_span() is outer
+            with obs.span("inner") as inner:
+                assert obs.current_span() is inner
+            assert obs.current_span() is outer
+        assert obs.current_span() is None
+
+    def test_threads_have_independent_stacks(self, obs):
+        obs.enable()
+        seen = {}
+
+        def worker():
+            seen["in_thread"] = obs.current_span()
+            with obs.span("threaded"):
+                seen["inside"] = obs.current_span().name
+
+        with obs.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["in_thread"] is None  # main's span is not visible
+        assert seen["inside"] == "threaded"
+        threaded = [s for s in obs.trace() if s["name"] == "threaded"][0]
+        assert threaded["parent_id"] is None
+
+
+class TestPayload:
+    def test_attributes_and_events(self, obs):
+        obs.enable()
+        with obs.span("sweep", sources=10) as span:
+            span.set(chunk_rows=4)
+            span.event("tvd_checkpoint", step=5, mean_tvd=0.25)
+            span.event("tvd_checkpoint", step=10, mean_tvd=0.12)
+        record = obs.trace()[0]
+        assert record["attributes"] == {"sources": 10, "chunk_rows": 4}
+        steps = [e["step"] for e in record["events"]]
+        assert steps == [5, 10]
+        assert all(e["offset_s"] >= 0.0 for e in record["events"])
+
+    def test_registry_event_attaches_to_innermost(self, obs):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                obs.event("tick", i=1)
+        by_name = {s["name"]: s for s in obs.trace()}
+        assert len(by_name["inner"]["events"]) == 1
+        assert by_name["outer"]["events"] == []
+
+    def test_event_without_open_span_is_dropped(self, obs):
+        obs.enable()
+        obs.event("orphan")  # must not raise
+        assert obs.trace() == []
+
+
+class TestErrors:
+    def test_exception_marks_status_and_propagates(self, obs):
+        obs.enable()
+        with pytest.raises(ReproError):
+            with obs.span("failing"):
+                raise ReproError("boom")
+        record = obs.trace()[0]
+        assert record["status"] == "error"
+        assert record["attributes"]["exception"] == "ReproError"
+        assert record["duration_s"] is not None
+
+    def test_stack_clean_after_exception(self, obs):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("failing"):
+                raise ValueError
+        assert obs.current_span() is None
+
+    def test_duration_recorded(self, obs):
+        obs.enable()
+        with obs.span("timed"):
+            pass
+        record = obs.trace()[0]
+        assert record["duration_s"] >= 0.0
+        assert record["status"] == "ok"

@@ -1,0 +1,178 @@
+"""Deterministic pinned-count tests for the less-covered Sybil defenses.
+
+The sybilrank/sybillimit suites already pin their numerics; this module
+does the same for **sybilguard**, **sumup**, **whanau** and the
+**maxflow** kernel: small fixture graphs, fixed seeds, exact admission /
+route / flow counts.  Any behavioural drift in the defense
+implementations (route generation, ticket distribution, table
+construction, augmenting-path search) shows up here as a changed integer
+rather than a silent statistical shift in the paper experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi_gnm, two_community_bridge
+from repro.graph import largest_connected_component
+from repro.sybil import (
+    FlowNetwork,
+    SumUpParams,
+    SybilGuard,
+    attach_sybil_region,
+    build_whanau,
+    lookup_success_rate,
+    no_attack_scenario,
+    random_sybil_region,
+    sumup_collect_votes,
+    ticket_capacities,
+)
+
+
+@pytest.fixture(scope="module")
+def honest_graph():
+    graph, _ = largest_connected_component(erdos_renyi_gnm(40, 120, seed=5))
+    assert graph.num_nodes == 40 and graph.num_edges == 120
+    return graph
+
+
+@pytest.fixture(scope="module")
+def attack_scenario(honest_graph):
+    sybil = random_sybil_region(10, seed=6)
+    scenario = attach_sybil_region(honest_graph, sybil, 3, seed=7)
+    assert scenario.graph.num_nodes == 50
+    assert scenario.num_honest == 40
+    assert scenario.num_attack_edges == 3
+    return scenario
+
+
+class TestSybilGuardPinned:
+    def test_long_routes_admit_everyone(self, attack_scenario):
+        """w = 8 routes escape through the attack edges: every sybil is
+        admitted — the failure mode SybilGuard's analysis warns about
+        when w outgrows the mixing time of the cut."""
+        outcome = SybilGuard(attack_scenario, 8, seed=11).run(0)
+        honest_mask = outcome.suspects < attack_scenario.num_honest
+        assert outcome.suspects.size == 49
+        assert int(outcome.accepted.sum()) == 49
+        assert int(outcome.accepted[honest_mask].sum()) == 39
+        assert int(outcome.accepted[~honest_mask].sum()) == 10
+        assert outcome.admission_rate == pytest.approx(1.0)
+
+    def test_short_routes_are_selective(self, attack_scenario):
+        """w = 2 routes rarely intersect: admission drops to a pinned 36."""
+        outcome = SybilGuard(attack_scenario, 2, seed=11).run(0)
+        assert int(outcome.accepted.sum()) == 36
+
+    def test_rerun_is_deterministic(self, attack_scenario):
+        a = SybilGuard(attack_scenario, 4, seed=13).run(0)
+        b = SybilGuard(attack_scenario, 4, seed=13).run(0)
+        np.testing.assert_array_equal(a.accepted, b.accepted)
+        np.testing.assert_array_equal(a.suspects, b.suspects)
+
+
+class TestSumUpPinned:
+    def test_ticket_capacities_pinned(self, honest_graph):
+        caps = ticket_capacities(honest_graph, 0, 6)
+        assert len(caps) == 8
+        assert sum(caps.values()) == pytest.approx(13.0)
+        assert all(c >= 1.0 for c in caps.values())
+
+    def test_attack_votes_bottlenecked(self, attack_scenario):
+        """10 sybil voters + 5 honest voters against c_max = 6: the
+        ticket envelope caps collection at a pinned 8 of 15."""
+        voters = [int(v) for v in attack_scenario.sybil_nodes()] + [1, 2, 3, 4, 5]
+        outcome = sumup_collect_votes(attack_scenario, 0, voters, SumUpParams(c_max=6))
+        assert outcome.votes_cast == 15
+        assert outcome.votes_collected == 8
+        assert outcome.collection_rate == pytest.approx(8 / 15)
+
+    def test_honest_votes_capped_by_envelope(self, honest_graph):
+        outcome = sumup_collect_votes(
+            no_attack_scenario(honest_graph), 0, [1, 2, 3, 4, 5, 6, 7, 8],
+            SumUpParams(c_max=10),
+        )
+        assert outcome.votes_cast == 8
+        assert outcome.votes_collected == 8
+
+    def test_collector_cannot_vote(self, honest_graph):
+        with pytest.raises(ValueError):
+            sumup_collect_votes(
+                no_attack_scenario(honest_graph), 0, [0, 1], SumUpParams(c_max=4)
+            )
+
+
+class TestWhanauPinned:
+    @pytest.fixture(scope="class")
+    def community_graph(self):
+        graph, _labels = two_community_bridge(40, 8, 2, seed=31)
+        assert graph.num_nodes == 80 and graph.num_edges == 322
+        return graph
+
+    def test_long_walks_cover_the_ring(self, community_graph):
+        """w = 30 walks cross the 2-edge bridge: tables cover the ring
+        and every pinned lookup succeeds."""
+        tables = build_whanau(community_graph, 30, seed=32)
+        assert int(tables.finger_ptr[-1]) == 1722
+        assert int(tables.successor_ptr[-1]) == 6316
+        stats = lookup_success_rate(tables, num_lookups=60, tries=8, seed=33)
+        assert stats.lookups == 60
+        assert stats.successes == 60
+
+    def test_short_walks_leave_holes(self, community_graph):
+        """w = 1 walks stay inside the communities: lookups that need an
+        out-of-community owner fail — pinned at 36 of 60."""
+        tables = build_whanau(community_graph, 1, seed=32)
+        assert int(tables.finger_ptr[-1]) == 623
+        assert int(tables.successor_ptr[-1]) == 2846
+        stats = lookup_success_rate(tables, num_lookups=60, tries=8, seed=33)
+        assert stats.successes == 36
+
+    def test_rebuild_is_deterministic(self, community_graph):
+        a = build_whanau(community_graph, 5, seed=34)
+        b = build_whanau(community_graph, 5, seed=34)
+        np.testing.assert_array_equal(a.keys, b.keys)
+        np.testing.assert_array_equal(a.finger_nodes, b.finger_nodes)
+        np.testing.assert_array_equal(a.successor_keys, b.successor_keys)
+
+
+class TestMaxFlowPinned:
+    def _clrs_network(self):
+        """The CLRS Figure 26.1 network: known max flow 23."""
+        net = FlowNetwork(6)
+        s, v1, v2, v3, v4, t = range(6)
+        arcs = {}
+        for u, v, cap in [
+            (s, v1, 16.0), (s, v2, 13.0), (v1, v3, 12.0), (v2, v1, 4.0),
+            (v2, v4, 14.0), (v3, v2, 9.0), (v3, t, 20.0), (v4, v3, 7.0),
+            (v4, t, 4.0),
+        ]:
+            arcs[(u, v)] = net.add_edge(u, v, cap)
+        return net, arcs
+
+    def test_clrs_max_flow_is_23(self):
+        net, _arcs = self._clrs_network()
+        assert net.max_flow(0, 5) == pytest.approx(23.0)
+
+    def test_min_cut_after_max_flow(self):
+        net, _arcs = self._clrs_network()
+        net.max_flow(0, 5)
+        reachable = net.min_cut_reachable(0)
+        assert reachable[0] is True or reachable[0]
+        assert not reachable[5]
+        # Cut capacity across (reachable, unreachable) equals the flow.
+        assert sum(reachable) < 6
+
+    def test_flow_conservation_and_saturation(self):
+        net, arcs = self._clrs_network()
+        value = net.max_flow(0, 5)
+        out_of_source = sum(
+            net.flow_on(arc) for (u, _v), arc in arcs.items() if u == 0
+        )
+        into_sink = sum(
+            net.flow_on(arc) for (_u, v), arc in arcs.items() if v == 5
+        )
+        assert out_of_source == pytest.approx(value)
+        assert into_sink == pytest.approx(value)
+        # The t-side arcs (v3->t, v4->t) saturate at 19 + 4 = 23.
+        assert net.flow_on(arcs[(3, 5)]) == pytest.approx(19.0)
+        assert net.flow_on(arcs[(4, 5)]) == pytest.approx(4.0)
