@@ -45,6 +45,13 @@ from repro.core import (
 from repro.generators import erdos_renyi_gnm, two_community_bridge
 from repro.graph import Graph, largest_connected_component
 from repro.graph.io import load_graph
+from repro.sybil import (
+    RouteInstances,
+    SybilGuard,
+    SybilLimit,
+    SybilLimitParams,
+    no_attack_scenario,
+)
 
 FIXTURE_PATH = Path(__file__).parent.parent / "data" / "golden_values.json"
 KARATE_PATH = Path(__file__).parent.parent / "data" / "karate.txt"
@@ -68,6 +75,20 @@ CURVE_ATOL = 1e-12
 #: Relative tolerance for the closed-form bound values.
 BOUND_RTOL = 1e-9
 
+#: SybilLimit golden configuration (small enough to run per graph in the
+#: tier-1 suite, large enough that intersection/balance both trigger).
+SYBIL_WALKS = [2, 5, 10, 20]
+SYBIL_INSTANCES = 16
+SYBIL_PROTOCOL_SEED = 5
+SYBIL_SWEEP_SEED = 9
+SYBILGUARD_WALKS = [2, 6]
+SYBILGUARD_SEED = 11
+ROUTE_TAIL_NODES = [0, 1, 2, 3, 4, 5]
+ROUTE_TAIL_LENGTHS = [2, 5, 9]
+ROUTE_TAIL_INSTANCES = 4
+ROUTE_TAIL_TABLE_SEED = 3
+ROUTE_TAIL_START_SEED = 7
+
 
 def _petersen() -> Graph:
     outer = [(i, (i + 1) % 5) for i in range(5)]
@@ -85,6 +106,79 @@ def build_golden_graphs() -> "dict[str, Graph]":
         "petersen": _petersen(),
         "bridge": bridge,
         "er80": er,
+    }
+
+
+def compute_sybil_goldens(graph: Graph) -> dict:
+    """Pinned Sybil-defense numbers for one golden graph.
+
+    These freeze the *route-engine semantics* — instance-table draws,
+    first-hop randomness, admission order and balance tie-breaking — so
+    the vectorised kernels must reproduce the historical per-instance
+    loop bit-for-bit, not merely statistically.
+    """
+    scenario = no_attack_scenario(graph)
+
+    # --- SybilLimit admission sweep (Figure 8's inner loop) ------------
+    protocol = SybilLimit(
+        scenario,
+        SybilLimitParams(
+            route_length=max(SYBIL_WALKS), num_instances=SYBIL_INSTANCES
+        ),
+        seed=SYBIL_PROTOCOL_SEED,
+    )
+    outcomes = protocol.admission_sweep(0, SYBIL_WALKS, seed=SYBIL_SWEEP_SEED)
+    sybillimit = {
+        "num_instances": SYBIL_INSTANCES,
+        "walk_lengths": SYBIL_WALKS,
+        "accepted": [int(o.accepted.sum()) for o in outcomes],
+        "intersected": [int(o.intersected.sum()) for o in outcomes],
+        "admission_rates": [o.admission_rate for o in outcomes],
+        "accepted_nodes_at_max": [int(v) for v in outcomes[-1].accepted_nodes()],
+    }
+
+    # --- SybilLimit, intersection-only fast path -----------------------
+    loose = SybilLimit(
+        scenario,
+        SybilLimitParams(
+            route_length=max(SYBIL_WALKS),
+            num_instances=SYBIL_INSTANCES,
+            enforce_balance=False,
+        ),
+        seed=SYBIL_PROTOCOL_SEED,
+    )
+    loose_outcomes = loose.admission_sweep(0, SYBIL_WALKS, seed=SYBIL_SWEEP_SEED)
+    sybillimit["accepted_no_balance"] = [
+        int(o.accepted.sum()) for o in loose_outcomes
+    ]
+
+    # --- SybilGuard (node-intersection admission) ----------------------
+    sybilguard = {"walk_lengths": SYBILGUARD_WALKS, "accepted": []}
+    for w in SYBILGUARD_WALKS:
+        outcome = SybilGuard(scenario, w, seed=SYBILGUARD_SEED).run(0)
+        sybilguard["accepted"].append(int(outcome.accepted.sum()))
+
+    # --- Raw route tails (the engine itself, no protocol on top) -------
+    routes = RouteInstances(
+        graph, ROUTE_TAIL_INSTANCES, seed=ROUTE_TAIL_TABLE_SEED
+    )
+    tails = routes.tails_at_lengths(
+        np.asarray(ROUTE_TAIL_NODES, dtype=np.int64),
+        np.asarray(ROUTE_TAIL_LENGTHS, dtype=np.int64),
+        seed=ROUTE_TAIL_START_SEED,
+    )
+    route_tails = {
+        "nodes": ROUTE_TAIL_NODES,
+        "lengths": ROUTE_TAIL_LENGTHS,
+        "num_instances": ROUTE_TAIL_INSTANCES,
+        "tail_slots": tails.tolist(),
+        "tail_edges": routes.undirected_edge_ids(tails).tolist(),
+    }
+
+    return {
+        "sybillimit": sybillimit,
+        "sybilguard": sybilguard,
+        "route_tails": route_tails,
     }
 
 
@@ -126,6 +220,7 @@ def compute_golden_values() -> dict:
             "walk_length": int(estimate.walk_length),
             "per_source": [int(t) for t in estimate.per_source],
         }
+        entry["sybil"] = compute_sybil_goldens(graph)
         out[name] = entry
     return out
 
@@ -249,6 +344,88 @@ class TestEstimateGoldens:
         )
         assert estimate.walk_length == golden["walk_length"]
         assert [int(t) for t in estimate.per_source] == golden["per_source"]
+
+
+class TestSybilGoldens:
+    """Route-engine / admission goldens (pinned ahead of kernel changes).
+
+    Unlike the float-valued spectral pins these are **exact**: tail slots
+    and admission verdicts are integers, so any deviation — a different
+    permutation draw, a reordered tie-break, a changed first hop — is a
+    behavioural change, not numeric noise.
+    """
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_sybillimit_admission_sweep(self, fixture, graphs, name):
+        golden = fixture["graphs"][name]["sybil"]["sybillimit"]
+        protocol = SybilLimit(
+            no_attack_scenario(graphs[name]),
+            SybilLimitParams(
+                route_length=max(golden["walk_lengths"]),
+                num_instances=golden["num_instances"],
+            ),
+            seed=SYBIL_PROTOCOL_SEED,
+        )
+        outcomes = protocol.admission_sweep(
+            0, golden["walk_lengths"], seed=SYBIL_SWEEP_SEED
+        )
+        assert [int(o.accepted.sum()) for o in outcomes] == golden["accepted"]
+        assert [int(o.intersected.sum()) for o in outcomes] == golden["intersected"]
+        for o, rate in zip(outcomes, golden["admission_rates"]):
+            assert o.admission_rate == pytest.approx(rate, abs=0)
+        assert [int(v) for v in outcomes[-1].accepted_nodes()] == (
+            golden["accepted_nodes_at_max"]
+        )
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_sybillimit_no_balance_fast_path(self, fixture, graphs, name):
+        golden = fixture["graphs"][name]["sybil"]["sybillimit"]
+        protocol = SybilLimit(
+            no_attack_scenario(graphs[name]),
+            SybilLimitParams(
+                route_length=max(golden["walk_lengths"]),
+                num_instances=golden["num_instances"],
+                enforce_balance=False,
+            ),
+            seed=SYBIL_PROTOCOL_SEED,
+        )
+        outcomes = protocol.admission_sweep(
+            0, golden["walk_lengths"], seed=SYBIL_SWEEP_SEED
+        )
+        got = [int(o.accepted.sum()) for o in outcomes]
+        assert got == golden["accepted_no_balance"]
+        # Dropping the balance condition can only admit more.
+        assert all(
+            loose >= strict
+            for loose, strict in zip(got, golden["accepted"])
+        )
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_sybilguard_accepted_counts(self, fixture, graphs, name):
+        golden = fixture["graphs"][name]["sybil"]["sybilguard"]
+        scenario = no_attack_scenario(graphs[name])
+        for w, want in zip(golden["walk_lengths"], golden["accepted"]):
+            outcome = SybilGuard(scenario, w, seed=SYBILGUARD_SEED).run(0)
+            assert int(outcome.accepted.sum()) == want, f"{name} w={w}"
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_route_tails_bit_exact(self, fixture, graphs, name):
+        golden = fixture["graphs"][name]["sybil"]["route_tails"]
+        routes = RouteInstances(
+            graphs[name], golden["num_instances"], seed=ROUTE_TAIL_TABLE_SEED
+        )
+        tails = routes.tails_at_lengths(
+            np.asarray(golden["nodes"], dtype=np.int64),
+            np.asarray(golden["lengths"], dtype=np.int64),
+            seed=ROUTE_TAIL_START_SEED,
+        )
+        np.testing.assert_array_equal(
+            tails, np.asarray(golden["tail_slots"], dtype=np.int64)
+        )
+        np.testing.assert_array_equal(
+            routes.undirected_edge_ids(tails),
+            np.asarray(golden["tail_edges"], dtype=np.int64),
+        )
 
 
 def regenerate() -> None:  # pragma: no cover - maintenance entry point
