@@ -58,14 +58,18 @@ from .operators import HittingTimes, MarkovOperator, resolve_block_size
 
 __all__ = [
     "OperatorPayload",
+    "RoutePayload",
     "SharedOperatorHandle",
     "describe_operator",
     "maybe_parallel_evolve_block",
     "maybe_parallel_hitting_times",
     "maybe_parallel_originator_curves",
+    "maybe_parallel_route_hits",
+    "maybe_parallel_route_tails",
     "maybe_parallel_variation_curves",
     "parallel_backend_available",
     "publish_operator",
+    "publish_route_state",
     "resolve_workers",
 ]
 
@@ -173,6 +177,24 @@ class OperatorPayload(NamedTuple):
     beta: float = 0.0
 
 
+class RoutePayload(NamedTuple):
+    """Picklable description of published random-route state.
+
+    The segment carries the route engine's graph-derived arrays (arc
+    sources + reverse-slot map, or a built ``next_slot`` table) plus any
+    per-sweep state (pre-drawn start slots, node masks); instance seeds
+    never cross the boundary as data — workers re-derive them from the
+    root ``entropy`` via ``SeedSequence(entropy, spawn_key=(i,))``,
+    which reconstructs ``root.spawn(n)[i]`` exactly.
+    """
+
+    kind: str  # "route_tails" | "route_hits"
+    num_nodes: int
+    shm_name: str
+    fields: Tuple[_ArrayField, ...]
+    entropy: object = None
+
+
 class SharedOperatorHandle:
     """Owner of one published shared-memory segment (parent side).
 
@@ -217,6 +239,19 @@ def _copy_fields(
         view[...] = array
 
 
+def _layout_fields(
+    named: List[Tuple[str, np.ndarray]],
+) -> Tuple[List[_ArrayField], int]:
+    """Back-to-back cache-line-aligned layout for a list of arrays."""
+    fields: List[_ArrayField] = []
+    offset = 0
+    for name, array in named:
+        offset = (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+        fields.append(_ArrayField(name, offset, array.dtype.str, array.shape))
+        offset += array.nbytes
+    return fields, offset
+
+
 def publish_operator(
     kind: str,
     matrix,
@@ -251,12 +286,7 @@ def publish_operator(
     if dangling is not None:
         named.append(("dangling", np.ascontiguousarray(dangling)))
 
-    fields: List[_ArrayField] = []
-    offset = 0
-    for name, array in named:
-        offset = (offset + _ALIGN - 1) & ~(_ALIGN - 1)
-        fields.append(_ArrayField(name, offset, array.dtype.str, array.shape))
-        offset += array.nbytes
+    fields, offset = _layout_fields(named)
     shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
     try:
         _copy_fields(shm, fields, named)
@@ -267,6 +297,53 @@ def publish_operator(
             fields=tuple(fields),
             damping=float(damping),
             beta=float(beta),
+        )
+        handle = SharedOperatorHandle(payload, shm)
+    except BaseException:
+        # Never leak the segment: close our mapping and unlink the name.
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        raise
+    if OBS.enabled:
+        OBS.add("parallel.publishes")
+        OBS.add("parallel.publish_bytes", int(shm.size))
+        OBS.observe("parallel.publish_seconds", time.perf_counter() - publish_start)
+    return handle
+
+
+def publish_route_state(
+    kind: str,
+    named: List[Tuple[str, np.ndarray]],
+    *,
+    num_nodes: int,
+    entropy=None,
+) -> SharedOperatorHandle:
+    """Pack route-engine arrays into one shared segment.
+
+    The route analogue of :func:`publish_operator`: same segment format
+    (back-to-back cache-line-aligned arrays described by
+    ``_ArrayField`` records), same exception-safe unlink-on-failure
+    contract, same single-publish-per-sweep lifecycle — only the payload
+    type differs (:class:`RoutePayload` carries the root seed entropy so
+    workers can rebuild per-instance tables without shipping them).
+    """
+    from multiprocessing import shared_memory
+
+    publish_start = time.perf_counter() if OBS.enabled else 0.0
+    named = [(name, np.ascontiguousarray(array)) for name, array in named]
+    fields, offset = _layout_fields(named)
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    try:
+        _copy_fields(shm, fields, named)
+        payload = RoutePayload(
+            kind=kind,
+            num_nodes=int(num_nodes),
+            shm_name=shm.name,
+            fields=tuple(fields),
+            entropy=entropy,
         )
         handle = SharedOperatorHandle(payload, shm)
     except BaseException:
@@ -446,6 +523,50 @@ def _originator_task(args) -> np.ndarray:
     )
 
 
+def _route_tails_task(args) -> np.ndarray:
+    """Tails for one contiguous instance shard (worker side).
+
+    Attaches the published route state and runs the *same*
+    ``advance_route_shard`` kernel the serial fallback uses — tables are
+    rebuilt from the root entropy, start slots come pre-drawn from the
+    parent (so the rng stream is consumed exactly once, in the parent,
+    in instance order), and the result is the shard's
+    ``(nodes, hi - lo, lengths)`` tail cube.
+    """
+    payload, instance_lo, instance_hi, lengths, block_size = args
+    from ..sybil.routes import advance_route_shard
+
+    _shm, views, _cache = _attach(payload)
+    return advance_route_shard(
+        views["src"],
+        views["rev"],
+        payload.num_nodes,
+        payload.entropy,
+        instance_lo,
+        instance_hi,
+        views["starts"][instance_lo:instance_hi],
+        lengths,
+        block_size,
+    )
+
+
+def _route_hits_task(args) -> np.ndarray:
+    """Node-intersection scan for one contiguous slot shard (worker side)."""
+    payload, slot_lo, slot_hi, length = args
+    from ..sybil.sybilguard import route_hit_scan
+
+    _shm, views, _cache = _attach(payload)
+    return route_hit_scan(
+        views["table"],
+        views["indices"],
+        views["src"],
+        views["mask"],
+        slot_lo,
+        slot_hi,
+        length,
+    )
+
+
 # ----------------------------------------------------------------------
 # Parent-side fan-out
 # ----------------------------------------------------------------------
@@ -458,6 +579,8 @@ _TASK_FNS = {
     "hitting": _hitting_task,
     "evolve": _evolve_task,
     "originator": _originator_task,
+    "route_tails": _route_tails_task,
+    "route_hits": _route_hits_task,
 }
 
 
@@ -686,3 +809,95 @@ def maybe_parallel_originator_curves(
         _note_parallel_path(count, len(tasks))
         results = _run_tasks(count, "originator", tasks)
         return np.concatenate(results, axis=0)
+
+
+def _contiguous_ranges(total: int, parts: int) -> List[Tuple[int, int]]:
+    """``[lo, hi)`` bounds of ``np.array_split(arange(total), parts)``."""
+    bounds = np.array_split(np.arange(total), parts)
+    return [(int(b[0]), int(b[-1]) + 1) for b in bounds if b.size]
+
+
+def maybe_parallel_route_tails(
+    routes,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    *,
+    workers: Optional[int],
+    block_size: Optional[int] = None,
+) -> Optional[np.ndarray]:
+    """Fan a route tail sweep out across instance shards.
+
+    The parent pre-draws every instance's start slots (``starts`` is the
+    full ``(r, nodes)`` table, preserving the serial rng stream) and
+    publishes them alongside the graph-derived ``src``/``rev`` arrays;
+    each worker rebuilds its instances' tables from the root entropy and
+    steps them with the shared blocked kernel.  Shards are contiguous
+    instance ranges reassembled positionally along the instance axis, so
+    the output is bit-for-bit the serial blocked result.  Returns
+    ``None`` for the usual serial-fallback reasons.
+    """
+    num_instances = int(starts.shape[0])
+    count = _effective_workers(workers, num_instances)
+    if count <= 1 or not parallel_backend_available():
+        return None
+    from ..sybil.routes import arc_sources, reverse_slots
+
+    graph = routes.graph
+    named = [
+        ("src", arc_sources(graph)),
+        ("rev", reverse_slots(graph)),
+        ("starts", starts),
+    ]
+    with publish_route_state(
+        "route_tails", named, num_nodes=graph.num_nodes, entropy=routes._entropy
+    ) as handle:
+        ranges = _contiguous_ranges(num_instances, min(num_instances, count * _OVERSHARD))
+        tasks = [
+            (handle.payload, lo, hi, lengths, block_size) for lo, hi in ranges
+        ]
+        if OBS.enabled:
+            for lo, hi in ranges:
+                OBS.observe("parallel.shard_rows", hi - lo)
+        _note_parallel_path(count, len(tasks))
+        results = _run_tasks(count, "route_tails", tasks)
+        return np.concatenate(results, axis=1)
+
+
+def maybe_parallel_route_hits(
+    table: np.ndarray,
+    indices: np.ndarray,
+    src: np.ndarray,
+    mask: np.ndarray,
+    length: int,
+    *,
+    workers: Optional[int],
+) -> Optional[np.ndarray]:
+    """Fan SybilGuard's per-slot node-intersection scan across the pool.
+
+    Shards the ``2m`` directed slots contiguously; every worker advances
+    its shard through the *same* published ``next_slot`` table and ORs
+    node hits stepwise (``repro.sybil.sybilguard.route_hit_scan``).
+    Reassembly is positional, the scan is branch-free boolean algebra —
+    parallel output is bit-for-bit the serial scan.
+    """
+    num_slots = int(table.shape[0])
+    count = _effective_workers(workers, num_slots)
+    if count <= 1 or not parallel_backend_available():
+        return None
+    named = [
+        ("table", table),
+        ("indices", indices),
+        ("src", src),
+        ("mask", mask),
+    ]
+    with publish_route_state(
+        "route_hits", named, num_nodes=mask.shape[0]
+    ) as handle:
+        ranges = _contiguous_ranges(num_slots, min(num_slots, count * _OVERSHARD))
+        tasks = [(handle.payload, lo, hi, int(length)) for lo, hi in ranges]
+        if OBS.enabled:
+            for lo, hi in ranges:
+                OBS.observe("parallel.shard_rows", hi - lo)
+        _note_parallel_path(count, len(tasks))
+        results = _run_tasks(count, "route_hits", tasks)
+        return np.concatenate(results)

@@ -18,7 +18,11 @@ from .bound_vs_sampling import bound_vs_sampling_figure, run_figure5
 from .trimming import TrimLevel, run_figure6, trim_levels, trim_summary_table
 from .scaling import run_figure7
 from .admission import FIGURE8_DATASETS, admission_curve, run_figure8
-from .whanau_tails import run_whanau_tails, tail_arc_distribution
+from .whanau_tails import (
+    run_whanau_tails,
+    tail_arc_distribution,
+    tail_arc_distributions,
+)
 from .whanau_lookup import run_whanau_lookup
 from .sybilguard_admission import run_sybilguard_admission
 from .sybilrank_iterations import run_sybilrank_iterations
@@ -74,6 +78,7 @@ __all__ = [
     "replication_table",
     "run_replication",
     "tail_arc_distribution",
+    "tail_arc_distributions",
     "AverageCaseRow",
     "average_case_table",
     "run_average_case",

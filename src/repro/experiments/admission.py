@@ -85,7 +85,9 @@ def admission_curve(
         suspects = np.sort(rng.choice(all_suspects, size=max_suspects, replace=False))
     else:
         suspects = all_suspects
-    outcomes = protocol.admission_sweep(verifier, walks, suspects=suspects, seed=config.seed)
+    outcomes = protocol.admission_sweep(
+        verifier, walks, suspects=suspects, seed=config.seed, workers=config.workers
+    )
     return AdmissionCurve(
         dataset=dataset,
         walk_lengths=np.asarray([o.route_length for o in outcomes], dtype=np.int64),

@@ -45,7 +45,7 @@ class Graph:
         constructors to skip redundant work).
     """
 
-    __slots__ = ("_indptr", "_indices", "_degrees")
+    __slots__ = ("_indptr", "_indices", "_degrees", "_memo")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
@@ -55,6 +55,13 @@ class Graph:
         self._indptr = indptr
         self._indices = indices
         self._degrees = np.diff(indptr)
+        #: Cache for derived, immutable arrays (arc sources, reverse-slot
+        #: maps, ...).  Graphs are append-only, so anything computed from
+        #: the CSR arrays stays valid for the graph's whole lifetime; the
+        #: route engine uses this to avoid rebuilding O(2m) arrays on
+        #: every instance construction.  Keys are short strings, values
+        #: read-only ndarrays.  Excluded from equality/hashing.
+        self._memo: dict = {}
 
     # ------------------------------------------------------------------
     # Construction

@@ -15,37 +15,304 @@ CSR ``indices`` array; slot ``e`` is the arc ``src(e) → indices[e]``.
 The whole instance is one permutation array ``next_slot`` of length
 ``2m`` mapping each arc to the arc a route takes next.  Advancing every
 route in the system one step is a single numpy gather.
+
+Blocked execution
+-----------------
+SybilLimit needs ``r = r0·√m`` independent instances advanced ``w``
+steps each.  Doing that one instance at a time costs ``r × w``
+Python-level gathers; this module instead materialises instances in
+memory-budgeted *blocks*: a block of ``b`` tables is flattened into one
+offset array ``flat[i·2m + s] = i·2m + next_slot_i[s]`` so advancing
+every route of every instance in the block one step is a **single**
+gather, and a full tail sweep costs ``max(w)`` gathers per block instead
+of ``r × max(w)`` interpreter iterations.  Tables themselves are built
+by an exact drop-in replacement for ``np.lexsort`` (quicksort on the
+random keys + 16-bit-radix stable sort on the slot sources) that is
+several times faster at identical output.
+
+Determinism contract: at a fixed seed, the blocked (and pool-parallel)
+paths are **bit-for-bit identical** to the historical per-instance loop
+— same per-instance ``SeedSequence`` children, same first-hop draws in
+the same order, same tables.  ``tests/core/test_golden_values.py`` pins
+raw tails on the golden graphs; ``tests/sybil/test_routes_parallel.py``
+pins blocked == per-instance == pool output across block boundaries and
+worker counts.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from ..graph import Graph
+from ..obs import OBS
 from .._util import as_rng
 
-__all__ = ["RouteInstances", "arc_sources", "reverse_slots"]
+__all__ = [
+    "RouteInstances",
+    "arc_sources",
+    "resolve_route_block_size",
+    "reverse_slots",
+]
+
+#: Memory budget for one block of flattened ``next_slot`` tables.  One
+#: block row costs ``2m`` int64 (the table) — 32 MiB admits ~40 blocks
+#: of facebook-sample-scale tables (2m ≈ 10⁵), enough to amortise the
+#: per-step interpreter overhead without blowing the cache for the
+#: positions array.
+ROUTE_BLOCK_BYTES: int = 32 * 1024 * 1024
+
+
+def _graph_memo(graph: Graph) -> Optional[dict]:
+    """The graph's derived-array cache, or ``None`` for foreign objects."""
+    return getattr(graph, "_memo", None)
 
 
 def arc_sources(graph: Graph) -> np.ndarray:
-    """``src[e]`` — the source node of each directed edge slot."""
-    return np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees)
+    """``src[e]`` — the source node of each directed edge slot.
+
+    Memoised on the (immutable) graph: SybilLimit builds ``r = Θ(√m)``
+    instances over one graph, and recomputing the ``np.repeat`` for each
+    of them — and again for every trajectory call — was pure waste.
+    The returned array is read-only; treat it as a view.
+    """
+    memo = _graph_memo(graph)
+    if memo is not None:
+        cached = memo.get("arc_sources")
+        if cached is not None:
+            return cached
+    src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees)
+    src.setflags(write=False)
+    if memo is not None:
+        memo["arc_sources"] = src
+    return src
 
 
 def reverse_slots(graph: Graph) -> np.ndarray:
-    """``rev[e]`` — the slot of the reverse arc of slot ``e``.
+    """``rev[e]`` — the slot of the reverse arc of slot ``e`` (memoised).
 
     Slots are sorted by ``(src, dst)``; the reverse arc of ``e`` has key
     ``(dst, src)``, so its slot is the lexicographic rank of that pair.
     """
+    memo = _graph_memo(graph)
+    if memo is not None:
+        cached = memo.get("reverse_slots")
+        if cached is not None:
+            return cached
     src = arc_sources(graph)
     dst = graph.indices
     order = np.lexsort((src, dst))  # arcs ordered by (dst, src)
     rev = np.empty(src.size, dtype=np.int64)
     rev[order] = np.arange(src.size, dtype=np.int64)
+    rev.setflags(write=False)
+    if memo is not None:
+        memo["reverse_slots"] = rev
     return rev
+
+
+def resolve_route_block_size(
+    num_slots: int,
+    num_instances: int,
+    block_size: Optional[int] = None,
+    *,
+    memory_budget_bytes: int = ROUTE_BLOCK_BYTES,
+) -> int:
+    """Instances per route block.
+
+    ``block_size=None`` sizes the block so the flattened ``next_slot``
+    tables (``b`` rows of ``num_slots`` int64) stay under
+    ``memory_budget_bytes``; explicit overrides are validated with the
+    same rules as :func:`repro.core.operators.resolve_block_size`
+    (non-positive / non-integral values raise) and the result is always
+    clamped to ``[1, num_instances]``.
+    """
+    from ..core.operators import resolve_block_size
+
+    rows = resolve_block_size(
+        num_slots, block_size, memory_budget_bytes=memory_budget_bytes
+    )
+    return int(max(1, min(rows, max(int(num_instances), 1))))
+
+
+# ----------------------------------------------------------------------
+# Exact fast permutation kernel
+# ----------------------------------------------------------------------
+def _stable_node_argsort(nodes: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Stable argsort of a node-id array via 16-bit radix digit passes.
+
+    numpy's ``kind="stable"`` argsort is an O(N) radix sort for integer
+    dtypes of <= 16 bits; wider node ranges are handled by chaining
+    stable passes over 16-bit digits, least-significant first — exactly
+    the classical LSD radix sort, hence exactly a stable sort.
+    """
+    if num_nodes <= (1 << 16):
+        return np.argsort(nodes.astype(np.uint16), kind="stable")
+    order = np.argsort((nodes & 0xFFFF).astype(np.uint16), kind="stable")
+    shift = 16
+    while (int(num_nodes) - 1) >> shift:
+        digit = ((nodes[order] >> shift) & 0xFFFF).astype(np.uint16)
+        order = order[np.argsort(digit, kind="stable")]
+        shift += 16
+    return order
+
+
+def _permutation_order(
+    keys: np.ndarray, src: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Exact, faster replacement for ``np.lexsort((keys, src))``.
+
+    Fast path: because ``src`` holds integers and ``keys`` doubles in
+    ``[0, 1)``, ordering by the single composite double ``src + keys``
+    equals the lexicographic ``(src, keys)`` order whenever the sorted
+    composites are pairwise distinct — the float addition is monotone,
+    and node boundaries cannot interleave since ``src + keys < src + 1``
+    while integers up to ``2**52`` are exact.  One quicksort of doubles
+    therefore replaces lexsort's two mergesort passes.  Adjacent equal
+    composites (rounding collisions or genuinely tied keys, probability
+    ~2⁻⁴⁰ per pair) are detected after the sort and routed to the slow
+    path: a stable argsort of the keys re-sorted stably by ``src``
+    (16-bit-radix, :func:`_stable_node_argsort`), which is the textbook
+    lexsort decomposition.  The output equals ``np.lexsort`` bit-for-bit
+    in **all** cases, not just almost surely.
+    """
+    if num_nodes < (1 << 52):
+        composite = src + keys  # float64: exact order iff no rounding ties
+        order = np.argsort(composite)
+        sorted_comp = composite[order]
+        if sorted_comp.size <= 1 or not np.any(
+            sorted_comp[1:] == sorted_comp[:-1]
+        ):
+            return order
+    primary = np.argsort(keys, kind="stable")
+    secondary = _stable_node_argsort(src[primary], num_nodes)
+    return primary[secondary]
+
+
+def build_instance_table(
+    seed: np.random.SeedSequence,
+    src: np.ndarray,
+    rev: np.ndarray,
+    num_nodes: int,
+) -> np.ndarray:
+    """One instance's ``next_slot`` permutation from its seed.
+
+    Per-node permutations are drawn in one vectorised shot: random keys
+    are assigned to every slot and slots are ordered by ``(node, key)``.
+    The result enumerates each node's slots in a uniformly random order,
+    and pairing the j-th CSR slot of a node with the j-th element of
+    that ordering is exactly a uniform per-node permutation ``pi_v``.
+    A route occupying arc ``e=(u->v)`` entered ``v`` via the reverse
+    slot's position; it exits through ``pi_v`` applied to that position.
+
+    Module-level (not a method) so pool workers rebuild tables through
+    the *same* kernel the serial path runs.
+    """
+    keys = np.random.default_rng(seed).random(src.size)
+    perm_flat = _permutation_order(keys, src, num_nodes).astype(np.int64)
+    return perm_flat[rev]
+
+
+def _instance_seed(entropy, index: int) -> np.random.SeedSequence:
+    """The ``index``-th spawned child of the root ``SeedSequence``.
+
+    ``SeedSequence(entropy, spawn_key=(i,))`` reconstructs
+    ``root.spawn(n)[i]`` exactly, so workers can derive any instance's
+    seed from the root entropy alone — no seed list crosses the process
+    boundary.
+    """
+    return np.random.SeedSequence(entropy=entropy, spawn_key=(index,))
+
+
+# ----------------------------------------------------------------------
+# Blocked stepping kernel (shared by the serial path and pool workers)
+# ----------------------------------------------------------------------
+def _step_block_checkpoints(
+    tables: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    out: np.ndarray,
+) -> int:
+    """Advance a block of instances with checkpoint recording.
+
+    Parameters
+    ----------
+    tables:
+        ``(b, 2m)`` int64 ``next_slot`` tables, one row per instance.
+    starts:
+        ``(b, nodes)`` int64 start slots (the routes' first hops).
+    lengths:
+        Strictly increasing checkpoint lengths (>= 1).
+    out:
+        ``(nodes, b, len(lengths))`` int64 output (written in place).
+
+    Returns the number of flat gathers performed (for telemetry).
+
+    The block's tables are flattened into one offset array
+    ``flat[i·2m + s] = i·2m + tables[i, s]`` so one gather advances
+    every route of every instance in the block.  When the flattened
+    index space fits in int32 the gather runs on int32 arrays — half
+    the memory traffic on a DRAM-bound random gather, with the recorded
+    checkpoints cast back to int64 (values are identical integers, so
+    the output is bit-for-bit unchanged).
+    """
+    b, num_slots = tables.shape
+    offsets = np.arange(b, dtype=np.int64)[:, None] * np.int64(num_slots)
+    if b * num_slots <= np.iinfo(np.int32).max:
+        # Produce the int32 working arrays directly from the add — no
+        # int64 intermediate, halving the traffic of the block setup.
+        flat = np.add(tables, offsets, dtype=np.int32).ravel()
+        pos = np.add(starts, offsets, dtype=np.int32)
+    else:
+        flat = (tables + offsets).ravel()
+        pos = starts + offsets
+    max_len = int(lengths[-1])
+    col = 0
+    gathers = 0
+    for step in range(1, max_len + 1):
+        if step > 1:
+            pos = flat[pos]
+            gathers += 1
+        if col < lengths.size and lengths[col] == step:
+            out[:, :, col] = pos.T - offsets.T
+            col += 1
+    return gathers
+
+
+def advance_route_shard(
+    src: np.ndarray,
+    rev: np.ndarray,
+    num_nodes: int,
+    entropy,
+    instance_lo: int,
+    instance_hi: int,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    block_size: Optional[int] = None,
+) -> np.ndarray:
+    """Tails for instances ``[instance_lo, instance_hi)`` of one engine.
+
+    ``starts`` holds the pre-drawn start slots for exactly this shard
+    (``(hi - lo, nodes)``); tables are rebuilt from the root entropy via
+    :func:`_instance_seed`, so the shard function is pure — pool workers
+    and the serial fallback call the same code with the same inputs and
+    produce the same bytes.  Returns ``(nodes, hi - lo, len(lengths))``.
+    """
+    count = int(instance_hi) - int(instance_lo)
+    num_slots = src.size
+    out = np.empty((starts.shape[1], count, lengths.size), dtype=np.int64)
+    block = resolve_route_block_size(num_slots, count, block_size)
+    tables = np.empty((min(block, count), num_slots), dtype=np.int64)
+    for lo in range(0, count, block):
+        hi = min(lo + block, count)
+        for i in range(lo, hi):
+            tables[i - lo] = build_instance_table(
+                _instance_seed(entropy, instance_lo + i), src, rev, num_nodes
+            )
+        _step_block_checkpoints(
+            tables[: hi - lo], starts[lo:hi], lengths, out[:, lo:hi]
+        )
+    return out
 
 
 class RouteInstances:
@@ -65,7 +332,9 @@ class RouteInstances:
     Memory is ``O(r * 2m)`` int64 for the ``next_slot`` tables.  For the
     laptop-scale graphs used here (m ≤ ~2·10⁵, r ≤ ~10³) that is a few
     hundred MB at most; experiments that need many instances on larger
-    graphs should stream instances with :meth:`single_instance`.
+    graphs should stream instances with :meth:`single_instance` or let
+    the blocked sweeps (:meth:`tails`, :meth:`tails_at_lengths`)
+    materialise only one memory-budgeted block at a time.
     """
 
     def __init__(self, graph: Graph, num_instances: int, *, seed=None, cache_tables: bool = True):
@@ -74,36 +343,26 @@ class RouteInstances:
         if graph.num_edges == 0:
             raise ValueError("routes need at least one edge")
         self._graph = graph
+        self._src = arc_sources(graph)
         self._rev = reverse_slots(graph)
         self._num_instances = int(num_instances)
         self._cache_tables = bool(cache_tables)
         # One child seed per instance so tables are reproducible whether
-        # they are cached or regenerated on demand.
+        # they are cached, regenerated on demand, or rebuilt inside a
+        # pool worker from the root entropy alone.
         root = np.random.SeedSequence(
             seed if isinstance(seed, (int, np.integer)) else as_rng(seed).integers(2**63)
         )
+        self._entropy = root.entropy
         self._instance_seeds = root.spawn(self._num_instances)
         self._rng = np.random.default_rng(root.spawn(1)[0])
         self._cache: dict = {}
 
     def _build_instance(self, index: int) -> np.ndarray:
-        """One instance's ``next_slot`` permutation.
-
-        Per-node permutations are drawn in one vectorised shot: random
-        keys are assigned to every slot and slots are lexsorted by
-        ``(node, key)``.  The result enumerates each node's slots in a
-        uniformly random order, and pairing the j-th CSR slot of a node
-        with the j-th element of that ordering is exactly a uniform
-        per-node permutation ``pi_v``.
-        """
-        graph = self._graph
-        rng = np.random.default_rng(self._instance_seeds[index])
-        keys = rng.random(graph.indices.size)
-        src = arc_sources(graph)
-        perm_flat = np.lexsort((keys, src)).astype(np.int64)
-        # A route occupying arc e=(u->v) entered v via the reverse slot's
-        # position; it exits through pi_v applied to that position.
-        return perm_flat[self._rev]
+        """One instance's ``next_slot`` permutation (fast exact kernel)."""
+        return build_instance_table(
+            self._instance_seeds[index], self._src, self._rev, self._graph.num_nodes
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -155,6 +414,8 @@ class RouteInstances:
         length: int,
         *,
         seed=None,
+        block_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
         """Tail arcs of every node's route in every instance.
 
@@ -163,17 +424,21 @@ class RouteInstances:
         directed arc.  Returns shape ``(len(nodes), r)`` of slot indices.
 
         ``length`` must be >= 1 (a route's tail is its last traversed
-        edge, so a zero-length route has none).
+        edge, so a zero-length route has none).  ``block_size`` bounds
+        the instances materialised at once; ``workers`` fans instance
+        blocks out across the shared-memory fork pool (bit-for-bit equal
+        to the serial path, see module docstring).
         """
         if length < 1:
             raise ValueError("route length must be >= 1")
-        nodes = np.asarray(nodes, dtype=np.int64)
-        rng = as_rng(seed)
-        out = np.empty((nodes.size, self._num_instances), dtype=np.int64)
-        for i in range(self._num_instances):
-            slots = self.start_slots(nodes, seed=rng)
-            out[:, i] = self.advance(slots, length - 1, i)
-        return out
+        tails = self.tails_at_lengths(
+            nodes,
+            np.asarray([length], dtype=np.int64),
+            seed=seed,
+            block_size=block_size,
+            workers=workers,
+        )
+        return np.ascontiguousarray(tails[:, :, 0])
 
     def tails_at_lengths(
         self,
@@ -181,37 +446,90 @@ class RouteInstances:
         lengths: np.ndarray,
         *,
         seed=None,
+        block_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
         """Tails of every node's routes at several route lengths at once.
 
         ``lengths`` must be strictly increasing and >= 1.  Returns shape
-        ``(len(nodes), r, len(lengths))``.  Within one instance the walk
-        is advanced incrementally, so the cost is one pass to
-        ``max(lengths)`` per instance rather than one per checkpoint —
+        ``(len(nodes), r, len(lengths))``.  Within one block the walk is
+        advanced incrementally, so the cost is one flat gather per step
+        per block rather than one python iteration per (instance, step) —
         this is what makes sweeping Figure 8's walk lengths cheap.
 
         The same first-hop randomness is reused across checkpoint lengths
         (tails at length w and w' come from the *same* route, truncated),
-        matching how a deployment would extend its routes.
+        matching how a deployment would extend its routes.  First hops
+        are always drawn in instance order from one stream, so the
+        result is independent of blocking, ``block_size`` and
+        ``workers`` — bit-for-bit.
         """
         lengths = np.asarray(lengths, dtype=np.int64)
         if lengths.size == 0 or lengths[0] < 1 or np.any(np.diff(lengths) <= 0):
             raise ValueError("lengths must be strictly increasing and >= 1")
         nodes = np.asarray(nodes, dtype=np.int64)
         rng = as_rng(seed)
-        out = np.empty((nodes.size, self._num_instances, lengths.size), dtype=np.int64)
-        max_len = int(lengths[-1])
-        for i in range(self._num_instances):
-            table = self.single_instance(i)
-            slots = self.start_slots(nodes, seed=rng)
-            col = 0
-            for step in range(1, max_len + 1):
-                if step > 1:
-                    slots = table[slots]
-                if col < lengths.size and lengths[col] == step:
-                    out[:, i, col] = slots
-                    col += 1
-        return out
+        r = self._num_instances
+
+        telemetry = OBS.enabled
+        with OBS.span(
+            "sybil.routes.tails_sweep",
+            instances=r,
+            nodes=int(nodes.size),
+            checkpoints=int(lengths.size),
+            max_length=int(lengths[-1]),
+        ):
+            # First hops are drawn for *all* instances up front, in
+            # instance order — the exact stream the historical
+            # per-instance loop consumed — so blocking and sharding
+            # cannot perturb a single draw.
+            starts = np.empty((r, nodes.size), dtype=np.int64)
+            for i in range(r):
+                starts[i] = self.start_slots(nodes, seed=rng)
+
+            parallel = self._maybe_parallel_tails(starts, lengths, workers, block_size)
+            if parallel is not None:
+                return parallel
+
+            out = np.empty((nodes.size, r, lengths.size), dtype=np.int64)
+            block = resolve_route_block_size(self._src.size, r, block_size)
+            if telemetry:
+                OBS.add("sybil.routes.instances", r)
+                OBS.observe("sybil.routes.block_instances", block)
+            for lo in range(0, r, block):
+                hi = min(lo + block, r)
+                tables = np.empty((hi - lo, self._src.size), dtype=np.int64)
+                for i in range(lo, hi):
+                    # Reuse a cached table when one exists, but never
+                    # *populate* the cache from a sweep: retaining all r
+                    # tables would cost O(r·2m) memory (hundreds of MB
+                    # at SybilLimit scale) for tables the sweep touches
+                    # exactly once per block.
+                    cached = self._cache.get(i)
+                    tables[i - lo] = (
+                        cached if cached is not None else self._build_instance(i)
+                    )
+                gathers = _step_block_checkpoints(
+                    tables, starts[lo:hi], lengths, out[:, lo:hi]
+                )
+                if telemetry:
+                    OBS.add("sybil.routes.blocks")
+                    OBS.add("sybil.routes.gathers", gathers)
+            return out
+
+    def _maybe_parallel_tails(
+        self,
+        starts: np.ndarray,
+        lengths: np.ndarray,
+        workers: Optional[int],
+        block_size: Optional[int],
+    ) -> Optional[np.ndarray]:
+        """Fan instance blocks out across the pool; ``None`` → serial."""
+        from ..core.parallel import maybe_parallel_route_tails
+
+        return maybe_parallel_route_tails(
+            self, starts, lengths, workers=workers, block_size=block_size
+        )
 
     def trajectories(
         self,
@@ -229,9 +547,8 @@ class RouteInstances:
             raise ValueError("route length must be >= 1")
         slots = np.asarray(start_slots, dtype=np.int64)
         table = self.single_instance(instance)
-        src = arc_sources(self._graph)
         out = np.empty((slots.size, length + 1), dtype=np.int64)
-        out[:, 0] = src[slots]
+        out[:, 0] = self._src[slots]
         current = slots.copy()
         out[:, 1] = self._graph.indices[current]
         for t in range(2, length + 1):
@@ -247,3 +564,45 @@ class RouteInstances:
         """
         slots = np.asarray(slots, dtype=np.int64)
         return np.minimum(slots, self._rev[slots])
+
+    # ------------------------------------------------------------------
+    # Historical reference kernel (bench + equivalence tests only)
+    # ------------------------------------------------------------------
+    def _tails_at_lengths_reference(
+        self,
+        nodes: np.ndarray,
+        lengths: np.ndarray,
+        *,
+        seed=None,
+    ) -> np.ndarray:
+        """The pre-blocking per-instance loop, kept verbatim as the
+        equivalence oracle for :mod:`benchmarks.bench_route_engine` and
+        the route-parallel test-suite.  Builds tables with ``np.lexsort``
+        and advances one instance at a time — the exact code path the
+        blocked kernels replaced, so "blocked == reference" is a real
+        statement about the historical numbers, not a tautology.
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.size == 0 or lengths[0] < 1 or np.any(np.diff(lengths) <= 0):
+            raise ValueError("lengths must be strictly increasing and >= 1")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        rng = as_rng(seed)
+        out = np.empty((nodes.size, self._num_instances, lengths.size), dtype=np.int64)
+        max_len = int(lengths[-1])
+        for i in range(self._num_instances):
+            table = self._build_instance_reference(i)
+            slots = self.start_slots(nodes, seed=rng)
+            col = 0
+            for step in range(1, max_len + 1):
+                if step > 1:
+                    slots = table[slots]
+                if col < lengths.size and lengths[col] == step:
+                    out[:, i, col] = slots
+                    col += 1
+        return out
+
+    def _build_instance_reference(self, index: int) -> np.ndarray:
+        """Table construction via ``np.lexsort`` (the historical kernel)."""
+        keys = np.random.default_rng(self._instance_seeds[index]).random(self._src.size)
+        perm_flat = np.lexsort((keys, self._src)).astype(np.int64)
+        return perm_flat[self._rev]

@@ -19,11 +19,12 @@ assumption the paper falsifies.  The experiment: with no attacker, sweep
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .._util import as_rng
+from ..obs import OBS
 from .routes import RouteInstances
 from .scenario import SybilScenario
 
@@ -152,9 +153,17 @@ class SybilLimit:
         return self._params
 
     # ------------------------------------------------------------------
-    def _tail_edge_sets(self, nodes: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    def _tail_edge_sets(
+        self,
+        nodes: np.ndarray,
+        lengths: np.ndarray,
+        *,
+        workers: Optional[int] = None,
+    ) -> np.ndarray:
         """Undirected tail-edge ids for each node/instance/length."""
-        slots = self._routes.tails_at_lengths(nodes, lengths, seed=self._tail_seed)
+        slots = self._routes.tails_at_lengths(
+            nodes, lengths, seed=self._tail_seed, workers=workers
+        )
         return self._routes.undirected_edge_ids(slots)
 
     def _admit(
@@ -165,46 +174,107 @@ class SybilLimit:
         *,
         order_seed,
     ) -> "tuple[np.ndarray, np.ndarray]":
-        """Run intersection + balance for one verifier at one length."""
+        """Run intersection + balance for one verifier at one length.
+
+        The intersection screen and the edge → verifier-tail join are
+        fully vectorised (a sort-based ``searchsorted`` join against the
+        sorted unique verifier edges, plus a CSR-style map from each
+        edge to the verifier tail indices that ended on it); only the
+        balance-bound update remains a sequential loop — it is
+        *inherently* order-dependent (each admission changes the loads
+        the next decision sees) — and that loop now touches only the
+        suspects that actually intersect, with their candidate edges
+        pre-extracted.  With ``enforce_balance=False`` admission is the
+        intersection screen itself and the path is loop-free.
+
+        Admission order, candidate enumeration order and the
+        least-loaded tie-break replicate the historical implementation
+        exactly, so verdicts are bit-for-bit unchanged.
+        """
         r = self._r
         params = self._params
-        # Map each verifier tail edge -> its tail indices (loads live per tail).
-        tail_index: Dict[int, List[int]] = {}
-        for idx, edge in enumerate(verifier_tails):
-            tail_index.setdefault(int(edge), []).append(idx)
-        loads = np.zeros(r, dtype=np.int64)
-        b0 = params.resolve_balance_base(r)
-        a = params.balance_factor
+        telemetry = OBS.enabled
 
-        # Vectorised intersection screen: one isin over the whole
-        # (suspects x r) tail matrix replaces a python set per suspect,
-        # and the sequential balance loop below only touches the
-        # suspects that actually intersect.
-        verifier_edges = np.unique(verifier_tails)
-        hit_mask = np.isin(suspect_tails, verifier_edges)
+        # The admission permutation must be drawn unconditionally: the
+        # sweep hands one rng down through every length, so skipping the
+        # draw on any path would shift every later length's stream.
+        order = as_rng(order_seed).permutation(suspects.size)
+
+        # --- Phase 1: sorted join of suspect tails vs verifier tails --
+        with OBS.span("sybil.admission.join", suspects=int(suspects.size), r=r):
+            # Verifier tails grouped by edge: a stable argsort yields, for
+            # each distinct edge, its tail indices in ascending order —
+            # the same enumeration order the old dict-of-lists produced.
+            by_edge = np.argsort(verifier_tails, kind="stable")
+            unique_edges, edge_counts = np.unique(
+                verifier_tails, return_counts=True
+            )
+            edge_ptr = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(edge_counts)]
+            )
+            # Intersection screen: binary-search every suspect tail
+            # against the sorted unique verifier edges.
+            found = np.searchsorted(unique_edges, suspect_tails)
+            found = np.minimum(found, unique_edges.size - 1)
+            hit_mask = unique_edges[found] == suspect_tails
+            intersected = hit_mask.any(axis=1)
+            if telemetry:
+                OBS.add("sybil.admission.tail_comparisons", int(suspect_tails.size))
+                OBS.add("sybil.admission.intersecting", int(intersected.sum()))
 
         accepted = np.zeros(suspects.size, dtype=bool)
-        intersected = np.zeros(suspects.size, dtype=bool)
-        order = as_rng(order_seed).permutation(suspects.size)
-        accepted_count = 0
-        for pos in order:
-            if not hit_mask[pos].any():
-                continue
-            candidate_tails: List[int] = []
-            for edge in set(int(e) for e in suspect_tails[pos][hit_mask[pos]]):
-                candidate_tails.extend(tail_index.get(edge, ()))
-            intersected[pos] = True
-            if not params.enforce_balance:
+        if not params.enforce_balance:
+            # Fast path: admission *is* intersection; nothing sequential
+            # remains and no per-suspect work happens at all.
+            accepted[intersected] = True
+            return accepted, intersected.copy()
+
+        # --- Phase 2: sequential balance updates over intersecting rows
+        with OBS.span(
+            "sybil.admission.balance", intersecting=int(intersected.sum())
+        ):
+            # Pre-extract every suspect's hit tails once (row-major order
+            # matches the old per-suspect boolean masking) as a CSR over
+            # suspects, so the loop below does array slicing, not O(r)
+            # masking per suspect.
+            rows, cols = np.nonzero(hit_mask)
+            row_counts = np.bincount(rows, minlength=suspects.size)
+            row_ptr = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(row_counts)]
+            )
+            hit_edges = suspect_tails[rows, cols]
+            # Candidate enumeration order must replicate the historical
+            # per-suspect ``set`` iteration (it fixes the least-loaded
+            # tie-break), so the loop builds the same small set from the
+            # same values in the same insertion order.
+            edge_slice = {
+                int(edge): (int(edge_ptr[k]), int(edge_ptr[k + 1]))
+                for k, edge in enumerate(unique_edges)
+            }
+            loads = np.zeros(r, dtype=np.int64)
+            b0 = params.resolve_balance_base(r)
+            a = params.balance_factor
+            accepted_count = 0
+            for pos in order:
+                if not intersected[pos]:
+                    continue
+                chunks = []
+                for edge in set(
+                    int(e) for e in hit_edges[row_ptr[pos]:row_ptr[pos + 1]]
+                ):
+                    lo, hi = edge_slice[edge]
+                    chunks.append(by_edge[lo:hi])
+                candidates = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                # First minimum — the same tie-break as min(key=loads).
+                best = candidates[np.argmin(loads[candidates])]
+                bound = max(b0, a * (accepted_count + 1) / r)
+                if loads[best] + 1 > bound:
+                    continue
+                loads[best] += 1
                 accepted[pos] = True
                 accepted_count += 1
-                continue
-            best = min(candidate_tails, key=lambda t: loads[t])
-            bound = max(b0, a * (accepted_count + 1) / r)
-            if loads[best] + 1 > bound:
-                continue
-            loads[best] += 1
-            accepted[pos] = True
-            accepted_count += 1
+            if telemetry:
+                OBS.add("sybil.admission.balance_updates", accepted_count)
         return accepted, intersected
 
     # ------------------------------------------------------------------
@@ -214,9 +284,16 @@ class SybilLimit:
         suspects: Optional[Sequence[int]] = None,
         *,
         seed=None,
+        workers: Optional[int] = None,
     ) -> SybilLimitOutcome:
         """Admit ``suspects`` (default: every other node) against one verifier."""
-        outcomes = self.admission_sweep(verifier, [self._params.route_length], suspects=suspects, seed=seed)
+        outcomes = self.admission_sweep(
+            verifier,
+            [self._params.route_length],
+            suspects=suspects,
+            seed=seed,
+            workers=workers,
+        )
         return outcomes[0]
 
     def admission_sweep(
@@ -226,11 +303,15 @@ class SybilLimit:
         suspects: Optional[Sequence[int]] = None,
         *,
         seed=None,
+        workers: Optional[int] = None,
     ) -> List[SybilLimitOutcome]:
         """Admission outcomes at several route lengths (Figure 8's sweep).
 
         Routes are advanced incrementally, so the sweep costs one pass to
         ``max(walk_lengths)`` regardless of how many checkpoints it has.
+        ``workers`` fans the route-tail computation (the dominant cost)
+        out across the shared-memory fork pool; verdicts are bit-for-bit
+        identical to the serial sweep at any worker count.
         """
         graph = self._scenario.graph
         if suspects is None:
@@ -242,26 +323,40 @@ class SybilLimit:
         lengths = np.asarray(sorted(set(int(w) for w in walk_lengths)), dtype=np.int64)
         rng = as_rng(seed)
 
-        all_nodes = np.concatenate([[int(verifier)], suspects])
-        tails = self._tail_edge_sets(all_nodes, lengths)  # (1 + s, r, L)
-        outcomes: List[SybilLimitOutcome] = []
-        for li, w in enumerate(lengths):
-            verifier_tails = tails[0, :, li]
-            suspect_tails = tails[1:, :, li]
-            accepted, intersected = self._admit(
-                verifier_tails,
-                suspect_tails,
-                suspects,
-                order_seed=rng,
-            )
-            outcomes.append(
-                SybilLimitOutcome(
-                    verifier=int(verifier),
-                    suspects=suspects,
-                    accepted=accepted,
-                    intersected=intersected,
-                    route_length=int(w),
-                    num_instances=self._r,
+        with OBS.span(
+            "sybil.admission_sweep",
+            suspects=int(suspects.size),
+            lengths=int(lengths.size),
+            instances=self._r,
+            enforce_balance=bool(self._params.enforce_balance),
+        ):
+            all_nodes = np.concatenate([[int(verifier)], suspects])
+            tails = self._tail_edge_sets(all_nodes, lengths, workers=workers)
+            outcomes: List[SybilLimitOutcome] = []
+            for li, w in enumerate(lengths):
+                verifier_tails = tails[0, :, li]
+                suspect_tails = tails[1:, :, li]
+                accepted, intersected = self._admit(
+                    verifier_tails,
+                    suspect_tails,
+                    suspects,
+                    order_seed=rng,
                 )
-            )
+                if OBS.enabled:
+                    OBS.event(
+                        "admission_checkpoint",
+                        route_length=int(w),
+                        accepted=int(accepted.sum()),
+                        intersected=int(intersected.sum()),
+                    )
+                outcomes.append(
+                    SybilLimitOutcome(
+                        verifier=int(verifier),
+                        suspects=suspects,
+                        accepted=accepted,
+                        intersected=intersected,
+                        route_length=int(w),
+                        num_instances=self._r,
+                    )
+                )
         return outcomes

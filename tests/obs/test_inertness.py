@@ -124,6 +124,72 @@ def test_serial_equals_parallel_under_telemetry(obs):
     assert np.array_equal(serial, parallel)
 
 
+def test_admission_sweep_bit_identical(obs, bridge_graph):
+    """The instrumented route engine + vectorised admission: telemetry
+    off/on must produce identical verdicts, tails and counts."""
+    from repro.sybil import SybilLimit, SybilLimitParams, no_attack_scenario
+
+    def run():
+        scenario = no_attack_scenario(bridge_graph)
+        protocol = SybilLimit(
+            scenario, SybilLimitParams(route_length=10), seed=23
+        )
+        outcomes = protocol.admission_sweep(0, [2, 5, 10], seed=3)
+        return [
+            (o.route_length, o.accepted.copy(), o.intersected.copy())
+            for o in outcomes
+        ]
+
+    off = _with_flag(obs, False, run)
+    on = _with_flag(obs, True, run)
+    for (w0, acc0, int0), (w1, acc1, int1) in zip(off, on):
+        assert w0 == w1
+        assert np.array_equal(acc0, acc1)
+        assert np.array_equal(int0, int1)
+
+
+def test_sybilguard_run_bit_identical(obs, bridge_graph):
+    from repro.sybil import SybilGuard, no_attack_scenario
+
+    def run():
+        guard = SybilGuard(no_attack_scenario(bridge_graph), 12, seed=31)
+        outcome = guard.run(0)
+        return outcome.accepted.copy(), outcome.suspects.copy()
+
+    off_a, off_s = _with_flag(obs, False, run)
+    on_a, on_s = _with_flag(obs, True, run)
+    assert np.array_equal(off_a, on_a)
+    assert np.array_equal(off_s, on_s)
+
+
+def test_route_tails_bit_identical(obs, petersen):
+    from repro.sybil import RouteInstances
+
+    def run():
+        ri = RouteInstances(petersen, 6, seed=19)
+        nodes = np.arange(petersen.num_nodes, dtype=np.int64)
+        return ri.tails_at_lengths(nodes, [1, 4, 9], seed=2, block_size=2)
+
+    assert np.array_equal(_with_flag(obs, False, run), _with_flag(obs, True, run))
+
+
+def test_route_telemetry_actually_recorded(obs, petersen):
+    """The enabled arm of the route-engine inertness tests must record
+    real metrics, or the comparison above is vacuous."""
+    from repro.sybil import RouteInstances
+
+    obs.reset()
+    obs.enable()
+    ri = RouteInstances(petersen, 4, seed=3)
+    ri.tails_at_lengths(np.arange(petersen.num_nodes), [1, 5], seed=1)
+    snap = obs.snapshot()
+    obs.disable()
+    obs.reset()
+    assert snap["counters"]["sybil.routes.instances"] == 4
+    assert snap["counters"]["sybil.routes.blocks"] >= 1
+    assert snap["counters"]["sybil.routes.gathers"] >= 1
+
+
 def test_telemetry_actually_recorded(obs):
     """Guard against the vacuous pass: the enabled arm must have
     recorded real metrics (otherwise inertness proves nothing)."""

@@ -35,7 +35,38 @@ def connected_graphs(draw, min_nodes=2, max_nodes=16):
     return Graph.from_edges(edges, num_nodes=n)
 
 
+@st.composite
+def arbitrary_graphs(draw, max_nodes=24):
+    """Simple graphs with no connectivity guarantee (isolated nodes, many
+    components) and a bipartite bias: half the draws constrain edges to
+    cross an even/odd split so both branches of the 2-colour test fire."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    bipartite_only = draw(st.booleans())
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=3 * n,
+        )
+    )
+    if bipartite_only:
+        raw = [(u, v) for u, v in raw if (u % 2) != (v % 2)]
+    return Graph.from_edges(raw, num_nodes=n)
+
+
 class TestWalkProperties:
+    @given(arbitrary_graphs())
+    @settings(max_examples=200, deadline=None)
+    def test_vectorised_bipartite_agrees_with_reference(self, g):
+        """The frontier-at-a-time layering must agree with the original
+        node-at-a-time BFS on every graph, connected or not."""
+        from repro.core.walks import _is_bipartite_reference
+
+        assert is_bipartite(g) == _is_bipartite_reference(g)
+
+
     @given(connected_graphs())
     @settings(max_examples=80, deadline=None)
     def test_stationarity_under_evolution(self, g):
