@@ -45,7 +45,9 @@ Subpackages
 """
 
 from . import community, core, datasets, errors, experiments, generators, graph, obs, sampling, sybil
+from .core.runtime import ExecutionPolicy
 from .errors import (
+    CheckpointCorruption,
     ConfigurationError,
     ConvergenceError,
     DatasetError,
@@ -53,6 +55,8 @@ from .errors import (
     NotConnectedError,
     NotErgodicError,
     ReproError,
+    RouteError,
+    RuntimeFailure,
     SamplingError,
     ScenarioError,
 )
@@ -71,6 +75,7 @@ __all__ = [
     "obs",
     "sampling",
     "sybil",
+    "ExecutionPolicy",
     "Graph",
     "ReproError",
     "ConfigurationError",
@@ -81,5 +86,8 @@ __all__ = [
     "DatasetError",
     "ScenarioError",
     "SamplingError",
+    "RouteError",
+    "RuntimeFailure",
+    "CheckpointCorruption",
     "__version__",
 ]

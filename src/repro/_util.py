@@ -133,3 +133,36 @@ def stable_hash_u64(*parts: Iterable) -> int:
                 acc = np.uint64(acc ^ np.uint64(byte))
                 acc = np.uint64(acc * prime)
     return int(acc)
+
+
+def atomic_write_text(path, text: str, *, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (write-to-temp + rename).
+
+    The content lands in a uniquely named temporary file in the target
+    directory (same filesystem, so the final :func:`os.replace` is an
+    atomic rename), is fsynced, then renamed over ``path``.  A reader —
+    or a run killed mid-write — therefore sees either the complete old
+    file or the complete new file, never a truncated hybrid.  Used for
+    every artifact the library persists outside the checkpoint store:
+    run manifests, metric/trace snapshots and CLI text outputs.
+    """
+    import os
+    import tempfile
+    from pathlib import Path
+
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=str(target.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

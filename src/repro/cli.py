@@ -10,6 +10,28 @@ Examples
     repro-mixing fig8 --full
     repro-mixing all            # every experiment, fast mode
     repro-mixing list           # show available experiments
+
+Exit codes
+----------
+Errors raised intentionally by the library are caught at this boundary
+and mapped to distinct non-zero exit codes with a clean one-line
+message (no traceback):
+
+======  ============================================================
+code    meaning
+======  ============================================================
+``0``   success
+``2``   usage / configuration error (bad flag value, unknown
+        experiment, invalid :class:`~repro.ExecutionPolicy`)
+``3``   any other :class:`~repro.errors.ReproError` (bad graph,
+        non-ergodic walk, failed convergence, …)
+``4``   :class:`~repro.errors.CheckpointCorruption` — a resume
+        checkpoint failed validation; delete it and rerun
+``5``   :class:`~repro.errors.RuntimeFailure` — the fault-tolerant
+        sweep runtime exhausted every recovery avenue
+======  ============================================================
+
+Unexpected exceptions (bugs) still propagate with a full traceback.
 """
 
 from __future__ import annotations
@@ -19,7 +41,14 @@ import sys
 import time
 from typing import Callable, Dict, Optional, Sequence
 
-from .errors import ConfigurationError
+from ._util import atomic_write_text
+from .core.runtime import ExecutionPolicy
+from .errors import (
+    CheckpointCorruption,
+    ConfigurationError,
+    ReproError,
+    RuntimeFailure,
+)
 from .experiments import (
     ExperimentConfig,
     run_with_manifest,
@@ -51,7 +80,16 @@ from .experiments import (
     table1_result,
 )
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "EXIT_CODES"]
+
+#: Exit-code mapping applied at the CLI boundary (see module docstring).
+#: Ordered most-specific-first; the first matching class wins.
+EXIT_CODES = (
+    (ConfigurationError, 2),
+    (CheckpointCorruption, 4),
+    (RuntimeFailure, 5),
+    (ReproError, 3),
+)
 
 
 def _run_table1(config: ExperimentConfig) -> str:
@@ -136,6 +174,44 @@ def build_parser() -> argparse.ArgumentParser:
         "default serial; results are identical at any setting)",
     )
     parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sources per evolution chunk (default: sized from the "
+        "memory budget; results are identical at any setting)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="persist completed sweep shards under DIR and resume from "
+        "them on restart (results are bit-identical to an "
+        "uninterrupted run)",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="with --checkpoint-dir: discard existing checkpoints "
+        "instead of resuming from them",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per failed sweep shard before degrading to "
+        "in-process serial execution (default 2)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard straggler timeout; a shard exceeding it is "
+        "re-dispatched (default: no timeout)",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="FILE",
         default=None,
@@ -153,7 +229,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Intentional library errors (:class:`~repro.errors.ReproError`) are
+    mapped to the distinct exit codes documented in the module docstring
+    with a clean one-line message; only unexpected exceptions (bugs)
+    escape with a traceback.
+    """
+    try:
+        return _main(argv)
+    except ReproError as exc:
+        code = next(c for cls, c in EXIT_CODES if isinstance(exc, cls))
+        kind = type(exc).__name__
+        print(f"repro-mixing: {kind}: {exc}", file=sys.stderr)
+        return code
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print("\n".join(EXPERIMENTS))
@@ -170,10 +262,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         return 0
     telemetry = args.metrics_out is not None or args.trace_out is not None
+    policy = ExecutionPolicy(
+        workers=args.workers,
+        block_size=args.block_size,
+        shard_timeout=args.shard_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=not args.no_resume,
+        telemetry=telemetry,
+        **({"max_retries": args.max_retries} if args.max_retries is not None else {}),
+    )
     config = ExperimentConfig(
         mode="full" if args.full else "fast",
-        workers=args.workers,
         telemetry=telemetry,
+        policy=policy,
         **({"seed": args.seed} if args.seed is not None else {}),
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -197,7 +298,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(output)
         print(f"[{name} finished in {elapsed:.1f}s]\n")
         if out_dir is not None:
-            (out_dir / f"{name}.txt").write_text(output + "\n", encoding="utf-8")
+            atomic_write_text(out_dir / f"{name}.txt", output + "\n")
             print(f"[manifest: {manifest_path}]\n")
     if args.metrics_out is not None or args.trace_out is not None:
         from .obs import OBS

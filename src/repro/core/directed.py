@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import ConvergenceError, NotConnectedError
 from ..graph.digraph import DiGraph, strongly_connected_components
 from .operators import MarkovOperator
+from .runtime import ExecutionPolicy, as_policy
 
 __all__ = [
     "DirectedTransitionOperator",
@@ -203,6 +204,7 @@ def directed_variation_curves(
     operator: Optional[DirectedTransitionOperator] = None,
     block_size: Optional[int] = None,
     workers: Optional[int] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> np.ndarray:
     """Multi-source directed measurement: ``(s, w)`` TVD checkpoints.
 
@@ -216,5 +218,8 @@ def directed_variation_curves(
     op = operator if operator is not None else DirectedTransitionOperator(graph, damping=damping)
     pi = op.stationary(max_iter=200_000) if op.damping == 1.0 else op.stationary()
     return op.variation_curves(
-        sources, walk_lengths, reference=pi, block_size=block_size, workers=workers
+        sources,
+        walk_lengths,
+        reference=pi,
+        policy=as_policy(policy, workers=workers, block_size=block_size),
     )

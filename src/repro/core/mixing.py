@@ -28,6 +28,7 @@ from ..errors import ConvergenceError
 from ..graph import Graph
 from .._util import as_rng
 from .operators import MarkovOperator
+from .runtime import ExecutionPolicy, as_policy
 from .walks import TransitionOperator
 
 __all__ = [
@@ -167,6 +168,7 @@ def measure_mixing(
     check_aperiodic: bool = True,
     block_size: Optional[int] = None,
     workers: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> PerSourceMixing:
     """Measure variation distance at the given walk lengths.
 
@@ -189,7 +191,13 @@ def measure_mixing(
         Process count for the shared-memory sweep runtime
         (:mod:`repro.core.parallel`); ``None``/``1`` stays serial,
         ``-1`` uses every core.  Parallel output is bit-for-bit equal
-        to serial.
+        to serial.  Deprecated alias — prefer ``policy=``.
+    policy:
+        An :class:`~repro.core.runtime.ExecutionPolicy` bundling all
+        execution knobs (workers, block size, retries, shard timeout,
+        checkpoint directory).  Passing ``checkpoint_dir`` makes this
+        sweep resumable: completed shards are persisted and skipped on
+        restart, with bit-identical final output.
 
     All sources are evolved through the shared
     :meth:`~repro.core.operators.MarkovOperator.variation_curves` block
@@ -212,7 +220,9 @@ def measure_mixing(
 
     operator = TransitionOperator(graph, laziness=laziness, check_aperiodic=check_aperiodic)
     out = operator.variation_curves(
-        source_ids, lengths, block_size=block_size, workers=workers
+        source_ids,
+        lengths,
+        policy=as_policy(policy, workers=workers, block_size=block_size),
     )
     return PerSourceMixing(sources=source_ids, walk_lengths=lengths, distances=out)
 
@@ -252,6 +262,7 @@ def estimate_mixing_time(
     laziness: float = 0.0,
     block_size: Optional[int] = None,
     workers: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> MixingTimeEstimate:
     """Estimate T(eps) by per-source hitting times of the eps ball.
 
@@ -275,7 +286,10 @@ def estimate_mixing_time(
         exhaustive = False
     operator = TransitionOperator(graph, laziness=laziness)
     times = operator.hitting_times(
-        source_ids, epsilon, max_steps=max_steps, block_size=block_size, workers=workers
+        source_ids,
+        epsilon,
+        max_steps=max_steps,
+        policy=as_policy(policy, workers=workers, block_size=block_size),
     ).times
     if np.all(times < 0):
         raise ConvergenceError(

@@ -46,6 +46,7 @@ import numpy as np
 from .._util import check_node_index, check_probability_vector
 from ..obs import OBS
 from .distances import total_variation_to_reference
+from .runtime import ExecutionPolicy, as_policy
 
 __all__ = [
     "DEFAULT_BLOCK_BYTES",
@@ -258,17 +259,26 @@ class MarkovOperator(ABC):
         return block[0]
 
     def evolve_block(
-        self, block: np.ndarray, steps: int, *, workers: Optional[int] = None
+        self,
+        block: np.ndarray,
+        steps: int,
+        *,
+        workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> np.ndarray:
         """A whole block after ``steps`` applications of P.
 
-        ``workers > 1`` shards the block's rows across a process pool
-        (rows are independent chains, so sharding is bit-for-bit
-        neutral); the serial path runs whenever the pool is unavailable
-        or pointless (see :mod:`repro.core.parallel`).
+        ``policy`` (an :class:`~repro.core.runtime.ExecutionPolicy`)
+        steers execution: ``workers > 1`` shards the block's rows across
+        the fault-tolerant process pool (rows are independent chains, so
+        sharding is bit-for-bit neutral); the serial path runs whenever
+        the pool is unavailable or pointless (see
+        :mod:`repro.core.parallel`).  The bare ``workers=`` kwarg is a
+        deprecated alias.
         """
         if steps < 0:
             raise ValueError("steps must be nonnegative")
+        policy = as_policy(policy, workers=workers)
         x = self._check_block(block)
         with OBS.span(
             "core.evolve_block",
@@ -276,10 +286,10 @@ class MarkovOperator(ABC):
             rows=int(x.shape[0]),
             steps=int(steps),
         ):
-            if workers is not None:
+            if policy.workers is not None:
                 from .parallel import maybe_parallel_evolve_block
 
-                out = maybe_parallel_evolve_block(self, x, steps, workers=workers)
+                out = maybe_parallel_evolve_block(self, x, steps, policy=policy)
                 if out is not None:
                     return out
             if OBS.enabled:
@@ -319,6 +329,7 @@ class MarkovOperator(ABC):
         *,
         reference: Optional[np.ndarray] = None,
         workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> np.ndarray:
         """``curve[t] = || pi - pi^{(source)} P^t ||_1`` for t = 0..max_steps.
 
@@ -328,8 +339,9 @@ class MarkovOperator(ABC):
         """
         if max_steps < 0:
             raise ValueError("max_steps must be nonnegative")
+        policy = as_policy(policy, workers=workers)
         return self.variation_curves(
-            [source], np.arange(max_steps + 1), reference=reference, workers=workers
+            [source], np.arange(max_steps + 1), reference=reference, policy=policy
         )[0]
 
     def variation_curves(
@@ -340,24 +352,29 @@ class MarkovOperator(ABC):
         reference: Optional[np.ndarray] = None,
         block_size: Optional[int] = None,
         workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> np.ndarray:
         """TVD to ``reference`` at each checkpoint for every source.
 
         Returns a ``(s, w)`` array with
         ``out[i, j] = || ref - pi^{(sources[i])} P^{walk_lengths[j]} ||_1``.
         Sources are evolved as one dense block per chunk (one SpMM per
-        step advances the whole chunk), with ``block_size`` resolved via
+        step advances the whole chunk), with the chunk size resolved via
         :func:`resolve_block_size` so the buffer respects the memory
-        budget.  ``workers > 1`` fans the chunks out across a
-        shared-memory process pool (:mod:`repro.core.parallel`) with
-        bit-for-bit identical, order-preserving results; the serial path
-        runs whenever the pool is unavailable.
+        budget.  Execution is steered by ``policy`` (an
+        :class:`~repro.core.runtime.ExecutionPolicy`): ``workers > 1``
+        fans the chunks out across the fault-tolerant shared-memory pool
+        (:mod:`repro.core.parallel`) with bit-for-bit identical,
+        order-preserving results, and ``checkpoint_dir`` persists/
+        resumes completed shards.  The bare ``workers=``/``block_size=``
+        kwargs are deprecated aliases.
         """
         lengths = np.asarray(walk_lengths, dtype=np.int64).ravel()
         if lengths.size == 0:
             raise ValueError("walk_lengths must be non-empty")
         if np.any(lengths < 0) or np.any(np.diff(lengths) <= 0):
             raise ValueError("walk_lengths must be strictly increasing and nonnegative")
+        policy = as_policy(policy, workers=workers, block_size=block_size)
         src = np.asarray(sources, dtype=np.int64).ravel()
         ref = self.stationary() if reference is None else self._check_vector(
             reference, name="reference"
@@ -369,15 +386,15 @@ class MarkovOperator(ABC):
             checkpoints=int(lengths.size),
             max_walk=int(lengths[-1]),
         ) as span:
-            if workers is not None:
+            if policy.workers is not None or policy.checkpoint_dir is not None:
                 from .parallel import maybe_parallel_variation_curves
 
                 out = maybe_parallel_variation_curves(
-                    self, src, lengths, reference=ref, workers=workers, block_size=block_size
+                    self, src, lengths, reference=ref, policy=policy
                 )
                 if out is not None:
                     return out
-            chunk_rows = resolve_block_size(self._num_states, block_size)
+            chunk_rows = resolve_block_size(self._num_states, policy.block_size)
             telemetry = OBS.enabled
             if telemetry:
                 span.set(chunk_rows=int(chunk_rows), path="serial")
@@ -421,6 +438,7 @@ class MarkovOperator(ABC):
         reference: Optional[np.ndarray] = None,
         block_size: Optional[int] = None,
         workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> HittingTimes:
         """Per-source ``min { t : || ref - pi^{(i)} P^t ||_1 < eps }``.
 
@@ -438,6 +456,7 @@ class MarkovOperator(ABC):
             raise ValueError("epsilon must be in (0, 1)")
         if max_steps < 0:
             raise ValueError("max_steps must be nonnegative")
+        policy = as_policy(policy, workers=workers, block_size=block_size)
         src = np.asarray(sources, dtype=np.int64).ravel()
         ref = self.stationary() if reference is None else self._check_vector(
             reference, name="reference"
@@ -449,7 +468,7 @@ class MarkovOperator(ABC):
             epsilon=float(epsilon),
             max_steps=int(max_steps),
         ) as span:
-            if workers is not None:
+            if policy.workers is not None or policy.checkpoint_dir is not None:
                 from .parallel import maybe_parallel_hitting_times
 
                 out = maybe_parallel_hitting_times(
@@ -458,12 +477,11 @@ class MarkovOperator(ABC):
                     epsilon,
                     max_steps=max_steps,
                     reference=ref,
-                    workers=workers,
-                    block_size=block_size,
+                    policy=policy,
                 )
                 if out is not None:
                     return out
-            chunk_rows = resolve_block_size(self._num_states, block_size)
+            chunk_rows = resolve_block_size(self._num_states, policy.block_size)
             telemetry = OBS.enabled
             if telemetry:
                 span.set(chunk_rows=int(chunk_rows), path="serial")

@@ -53,8 +53,8 @@ from typing import Dict, List, NamedTuple, Optional, Tuple
 import numpy as np
 
 from ..obs import OBS
-from ..obs.metrics import NULL_CONTEXT
 from .operators import HittingTimes, MarkovOperator, resolve_block_size
+from .runtime import DEFAULT_POLICY, ExecutionPolicy, run_sharded, sweep_fingerprint
 
 __all__ = [
     "OperatorPayload",
@@ -600,65 +600,22 @@ def _timed_task(args):
     return elapsed, _ATTACH_SECONDS_PENDING, os.getpid(), result
 
 
-def _pool_map(workers: int, task, items):
-    """Order-preserving map over a fresh fork pool.
+def _policy_knobs(
+    policy: Optional[ExecutionPolicy],
+    workers: Optional[int],
+    block_size: Optional[int],
+) -> Tuple[ExecutionPolicy, Optional[int], Optional[int]]:
+    """Resolve the ``(policy, workers, block_size)`` triple.
 
-    Pool setup, the map itself and teardown are timed separately when
-    telemetry is on; on failure the pool is terminated (not drained) so
-    an exception in one shard cannot wedge the parent.
+    The ``maybe_parallel_*`` entry points accept either an explicit
+    :class:`~repro.core.runtime.ExecutionPolicy` (which wins, and whose
+    ``workers``/``block_size`` fields are unpacked) or the bare legacy
+    knobs (kept un-deprecated at this internal layer — the public APIs
+    own the deprecation story via :func:`repro.core.runtime.as_policy`).
     """
-    import multiprocessing
-
-    telemetry = OBS.enabled
-    context = multiprocessing.get_context("fork")
-    setup_start = time.perf_counter() if telemetry else 0.0
-    pool = context.Pool(processes=workers)
-    if telemetry:
-        OBS.observe("parallel.pool_setup_seconds", time.perf_counter() - setup_start)
-    try:
-        with OBS.timer("parallel.map_seconds") if telemetry else NULL_CONTEXT:
-            results = pool.map(task, items, chunksize=1)
-    except BaseException:
-        pool.terminate()
-        pool.join()
-        raise
-    teardown_start = time.perf_counter() if telemetry else 0.0
-    pool.close()
-    pool.join()
-    if telemetry:
-        OBS.observe(
-            "parallel.pool_teardown_seconds", time.perf_counter() - teardown_start
-        )
-    return results
-
-
-def _run_tasks(workers: int, key: str, tasks):
-    """Fan ``tasks`` out through the pool, recording telemetry when on.
-
-    Disabled path: exactly ``_pool_map(workers, _TASK_FNS[key], tasks)``
-    — no wrapper travels to the workers, no per-task bookkeeping.
-
-    Enabled path: each task runs through :func:`_timed_task`, and the
-    parent records per-task wall time, per-worker attach latency and the
-    distinct worker count before unwrapping the results (values are
-    untouched either way, preserving bit-for-bit serial equivalence).
-    """
-    if not OBS.enabled:
-        return _pool_map(workers, _TASK_FNS[key], tasks)
-    with OBS.span("parallel.pool", kind=key, workers=int(workers), tasks=len(tasks)):
-        wrapped = _pool_map(workers, _timed_task, [(key, t) for t in tasks])
-    pids: Dict[int, int] = {}
-    results = []
-    for elapsed, attach_seconds, pid, result in wrapped:
-        OBS.observe(f"parallel.task_seconds.{key}", elapsed)
-        if attach_seconds > 0.0:
-            OBS.observe("parallel.attach_seconds", attach_seconds)
-        pids[pid] = pids.get(pid, 0) + 1
-        results.append(result)
-    OBS.set_gauge("parallel.workers_used", len(pids))
-    if pids:
-        OBS.observe("parallel.tasks_per_worker_max", max(pids.values()))
-    return results
+    if policy is None:
+        return DEFAULT_POLICY, workers, block_size
+    return policy, policy.workers, policy.block_size
 
 
 def _note_parallel_path(workers: int, shards: int) -> None:
@@ -683,36 +640,103 @@ def _effective_workers(workers: Optional[int], num_rows: int) -> int:
     return min(resolve_workers(workers), max(num_rows, 0))
 
 
+def _operator_fingerprint(
+    sweep: str, kind: str, matrix, extras: dict, reference, *parts
+) -> str:
+    """Content-addressed identity of one operator sweep (checkpoint key).
+
+    Hashes the CSR arrays, the operator's extra dynamics (damping /
+    dangling mask / originator bias) and the sweep parameters — but not
+    ``workers``/``block_size``, to which results are pinned invariant.
+    """
+    return sweep_fingerprint(
+        sweep,
+        kind,
+        matrix.data,
+        matrix.indices,
+        matrix.indptr,
+        tuple(int(v) for v in matrix.shape),
+        float(extras.get("damping", 1.0)),
+        extras.get("dangling"),
+        float(extras.get("beta", 0.0)),
+        reference,
+        *parts,
+    )
+
+
 def maybe_parallel_variation_curves(
     operator,
     sources: np.ndarray,
     walk_lengths: np.ndarray,
     *,
     reference: np.ndarray,
-    workers: Optional[int],
+    workers: Optional[int] = None,
     block_size: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Optional[np.ndarray]:
     """Fan a validated ``variation_curves`` call out to a pool.
 
     Returns the assembled ``(s, w)`` array, or ``None`` when the serial
     path should run instead (see module docstring for the fallback
     rules).  Inputs are assumed validated by the calling operator.
+    With ``policy.checkpoint_dir`` set the sweep is checkpointed (and
+    resumed) per shard, even when the pool itself is unavailable.
     """
+    policy, workers, block_size = _policy_knobs(policy, workers, block_size)
     count = _effective_workers(workers, sources.size)
-    if count <= 1 or not parallel_backend_available():
+    use_pool = count > 1 and parallel_backend_available()
+    if (not use_pool and policy.checkpoint_dir is None) or sources.size == 0:
         return None
     described = describe_operator(operator)
     if described is None:
         return None
     kind, matrix, extras = described
-    with publish_operator(kind, matrix, reference, **extras) as handle:
-        tasks = [
-            (handle.payload, shard, walk_lengths, block_size)
-            for shard in _shard(sources, count)
-        ]
-        _note_parallel_path(count, len(tasks))
-        results = _run_tasks(count, "curves", tasks)
-        return np.concatenate(results, axis=0)
+    fingerprint = None
+    if policy.checkpoint_dir is not None:
+        fingerprint = _operator_fingerprint(
+            "curves", kind, matrix, extras, reference, sources, walk_lengths
+        )
+
+    def serial_run(lo: int, hi: int) -> np.ndarray:
+        return operator.variation_curves(
+            sources[lo:hi],
+            walk_lengths,
+            reference=reference,
+            policy=ExecutionPolicy(block_size=block_size),
+        )
+
+    if use_pool:
+        with publish_operator(kind, matrix, reference, **extras) as handle:
+            payload = handle.payload
+
+            def make_task(lo: int, hi: int):
+                return (payload, sources[lo:hi], walk_lengths, block_size)
+
+            _note_parallel_path(count, min(sources.size, count * _OVERSHARD))
+            parts = run_sharded(
+                kind="curves",
+                total=int(sources.size),
+                policy=policy,
+                workers=count,
+                make_task=make_task,
+                serial_run=serial_run,
+                fingerprint=fingerprint,
+                use_pool=True,
+                overshard=_OVERSHARD,
+            )
+    else:
+        parts = run_sharded(
+            kind="curves",
+            total=int(sources.size),
+            policy=policy,
+            workers=1,
+            make_task=None,
+            serial_run=serial_run,
+            fingerprint=fingerprint,
+            use_pool=False,
+            overshard=_OVERSHARD,
+        )
+    return np.concatenate(parts, axis=0)
 
 
 def maybe_parallel_hitting_times(
@@ -722,29 +746,79 @@ def maybe_parallel_hitting_times(
     *,
     max_steps: int,
     reference: np.ndarray,
-    workers: Optional[int],
+    workers: Optional[int] = None,
     block_size: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Optional[HittingTimes]:
     """Parallel analogue of :func:`maybe_parallel_variation_curves` for
     per-source hitting times (early-exit masking runs inside each
     worker, exactly as in the serial chunks)."""
+    policy, workers, block_size = _policy_knobs(policy, workers, block_size)
     count = _effective_workers(workers, sources.size)
-    if count <= 1 or not parallel_backend_available():
+    use_pool = count > 1 and parallel_backend_available()
+    if (not use_pool and policy.checkpoint_dir is None) or sources.size == 0:
         return None
     described = describe_operator(operator)
     if described is None:
         return None
     kind, matrix, extras = described
-    with publish_operator(kind, matrix, reference, **extras) as handle:
-        tasks = [
-            (handle.payload, shard, epsilon, max_steps, block_size)
-            for shard in _shard(sources, count)
-        ]
-        _note_parallel_path(count, len(tasks))
-        results = _run_tasks(count, "hitting", tasks)
-        times = np.concatenate([r[0] for r in results])
-        final = np.concatenate([r[1] for r in results])
-        return HittingTimes(times=times, final_distances=final)
+    fingerprint = None
+    if policy.checkpoint_dir is not None:
+        fingerprint = _operator_fingerprint(
+            "hitting",
+            kind,
+            matrix,
+            extras,
+            reference,
+            sources,
+            float(epsilon),
+            int(max_steps),
+        )
+
+    def serial_run(lo: int, hi: int):
+        result = operator.hitting_times(
+            sources[lo:hi],
+            epsilon,
+            max_steps=max_steps,
+            reference=reference,
+            policy=ExecutionPolicy(block_size=block_size),
+        )
+        return result.times, result.final_distances
+
+    if use_pool:
+        with publish_operator(kind, matrix, reference, **extras) as handle:
+            payload = handle.payload
+
+            def make_task(lo: int, hi: int):
+                return (payload, sources[lo:hi], epsilon, max_steps, block_size)
+
+            _note_parallel_path(count, min(sources.size, count * _OVERSHARD))
+            parts = run_sharded(
+                kind="hitting",
+                total=int(sources.size),
+                policy=policy,
+                workers=count,
+                make_task=make_task,
+                serial_run=serial_run,
+                fingerprint=fingerprint,
+                use_pool=True,
+                overshard=_OVERSHARD,
+            )
+    else:
+        parts = run_sharded(
+            kind="hitting",
+            total=int(sources.size),
+            policy=policy,
+            workers=1,
+            make_task=None,
+            serial_run=serial_run,
+            fingerprint=fingerprint,
+            use_pool=False,
+            overshard=_OVERSHARD,
+        )
+    times = np.concatenate([p[0] for p in parts])
+    final = np.concatenate([p[1] for p in parts])
+    return HittingTimes(times=times, final_distances=final)
 
 
 def maybe_parallel_evolve_block(
@@ -752,7 +826,8 @@ def maybe_parallel_evolve_block(
     block: np.ndarray,
     steps: int,
     *,
-    workers: Optional[int],
+    workers: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Optional[np.ndarray]:
     """Shard a dense ``(s, n)`` block row-wise across the pool.
 
@@ -761,24 +836,41 @@ def maybe_parallel_evolve_block(
     one-off cost the ``steps`` SpMMs amortise) while the operator rides
     shared memory.
     """
+    policy, workers, _block_size = _policy_knobs(policy, workers, None)
     count = _effective_workers(workers, block.shape[0])
     if count <= 1 or steps == 0 or not parallel_backend_available():
+        # No checkpoint-only path here: evolve blocks are usually one
+        # iteration of a larger loop (e.g. SybilRank), so their content
+        # changes every call and a content-addressed checkpoint would
+        # never be revisited.
         return None
     described = describe_operator(operator)
     if described is None:
         return None
     kind, matrix, extras = described
+
+    def serial_run(lo: int, hi: int) -> np.ndarray:
+        return operator.evolve_block(block[lo:hi], steps)
+
     with publish_operator(kind, matrix, None, **extras) as handle:
-        shards = np.array_split(
-            np.arange(block.shape[0]), min(block.shape[0], count * _OVERSHARD)
+        payload = handle.payload
+
+        def make_task(lo: int, hi: int):
+            return (payload, block[lo:hi], steps)
+
+        _note_parallel_path(count, min(int(block.shape[0]), count * _OVERSHARD))
+        parts = run_sharded(
+            kind="evolve",
+            total=int(block.shape[0]),
+            policy=policy,
+            workers=count,
+            make_task=make_task,
+            serial_run=serial_run,
+            fingerprint=None,
+            use_pool=True,
+            overshard=_OVERSHARD,
         )
-        tasks = [(handle.payload, block[rows], steps) for rows in shards]
-        if OBS.enabled:
-            for rows in shards:
-                OBS.observe("parallel.shard_rows", rows.size)
-        _note_parallel_path(count, len(tasks))
-        results = _run_tasks(count, "evolve", tasks)
-        return np.concatenate(results, axis=0)
+    return np.concatenate(parts, axis=0)
 
 
 def maybe_parallel_originator_curves(
@@ -788,8 +880,9 @@ def maybe_parallel_originator_curves(
     beta: float,
     walk_lengths: np.ndarray,
     *,
-    workers: Optional[int],
+    workers: Optional[int] = None,
     block_size: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Optional[np.ndarray]:
     """Fan the originator-biased trust sweep out to the pool.
 
@@ -797,24 +890,63 @@ def maybe_parallel_originator_curves(
     originator), so the payload carries ``beta`` and each worker runs
     the shared chunk kernel from :mod:`repro.core.trust` on its shard.
     """
+    policy, workers, block_size = _policy_knobs(policy, workers, block_size)
     count = _effective_workers(workers, sources.size)
-    if count <= 1 or not parallel_backend_available():
+    use_pool = count > 1 and parallel_backend_available()
+    if (not use_pool and policy.checkpoint_dir is None) or sources.size == 0:
         return None
     chunk_rows = resolve_block_size(matrix.shape[0], block_size)
-    with publish_operator("originator", matrix, reference, beta=beta) as handle:
-        tasks = [
-            (handle.payload, shard, walk_lengths, chunk_rows)
-            for shard in _shard(sources, count)
-        ]
-        _note_parallel_path(count, len(tasks))
-        results = _run_tasks(count, "originator", tasks)
-        return np.concatenate(results, axis=0)
+    fingerprint = None
+    if policy.checkpoint_dir is not None:
+        fingerprint = _operator_fingerprint(
+            "originator",
+            "originator",
+            matrix,
+            {"beta": float(beta)},
+            reference,
+            sources,
+            walk_lengths,
+        )
 
+    def serial_run(lo: int, hi: int) -> np.ndarray:
+        from .trust import _originator_curves_chunks
 
-def _contiguous_ranges(total: int, parts: int) -> List[Tuple[int, int]]:
-    """``[lo, hi)`` bounds of ``np.array_split(arange(total), parts)``."""
-    bounds = np.array_split(np.arange(total), parts)
-    return [(int(b[0]), int(b[-1]) + 1) for b in bounds if b.size]
+        return _originator_curves_chunks(
+            matrix, reference, sources[lo:hi], beta, walk_lengths, chunk_rows
+        )
+
+    if use_pool:
+        with publish_operator("originator", matrix, reference, beta=beta) as handle:
+            payload = handle.payload
+
+            def make_task(lo: int, hi: int):
+                return (payload, sources[lo:hi], walk_lengths, chunk_rows)
+
+            _note_parallel_path(count, min(sources.size, count * _OVERSHARD))
+            parts = run_sharded(
+                kind="originator",
+                total=int(sources.size),
+                policy=policy,
+                workers=count,
+                make_task=make_task,
+                serial_run=serial_run,
+                fingerprint=fingerprint,
+                use_pool=True,
+                overshard=_OVERSHARD,
+            )
+    else:
+        parts = run_sharded(
+            kind="originator",
+            total=int(sources.size),
+            policy=policy,
+            workers=1,
+            make_task=None,
+            serial_run=serial_run,
+            fingerprint=fingerprint,
+            use_pool=False,
+            overshard=_OVERSHARD,
+        )
+    return np.concatenate(parts, axis=0)
 
 
 def maybe_parallel_route_tails(
@@ -822,8 +954,9 @@ def maybe_parallel_route_tails(
     starts: np.ndarray,
     lengths: np.ndarray,
     *,
-    workers: Optional[int],
+    workers: Optional[int] = None,
     block_size: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Optional[np.ndarray]:
     """Fan a route tail sweep out across instance shards.
 
@@ -834,33 +967,76 @@ def maybe_parallel_route_tails(
     steps them with the shared blocked kernel.  Shards are contiguous
     instance ranges reassembled positionally along the instance axis, so
     the output is bit-for-bit the serial blocked result.  Returns
-    ``None`` for the usual serial-fallback reasons.
+    ``None`` for the usual serial-fallback reasons.  The checkpoint key
+    hashes the arc arrays, root entropy, pre-drawn starts and lengths,
+    so SybilLimit admission sweeps resume without replaying a draw.
     """
+    policy, workers, block_size = _policy_knobs(policy, workers, block_size)
     num_instances = int(starts.shape[0])
     count = _effective_workers(workers, num_instances)
-    if count <= 1 or not parallel_backend_available():
+    use_pool = count > 1 and parallel_backend_available()
+    if (not use_pool and policy.checkpoint_dir is None) or num_instances == 0:
         return None
-    from ..sybil.routes import arc_sources, reverse_slots
+    from ..sybil.routes import advance_route_shard, arc_sources, reverse_slots
 
     graph = routes.graph
-    named = [
-        ("src", arc_sources(graph)),
-        ("rev", reverse_slots(graph)),
-        ("starts", starts),
-    ]
-    with publish_route_state(
-        "route_tails", named, num_nodes=graph.num_nodes, entropy=routes._entropy
-    ) as handle:
-        ranges = _contiguous_ranges(num_instances, min(num_instances, count * _OVERSHARD))
-        tasks = [
-            (handle.payload, lo, hi, lengths, block_size) for lo, hi in ranges
-        ]
-        if OBS.enabled:
-            for lo, hi in ranges:
-                OBS.observe("parallel.shard_rows", hi - lo)
-        _note_parallel_path(count, len(tasks))
-        results = _run_tasks(count, "route_tails", tasks)
-        return np.concatenate(results, axis=1)
+    src = arc_sources(graph)
+    rev = reverse_slots(graph)
+    entropy = routes._entropy
+    fingerprint = None
+    if policy.checkpoint_dir is not None:
+        fingerprint = sweep_fingerprint(
+            "route_tails", src, rev, int(graph.num_nodes), entropy, starts, lengths
+        )
+
+    def serial_run(lo: int, hi: int) -> np.ndarray:
+        return advance_route_shard(
+            src,
+            rev,
+            graph.num_nodes,
+            entropy,
+            lo,
+            hi,
+            starts[lo:hi],
+            lengths,
+            block_size,
+        )
+
+    if use_pool:
+        named = [("src", src), ("rev", rev), ("starts", starts)]
+        with publish_route_state(
+            "route_tails", named, num_nodes=graph.num_nodes, entropy=entropy
+        ) as handle:
+            payload = handle.payload
+
+            def make_task(lo: int, hi: int):
+                return (payload, lo, hi, lengths, block_size)
+
+            _note_parallel_path(count, min(num_instances, count * _OVERSHARD))
+            parts = run_sharded(
+                kind="route_tails",
+                total=num_instances,
+                policy=policy,
+                workers=count,
+                make_task=make_task,
+                serial_run=serial_run,
+                fingerprint=fingerprint,
+                use_pool=True,
+                overshard=_OVERSHARD,
+            )
+    else:
+        parts = run_sharded(
+            kind="route_tails",
+            total=num_instances,
+            policy=policy,
+            workers=1,
+            make_task=None,
+            serial_run=serial_run,
+            fingerprint=fingerprint,
+            use_pool=False,
+            overshard=_OVERSHARD,
+        )
+    return np.concatenate(parts, axis=1)
 
 
 def maybe_parallel_route_hits(
@@ -870,7 +1046,8 @@ def maybe_parallel_route_hits(
     mask: np.ndarray,
     length: int,
     *,
-    workers: Optional[int],
+    workers: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Optional[np.ndarray]:
     """Fan SybilGuard's per-slot node-intersection scan across the pool.
 
@@ -878,26 +1055,42 @@ def maybe_parallel_route_hits(
     its shard through the *same* published ``next_slot`` table and ORs
     node hits stepwise (``repro.sybil.sybilguard.route_hit_scan``).
     Reassembly is positional, the scan is branch-free boolean algebra —
-    parallel output is bit-for-bit the serial scan.
+    parallel output is bit-for-bit the serial scan.  (No checkpoint
+    path: the scan is an inner per-length loop, cheap relative to the
+    tail sweeps that feed it.)
     """
+    policy, workers, _block_size = _policy_knobs(policy, workers, None)
     num_slots = int(table.shape[0])
     count = _effective_workers(workers, num_slots)
     if count <= 1 or not parallel_backend_available():
         return None
+    from ..sybil.sybilguard import route_hit_scan
+
+    def serial_run(lo: int, hi: int) -> np.ndarray:
+        return route_hit_scan(table, indices, src, mask, lo, hi, int(length))
+
     named = [
         ("table", table),
         ("indices", indices),
         ("src", src),
         ("mask", mask),
     ]
-    with publish_route_state(
-        "route_hits", named, num_nodes=mask.shape[0]
-    ) as handle:
-        ranges = _contiguous_ranges(num_slots, min(num_slots, count * _OVERSHARD))
-        tasks = [(handle.payload, lo, hi, int(length)) for lo, hi in ranges]
-        if OBS.enabled:
-            for lo, hi in ranges:
-                OBS.observe("parallel.shard_rows", hi - lo)
-        _note_parallel_path(count, len(tasks))
-        results = _run_tasks(count, "route_hits", tasks)
-        return np.concatenate(results)
+    with publish_route_state("route_hits", named, num_nodes=mask.shape[0]) as handle:
+        payload = handle.payload
+
+        def make_task(lo: int, hi: int):
+            return (payload, lo, hi, int(length))
+
+        _note_parallel_path(count, min(num_slots, count * _OVERSHARD))
+        parts = run_sharded(
+            kind="route_hits",
+            total=num_slots,
+            policy=policy,
+            workers=count,
+            make_task=make_task,
+            serial_run=serial_run,
+            fingerprint=None,
+            use_pool=True,
+            overshard=_OVERSHARD,
+        )
+    return np.concatenate(parts)

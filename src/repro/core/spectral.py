@@ -28,7 +28,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConvergenceError, NotConnectedError
+from ..errors import ConfigurationError, ConvergenceError, NotConnectedError
 from ..graph import Graph, is_connected
 from ..obs import OBS
 
@@ -118,7 +118,7 @@ def _extremes_sparse(graph: Graph, *, tol: float = 0.0, maxiter=None) -> Tuple[f
 def _extremes_dense(graph: Graph) -> Tuple[float, float]:
     n = graph.num_nodes
     if n > _DENSE_CAP:
-        raise ValueError(
+        raise ConfigurationError(
             f"dense spectral back-end capped at {_DENSE_CAP} nodes (got {n}); use method='sparse'"
         )
     dense = normalized_adjacency(graph).toarray()
@@ -214,7 +214,7 @@ def transition_spectrum_extremes(
         disconnected input instead of returning a meaningless mu = 1.
     """
     if graph.num_nodes < 2:
-        raise ValueError("spectral summary needs at least two nodes")
+        raise ConfigurationError("spectral summary needs at least two nodes")
     if check_connected and not is_connected(graph):
         raise NotConnectedError("graph is disconnected; SLEM would trivially be 1")
     with OBS.span(
@@ -227,7 +227,7 @@ def transition_spectrum_extremes(
         elif method == "power":
             lambda2, lambda_min = _extremes_power(graph)
         else:
-            raise ValueError(f"unknown method {method!r}; expected sparse|dense|power")
+            raise ConfigurationError(f"unknown method {method!r}; expected sparse|dense|power")
         if OBS.enabled:
             OBS.add(f"spectral.calls.{method}")
             span.set(lambda2=float(lambda2), lambda_min=float(lambda_min))
@@ -262,7 +262,7 @@ def conductance_lower_bound(mu: float) -> float:
     is falsified by real graphs whose sweep cut lands between the two.
     """
     if not 0.0 <= mu <= 1.0:
-        raise ValueError("mu must lie in [0, 1]")
+        raise ConfigurationError("mu must lie in [0, 1]")
     return (1.0 - mu) / 2.0
 
 
@@ -273,6 +273,6 @@ def cheeger_bounds(lambda2: float) -> Tuple[float, float]:
     ``(lower, upper)``.
     """
     if lambda2 > 1.0 or lambda2 < -1.0:
-        raise ValueError("lambda2 must lie in [-1, 1]")
+        raise ConfigurationError("lambda2 must lie in [-1, 1]")
     gap = 1.0 - lambda2
     return gap / 2.0, float(np.sqrt(2.0 * gap))

@@ -33,6 +33,7 @@ from ..graph import Graph, is_connected
 from .._util import check_node_index
 from .distances import total_variation_to_reference
 from .operators import MarkovOperator, resolve_block_size
+from .runtime import ExecutionPolicy, as_policy
 from .stationary import stationary_distribution, weighted_stationary_distribution
 
 __all__ = [
@@ -169,6 +170,7 @@ def originator_biased_curves(
     *,
     block_size: Optional[int] = None,
     workers: Optional[int] = None,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> np.ndarray:
     """Batched originator-biased measurement: ``(s, w)`` distances.
 
@@ -183,6 +185,7 @@ def originator_biased_curves(
     """
     if not 0.0 <= beta < 1.0:
         raise ValueError("beta must be in [0, 1)")
+    policy = as_policy(policy, workers=workers, block_size=block_size)
     lengths = np.asarray(walk_lengths, dtype=np.int64).ravel()
     if lengths.size == 0:
         raise ValueError("walk_lengths must be non-empty")
@@ -202,15 +205,15 @@ def originator_biased_curves(
     n = graph.num_nodes
     plain = csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
 
-    if workers is not None:
+    if policy.workers is not None or policy.checkpoint_dir is not None:
         from .parallel import maybe_parallel_originator_curves
 
         out = maybe_parallel_originator_curves(
-            plain, pi, src, beta, lengths, workers=workers, block_size=block_size
+            plain, pi, src, beta, lengths, policy=policy
         )
         if out is not None:
             return out
-    chunk_rows = resolve_block_size(n, block_size)
+    chunk_rows = resolve_block_size(n, policy.block_size)
     return _originator_curves_chunks(plain, pi, src, beta, lengths, chunk_rows)
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import NotConnectedError, NotErgodicError
+from ..errors import ConfigurationError, NotConnectedError, NotErgodicError
 from ..graph import Graph, is_connected
 from .._util import as_rng, check_node_index
 from .operators import MarkovOperator
@@ -128,7 +128,7 @@ class TransitionOperator(MarkovOperator):
         check_aperiodic: bool = True,
     ):
         if not 0.0 <= laziness < 1.0:
-            raise ValueError("laziness must be in [0, 1)")
+            raise ConfigurationError("laziness must be in [0, 1)")
         if graph.num_nodes == 0:
             raise NotConnectedError("transition operator of an empty graph is undefined")
         if np.any(graph.degrees == 0):
@@ -206,7 +206,7 @@ def simulate_walk(
     must converge to the evolved distribution).
     """
     if length < 0:
-        raise ValueError("length must be nonnegative")
+        raise ConfigurationError("length must be nonnegative")
     n = graph.num_nodes
     source = check_node_index(source, n, name="source")
     if graph.degree(source) == 0 and length > 0:

@@ -69,3 +69,35 @@ class ScenarioError(ReproError, ValueError):
 class SamplingError(ReproError, ValueError):
     """A sampling request cannot be satisfied (e.g. target size larger
     than the reachable component)."""
+
+
+class RouteError(ReproError, ValueError):
+    """A random-route request is invalid.
+
+    Raised by the route engine (:mod:`repro.sybil.routes`) for
+    structurally impossible requests — an isolated start node, a route
+    through an edgeless graph — rather than letting an index error
+    surface from deep inside a kernel.
+    """
+
+
+class RuntimeFailure(ReproError, RuntimeError):
+    """The fault-tolerant execution runtime gave up on a sweep.
+
+    Raised only after every recovery avenue (shard retries with backoff,
+    pool rebuilds, in-process serial degradation) has been exhausted, or
+    when the runtime detects a state it must not paper over.  Partial
+    results are never returned: a sweep either completes bit-identical
+    to the serial path or raises.
+    """
+
+
+class CheckpointCorruption(RuntimeFailure):
+    """A sweep checkpoint failed validation.
+
+    Raised when a checkpoint shard is truncated, fails its content
+    digest, overlaps another shard, or does not match the sweep's
+    fingerprint — never silently wrong numbers.  Delete the offending
+    checkpoint directory (or pass a fresh ``checkpoint_dir``) to rerun
+    from scratch.
+    """

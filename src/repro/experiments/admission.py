@@ -86,7 +86,7 @@ def admission_curve(
     else:
         suspects = all_suspects
     outcomes = protocol.admission_sweep(
-        verifier, walks, suspects=suspects, seed=config.seed, workers=config.workers
+        verifier, walks, suspects=suspects, seed=config.seed, policy=config.execution_policy
     )
     return AdmissionCurve(
         dataset=dataset,

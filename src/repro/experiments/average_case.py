@@ -62,7 +62,7 @@ def run_average_case(
         sources = sample_sources(graph, config.sampled_sources, seed=config.seed)
         operator = TransitionOperator(graph)
         times = operator.hitting_times(
-            sources, epsilon, max_steps=budget, workers=config.workers
+            sources, epsilon, max_steps=budget, policy=config.execution_policy
         ).times
         converged = times[times >= 0]
         if converged.size == 0:

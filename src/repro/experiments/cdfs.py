@@ -45,8 +45,7 @@ def measure_physics(
             sorted(walks),
             sources=config.brute_force_sources,
             seed=config.seed,
-            block_size=config.evolution_block_size,
-            workers=config.workers,
+            policy=config.execution_policy,
         )
     return out
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..core.runtime import ExecutionPolicy
 from ..errors import ConfigurationError
 
 __all__ = ["ExperimentConfig", "FAST", "FULL", "validate_workers"]
@@ -79,6 +80,14 @@ class ExperimentConfig:
         :func:`repro.experiments.harness.run_with_manifest` or the CLI),
         so hot paths record metrics and spans.  Telemetry is provably
         inert — flipping this never changes any numeric output.
+    policy:
+        Optional :class:`~repro.core.runtime.ExecutionPolicy` bundling
+        *all* execution knobs (workers, block size, retries, shard
+        timeout, checkpoint directory).  Mutually exclusive with the
+        legacy ``workers``/``evolution_block_size`` fields; runners read
+        the merged view via :attr:`execution_policy` either way.  Set
+        via the ``--checkpoint-dir``/``--max-retries``/``--shard-timeout``
+        CLI flags.
     """
 
     mode: str = "fast"
@@ -89,11 +98,44 @@ class ExperimentConfig:
     evolution_block_size: Optional[int] = None
     workers: Optional[int] = None
     telemetry: bool = False
+    policy: Optional[ExecutionPolicy] = None
 
     def __post_init__(self):
         if self.mode not in ("fast", "full"):
             raise ConfigurationError("mode must be 'fast' or 'full'")
         validate_workers(self.workers)
+        if self.policy is not None:
+            if not isinstance(self.policy, ExecutionPolicy):
+                raise ConfigurationError(
+                    f"policy must be an ExecutionPolicy, got {type(self.policy).__name__}"
+                )
+            if self.workers is not None or self.evolution_block_size is not None:
+                raise ConfigurationError(
+                    "pass either policy= or the legacy workers=/evolution_block_size= "
+                    "knobs, not both"
+                )
+            validate_workers(self.policy.workers)
+
+    @property
+    def execution_policy(self) -> ExecutionPolicy:
+        """The :class:`~repro.core.runtime.ExecutionPolicy` runners forward.
+
+        An explicit ``policy=`` wins (with ``telemetry`` folded in);
+        otherwise the legacy ``workers`` / ``evolution_block_size``
+        knobs are packaged into a policy, so every runner goes through
+        one execution surface regardless of how the config was built.
+        """
+        if self.policy is not None:
+            if self.policy.telemetry != self.telemetry:
+                from dataclasses import replace
+
+                return replace(self.policy, telemetry=self.telemetry)
+            return self.policy
+        return ExecutionPolicy(
+            workers=self.workers,
+            block_size=self.evolution_block_size,
+            telemetry=self.telemetry,
+        )
 
     @property
     def is_fast(self) -> bool:

@@ -87,11 +87,11 @@ def run_directed_conversion(
     # once, not per source), all sources evolved as one chunked block.
     directed_op = DirectedTransitionOperator(scc, damping=damping)
     directed_mean = directed_op.variation_curves(
-        sources, walks, workers=config.workers
+        sources, walks, policy=config.execution_policy
     ).mean(axis=0)
     undirected_op = TransitionOperator(undirected, check_aperiodic=False)
     undirected_mean = undirected_op.variation_curves(
-        sources, walks, workers=config.workers
+        sources, walks, policy=config.execution_policy
     ).mean(axis=0)
 
     figure = FigureResult(

@@ -72,8 +72,7 @@ def run_figure7(
                 walks,
                 sources=min(config.sampled_sources, graph.num_nodes),
                 seed=config.seed,
-                block_size=config.evolution_block_size,
-                workers=config.workers,
+                policy=config.execution_policy,
             )
             bands = percentile_bands(measurement, PAPER_BANDS)
             mu = slem(graph)

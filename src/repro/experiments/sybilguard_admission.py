@@ -56,7 +56,7 @@ def run_sybilguard_admission(
         rates = []
         for w in walks:
             guard = SybilGuard(scenario, w, seed=config.seed)
-            outcome = guard.run(verifier, suspects=suspects, workers=config.workers)
+            outcome = guard.run(verifier, suspects=suspects, policy=config.execution_policy)
             rates.append(100.0 * outcome.admission_rate)
         reference = recommended_route_length(graph.num_nodes, constant=1.0)
         series.append(

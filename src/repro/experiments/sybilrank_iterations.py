@@ -59,7 +59,7 @@ def run_sybilrank_iterations(
         aucs = []
         for iters in iteration_grid:
             result = sybilrank(
-                scenario, seeds, iterations=int(iters), workers=config.workers
+                scenario, seeds, iterations=int(iters), policy=config.execution_policy
             )
             aucs.append(ranking_quality(result, scenario))
         log_n = recommended_iterations(scenario.graph.num_nodes)

@@ -57,8 +57,7 @@ def trim_levels(
             walks,
             sources=min(config.sampled_sources, graph.num_nodes),
             seed=config.seed + k,
-            block_size=config.evolution_block_size,
-            workers=config.workers,
+            policy=config.execution_policy,
         )
         out.append(
             TrimLevel(

@@ -66,7 +66,7 @@ def run_trust_models(
             label="plain walk",
             x=x_axis,
             y=plain_op.variation_curves(
-                sources, walks, workers=config.workers
+                sources, walks, policy=config.execution_policy
             ).mean(axis=0),
         )
     ]
@@ -78,7 +78,7 @@ def run_trust_models(
             label="similarity-weighted walk",
             x=x_axis,
             y=weighted_op.variation_curves(
-                sources, walks, workers=config.workers
+                sources, walks, policy=config.execution_policy
             ).mean(axis=0),
         )
     )
@@ -90,7 +90,7 @@ def run_trust_models(
                 label=f"originator-biased beta={beta}",
                 x=x_axis,
                 y=originator_biased_curves(
-                    graph, sources, beta, walks, workers=config.workers
+                    graph, sources, beta, walks, policy=config.execution_policy
                 ).mean(axis=0),
             )
         )

@@ -35,6 +35,7 @@ from ..core import (
     total_variation_distance,
     uniform_distribution,
 )
+from ..core.runtime import ExecutionPolicy, as_policy
 from ..datasets import load_cached
 from ..graph import Graph
 from ..sybil.routes import arc_sources
@@ -49,6 +50,7 @@ def tail_arc_distributions(
     walk_lengths: "Sequence[int]",
     *,
     workers: Optional[int] = None,
+    policy: "Optional[ExecutionPolicy]" = None,
 ) -> "List[np.ndarray]":
     """Exact pooled tail-edge distributions at several walk lengths.
 
@@ -62,6 +64,7 @@ def tail_arc_distributions(
     operator's block API for parity with the other sweep entry points
     (a single pooled distribution is one row, so it falls back serial).
     """
+    policy = as_policy(policy, workers=workers)
     lengths = [int(w) for w in walk_lengths]
     if not lengths or lengths[0] < 1 or any(
         b <= a for a, b in zip(lengths, lengths[1:])
@@ -76,7 +79,7 @@ def tail_arc_distributions(
     for w in lengths:
         steps = (w - 1) - reached
         if steps > 0:
-            x = operator.evolve_block(x[None, :], steps, workers=workers)[0]
+            x = operator.evolve_block(x[None, :], steps, policy=policy)[0]
         reached = w - 1
         out.append((x / inv_deg)[src])
     return out
@@ -118,7 +121,7 @@ def run_whanau_tails(
         uniform_arcs = np.full(2 * graph.num_edges, 1.0 / (2 * graph.num_edges))
         tvd: List[float] = []
         sep: List[float] = []
-        for q in tail_arc_distributions(graph, walks, workers=config.workers):
+        for q in tail_arc_distributions(graph, walks, policy=config.execution_policy):
             tvd.append(total_variation_distance(q, uniform_arcs, validate=False))
             sep.append(separation_distance(q, uniform_arcs, validate=False))
         target = 1.0 / graph.num_nodes

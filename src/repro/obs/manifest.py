@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
 
+from .._util import atomic_write_text
 from .metrics import OBS, MetricsRegistry
 
 __all__ = [
@@ -214,7 +215,8 @@ def write_run_manifest(
     target = Path(path)
     if target.parent and not target.parent.exists():
         target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    # Atomic write: a runner crashing mid-dump must never leave a
+    # truncated manifest behind (pinned by the harness fault-injection
+    # tests) — readers see the whole file or no file.
+    atomic_write_text(target, json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     return manifest

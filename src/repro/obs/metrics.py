@@ -335,12 +335,16 @@ class MetricsRegistry:
 def _write_json(path, payload: dict) -> None:
     from pathlib import Path
 
+    from .._util import atomic_write_text
+
     target = Path(path)
     if target.parent and not target.parent.exists():
         target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(
+    # Write-to-temp + atomic rename: an interrupted dump can never leave
+    # a truncated metrics/trace snapshot behind.
+    atomic_write_text(
+        target,
         json.dumps(payload, indent=2, sort_keys=True, default=_json_default) + "\n",
-        encoding="utf-8",
     )
 
 

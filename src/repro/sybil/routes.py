@@ -45,6 +45,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.runtime import ExecutionPolicy, as_policy
+from ..errors import RouteError
 from ..graph import Graph
 from ..obs import OBS
 from .._util import as_rng
@@ -339,9 +341,9 @@ class RouteInstances:
 
     def __init__(self, graph: Graph, num_instances: int, *, seed=None, cache_tables: bool = True):
         if num_instances < 1:
-            raise ValueError("num_instances must be at least 1")
+            raise RouteError("num_instances must be at least 1")
         if graph.num_edges == 0:
-            raise ValueError("routes need at least one edge")
+            raise RouteError("routes need at least one edge")
         self._graph = graph
         self._src = arc_sources(graph)
         self._rev = reverse_slots(graph)
@@ -396,7 +398,7 @@ class RouteInstances:
         nodes = np.asarray(nodes, dtype=np.int64)
         deg = self._graph.degrees[nodes]
         if np.any(deg == 0):
-            raise ValueError("cannot start a route at an isolated node")
+            raise RouteError("cannot start a route at an isolated node")
         offsets = (rng.random(nodes.size) * deg).astype(np.int64)
         return self._graph.indptr[nodes] + offsets
 
@@ -416,6 +418,7 @@ class RouteInstances:
         seed=None,
         block_size: Optional[int] = None,
         workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> np.ndarray:
         """Tail arcs of every node's route in every instance.
 
@@ -430,13 +433,12 @@ class RouteInstances:
         to the serial path, see module docstring).
         """
         if length < 1:
-            raise ValueError("route length must be >= 1")
+            raise RouteError("route length must be >= 1")
         tails = self.tails_at_lengths(
             nodes,
             np.asarray([length], dtype=np.int64),
             seed=seed,
-            block_size=block_size,
-            workers=workers,
+            policy=as_policy(policy, workers=workers, block_size=block_size),
         )
         return np.ascontiguousarray(tails[:, :, 0])
 
@@ -448,6 +450,7 @@ class RouteInstances:
         seed=None,
         block_size: Optional[int] = None,
         workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> np.ndarray:
         """Tails of every node's routes at several route lengths at once.
 
@@ -466,7 +469,8 @@ class RouteInstances:
         """
         lengths = np.asarray(lengths, dtype=np.int64)
         if lengths.size == 0 or lengths[0] < 1 or np.any(np.diff(lengths) <= 0):
-            raise ValueError("lengths must be strictly increasing and >= 1")
+            raise RouteError("lengths must be strictly increasing and >= 1")
+        policy = as_policy(policy, workers=workers, block_size=block_size)
         nodes = np.asarray(nodes, dtype=np.int64)
         rng = as_rng(seed)
         r = self._num_instances
@@ -487,12 +491,12 @@ class RouteInstances:
             for i in range(r):
                 starts[i] = self.start_slots(nodes, seed=rng)
 
-            parallel = self._maybe_parallel_tails(starts, lengths, workers, block_size)
+            parallel = self._maybe_parallel_tails(starts, lengths, policy)
             if parallel is not None:
                 return parallel
 
             out = np.empty((nodes.size, r, lengths.size), dtype=np.int64)
-            block = resolve_route_block_size(self._src.size, r, block_size)
+            block = resolve_route_block_size(self._src.size, r, policy.block_size)
             if telemetry:
                 OBS.add("sybil.routes.instances", r)
                 OBS.observe("sybil.routes.block_instances", block)
@@ -521,15 +525,12 @@ class RouteInstances:
         self,
         starts: np.ndarray,
         lengths: np.ndarray,
-        workers: Optional[int],
-        block_size: Optional[int],
+        policy: ExecutionPolicy,
     ) -> Optional[np.ndarray]:
         """Fan instance blocks out across the pool; ``None`` → serial."""
         from ..core.parallel import maybe_parallel_route_tails
 
-        return maybe_parallel_route_tails(
-            self, starts, lengths, workers=workers, block_size=block_size
-        )
+        return maybe_parallel_route_tails(self, starts, lengths, policy=policy)
 
     def trajectories(
         self,
@@ -544,7 +545,7 @@ class RouteInstances:
         edges.
         """
         if length < 1:
-            raise ValueError("route length must be >= 1")
+            raise RouteError("route length must be >= 1")
         slots = np.asarray(start_slots, dtype=np.int64)
         table = self.single_instance(instance)
         out = np.empty((slots.size, length + 1), dtype=np.int64)
@@ -584,7 +585,7 @@ class RouteInstances:
         """
         lengths = np.asarray(lengths, dtype=np.int64)
         if lengths.size == 0 or lengths[0] < 1 or np.any(np.diff(lengths) <= 0):
-            raise ValueError("lengths must be strictly increasing and >= 1")
+            raise RouteError("lengths must be strictly increasing and >= 1")
         nodes = np.asarray(nodes, dtype=np.int64)
         rng = as_rng(seed)
         out = np.empty((nodes.size, self._num_instances, lengths.size), dtype=np.int64)

@@ -26,6 +26,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.runtime import ExecutionPolicy, as_policy
+from ..errors import RouteError, ScenarioError
 from ..obs import OBS
 from .routes import RouteInstances, arc_sources
 from .scenario import SybilScenario
@@ -70,7 +72,7 @@ def route_hit_scan(
 def recommended_route_length(num_nodes: int, *, constant: float = 2.0) -> int:
     """The Θ(sqrt(n log n)) route length from the SybilGuard analysis."""
     if num_nodes < 2:
-        raise ValueError("need at least two nodes")
+        raise ScenarioError("need at least two nodes")
     return max(1, int(round(constant * np.sqrt(num_nodes * np.log(num_nodes)))))
 
 
@@ -98,7 +100,7 @@ class SybilGuard:
 
     def __init__(self, scenario: SybilScenario, route_length: int, *, seed=None):
         if route_length < 1:
-            raise ValueError("route_length must be >= 1")
+            raise RouteError("route_length must be >= 1")
         self._scenario = scenario
         self._w = int(route_length)
         self._routes = RouteInstances(scenario.graph, 1, seed=seed)
@@ -122,6 +124,7 @@ class SybilGuard:
         suspects: Optional[Sequence[int]] = None,
         *,
         workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> SybilGuardOutcome:
         """Admit ``suspects`` (default: all other nodes) for one verifier.
 
@@ -129,6 +132,7 @@ class SybilGuard:
         shared-memory fork pool; serial and parallel verdicts are
         bit-for-bit identical (boolean ORs, positional reassembly).
         """
+        policy = as_policy(policy, workers=workers)
         graph = self._scenario.graph
         if suspects is None:
             suspects = np.setdiff1d(
@@ -147,7 +151,7 @@ class SybilGuard:
             mask[verifier_nodes] = True
             table = self._routes.single_instance(0)
             src = arc_sources(graph)
-            hit = self._maybe_parallel_hits(table, src, mask, workers)
+            hit = self._maybe_parallel_hits(table, src, mask, policy)
             if hit is None:
                 hit = route_hit_scan(
                     table, graph.indices, src, mask, 0, table.size, self._w
@@ -173,10 +177,10 @@ class SybilGuard:
         table: np.ndarray,
         src: np.ndarray,
         mask: np.ndarray,
-        workers: Optional[int],
+        policy: ExecutionPolicy,
     ) -> Optional[np.ndarray]:
         from ..core.parallel import maybe_parallel_route_hits
 
         return maybe_parallel_route_hits(
-            table, self._scenario.graph.indices, src, mask, self._w, workers=workers
+            table, self._scenario.graph.indices, src, mask, self._w, policy=policy
         )

@@ -24,6 +24,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .._util import as_rng
+from ..core.runtime import ExecutionPolicy, as_policy
+from ..errors import ScenarioError
 from ..obs import OBS
 from .routes import RouteInstances
 from .scenario import SybilScenario
@@ -40,7 +42,7 @@ def default_num_instances(num_edges: int, r0: float = 3.0) -> int:
     paradox to guarantee a given intersection probability").
     """
     if num_edges < 1:
-        raise ValueError("num_edges must be positive")
+        raise ScenarioError("num_edges must be positive")
     return max(1, int(round(r0 * np.sqrt(num_edges))))
 
 
@@ -74,7 +76,7 @@ class SybilLimitParams:
     def resolve_instances(self, num_edges: int) -> int:
         if self.num_instances is not None:
             if self.num_instances < 1:
-                raise ValueError("num_instances must be >= 1")
+                raise ScenarioError("num_instances must be >= 1")
             return int(self.num_instances)
         return default_num_instances(num_edges, self.r0)
 
@@ -158,11 +160,11 @@ class SybilLimit:
         nodes: np.ndarray,
         lengths: np.ndarray,
         *,
-        workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> np.ndarray:
         """Undirected tail-edge ids for each node/instance/length."""
         slots = self._routes.tails_at_lengths(
-            nodes, lengths, seed=self._tail_seed, workers=workers
+            nodes, lengths, seed=self._tail_seed, policy=policy
         )
         return self._routes.undirected_edge_ids(slots)
 
@@ -285,6 +287,7 @@ class SybilLimit:
         *,
         seed=None,
         workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> SybilLimitOutcome:
         """Admit ``suspects`` (default: every other node) against one verifier."""
         outcomes = self.admission_sweep(
@@ -292,7 +295,7 @@ class SybilLimit:
             [self._params.route_length],
             suspects=suspects,
             seed=seed,
-            workers=workers,
+            policy=as_policy(policy, workers=workers),
         )
         return outcomes[0]
 
@@ -304,6 +307,7 @@ class SybilLimit:
         *,
         seed=None,
         workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> List[SybilLimitOutcome]:
         """Admission outcomes at several route lengths (Figure 8's sweep).
 
@@ -313,6 +317,7 @@ class SybilLimit:
         out across the shared-memory fork pool; verdicts are bit-for-bit
         identical to the serial sweep at any worker count.
         """
+        policy = as_policy(policy, workers=workers)
         graph = self._scenario.graph
         if suspects is None:
             suspects = np.setdiff1d(
@@ -331,7 +336,7 @@ class SybilLimit:
             enforce_balance=bool(self._params.enforce_balance),
         ):
             all_nodes = np.concatenate([[int(verifier)], suspects])
-            tails = self._tail_edge_sets(all_nodes, lengths, workers=workers)
+            tails = self._tail_edge_sets(all_nodes, lengths, policy=policy)
             outcomes: List[SybilLimitOutcome] = []
             for li, w in enumerate(lengths):
                 verifier_tails = tails[0, :, li]

@@ -29,6 +29,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.runtime import ExecutionPolicy, as_policy
+from ..errors import ConfigurationError, ScenarioError
 from .scenario import SybilScenario
 
 __all__ = ["SybilRankResult", "sybilrank", "ranking_quality", "recommended_iterations"]
@@ -37,7 +39,7 @@ __all__ = ["SybilRankResult", "sybilrank", "ranking_quality", "recommended_itera
 def recommended_iterations(num_nodes: int) -> int:
     """The protocol's O(log n) early-termination point (``ceil(log2 n)``)."""
     if num_nodes < 2:
-        raise ValueError("need at least 2 nodes")
+        raise ScenarioError("need at least 2 nodes")
     return int(np.ceil(np.log2(num_nodes)))
 
 
@@ -56,7 +58,7 @@ class SybilRankResult:
     def accept_top(self, count: int) -> np.ndarray:
         """The ``count`` most trusted nodes (the admission rule)."""
         if count < 0:
-            raise ValueError("count must be nonnegative")
+            raise ConfigurationError("count must be nonnegative")
         return self.ranking()[:count]
 
 
@@ -66,6 +68,7 @@ def sybilrank(
     *,
     iterations: Optional[int] = None,
     workers: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> SybilRankResult:
     """Run SybilRank's early-terminated trust propagation.
 
@@ -92,15 +95,15 @@ def sybilrank(
     n = graph.num_nodes
     seeds = np.asarray(list(seeds), dtype=np.int64)
     if seeds.size == 0:
-        raise ValueError("need at least one trust seed")
+        raise ScenarioError("need at least one trust seed")
     if np.any(seeds < 0) or np.any(seeds >= n):
-        raise ValueError("seeds out of range")
+        raise ScenarioError("seeds out of range")
     if np.any(graph.degrees == 0):
-        raise ValueError("sybilrank needs a graph without isolated nodes")
+        raise ScenarioError("sybilrank needs a graph without isolated nodes")
     if iterations is None:
         iterations = recommended_iterations(n)
     if iterations < 0:
-        raise ValueError("iterations must be nonnegative")
+        raise ConfigurationError("iterations must be nonnegative")
 
     # Trust propagation *is* distribution evolution under the shared
     # Markov-operator layer (the trust vector sums to n, not 1, but the
@@ -113,7 +116,7 @@ def sybilrank(
     trust = np.zeros(n, dtype=np.float64)
     trust[seeds] = float(n) / seeds.size
     trust = operator.evolve_block(
-        trust[np.newaxis, :], int(iterations), workers=workers
+        trust[np.newaxis, :], int(iterations), policy=as_policy(policy, workers=workers)
     )[0]
     scores = trust / graph.degrees.astype(np.float64)
     return SybilRankResult(scores=scores, iterations=int(iterations), seeds=seeds)

@@ -3,6 +3,13 @@
 import pytest
 
 from repro import cli
+from repro.errors import (
+    CheckpointCorruption,
+    ConfigurationError,
+    ReproError,
+    RuntimeFailure,
+    ScenarioError,
+)
 
 
 class TestParser:
@@ -16,6 +23,120 @@ class TestParser:
         args = cli.build_parser().parse_args(["fig3", "--full", "--seed", "7"])
         assert args.full
         assert args.seed == 7
+
+    def test_runtime_flags(self):
+        args = cli.build_parser().parse_args(
+            [
+                "fig1",
+                "--workers", "2",
+                "--block-size", "64",
+                "--checkpoint-dir", "ckpt",
+                "--no-resume",
+                "--max-retries", "5",
+                "--shard-timeout", "30",
+            ]
+        )
+        assert args.workers == 2
+        assert args.block_size == 64
+        assert args.checkpoint_dir == "ckpt"
+        assert args.no_resume
+        assert args.max_retries == 5
+        assert args.shard_timeout == 30.0
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "2.5", "two"])
+    def test_invalid_workers_fail_at_parse_time(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.build_parser().parse_args(["fig1", "--workers", bad])
+        assert excinfo.value.code == 2
+        assert "workers" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """Intentional library errors map to distinct exit codes with a
+    clean one-line message — never a traceback."""
+
+    def _run_with(self, monkeypatch, exc):
+        def boom(config):
+            raise exc
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig1", boom)
+        return cli.main(["fig1"])
+
+    def test_configuration_error_is_2(self, monkeypatch, capsys):
+        assert self._run_with(monkeypatch, ConfigurationError("bad knob")) == 2
+        err = capsys.readouterr().err
+        assert "ConfigurationError" in err
+        assert "bad knob" in err
+        assert "Traceback" not in err
+
+    def test_generic_repro_error_is_3(self, monkeypatch, capsys):
+        assert self._run_with(monkeypatch, ScenarioError("bad scenario")) == 3
+        assert "ScenarioError" in capsys.readouterr().err
+
+    def test_checkpoint_corruption_is_4(self, monkeypatch, capsys):
+        assert self._run_with(monkeypatch, CheckpointCorruption("bad shard")) == 4
+        err = capsys.readouterr().err
+        assert "CheckpointCorruption" in err
+
+    def test_runtime_failure_is_5(self, monkeypatch, capsys):
+        assert self._run_with(monkeypatch, RuntimeFailure("pool gone")) == 5
+        assert "RuntimeFailure" in capsys.readouterr().err
+
+    def test_policy_validation_error_is_2(self, capsys, monkeypatch):
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig1", lambda c: "")
+        # Negative shard timeout passes argparse (it is a float) but
+        # fails ExecutionPolicy validation → usage error, not traceback.
+        assert cli.main(["fig1", "--shard-timeout", "-3"]) == 2
+        err = capsys.readouterr().err
+        assert "ConfigurationError" in err
+        assert "shard_timeout" in err
+
+    def test_unexpected_exceptions_still_propagate(self, monkeypatch):
+        def boom(config):
+            raise ZeroDivisionError("bug")
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig1", boom)
+        with pytest.raises(ZeroDivisionError):
+            cli.main(["fig1"])
+
+    def test_exit_code_table_is_most_specific_first(self):
+        seen = []
+        for cls, _code in cli.EXIT_CODES:
+            assert not any(issubclass(cls, earlier) for earlier in seen), (
+                f"{cls.__name__} is unreachable: a superclass precedes it"
+            )
+            seen.append(cls)
+        assert cli.EXIT_CODES[-1][0] is ReproError
+
+
+class TestPolicyPlumbing:
+    def test_checkpoint_flags_reach_config_policy(self, monkeypatch, tmp_path):
+        seen = {}
+
+        def fake(config):
+            seen["policy"] = config.execution_policy
+            return ""
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig1", fake)
+        assert (
+            cli.main(
+                [
+                    "fig1",
+                    "--workers", "2",
+                    "--checkpoint-dir", str(tmp_path),
+                    "--no-resume",
+                    "--max-retries", "4",
+                    "--shard-timeout", "12",
+                ]
+            )
+            == 0
+        )
+        policy = seen["policy"]
+        assert policy.workers == 2
+        assert policy.checkpoint_dir == str(tmp_path)
+        assert policy.resume is False
+        assert policy.max_retries == 4
+        assert policy.shard_timeout == 12.0
 
 
 class TestMain:

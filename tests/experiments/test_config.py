@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.core.runtime import ExecutionPolicy
+from repro.errors import ConfigurationError
 from repro.experiments import FAST, FULL, ExperimentConfig
 
 
@@ -37,3 +39,46 @@ class TestConfig:
     def test_frozen(self):
         with pytest.raises(AttributeError):
             FAST.mode = "full"
+
+
+class TestConfigPolicy:
+    """The ``policy=`` field and its bridge to the legacy knobs."""
+
+    def test_default_policy_mirrors_legacy_knobs(self):
+        config = ExperimentConfig(mode="fast", workers=3, evolution_block_size=64)
+        policy = config.execution_policy
+        assert policy.workers == 3
+        assert policy.block_size == 64
+
+    def test_explicit_policy_used_verbatim(self, tmp_path):
+        policy = ExecutionPolicy(workers=2, checkpoint_dir=str(tmp_path))
+        config = ExperimentConfig(mode="fast", policy=policy)
+        assert config.execution_policy is policy
+
+    def test_policy_plus_legacy_knobs_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            ExperimentConfig(mode="fast", policy=ExecutionPolicy(), workers=2)
+        with pytest.raises(ConfigurationError, match="not both"):
+            ExperimentConfig(
+                mode="fast", policy=ExecutionPolicy(), evolution_block_size=8
+            )
+
+    def test_non_policy_object_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(mode="fast", policy={"workers": 2})
+
+    def test_invalid_policy_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(mode="fast", policy=ExecutionPolicy(workers=-3))
+
+    def test_telemetry_propagates_into_policy(self):
+        config = ExperimentConfig(
+            mode="fast", telemetry=True, policy=ExecutionPolicy(workers=2)
+        )
+        policy = config.execution_policy
+        assert policy.telemetry is True
+        assert policy.workers == 2
+
+    def test_telemetry_propagates_without_policy(self):
+        config = ExperimentConfig(mode="fast", telemetry=True)
+        assert config.execution_policy.telemetry is True

@@ -1,0 +1,130 @@
+"""Failure-path tests for :func:`repro.experiments.run_with_manifest`.
+
+Pins the atomic-persistence contract: a runner that raises mid-run
+leaves *nothing* behind (no manifest, no result text, no stray temp
+files), and a crash injected inside the write path itself leaves the
+previous on-disk artifact byte-identical.  The write protocol is
+write-to-temp + fsync + atomic rename (:func:`repro._util.atomic_write_text`),
+so observers see either the complete old file or the complete new file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro._util import atomic_write_text
+from repro.errors import ReproError
+from repro.experiments import ExperimentConfig, run_with_manifest
+
+
+class BoomError(ReproError):
+    """Intentional failure injected into a runner."""
+
+
+def _failing_runner(config):
+    raise BoomError("injected mid-run failure")
+
+
+def _listdir(path):
+    return sorted(p.name for p in path.iterdir())
+
+
+class TestRunnerFailureLeavesNoArtifacts:
+    def test_raising_runner_writes_no_manifest(self, tmp_path):
+        config = ExperimentConfig(mode="fast")
+        with pytest.raises(BoomError):
+            run_with_manifest("boom", _failing_runner, config, out_dir=tmp_path)
+        assert _listdir(tmp_path) == []
+
+    def test_raising_runner_leaves_no_temp_files(self, tmp_path):
+        config = ExperimentConfig(mode="fast")
+        with pytest.raises(BoomError):
+            run_with_manifest("boom", _failing_runner, config, out_dir=tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_raising_runner_preserves_previous_manifest(self, tmp_path):
+        """A failed re-run must not clobber the manifest of an earlier
+        successful run."""
+        config = ExperimentConfig(mode="fast")
+        ok = run_with_manifest("exp", lambda c: "fine", config, out_dir=tmp_path)
+        assert ok[0] == "fine"
+        manifest_path = tmp_path / "exp.manifest.json"
+        before = manifest_path.read_bytes()
+        with pytest.raises(BoomError):
+            run_with_manifest("exp", _failing_runner, config, out_dir=tmp_path)
+        assert manifest_path.read_bytes() == before
+
+    def test_successful_run_writes_valid_json(self, tmp_path):
+        config = ExperimentConfig(mode="fast")
+        _, manifest, path = run_with_manifest(
+            "exp", lambda c: "fine", config, out_dir=tmp_path
+        )
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk["experiment"] == manifest["experiment"] == "exp"
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text(encoding="utf-8") == "hello\n"
+
+    def test_overwrites_existing_atomically(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old contents")
+        atomic_write_text(target, "new contents")
+        assert target.read_text(encoding="utf-8") == "new contents"
+        assert _listdir(tmp_path) == ["out.txt"]
+
+    def test_fsync_failure_preserves_old_file(self, tmp_path, monkeypatch):
+        """A crash inside the write path leaves the target untouched and
+        cleans up the temp file."""
+        target = tmp_path / "out.txt"
+        target.write_text("pristine")
+
+        def broken_fsync(fd):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "fsync", broken_fsync)
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write_text(target, "partial garbage")
+        assert target.read_text(encoding="utf-8") == "pristine"
+        assert _listdir(tmp_path) == ["out.txt"]
+
+    def test_replace_failure_cleans_temp(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+
+        real_replace = os.replace
+
+        def broken_replace(src, dst):
+            raise OSError("rename rejected")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError, match="rename rejected"):
+            atomic_write_text(target, "never lands")
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert not target.exists()
+        assert _listdir(tmp_path) == []
+
+    def test_manifest_write_failure_keeps_previous_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        """End-to-end: fsync dies while ``run_with_manifest`` persists the
+        manifest — the old manifest survives byte-identical."""
+        config = ExperimentConfig(mode="fast")
+        run_with_manifest("exp", lambda c: "v1", config, out_dir=tmp_path)
+        manifest_path = tmp_path / "exp.manifest.json"
+        before = manifest_path.read_bytes()
+
+        def broken_fsync(fd):
+            raise OSError("power loss")
+
+        monkeypatch.setattr(os, "fsync", broken_fsync)
+        with pytest.raises(OSError, match="power loss"):
+            run_with_manifest("exp", lambda c: "v2", config, out_dir=tmp_path)
+        assert manifest_path.read_bytes() == before
+        assert not list(tmp_path.glob("*.tmp"))

@@ -203,3 +203,54 @@ def test_telemetry_actually_recorded(obs):
     obs.reset()
     assert snap["counters"]["core.evolution.rows"] > 0
     assert snap["spans"]["recorded"] >= 1
+
+
+def test_checkpointed_sweep_bit_identical(obs, tmp_path):
+    """The runtime's checkpoint write/read cycle is telemetry-inert:
+    off and on runs (with separate stores) produce identical curves."""
+    from repro.core.runtime import ExecutionPolicy
+
+    def run(ckpt):
+        op = make_operator("plain")
+        sources = np.arange(op.num_states, dtype=np.int64)
+        policy = ExecutionPolicy(checkpoint_dir=str(ckpt))
+        first = op.variation_curves(sources, [1, 3, 6], policy=policy)
+        resumed = op.variation_curves(sources, [1, 3, 6], policy=policy)
+        assert np.array_equal(first, resumed)
+        return first
+
+    off = _with_flag(obs, False, lambda: run(tmp_path / "off"))
+    on = _with_flag(obs, True, lambda: run(tmp_path / "on"))
+    assert np.array_equal(off, on)
+
+
+def test_runtime_checkpoint_counters_recorded(obs, tmp_path):
+    """The enabled arm of the checkpoint inertness test must record the
+    new ``runtime.checkpoint.*`` counters — and an un-checkpointed run
+    must record none of them (vacuity guard both ways)."""
+    from repro.core.runtime import ExecutionPolicy
+
+    op = make_operator("plain")
+    sources = np.arange(op.num_states, dtype=np.int64)
+    policy = ExecutionPolicy(checkpoint_dir=str(tmp_path / "ckpt"))
+
+    obs.reset()
+    obs.enable()
+    op.variation_curves(sources, [1, 3], policy=policy)  # writes shards
+    op.variation_curves(sources, [1, 3], policy=policy)  # loads them back
+    snap = obs.snapshot()
+    obs.disable()
+    obs.reset()
+    counters = snap["counters"]
+    assert counters["runtime.checkpoint.saved_shards"] >= 1
+    assert counters["runtime.checkpoint.bytes_written"] > 0
+    assert counters["runtime.checkpoint.loaded_shards"] >= 1
+    assert counters["runtime.checkpoint.loaded_rows"] == sources.size
+
+    obs.reset()
+    obs.enable()
+    op.variation_curves(sources, [1, 3])  # plain serial, no checkpoints
+    plain = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert not any(name.startswith("runtime.") for name in plain)

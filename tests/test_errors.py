@@ -3,12 +3,16 @@
 import pytest
 
 from repro.errors import (
+    CheckpointCorruption,
+    ConfigurationError,
     ConvergenceError,
     DatasetError,
     GraphFormatError,
     NotConnectedError,
     NotErgodicError,
     ReproError,
+    RouteError,
+    RuntimeFailure,
     SamplingError,
     ScenarioError,
 )
@@ -18,6 +22,7 @@ class TestHierarchy:
     @pytest.mark.parametrize(
         "exc",
         [
+            ConfigurationError,
             GraphFormatError,
             NotConnectedError,
             NotErgodicError,
@@ -25,6 +30,9 @@ class TestHierarchy:
             DatasetError,
             ScenarioError,
             SamplingError,
+            RouteError,
+            RuntimeFailure,
+            CheckpointCorruption,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -36,6 +44,16 @@ class TestHierarchy:
         assert issubclass(NotConnectedError, ValueError)
         assert issubclass(DatasetError, KeyError)
         assert issubclass(ConvergenceError, RuntimeError)
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(RouteError, ValueError)
+        assert issubclass(RuntimeFailure, RuntimeError)
+
+    def test_checkpoint_corruption_is_a_runtime_failure(self):
+        """Catching the broad runtime-failure class also nets checkpoint
+        corruption — the CLI's exit-code mapping relies on ordering."""
+        assert issubclass(CheckpointCorruption, RuntimeFailure)
+        with pytest.raises(RuntimeFailure):
+            raise CheckpointCorruption("bad shard")
 
     def test_convergence_error_carries_partial(self):
         err = ConvergenceError("nope", partial=0.42)
