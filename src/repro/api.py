@@ -101,7 +101,19 @@ from .graph import (
     save_npz,
     trim_min_degree,
 )
+from .core.runtime import sweep_fingerprint
 from .sampling import bfs_sample
+from .service import (
+    CacheStats,
+    HTTPServiceClient,
+    OperatorRegistry,
+    QueryEngine,
+    ResultCache,
+    ServiceClient,
+    ServiceServer,
+    graph_fingerprint,
+    query_fingerprint,
+)
 from .sybil import (
     RouteInstances,
     SybilGuard,
@@ -166,6 +178,17 @@ __all__ = [
     "as_policy",
     "parallel_backend_available",
     "resolve_workers",
+    "sweep_fingerprint",
+    # serving layer
+    "QueryEngine",
+    "OperatorRegistry",
+    "ResultCache",
+    "CacheStats",
+    "ServiceClient",
+    "HTTPServiceClient",
+    "ServiceServer",
+    "graph_fingerprint",
+    "query_fingerprint",
     # community structure
     "spectral_sweep_cut",
     "label_propagation",

@@ -10,6 +10,7 @@ Examples
     repro-mixing fig8 --full
     repro-mixing all            # every experiment, fast mode
     repro-mixing list           # show available experiments
+    repro-mixing serve          # long-lived HTTP query service
 
 Exit codes
 ----------
@@ -146,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', 'list', or 'datasets'",
+        help="experiment name, 'all', 'list', 'datasets', or 'serve'",
     )
     parser.add_argument(
         "--full",
@@ -225,7 +226,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable telemetry and write the span trace (JSON) to FILE "
         "after all experiments finish",
     )
+    serve = parser.add_argument_group(
+        "serve options", "only used with the 'serve' command"
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for 'serve' (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8377,
+        metavar="N",
+        help="bind port for 'serve' (0 = ephemeral; default 8377)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="result-cache capacity for 'serve' (0 disables caching)",
+    )
+    serve.add_argument(
+        "--registry-capacity",
+        type=int,
+        default=8,
+        metavar="N",
+        help="warm operators kept by the service registry (LRU beyond)",
+    )
+    serve.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="batching window for coalescing concurrent point-mass "
+        "queries into one block sweep (0 disables coalescing)",
+    )
     return parser
+
+
+def _serve(args) -> int:
+    """The ``repro-mixing serve`` command: a long-lived HTTP query service.
+
+    Binds, prints the served address (machine-parseable first line, for
+    smoke scripts binding port 0), and blocks until SIGINT/SIGTERM.
+    Warm shared-memory segments are unlinked on every exit path: normal
+    shutdown closes the engine, and
+    :func:`~repro.core.parallel.install_signal_cleanup` covers fatal
+    signals landing mid-request.
+    """
+    from .core.parallel import install_signal_cleanup
+    from .service import OperatorRegistry, QueryEngine, ResultCache, ServiceServer
+
+    install_signal_cleanup()
+    telemetry = args.metrics_out is not None or args.trace_out is not None
+    if telemetry:
+        from .obs import OBS
+
+        OBS.enable()
+    policy = ExecutionPolicy(
+        workers=args.workers,
+        block_size=args.block_size,
+        telemetry=telemetry,
+    )
+    engine = QueryEngine(
+        OperatorRegistry(capacity=args.registry_capacity),
+        ResultCache(max_entries=args.cache_entries),
+        policy=policy,
+        coalesce_window=args.coalesce_window,
+    )
+    server = ServiceServer(engine, host=args.host, port=args.port, own_engine=True)
+    host, port = server.address
+    print(f"serving on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro-mixing: shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+        if args.metrics_out is not None:
+            from .obs import OBS
+
+            OBS.write_metrics(args.metrics_out)
+        if args.trace_out is not None:
+            from .obs import OBS
+
+            OBS.write_trace(args.trace_out)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -261,6 +349,8 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                 f"(paper: n={spec.paper_nodes:,}, m={spec.paper_edges:,})"
             )
         return 0
+    if args.experiment == "serve":
+        return _serve(args)
     telemetry = args.metrics_out is not None or args.trace_out is not None
     policy = ExecutionPolicy(
         workers=args.workers,

@@ -166,6 +166,7 @@ def measure_mixing(
     seed=None,
     laziness: float = 0.0,
     check_aperiodic: bool = True,
+    operator: Optional[MarkovOperator] = None,
     block_size: Optional[int] = None,
     workers: Optional[int] = None,
     policy: Optional[ExecutionPolicy] = None,
@@ -183,6 +184,15 @@ def measure_mixing(
     laziness:
         Forwarded to :class:`TransitionOperator` (use > 0 on bipartite
         graphs).
+    operator:
+        A pre-built operator over ``graph`` to sweep with instead of
+        constructing one — the warm path used by the service layer's
+        operator registry (:mod:`repro.service`), where construction and
+        connectivity checks are paid once across many requests.  Must
+        have been built over ``graph`` with the same ``laziness``; when
+        given, ``laziness``/``check_aperiodic`` are ignored.  Results
+        are bit-identical to the cold path because the sweep itself is
+        unchanged.
     block_size:
         Sources per evolution chunk; ``None`` sizes the chunk from the
         operator layer's memory budget (see
@@ -218,7 +228,10 @@ def measure_mixing(
         if source_ids.size == 0:
             raise ValueError("sources must be non-empty")
 
-    operator = TransitionOperator(graph, laziness=laziness, check_aperiodic=check_aperiodic)
+    if operator is None:
+        operator = TransitionOperator(
+            graph, laziness=laziness, check_aperiodic=check_aperiodic
+        )
     out = operator.variation_curves(
         source_ids,
         lengths,
@@ -260,11 +273,16 @@ def estimate_mixing_time(
     max_steps: int = 10_000,
     seed=None,
     laziness: float = 0.0,
+    operator: Optional[MarkovOperator] = None,
     block_size: Optional[int] = None,
     workers: Optional[int] = None,
     policy: Optional[ExecutionPolicy] = None,
 ) -> MixingTimeEstimate:
     """Estimate T(eps) by per-source hitting times of the eps ball.
+
+    ``operator`` (optional) is a pre-built operator over ``graph`` — the
+    warm path used by the service registry; ``laziness`` is ignored when
+    it is given, and results are bit-identical to cold construction.
 
     All sources are evolved as one chunked block through
     :meth:`~repro.core.operators.MarkovOperator.hitting_times`, with
@@ -284,7 +302,8 @@ def estimate_mixing_time(
     else:
         source_ids = np.asarray(list(sources), dtype=np.int64)
         exhaustive = False
-    operator = TransitionOperator(graph, laziness=laziness)
+    if operator is None:
+        operator = TransitionOperator(graph, laziness=laziness)
     times = operator.hitting_times(
         source_ids,
         epsilon,

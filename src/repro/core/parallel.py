@@ -46,7 +46,10 @@ the functions here are the runtime those keywords dispatch to.
 
 from __future__ import annotations
 
+import atexit
 import os
+import signal
+import threading
 import time
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
@@ -60,7 +63,9 @@ __all__ = [
     "OperatorPayload",
     "RoutePayload",
     "SharedOperatorHandle",
+    "cleanup_published_segments",
     "describe_operator",
+    "install_signal_cleanup",
     "maybe_parallel_evolve_block",
     "maybe_parallel_hitting_times",
     "maybe_parallel_originator_curves",
@@ -68,9 +73,11 @@ __all__ = [
     "maybe_parallel_route_tails",
     "maybe_parallel_variation_curves",
     "parallel_backend_available",
+    "pin_published_operator",
     "publish_operator",
     "publish_route_state",
     "resolve_workers",
+    "unpin_published_operator",
 ]
 
 #: Shards per worker: oversharding lets ``Pool.map`` rebalance uneven
@@ -206,8 +213,13 @@ class SharedOperatorHandle:
     def __init__(self, payload: OperatorPayload, shm) -> None:
         self.payload = payload
         self._shm = shm
+        self._closed = False
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        _unregister_segment(self._shm.name)
         try:
             self._shm.close()
         finally:
@@ -221,6 +233,210 @@ class SharedOperatorHandle:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle: leak-proofing against interrupts
+# ----------------------------------------------------------------------
+# POSIX shared memory is kernel-persistent: a segment whose owner dies
+# between publish and close survives in /dev/shm until reboot.  The
+# ``with publish_operator(...)`` discipline covers exceptions, but not
+# SIGTERM/SIGINT landing mid-sweep, and a long-lived *service* holding
+# warm segments for minutes makes that window wide.  Every published
+# segment is therefore tracked here, keyed by name and stamped with the
+# publishing PID, and (a) an atexit hook unlinks leftovers on normal
+# interpreter shutdown, (b) :func:`install_signal_cleanup` extends that
+# to fatal signals.  The PID stamp is the fork guard: pool workers
+# inherit this table (and any installed handlers), but they must never
+# unlink the parent's live segments — cleanup skips entries it does not
+# own.  (Workers also exit via ``os._exit``, skipping atexit, which is
+# correct for the same reason.)
+
+_SEGMENTS_LOCK = threading.Lock()
+#: name -> (SharedMemory, owner pid)
+_LIVE_SEGMENTS: Dict[str, Tuple[object, int]] = {}
+_ATEXIT_INSTALLED = False
+#: signum -> previous handler, for the handlers we installed in this PID.
+_SIGNAL_PREVIOUS: Dict[int, object] = {}
+_SIGNAL_OWNER_PID: Optional[int] = None
+
+
+def _register_segment(shm) -> None:
+    global _ATEXIT_INSTALLED
+    with _SEGMENTS_LOCK:
+        _LIVE_SEGMENTS[shm.name] = (shm, os.getpid())
+        if not _ATEXIT_INSTALLED:
+            atexit.register(cleanup_published_segments)
+            _ATEXIT_INSTALLED = True
+
+
+def _unregister_segment(name: str) -> None:
+    with _SEGMENTS_LOCK:
+        _LIVE_SEGMENTS.pop(name, None)
+
+
+def cleanup_published_segments() -> int:
+    """Close + unlink every live segment *published by this process*.
+
+    Idempotent and safe to call from atexit or a signal handler; returns
+    the number of segments reclaimed.  Segments registered by another
+    PID (i.e. inherited across ``fork`` by a pool worker) are left
+    alone — their owner's cleanup handles them.
+    """
+    pid = os.getpid()
+    with _SEGMENTS_LOCK:
+        mine = [
+            name
+            for name, (_shm, owner) in _LIVE_SEGMENTS.items()
+            if owner == pid
+        ]
+        entries = [(name, _LIVE_SEGMENTS.pop(name)[0]) for name in mine]
+    reclaimed = 0
+    for _name, shm in entries:
+        try:
+            shm.close()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+        try:
+            shm.unlink()
+            reclaimed += 1
+        except FileNotFoundError:
+            pass
+    return reclaimed
+
+
+def _signal_cleanup_handler(signum, frame):
+    # Only the installing process acts; a forked child that inherited
+    # this handler chains straight to the previous disposition.
+    if os.getpid() == _SIGNAL_OWNER_PID:
+        cleanup_published_segments()
+    previous = _SIGNAL_PREVIOUS.get(signum, signal.SIG_DFL)
+    if callable(previous):
+        previous(signum, frame)
+        return
+    # Re-deliver under the default disposition so the exit status still
+    # says "killed by signal" (what supervisors and shells expect).
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def install_signal_cleanup(signums: Tuple[int, ...] = (signal.SIGTERM,)) -> None:
+    """Unlink live segments when a fatal signal lands (then die normally).
+
+    Call once from long-running entry points (the CLI does, including
+    ``repro-mixing serve``); installing from a non-main thread is a
+    no-op because CPython only allows signal handlers on the main
+    thread.  Handlers chain to whatever was installed before.
+    """
+    global _SIGNAL_OWNER_PID
+    if threading.current_thread() is not threading.main_thread():
+        return
+    _SIGNAL_OWNER_PID = os.getpid()
+    for signum in signums:
+        current = signal.getsignal(signum)
+        if current is _signal_cleanup_handler:
+            continue
+        _SIGNAL_PREVIOUS[signum] = current
+        signal.signal(signum, _signal_cleanup_handler)
+
+
+# ----------------------------------------------------------------------
+# Pinned operators: the registry-aware warm path
+# ----------------------------------------------------------------------
+# A batch sweep publishes its operator, fans out, and unlinks — correct
+# for one-shot runs, wasteful for a service answering many requests
+# against the same graph: every request would re-pack the CSR arrays
+# into a fresh segment.  The service's OperatorRegistry instead *pins*
+# the publication: the segment stays live across requests and
+# ``maybe_parallel_*`` sweeps check the pin table before publishing.
+# Pins are keyed by the identity of the operator's CSR matrix (the
+# object the registry keeps alive for exactly as long as the pin, so id
+# reuse cannot alias) and record the published reference vector; a sweep
+# reuses the pin only when its reference *is* that vector — true for
+# default-reference sweeps because operators memoise ``stationary()``.
+
+_PINS_LOCK = threading.Lock()
+#: id(csr matrix) -> (matrix strong ref, reference, handle)
+_PINNED: Dict[int, Tuple[object, Optional[np.ndarray], SharedOperatorHandle]] = {}
+
+
+def pin_published_operator(operator, reference=None) -> Optional[SharedOperatorHandle]:
+    """Publish ``operator`` once and keep the segment warm until unpinned.
+
+    ``reference`` defaults to the operator's stationary distribution —
+    the vector every default sweep passes.  Returns the owning handle,
+    or ``None`` when the operator is not publishable (unknown type) or
+    the parallel backend is unavailable; callers treat ``None`` as
+    "serial-only environment" and proceed (sweeps just skip the warm
+    path).  Pinning the same operator twice returns the existing handle.
+    """
+    if not parallel_backend_available():
+        return None
+    described = describe_operator(operator)
+    if described is None:
+        return None
+    kind, matrix, extras = described
+    if reference is None:
+        reference = operator.stationary()
+    with _PINS_LOCK:
+        pinned = _PINNED.get(id(matrix))
+        if pinned is not None:
+            return pinned[2]
+        handle = publish_operator(kind, matrix, reference, **extras)
+        _PINNED[id(matrix)] = (matrix, reference, handle)
+    if OBS.enabled:
+        OBS.add("parallel.pins")
+    return handle
+
+
+def unpin_published_operator(operator) -> bool:
+    """Drop the pin for ``operator`` and unlink its segment.
+
+    Returns whether a pin existed.  Safe to call for never-pinned
+    operators (the registry calls it unconditionally on eviction).
+    """
+    described = describe_operator(operator)
+    if described is None:
+        return False
+    _kind, matrix, _extras = described
+    with _PINS_LOCK:
+        pinned = _PINNED.pop(id(matrix), None)
+    if pinned is None:
+        return False
+    pinned[2].close()
+    if OBS.enabled:
+        OBS.add("parallel.unpins")
+    return True
+
+
+class _LeasedPublication:
+    """Context manager: a pinned segment if one matches, else a fresh one.
+
+    The sweep wrappers use this in place of ``with publish_operator(...)``:
+    exit closes (unlinks) the segment only when this sweep published it —
+    pinned segments outlive the sweep by design.
+    """
+
+    __slots__ = ("_handle", "_owned")
+
+    def __init__(self, kind, matrix, extras, reference) -> None:
+        with _PINS_LOCK:
+            pinned = _PINNED.get(id(matrix))
+            if pinned is not None and pinned[1] is reference:
+                self._handle = pinned[2]
+                self._owned = False
+                if OBS.enabled:
+                    OBS.add("parallel.pinned_publish_hits")
+                return
+        self._handle = publish_operator(kind, matrix, reference, **extras)
+        self._owned = True
+
+    def __enter__(self) -> SharedOperatorHandle:
+        return self._handle
+
+    def __exit__(self, *exc) -> None:
+        if self._owned:
+            self._handle.close()
 
 
 def _copy_fields(
@@ -299,6 +515,7 @@ def publish_operator(
             beta=float(beta),
         )
         handle = SharedOperatorHandle(payload, shm)
+        _register_segment(shm)
     except BaseException:
         # Never leak the segment: close our mapping and unlink the name.
         shm.close()
@@ -346,6 +563,7 @@ def publish_route_state(
             entropy=entropy,
         )
         handle = SharedOperatorHandle(payload, shm)
+        _register_segment(shm)
     except BaseException:
         # Never leak the segment: close our mapping and unlink the name.
         shm.close()
@@ -706,7 +924,7 @@ def maybe_parallel_variation_curves(
         )
 
     if use_pool:
-        with publish_operator(kind, matrix, reference, **extras) as handle:
+        with _LeasedPublication(kind, matrix, extras, reference) as handle:
             payload = handle.payload
 
             def make_task(lo: int, hi: int):
@@ -786,7 +1004,7 @@ def maybe_parallel_hitting_times(
         return result.times, result.final_distances
 
     if use_pool:
-        with publish_operator(kind, matrix, reference, **extras) as handle:
+        with _LeasedPublication(kind, matrix, extras, reference) as handle:
             payload = handle.payload
 
             def make_task(lo: int, hi: int):

@@ -111,7 +111,13 @@ def run_sybil_bound_ablation(
             honest_pool, size=min(200, honest_pool.size), replace=False
         )
         suspects = np.sort(np.concatenate([honest_sample, scenario.sybil_nodes()]))
-        outcomes = protocol.admission_sweep(0, list(route_lengths), suspects=suspects, seed=config.seed)
+        outcomes = protocol.admission_sweep(
+            0,
+            list(route_lengths),
+            suspects=suspects,
+            seed=config.seed,
+            policy=config.execution_policy,
+        )
         escapes = escape_probability(scenario, sorted(route_lengths))
         escape_by_w = dict(zip(sorted(route_lengths), escapes))
         for outcome in outcomes:

@@ -18,8 +18,15 @@ Design constraints, in order:
 3. **Dependency-free.**  Pure stdlib + the numbers handed to it; no
    prometheus client, no opentelemetry.
 
-Thread-safety: instrument *creation* is locked; updates rely on the GIL
-(a torn float add could only smudge a metric value, never a result).
+Thread-safety: instrument creation is locked, and since the service
+layer (:mod:`repro.service`) records from many request threads at once,
+updates are too — each instrument carries its own lock, so ``add`` /
+``observe`` / ``set`` are atomic read-modify-writes (a GIL release
+between the read and the write can no longer drop an update).  The
+per-instrument lock keeps contention off the registry-wide lock and the
+disabled path untouched (still a single attribute read, no lock).
+``tests/service/test_concurrency.py`` hammers this from parallel
+clients.
 """
 
 from __future__ import annotations
@@ -56,16 +63,18 @@ def telemetry_enabled_from_env(environ=None) -> bool:
 class Counter:
     """A monotonically increasing count (events, rows, bytes)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def add(self, delta: float = 1.0) -> None:
         if delta < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (delta={delta})")
-        self.value += delta
+        with self._lock:
+            self.value += delta
 
     def to_dict(self) -> float:
         return self.value
@@ -74,16 +83,19 @@ class Counter:
 class Gauge:
     """A last-write-wins scalar (current backend, last residual)."""
 
-    __slots__ = ("name", "value", "updates")
+    __slots__ = ("name", "value", "updates", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Optional[float] = None
         self.updates = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
-        self.updates += 1
+        value = float(value)
+        with self._lock:
+            self.value = value
+            self.updates += 1
 
     def to_dict(self) -> dict:
         return {"value": self.value, "updates": self.updates}
@@ -98,7 +110,7 @@ class Histogram:
     each shard/chunk individually.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "last")
+    __slots__ = ("name", "count", "total", "min", "max", "last", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -107,16 +119,18 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.last: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.last = value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.last = value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> Optional[float]:

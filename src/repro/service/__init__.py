@@ -1,0 +1,63 @@
+"""Mixing-time-as-a-service: a long-lived query layer over the runtime.
+
+Everything before this package was batch-shaped: a CLI invocation built
+its operators, published shared memory, swept, printed and exited.  The
+paper's quantity, however, is naturally *per-node on demand* — "how long
+until a walk from v is within ε of stationary?" is a question a Sybil
+defense asks about one suspect at a time, millions of times.  This
+package turns the PR 1-5 substrate (block kernels, zero-copy operator
+publication, :class:`~repro.core.runtime.ExecutionPolicy`,
+content-addressed fingerprints) into serving infrastructure:
+
+* :class:`~repro.service.registry.OperatorRegistry` — constructs
+  operators once and keeps them (and their published shared-memory
+  segments) **warm** across requests, with ref-counted leases and LRU
+  eviction that unlinks segments explicitly.
+* :class:`~repro.service.engine.QueryEngine` — the request vocabulary
+  (mixing time from node v at ε, variation curves for sources S, current
+  SLEM, admission decision for suspect s at w) with **request
+  coalescing**: concurrent point-mass queries are batched into single
+  block sweeps over the PR-1 kernels and scattered back per-request,
+  bit-identical to serial per-request computation.
+* :class:`~repro.service.cache.ResultCache` — fingerprint-keyed result
+  cache (graph content, operator kind, ε / walk lengths, query type);
+  hit-path answers are bit-identical to cold computation.
+* :class:`~repro.service.client.ServiceClient` /
+  :class:`~repro.service.http.ServiceServer` — the in-process API and
+  the stdlib-only HTTP front-end behind ``repro-mixing serve``.
+* :mod:`repro.service.batch` — adapters proving the batch runners are
+  expressible as service queries (and pinned so by tests), so the two
+  paths cannot drift.
+"""
+
+from .cache import CacheStats, ResultCache
+from .client import HTTPServiceClient, ServiceClient
+from .engine import (
+    AdmissionQuery,
+    MixingTimeQuery,
+    QueryEngine,
+    QueryResult,
+    SlemQuery,
+    VariationCurveQuery,
+)
+from .http import ServiceServer
+from .keys import graph_fingerprint, query_fingerprint
+from .registry import OperatorLease, OperatorRegistry
+
+__all__ = [
+    "AdmissionQuery",
+    "CacheStats",
+    "HTTPServiceClient",
+    "MixingTimeQuery",
+    "OperatorLease",
+    "OperatorRegistry",
+    "QueryEngine",
+    "QueryResult",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceServer",
+    "SlemQuery",
+    "VariationCurveQuery",
+    "graph_fingerprint",
+    "query_fingerprint",
+]

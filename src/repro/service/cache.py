@@ -1,0 +1,135 @@
+"""Fingerprint-keyed LRU result cache for the query engine.
+
+Correctness contract: a cache hit returns an object **bit-identical** to
+what cold computation would produce.  That holds because (a) keys are
+content fingerprints (:mod:`repro.service.keys`) covering every input
+that can change an answer and excluding every knob that cannot, and
+(b) every numeric answer is pinned deterministic across workers, block
+sizes, coalescing and resume by the PR 1-5 invariants.  Cached arrays
+are frozen read-only so a client cannot corrupt the copy every later
+hit is served from.
+
+Thread-safety: all operations take one lock; values are immutable after
+:meth:`ResultCache.put`, so a value handed out remains valid even if its
+entry is evicted mid-flight by a concurrent client (eviction drops the
+cache's reference, never the object).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one :class:`ResultCache`."""
+
+    entries: int
+    max_entries: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _freeze(value: Any) -> Any:
+    """Make a cached value safe to share: read-only arrays, recursively."""
+    if isinstance(value, np.ndarray):
+        frozen = np.ascontiguousarray(value)
+        frozen.setflags(write=False)
+        return frozen
+    if isinstance(value, tuple):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+class ResultCache:
+    """Bounded LRU map from query fingerprint to frozen answer.
+
+    ``max_entries=0`` disables caching entirely (every lookup misses,
+    nothing is stored) — useful for identity tests that must exercise
+    the cold path.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        max_entries = int(max_entries)
+        if max_entries < 0:
+            raise ConfigurationError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        """The frozen answer for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU position.  ``None`` is never a
+        valid cached value (answers are arrays/tuples/scalars), so the
+        sentinel is unambiguous.
+        """
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> Any:
+        """Freeze and store ``value``; returns the frozen object.
+
+        Concurrent puts of the same key are benign: both values are
+        bit-identical by the determinism contract, so last-write-wins
+        never changes an answer.
+        """
+        frozen = _freeze(value)
+        if self.max_entries == 0:
+            return frozen
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = frozen
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return frozen
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )

@@ -1,0 +1,240 @@
+"""Service clients: in-process and HTTP, speaking one wire vocabulary.
+
+Both clients expose the same four verbs as the engine; the wire format
+(`payload dict -> query object`, `answer -> JSON-able dict`) lives here
+so the HTTP server, the HTTP client and the in-process client share one
+codec and cannot disagree about field names or types.
+
+Bit-identity across the wire: every float in an answer is emitted via
+``json`` using Python's shortest-round-trip ``repr``, which reconstructs
+the exact IEEE-754 double on parse — so an HTTP answer compares equal,
+bit for bit, to the in-process one.  The identity tests pin this.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .engine import (
+    AdmissionQuery,
+    MixingTimeQuery,
+    QueryEngine,
+    QueryResult,
+    SlemQuery,
+    VariationCurveQuery,
+)
+
+__all__ = [
+    "HTTPServiceClient",
+    "ServiceClient",
+    "build_query",
+    "decode_result",
+    "encode_result",
+]
+
+_QUERY_TYPES = {
+    "mixing_time": MixingTimeQuery,
+    "variation_curve": VariationCurveQuery,
+    "slem": SlemQuery,
+    "admission": AdmissionQuery,
+}
+
+#: Fields that must be tuples when they arrive as JSON lists.
+_TUPLE_FIELDS = ("sources", "walk_lengths", "suspects")
+
+
+def build_query(payload: dict):
+    """Wire payload -> query dataclass (the server's request parser)."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError("query payload must be a JSON object")
+    kind = payload.get("type")
+    cls = _QUERY_TYPES.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown query type {kind!r}; expected one of {sorted(_QUERY_TYPES)}"
+        )
+    kwargs = {k: v for k, v in payload.items() if k != "type"}
+    for name in _TUPLE_FIELDS:
+        if name in kwargs and isinstance(kwargs[name], (list, tuple)):
+            kwargs[name] = tuple(kwargs[name])
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad {kind} query: {exc}") from exc
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, dict):
+        return {k: _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    return value
+
+
+def encode_result(result: QueryResult) -> dict:
+    """Query result -> JSON-able wire dict (floats keep full precision)."""
+    return {
+        "value": _encode_value(result.value),
+        "fingerprint": result.fingerprint,
+        "cache_hit": bool(result.cache_hit),
+        "coalesced": bool(result.coalesced),
+        "batch_size": int(result.batch_size),
+        "latency_s": float(result.latency_s),
+    }
+
+
+def decode_result(payload: dict) -> QueryResult:
+    """Wire dict -> :class:`QueryResult` (value stays JSON-shaped)."""
+    return QueryResult(
+        value=payload["value"],
+        fingerprint=payload["fingerprint"],
+        cache_hit=bool(payload["cache_hit"]),
+        coalesced=bool(payload["coalesced"]),
+        batch_size=int(payload["batch_size"]),
+        latency_s=float(payload["latency_s"]),
+    )
+
+
+class ServiceClient:
+    """In-process client: the engine's vocabulary with wire-dict support.
+
+    ``query(payload)`` accepts the same JSON payloads the HTTP endpoint
+    does, so a workload can be replayed against either front-end and the
+    answers diffed — the service smoke test in CI does exactly that.
+    """
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+
+    def mixing_time(self, dataset, source, epsilon, **kwargs) -> QueryResult:
+        return self.engine.mixing_time(dataset, source, epsilon, **kwargs)
+
+    def variation_curve(self, dataset, sources, walk_lengths, **kwargs) -> QueryResult:
+        return self.engine.variation_curve(dataset, sources, walk_lengths, **kwargs)
+
+    def slem(self, dataset, **kwargs) -> QueryResult:
+        return self.engine.slem(dataset, **kwargs)
+
+    def admission(self, dataset, suspects, route_length, **kwargs) -> QueryResult:
+        return self.engine.admission(dataset, suspects, route_length, **kwargs)
+
+    def query(self, payload: dict) -> dict:
+        """Answer one wire-format payload, returning the wire-format reply."""
+        return encode_result(self.engine.submit(build_query(payload)))
+
+    def stats(self) -> dict:
+        return self.engine.stats()
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class HTTPServiceClient:
+    """Stdlib-only client for :class:`repro.service.http.ServiceServer`.
+
+    One persistent ``http.client.HTTPConnection`` per client instance —
+    callers wanting concurrency use one client per thread (connections
+    are not locked, matching ``http.client``'s own contract).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: Optional[float] = 60.0):
+        import http.client
+
+        self.host = str(host)
+        self.port = int(port)
+        self._conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+
+    # -- low-level -------------------------------------------------------
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        self._conn.request(method, path, body=payload, headers=headers)
+        response = self._conn.getresponse()
+        data = response.read()
+        if response.status != 200:
+            try:
+                detail = json.loads(data.decode("utf-8")).get("error", "")
+            except (ValueError, UnicodeDecodeError):
+                detail = data.decode("utf-8", "replace")
+            raise ConfigurationError(
+                f"service returned {response.status} for {method} {path}: {detail}"
+            )
+        return json.loads(data.decode("utf-8"))
+
+    def query(self, payload: dict) -> dict:
+        """POST one wire-format query; returns the wire-format reply."""
+        return self._request("POST", "/query", payload)
+
+    # -- the four verbs --------------------------------------------------
+    def mixing_time(self, dataset, source, epsilon, **kwargs) -> QueryResult:
+        return decode_result(
+            self.query(
+                {
+                    "type": "mixing_time",
+                    "dataset": dataset,
+                    "source": int(source),
+                    "epsilon": float(epsilon),
+                    **kwargs,
+                }
+            )
+        )
+
+    def variation_curve(self, dataset, sources, walk_lengths, **kwargs) -> QueryResult:
+        return decode_result(
+            self.query(
+                {
+                    "type": "variation_curve",
+                    "dataset": dataset,
+                    "sources": [int(s) for s in sources],
+                    "walk_lengths": [int(w) for w in walk_lengths],
+                    **kwargs,
+                }
+            )
+        )
+
+    def slem(self, dataset, **kwargs) -> QueryResult:
+        return decode_result(self.query({"type": "slem", "dataset": dataset, **kwargs}))
+
+    def admission(self, dataset, suspects, route_length, **kwargs) -> QueryResult:
+        return decode_result(
+            self.query(
+                {
+                    "type": "admission",
+                    "dataset": dataset,
+                    "suspects": [int(s) for s in suspects],
+                    "route_length": int(route_length),
+                    **kwargs,
+                }
+            )
+        )
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "HTTPServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,570 @@
+"""Query engine: request vocabulary, coalescing and the cache hit-path.
+
+The engine answers four request shapes — the questions the paper's
+pipeline asks of a graph, recast as on-demand queries:
+
+* :class:`MixingTimeQuery` — "mixing time from node *v* at ε" (the
+  per-source hitting time of the ε-ball around stationary).
+* :class:`VariationCurveQuery` — "variation-distance curve for sources
+  *S* at walk lengths *W*" (Figure 1/2's measured object).
+* :class:`SlemQuery` — "current SLEM of the graph" (the spectral bound).
+* :class:`AdmissionQuery` — "SybilLimit admission decision for suspects
+  *S* at route length *w*" (Figure 8's verdict).
+
+**Coalescing.**  Point-mass queries (mixing time, variation curve) that
+arrive within one batching window and share a bucket — same graph,
+operator dynamics and sweep parameters — are merged into a *single*
+block sweep over the PR-1 kernels and scattered back per-request.  The
+first request in a bucket becomes the leader: it waits
+``coalesce_window`` seconds (or until ``max_batch`` requests queue,
+whichever is first), claims the bucket, runs one sweep over the union of
+sources, and fulfils every waiter.  Correctness rests on the PR-1
+invariant that block-kernel rows are bit-for-bit independent of batch
+composition: the row scattered back for source *v* is identical to what
+a lone serial request for *v* would have computed, and the test suite
+pins exactly that.
+
+Admission queries are **never** coalesced across requests: SybilLimit's
+balance condition is order- and set-dependent (admitting suspect *a*
+loads tail counters that suspect *b*'s verdict then sees), so the
+contract is "the decision for exactly this query's suspect set" — a
+merged sweep would answer a different question.
+
+**No drift.**  The engine does not reimplement sweeps: it calls the same
+:func:`repro.core.mixing.measure_mixing` /
+:func:`~repro.core.mixing.estimate_mixing_time` the batch runners use
+(via their ``operator=`` warm-path parameter), so the service and batch
+paths are one code path with two entrances.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.runtime import ExecutionPolicy
+from ..errors import ConfigurationError
+from ..obs import OBS
+from .cache import ResultCache
+from .registry import OperatorRegistry
+
+__all__ = [
+    "AdmissionQuery",
+    "MixingTimeQuery",
+    "QueryEngine",
+    "QueryResult",
+    "SlemQuery",
+    "VariationCurveQuery",
+]
+
+
+def _as_source_tuple(sources: Union[int, Sequence[int]]) -> Tuple[int, ...]:
+    if isinstance(sources, (int, np.integer)):
+        return (int(sources),)
+    out = tuple(int(s) for s in sources)
+    if not out:
+        raise ConfigurationError("sources must be non-empty")
+    return out
+
+
+@dataclass(frozen=True)
+class MixingTimeQuery:
+    """Mixing time from one node: min ``t`` with ``||pi - pi^(v) P^t||_1 < eps``."""
+
+    dataset: str
+    source: int
+    epsilon: float
+    laziness: float = 0.0
+    max_steps: int = 10_000
+
+    query_type = "mixing_time"
+
+    def __post_init__(self):
+        object.__setattr__(self, "source", int(self.source))
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+        object.__setattr__(self, "laziness", float(self.laziness))
+        object.__setattr__(self, "max_steps", int(self.max_steps))
+        if not 0.0 < self.epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in (0, 1), got {self.epsilon}"
+            )
+
+    @property
+    def operator_kind(self) -> str:
+        return f"plain:{self.laziness!r}"
+
+    def bucket(self) -> Tuple:
+        """Coalescing bucket: queries differing only in source merge."""
+        return (
+            self.query_type,
+            self.dataset,
+            self.laziness,
+            self.epsilon,
+            self.max_steps,
+        )
+
+    def fingerprint(self, graph_key: str) -> str:
+        from .keys import query_fingerprint
+
+        return query_fingerprint(
+            self.query_type,
+            graph_key,
+            self.operator_kind,
+            source=self.source,
+            epsilon=self.epsilon,
+            max_steps=self.max_steps,
+        )
+
+
+@dataclass(frozen=True)
+class VariationCurveQuery:
+    """Variation-distance curve(s): ``||pi - pi^(s) P^w||_1`` over ``w`` grid."""
+
+    dataset: str
+    sources: Tuple[int, ...]
+    walk_lengths: Tuple[int, ...]
+    laziness: float = 0.0
+
+    query_type = "variation_curve"
+
+    def __post_init__(self):
+        object.__setattr__(self, "sources", _as_source_tuple(self.sources))
+        walks = tuple(int(w) for w in self.walk_lengths)
+        if not walks:
+            raise ConfigurationError("walk_lengths must be non-empty")
+        object.__setattr__(self, "walk_lengths", walks)
+        object.__setattr__(self, "laziness", float(self.laziness))
+
+    @property
+    def operator_kind(self) -> str:
+        return f"plain:{self.laziness!r}"
+
+    def bucket(self) -> Tuple:
+        """Queries differing only in sources share one block sweep."""
+        return (self.query_type, self.dataset, self.laziness, self.walk_lengths)
+
+    def fingerprint(self, graph_key: str) -> str:
+        from .keys import query_fingerprint
+
+        return query_fingerprint(
+            self.query_type,
+            graph_key,
+            self.operator_kind,
+            sources=list(self.sources),
+            walk_lengths=list(self.walk_lengths),
+        )
+
+
+@dataclass(frozen=True)
+class SlemQuery:
+    """Second-largest eigenvalue modulus of the transition operator."""
+
+    dataset: str
+    method: str = "sparse"
+    laziness: float = 0.0
+
+    query_type = "slem"
+
+    def __post_init__(self):
+        object.__setattr__(self, "laziness", float(self.laziness))
+
+    @property
+    def operator_kind(self) -> str:
+        return f"plain:{self.laziness!r}"
+
+    def bucket(self) -> Tuple:
+        return (self.query_type, self.dataset, self.laziness, self.method)
+
+    def fingerprint(self, graph_key: str) -> str:
+        from .keys import query_fingerprint
+
+        return query_fingerprint(
+            self.query_type, graph_key, self.operator_kind, method=self.method
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionQuery:
+    """SybilLimit verdict for ``suspects`` at route length ``route_length``.
+
+    Deliberately *not* coalescible: the balance condition makes the
+    verdict a function of the whole suspect set and its order, so the
+    only honest answer is the one computed for exactly this set.
+    """
+
+    dataset: str
+    suspects: Tuple[int, ...]
+    route_length: int
+    verifier: int = 0
+    seed: int = 0
+    num_instances: Optional[int] = None
+
+    query_type = "admission"
+
+    def __post_init__(self):
+        object.__setattr__(self, "suspects", _as_source_tuple(self.suspects))
+        object.__setattr__(self, "route_length", int(self.route_length))
+        object.__setattr__(self, "verifier", int(self.verifier))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.num_instances is not None:
+            object.__setattr__(self, "num_instances", int(self.num_instances))
+        if self.route_length < 1:
+            raise ConfigurationError(
+                f"route_length must be >= 1, got {self.route_length}"
+            )
+
+    @property
+    def operator_kind(self) -> str:
+        return "sybillimit"
+
+    def bucket(self) -> Tuple:
+        # Unique per query object: admission never merges with anything.
+        return (self.query_type, id(self))
+
+    def fingerprint(self, graph_key: str) -> str:
+        from .keys import query_fingerprint
+
+        return query_fingerprint(
+            self.query_type,
+            graph_key,
+            self.operator_kind,
+            suspects=list(self.suspects),
+            route_length=self.route_length,
+            verifier=self.verifier,
+            seed=self.seed,
+            num_instances=-1 if self.num_instances is None else self.num_instances,
+        )
+
+
+Query = Union[MixingTimeQuery, VariationCurveQuery, SlemQuery, AdmissionQuery]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query, with serving provenance.
+
+    ``value`` is the answer (bit-identical to serial batch computation
+    regardless of ``cache_hit``/``coalesced``/worker count — pinned by
+    tests); the remaining fields say *how* it was served.
+    """
+
+    value: Any
+    fingerprint: str
+    cache_hit: bool
+    coalesced: bool
+    batch_size: int
+    latency_s: float
+
+
+class _Waiter:
+    """One request parked in a coalescing bucket."""
+
+    __slots__ = ("query", "key", "event", "value", "error", "batch_size")
+
+    def __init__(self, query: Query, key: str) -> None:
+        self.query = query
+        self.key = key
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.batch_size = 0
+
+
+class _Bucket:
+    __slots__ = ("waiters", "flush", "claimed")
+
+    def __init__(self) -> None:
+        self.waiters: List[_Waiter] = []
+        self.flush = threading.Event()
+        self.claimed = False
+
+
+class QueryEngine:
+    """Long-lived query answering over a warm registry and result cache.
+
+    Parameters
+    ----------
+    registry:
+        Warm operator store; constructed with defaults when omitted.
+    cache:
+        Result cache; ``ResultCache(max_entries=0)`` disables caching.
+    policy:
+        :class:`~repro.core.runtime.ExecutionPolicy` applied to every
+        sweep the engine runs.  Execution-only: answers are bit-identical
+        at any worker count, so the policy never enters a cache key.
+    coalesce_window:
+        Seconds the bucket leader waits for co-batchable requests before
+        flushing.  ``0`` disables coalescing (every request sweeps alone).
+    max_batch:
+        Queue depth that flushes a bucket early, bounding latency under
+        load bursts.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[OperatorRegistry] = None,
+        cache: Optional[ResultCache] = None,
+        *,
+        policy: Optional[ExecutionPolicy] = None,
+        coalesce_window: float = 0.005,
+        max_batch: int = 64,
+    ) -> None:
+        coalesce_window = float(coalesce_window)
+        if coalesce_window < 0:
+            raise ConfigurationError(
+                f"coalesce_window must be >= 0, got {coalesce_window}"
+            )
+        max_batch = int(max_batch)
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        self.registry = registry if registry is not None else OperatorRegistry()
+        self.cache = cache if cache is not None else ResultCache()
+        self.policy = policy
+        self.coalesce_window = coalesce_window
+        self.max_batch = max_batch
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[Tuple, _Bucket] = {}
+        self._requests = 0
+        self._coalesced_requests = 0
+        self._stats_lock = threading.Lock()
+
+    # -- convenience constructors ----------------------------------------
+    def mixing_time(self, dataset, source, epsilon, **kwargs) -> QueryResult:
+        return self.submit(MixingTimeQuery(dataset, source, epsilon, **kwargs))
+
+    def variation_curve(self, dataset, sources, walk_lengths, **kwargs) -> QueryResult:
+        return self.submit(
+            VariationCurveQuery(dataset, tuple(sources), tuple(walk_lengths), **kwargs)
+        )
+
+    def slem(self, dataset, **kwargs) -> QueryResult:
+        return self.submit(SlemQuery(dataset, **kwargs))
+
+    def admission(self, dataset, suspects, route_length, **kwargs) -> QueryResult:
+        return self.submit(
+            AdmissionQuery(dataset, tuple(suspects), route_length, **kwargs)
+        )
+
+    # -- the request path ------------------------------------------------
+    def submit(self, query: Query) -> QueryResult:
+        """Answer one query (cache hit, coalesced sweep, or direct sweep)."""
+        start = time.perf_counter()
+        with self._stats_lock:
+            self._requests += 1
+        with OBS.span(
+            "service.request", query_type=query.query_type, dataset=query.dataset
+        ):
+            laziness = getattr(query, "laziness", 0.0)
+            with self.registry.acquire(query.dataset, laziness=laziness) as lease:
+                key = query.fingerprint(lease.graph_key)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    if OBS.enabled:
+                        OBS.add("service.cache.hits")
+                    return self._finish(cached, key, True, False, 1, start, query)
+                if OBS.enabled:
+                    OBS.add("service.cache.misses")
+                if self.coalesce_window > 0 and query.query_type in (
+                    "mixing_time",
+                    "variation_curve",
+                ):
+                    value, batch_size = self._submit_coalesced(query, key, lease)
+                else:
+                    value = self.cache.put(key, self._compute_direct(query, lease))
+                    batch_size = 1
+                return self._finish(
+                    value, key, False, batch_size > 1, batch_size, start, query
+                )
+
+    def _finish(self, value, key, hit, coalesced, batch_size, start, query):
+        latency = time.perf_counter() - start
+        if OBS.enabled:
+            OBS.observe("service.request_seconds", latency)
+            OBS.observe(f"service.{query.query_type}_seconds", latency)
+        if coalesced:
+            with self._stats_lock:
+                self._coalesced_requests += 1
+        return QueryResult(
+            value=value,
+            fingerprint=key,
+            cache_hit=hit,
+            coalesced=coalesced,
+            batch_size=batch_size,
+            latency_s=latency,
+        )
+
+    # -- coalescing ------------------------------------------------------
+    def _submit_coalesced(self, query: Query, key: str, lease) -> Tuple[Any, int]:
+        bucket_key = query.bucket()
+        waiter = _Waiter(query, key)
+        with self._pending_lock:
+            bucket = self._pending.get(bucket_key)
+            if bucket is None or bucket.claimed:
+                bucket = _Bucket()
+                self._pending[bucket_key] = bucket
+                leader = True
+            else:
+                leader = False
+            bucket.waiters.append(waiter)
+            if len(bucket.waiters) >= self.max_batch:
+                bucket.flush.set()
+        if not leader:
+            waiter.event.wait()
+            if waiter.error is not None:
+                raise waiter.error
+            return waiter.value, waiter.batch_size
+        # Leader: give followers one window to pile in, then claim.
+        bucket.flush.wait(self.coalesce_window)
+        with self._pending_lock:
+            bucket.claimed = True
+            if self._pending.get(bucket_key) is bucket:
+                del self._pending[bucket_key]
+            waiters = list(bucket.waiters)
+        try:
+            self._execute_batch(waiters, lease)
+        except BaseException as exc:
+            for w in waiters:
+                if not w.event.is_set():
+                    w.error = exc
+                    w.event.set()
+        if waiter.error is not None:
+            raise waiter.error
+        return waiter.value, waiter.batch_size
+
+    def _execute_batch(self, waiters: List["_Waiter"], lease) -> None:
+        """One block sweep over the union of sources; scatter per-request.
+
+        Bit-identity of the scattered rows to per-request serial sweeps
+        is the PR-1 block-composition invariant; the coalescing-identity
+        tests pin it end to end.
+        """
+        from ..core.mixing import measure_mixing
+
+        queries = [w.query for w in waiters]
+        head = queries[0]
+        if OBS.enabled:
+            OBS.observe("service.batch_size", len(waiters))
+            if len(waiters) > 1:
+                OBS.add("service.coalesced_sweeps")
+        if head.query_type == "mixing_time":
+            union = sorted({q.source for q in queries})
+            index = {s: i for i, s in enumerate(union)}
+            hit = lease.operator.hitting_times(
+                union,
+                head.epsilon,
+                max_steps=head.max_steps,
+                policy=self.policy,
+            )
+            for w in waiters:
+                i = index[w.query.source]
+                w.value = self.cache.put(
+                    w.key,
+                    {
+                        "source": int(w.query.source),
+                        "time": int(hit.times[i]),
+                        "final_distance": float(hit.final_distances[i]),
+                        "epsilon": float(head.epsilon),
+                    },
+                )
+        else:  # variation_curve
+            union = sorted({s for q in queries for s in q.sources})
+            index = {s: i for i, s in enumerate(union)}
+            mixing = measure_mixing(
+                lease.graph,
+                list(head.walk_lengths),
+                sources=union,
+                laziness=head.laziness,
+                operator=lease.operator,
+                policy=self.policy,
+            )
+            for w in waiters:
+                rows = [index[s] for s in w.query.sources]
+                w.value = self.cache.put(w.key, mixing.distances[rows, :])
+        for w in waiters:
+            w.batch_size = len(waiters)
+            w.event.set()
+
+    # -- direct (non-coalesced) computation ------------------------------
+    def _compute_direct(self, query: Query, lease) -> Any:
+        from ..core.mixing import measure_mixing
+
+        if query.query_type == "mixing_time":
+            hit = lease.operator.hitting_times(
+                [query.source],
+                query.epsilon,
+                max_steps=query.max_steps,
+                policy=self.policy,
+            )
+            return {
+                "source": int(query.source),
+                "time": int(hit.times[0]),
+                "final_distance": float(hit.final_distances[0]),
+                "epsilon": float(query.epsilon),
+            }
+        if query.query_type == "variation_curve":
+            mixing = measure_mixing(
+                lease.graph,
+                list(query.walk_lengths),
+                sources=list(query.sources),
+                laziness=query.laziness,
+                operator=lease.operator,
+                policy=self.policy,
+            )
+            return mixing.distances
+        if query.query_type == "slem":
+            from ..core.spectral import slem
+
+            return float(slem(lease.graph, method=query.method))
+        if query.query_type == "admission":
+            from ..sybil.scenario import no_attack_scenario
+            from ..sybil.sybillimit import SybilLimit, SybilLimitParams
+
+            scenario = no_attack_scenario(lease.graph)
+            params = SybilLimitParams(
+                route_length=query.route_length,
+                num_instances=query.num_instances,
+            )
+            protocol = SybilLimit(scenario, params, seed=query.seed)
+            outcome = protocol.admission_sweep(
+                query.verifier,
+                [query.route_length],
+                suspects=list(query.suspects),
+                seed=query.seed,
+                policy=self.policy,
+            )[0]
+            return {
+                "verifier": int(outcome.verifier),
+                "suspects": [int(s) for s in outcome.suspects],
+                "accepted": [bool(a) for a in outcome.accepted],
+                "intersected": [bool(i) for i in outcome.intersected],
+                "route_length": int(outcome.route_length),
+                "num_instances": int(outcome.num_instances),
+                "admission_rate": float(outcome.admission_rate),
+            }
+        raise ConfigurationError(f"unknown query type {query.query_type!r}")
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> dict:
+        with self._stats_lock:
+            requests = self._requests
+            coalesced = self._coalesced_requests
+        return {
+            "requests": requests,
+            "coalesced_requests": coalesced,
+            "cache": self.cache.stats(),
+            "registry": self.registry.stats(),
+        }
+
+    def close(self) -> None:
+        """Retire the warm registry (unlinking its shared segments)."""
+        self.registry.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

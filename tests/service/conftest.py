@@ -1,0 +1,72 @@
+"""Fixtures for the service-layer suite: tiny named graphs + engines.
+
+The registry takes any ``name -> Graph`` loader, so these tests serve
+ad-hoc generated graphs under short names instead of going through the
+dataset registry — faster, and it lets tests count loader calls to prove
+warm reuse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import erdos_renyi_gnm, two_community_bridge
+from repro.graph import largest_connected_component
+from repro.service import OperatorRegistry, QueryEngine, ResultCache
+
+
+def _lcc(graph):
+    return largest_connected_component(graph)[0]
+
+
+def _graphs():
+    return {
+        "era": _lcc(erdos_renyi_gnm(60, 180, seed=11)),
+        "erb": _lcc(erdos_renyi_gnm(50, 140, seed=12)),
+        "erc": _lcc(erdos_renyi_gnm(40, 110, seed=13)),
+        "bridge": two_community_bridge(25, 6, 2, seed=14)[0],
+    }
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return _graphs()
+
+
+@pytest.fixture
+def loader(graphs):
+    calls = []
+
+    def load(name):
+        calls.append(name)
+        return graphs[name]
+
+    load.calls = calls
+    return load
+
+
+@pytest.fixture
+def registry(loader):
+    with OperatorRegistry(capacity=3, loader=loader) as reg:
+        yield reg
+
+
+@pytest.fixture
+def engine(loader):
+    with QueryEngine(
+        OperatorRegistry(capacity=3, loader=loader),
+        ResultCache(max_entries=64),
+        coalesce_window=0.02,
+    ) as eng:
+        yield eng
+
+
+@pytest.fixture
+def cold_engine(loader):
+    """No cache, no coalescing: every submit is a fresh direct sweep."""
+    with QueryEngine(
+        OperatorRegistry(capacity=3, loader=loader),
+        ResultCache(max_entries=0),
+        coalesce_window=0.0,
+    ) as eng:
+        yield eng

@@ -1,0 +1,90 @@
+"""Result cache: LRU semantics, freezing, stats, disable switch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import ResultCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("k") is None
+        frozen = cache.put("k", np.arange(3.0))
+        got = cache.get("k")
+        assert got is frozen
+        np.testing.assert_array_equal(got, np.arange(3.0))
+
+    def test_put_returns_frozen_readonly_array(self):
+        cache = ResultCache()
+        frozen = cache.put("k", np.arange(4.0))
+        assert not frozen.flags.writeable
+        with pytest.raises(ValueError):
+            frozen[0] = 99.0
+
+    def test_freeze_recurses_into_tuples(self):
+        cache = ResultCache()
+        frozen = cache.put("k", (np.arange(2.0), np.arange(3.0)))
+        assert all(not part.flags.writeable for part in frozen)
+
+    def test_contains_and_len(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        assert "a" in cache and "b" in cache and "c" not in cache
+        assert len(cache) == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_entries"):
+            ResultCache(max_entries=-1)
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        assert cache.get("a") == 1.0  # refresh a; b is now LRU
+        cache.put("c", 3.0)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_eviction_counted(self):
+        cache = ResultCache(max_entries=1)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        assert cache.stats().evictions == 1
+
+    def test_evicted_value_stays_usable(self):
+        # Eviction drops the cache's reference, never the object: a value
+        # handed to a client before eviction must stay intact.
+        cache = ResultCache(max_entries=1)
+        held = cache.put("a", np.arange(5.0))
+        cache.put("b", np.zeros(1))
+        np.testing.assert_array_equal(held, np.arange(5.0))
+
+
+class TestDisabled:
+    def test_zero_capacity_stores_nothing_but_still_freezes(self):
+        cache = ResultCache(max_entries=0)
+        frozen = cache.put("k", np.arange(2.0))
+        assert not frozen.flags.writeable
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("k", 1.0)
+        cache.get("k")
+        cache.get("miss")
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert ResultCache().stats().hit_rate == 0.0

@@ -1,0 +1,172 @@
+"""Thread-safety under parallel clients: OBS instruments, the result
+cache, and the coalescing engine.
+
+The OBS tests hammer single instruments from many threads and assert
+*exact* totals — before instruments carried their own locks, a GIL
+release between the read and the write of ``value += delta`` dropped
+updates under exactly this load (service request threads all recording
+into ``service.request_seconds``).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service import ResultCache
+
+THREADS = 8
+PER_THREAD = 2_000
+
+
+def _hammer(fn):
+    barrier = threading.Barrier(THREADS)
+
+    def run():
+        barrier.wait()
+        for _ in range(PER_THREAD):
+            fn()
+
+    threads = [threading.Thread(target=run) for _ in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestInstrumentThreadSafety:
+    def test_counter_add_is_atomic(self):
+        counter = Counter("c")
+        _hammer(lambda: counter.add(1.0))
+        assert counter.value == THREADS * PER_THREAD
+
+    def test_histogram_observe_is_atomic(self):
+        histogram = Histogram("h")
+        _hammer(lambda: histogram.observe(0.5))
+        assert histogram.count == THREADS * PER_THREAD
+        assert histogram.total == pytest.approx(0.5 * THREADS * PER_THREAD)
+        assert histogram.min == histogram.max == 0.5
+
+    def test_gauge_updates_counted_exactly(self):
+        gauge = Gauge("g")
+        _hammer(lambda: gauge.set(1.0))
+        assert gauge.updates == THREADS * PER_THREAD
+
+    def test_registry_conveniences_thread_safe(self):
+        registry = MetricsRegistry(enabled=True)
+        _hammer(lambda: registry.add("requests"))
+        _hammer(lambda: registry.observe("latency", 1.0))
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests"] == THREADS * PER_THREAD
+        assert snapshot["histograms"]["latency"]["count"] == THREADS * PER_THREAD
+
+    def test_disabled_path_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        _hammer(lambda: registry.add("requests"))
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestCacheUnderParallelClients:
+    def test_concurrent_hits_and_misses_stay_consistent(self):
+        cache = ResultCache(max_entries=16)
+        value = np.arange(8.0)
+        errors = []
+
+        def client(i):
+            try:
+                key = f"k{i % 4}"
+                got = cache.get(key)
+                if got is None:
+                    got = cache.put(key, value)
+                assert np.array_equal(got, value)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(client, range(1_000)))
+        assert not errors
+        stats = cache.stats()
+        assert stats.hits + stats.misses == 1_000
+
+    def test_eviction_mid_query_never_corrupts_a_held_value(self):
+        # max_entries=1 maximises eviction churn: nearly every put evicts
+        # a value some other thread may still hold.
+        cache = ResultCache(max_entries=1)
+        errors = []
+
+        def client(i):
+            try:
+                key = f"k{i % 8}"
+                expected = float(i % 8)
+                got = cache.get(key)
+                if got is None:
+                    got = cache.put(key, np.full(4, expected))
+                assert np.array_equal(got, np.full(4, float(got[0])))
+                assert not got.flags.writeable
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(client, range(2_000)))
+        assert not errors
+        assert cache.stats().evictions > 0
+
+    def test_racing_puts_of_same_key_are_benign(self):
+        cache = ResultCache(max_entries=8)
+        value = np.arange(16.0)
+        barrier = threading.Barrier(THREADS)
+        outputs = []
+
+        def put():
+            barrier.wait()
+            outputs.append(cache.put("k", value.copy()))
+
+        threads = [threading.Thread(target=put) for _ in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every returned frozen value and the cached survivor agree.
+        survivor = cache.get("k")
+        for out in outputs:
+            assert np.array_equal(out, survivor)
+        assert len(cache) == 1
+
+
+class TestEngineUnderParallelClients:
+    def test_concurrent_mixed_queries_answers_independent_of_interleaving(
+        self, loader, graphs
+    ):
+        from repro.core.mixing import measure_mixing
+        from repro.core.walks import TransitionOperator
+        from repro.service import OperatorRegistry, QueryEngine
+
+        walks = [1, 2, 4, 8]
+        curve_expected = measure_mixing(graphs["era"], walks, sources=[0, 1]).distances
+        times_expected = TransitionOperator(graphs["erb"]).hitting_times([3], 0.25)
+        errors = []
+
+        with QueryEngine(
+            OperatorRegistry(capacity=2, loader=loader), coalesce_window=0.01
+        ) as engine:
+
+            def client(i):
+                try:
+                    if i % 2 == 0:
+                        reply = engine.variation_curve("era", [0, 1], walks)
+                        assert np.array_equal(
+                            np.asarray(reply.value), curve_expected
+                        )
+                    else:
+                        reply = engine.mixing_time("erb", 3, 0.25)
+                        assert reply.value["time"] == int(times_expected.times[0])
+                except Exception as exc:  # pragma: no cover - failure detail
+                    errors.append(exc)
+
+            with ThreadPoolExecutor(max_workers=THREADS) as pool:
+                list(pool.map(client, range(64)))
+        assert not errors

@@ -1,0 +1,82 @@
+"""Cache-key builders: content addressing, not name addressing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.service import graph_fingerprint, query_fingerprint
+
+
+def _graph():
+    return Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)], num_nodes=4)
+
+
+class TestGraphFingerprint:
+    def test_deterministic_and_content_addressed(self):
+        a = graph_fingerprint(_graph())
+        b = graph_fingerprint(_graph())
+        assert a == b
+        assert len(a) == 64 and int(a, 16) >= 0  # sha256 hex
+
+    def test_different_structure_differs(self):
+        a = graph_fingerprint(_graph())
+        other = Graph.from_edges([(0, 1), (1, 2), (2, 0), (1, 3)], num_nodes=4)
+        assert graph_fingerprint(other) != a
+
+    def test_memoised_on_instance(self):
+        g = _graph()
+        first = graph_fingerprint(g)
+        assert g._memo["graph_fingerprint"] == first
+        # Second call returns the memo (same string object).
+        assert graph_fingerprint(g) is first
+
+
+class TestQueryFingerprint:
+    def test_param_name_order_is_irrelevant(self):
+        a = query_fingerprint("mixing_time", "gk", "plain:0.0", source=3, epsilon=0.1)
+        b = query_fingerprint("mixing_time", "gk", "plain:0.0", epsilon=0.1, source=3)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            dict(query_type="variation_curve"),  # different query type
+            dict(graph_key="other"),  # different graph
+            dict(operator_kind="plain:0.5"),  # different dynamics
+            dict(params=dict(source=4, epsilon=0.1)),  # different param value
+            dict(params=dict(source=3, epsilon=0.2)),
+        ],
+    )
+    def test_every_dimension_changes_the_key(self, variant):
+        base = dict(
+            query_type="mixing_time",
+            graph_key="gk",
+            operator_kind="plain:0.0",
+            params=dict(source=3, epsilon=0.1),
+        )
+        merged = {**base, **variant}
+        key = query_fingerprint(
+            base["query_type"], base["graph_key"], base["operator_kind"], **base["params"]
+        )
+        other = query_fingerprint(
+            merged["query_type"],
+            merged["graph_key"],
+            merged["operator_kind"],
+            **merged["params"],
+        )
+        assert key != other
+
+    def test_array_params_hash_by_content(self):
+        a = query_fingerprint(
+            "variation_curve", "gk", "plain:0.0", sources=[1, 2], walk_lengths=[4, 8]
+        )
+        b = query_fingerprint(
+            "variation_curve",
+            "gk",
+            "plain:0.0",
+            sources=list(np.asarray([1, 2])),
+            walk_lengths=[4, 8],
+        )
+        assert a == b

@@ -1,0 +1,139 @@
+"""Operator registry: warm reuse, ref-counted leases, LRU + unlink."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import parallel_backend_available
+from repro.errors import ConfigurationError
+from repro.service import OperatorRegistry
+
+
+def _shm_entries():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+class TestWarmReuse:
+    def test_builds_once_per_dataset(self, registry, loader):
+        with registry.acquire("era") as lease_a:
+            pass
+        with registry.acquire("era") as lease_b:
+            pass
+        assert loader.calls == ["era"]
+        assert lease_a.operator is lease_b.operator
+        stats = registry.stats()
+        assert stats["builds"] == 1 and stats["hits"] == 1
+
+    def test_stationary_is_memoised_on_the_warm_operator(self, registry):
+        with registry.acquire("era") as lease:
+            assert lease.stationary is lease.operator.stationary()
+            np.testing.assert_allclose(lease.stationary.sum(), 1.0)
+
+    def test_laziness_gets_its_own_entry(self, registry, loader):
+        with registry.acquire("era"):
+            pass
+        with registry.acquire("era", laziness=0.5) as lazy:
+            assert lazy.operator.laziness == pytest.approx(0.5)
+        assert loader.calls == ["era", "era"]
+
+    def test_graph_key_is_content_fingerprint(self, registry, graphs):
+        from repro.service import graph_fingerprint
+
+        with registry.acquire("era") as lease:
+            assert lease.graph_key == graph_fingerprint(graphs["era"])
+
+    def test_unknown_kind_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="operator kind"):
+            registry.acquire("era", kind="teleport")
+
+    def test_concurrent_first_requests_build_once(self, loader):
+        registry = OperatorRegistry(capacity=3, loader=loader)
+        barrier = threading.Barrier(4)
+        leases = []
+
+        def acquire():
+            barrier.wait()
+            with registry.acquire("era") as lease:
+                leases.append(lease.operator)
+
+        threads = [threading.Thread(target=acquire) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert loader.calls == ["era"]
+        assert all(op is leases[0] for op in leases)
+        registry.close()
+
+
+class TestLifecycle:
+    def test_lru_eviction_beyond_capacity(self, loader):
+        registry = OperatorRegistry(capacity=2, loader=loader)
+        for name in ("era", "erb", "erc"):
+            with registry.acquire(name):
+                pass
+        stats = registry.stats()
+        assert stats["entries"] == 2 and stats["evictions"] == 1
+        # "era" (least recently used) was the victim: re-acquiring rebuilds.
+        with registry.acquire("era"):
+            pass
+        assert loader.calls.count("era") == 2
+        registry.close()
+
+    def test_leased_entries_are_never_evicted(self, loader):
+        registry = OperatorRegistry(capacity=1, loader=loader)
+        lease = registry.acquire("era")
+        with registry.acquire("erb"):
+            pass
+        # "era" is pinned by the live lease; "erb" (refs==0) was evicted
+        # instead even though "era" is older.
+        assert registry.stats()["entries"] >= 1
+        with registry.acquire("era") as again:
+            assert again.operator is lease.operator
+        lease.release()
+        registry.close()
+
+    def test_capacity_must_be_positive(self, loader):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            OperatorRegistry(capacity=0, loader=loader)
+
+    def test_closed_registry_refuses_leases(self, loader):
+        registry = OperatorRegistry(loader=loader)
+        registry.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            registry.acquire("era")
+        registry.close()  # idempotent
+
+    @pytest.mark.skipif(
+        not parallel_backend_available(), reason="needs shared-memory backend"
+    )
+    def test_close_unlinks_warm_segments(self, loader):
+        before = _shm_entries()
+        registry = OperatorRegistry(capacity=2, loader=loader, publish=True)
+        with registry.acquire("era"):
+            pass
+        assert len(_shm_entries() - before) == 1  # one warm segment live
+        registry.close()
+        assert _shm_entries() - before == set()
+
+    @pytest.mark.skipif(
+        not parallel_backend_available(), reason="needs shared-memory backend"
+    )
+    def test_eviction_unlinks_the_victims_segment(self, loader):
+        before = _shm_entries()
+        registry = OperatorRegistry(capacity=1, loader=loader, publish=True)
+        with registry.acquire("era"):
+            pass
+        with registry.acquire("erb"):
+            pass
+        # Only the surviving entry's segment remains.
+        assert len(_shm_entries() - before) == 1
+        registry.close()
+        assert _shm_entries() - before == set()
