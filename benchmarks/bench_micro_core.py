@@ -18,7 +18,15 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import TransitionOperator, slem, total_variation_distance
+from repro.core import (
+    FLOAT32_CURVE_ATOL,
+    ExecutionPolicy,
+    TransitionOperator,
+    available_backends,
+    backend_numeric,
+    slem,
+    total_variation_distance,
+)
 from repro.datasets import load_cached
 from repro.graph import Graph
 from repro.sampling import bfs_sample
@@ -121,6 +129,30 @@ def test_micro_batched_evolution_speedup(medium_graph):
     assert np.array_equal(d_block, d_loop)  # batching never changes results
     speedup = t_loop / t_block
     assert speedup >= 3.0, f"block API only {speedup:.1f}x faster than loop"
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+def test_micro_backend_evolution(benchmark, medium_graph, backend):
+    """The batched-evolution hot path under each SpMM backend, with
+    identity asserted on the timed output: float64 backends must be
+    bit-for-bit the numpy result, float32 inside its pinned envelope.
+    Comparing this bench's per-backend timings is the seam's scoreboard.
+    """
+    operator = TransitionOperator(medium_graph)
+    operator.stationary()
+    sources = np.arange(256) % medium_graph.num_nodes
+    policy = ExecutionPolicy(backend=backend)
+    oracle = operator.variation_curves(sources, [_EVOLUTION_STEPS])
+
+    out = benchmark(
+        lambda: operator.variation_curves(
+            sources, [_EVOLUTION_STEPS], policy=policy
+        )
+    )
+    if backend_numeric(backend) == "float64":
+        assert np.array_equal(out, oracle)
+    else:
+        assert np.abs(out - oracle).max() <= FLOAT32_CURVE_ATOL
 
 
 def test_micro_route_advancement(benchmark, medium_graph):

@@ -26,7 +26,15 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import TransitionOperator, parallel_backend_available
+from repro.core import (
+    FLOAT32_CURVE_ATOL,
+    ExecutionPolicy,
+    TransitionOperator,
+    available_backends,
+    backend_numeric,
+    estimate_mixing_time,
+    parallel_backend_available,
+)
 from repro.datasets import load_cached
 
 _NUM_SOURCES = 1000
@@ -163,4 +171,110 @@ def test_parallel_sweep_speedup_gate(operator, sources, results_dir):
         f"parallel sweep speedup {speedup:.2f}x at {_GATE_WORKERS} workers "
         f"is below the {_SPEEDUP_FLOOR}x floor (serial {t_serial:.3f}s, "
         f"pooled {t_pool:.3f}s)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Backend-comparison gates (the PR-7 SpMM seam)
+# ----------------------------------------------------------------------
+def _append_backend_record(results_dir, record: dict) -> None:
+    """Per-backend timing sidecar (``backend_sweep.json``), keyed on
+    (benchmark, backend) so reruns replace rather than accumulate."""
+    path = results_dir / "backend_sweep.json"
+    records = []
+    if path.exists():
+        records = json.loads(path.read_text(encoding="utf-8"))
+    key = (record["benchmark"], record["backend"])
+    records = [
+        r for r in records if (r.get("benchmark"), r.get("backend")) != key
+    ]
+    records.append(record)
+    records.sort(key=lambda r: (r.get("benchmark", ""), r.get("backend", "")))
+    path.write_text(json.dumps(records, indent=2) + "\n", encoding="utf-8")
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+def test_backend_sweep_comparison(operator, sources, backend, results_dir):
+    """Every SpMM backend runs the physics1 sweep; per-backend wall time
+    goes to the sidecar and identity is asserted *on the timed run*:
+    float64 backends bit-for-bit against the numpy oracle, float32
+    inside its pinned envelope — a fast backend with drifted numbers
+    can never post a time.
+    """
+    subset = sources[:300]
+    oracle = operator.variation_curves(subset, _WALKS)
+
+    start = time.perf_counter()
+    out = operator.variation_curves(
+        subset, _WALKS, policy=ExecutionPolicy(backend=backend)
+    )
+    seconds = time.perf_counter() - start
+
+    numeric = backend_numeric(backend)
+    if numeric == "float64":
+        assert np.array_equal(out, oracle), f"{backend} drifted from oracle"
+    else:
+        worst = np.abs(out - oracle).max()
+        assert worst <= FLOAT32_CURVE_ATOL, (
+            f"{backend} outside envelope: {worst:.3e}"
+        )
+    _append_backend_record(
+        results_dir,
+        {
+            "benchmark": "backend_sweep",
+            "dataset": "physics1",
+            "backend": backend,
+            "numeric": numeric,
+            "num_sources": int(subset.size),
+            "walk_lengths": _WALKS,
+            "seconds": seconds,
+            "cpu_count": os.cpu_count(),
+        },
+    )
+
+
+def test_estimator_beats_point_mass_gate(operator, results_dir):
+    """The acceptance gate for the cheaper estimators: on the
+    physics1-scale sweep at ε=0.25, both new modes must undercut the
+    point-mass baseline — the uniform start needs (far) fewer evolution
+    steps than the worst point-mass source, and wall-clock must beat the
+    per-source baseline sweep outright.
+    """
+    graph = load_cached("physics1")
+    epsilon = 0.25
+    sources = list(range(50))
+
+    start = time.perf_counter()
+    baseline = estimate_mixing_time(
+        graph, epsilon, sources=sources, max_steps=500, operator=operator
+    )
+    t_baseline = time.perf_counter() - start
+
+    start = time.perf_counter()
+    uniform = estimate_mixing_time(
+        graph, epsilon, mode="uniform_start", max_steps=500, operator=operator
+    )
+    t_uniform = time.perf_counter() - start
+
+    base_steps = int(baseline.per_source.max())
+    uni_steps = int(uniform.per_source.max())
+    _append_backend_record(
+        results_dir,
+        {
+            "benchmark": "estimator_gate",
+            "dataset": "physics1",
+            "backend": "numpy",
+            "epsilon": epsilon,
+            "point_mass_seconds": t_baseline,
+            "point_mass_steps": base_steps,
+            "uniform_start_seconds": t_uniform,
+            "uniform_start_steps": uni_steps,
+        },
+    )
+    assert uni_steps < base_steps, (
+        f"uniform start took {uni_steps} steps vs point-mass {base_steps}"
+    )
+    assert t_uniform < t_baseline, (
+        f"uniform start ({t_uniform:.3f}s) did not beat the point-mass "
+        f"baseline ({t_baseline:.3f}s)"
     )

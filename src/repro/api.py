@@ -34,28 +34,38 @@ from .community import (
 )
 from .core import (
     DEFAULT_POLICY,
+    MEASUREMENT_MODES,
     DirectedTransitionOperator,
     ExecutionPolicy,
     HittingTimes,
     MarkovOperator,
     MixingTimeEstimate,
+    NonBacktrackingOperator,
     PerSourceMixing,
+    SpmmBackend,
     TransitionOperator,
     WeightedTransitionOperator,
     as_policy,
+    available_backends,
+    backend_numeric,
     cheeger_bounds,
     conductance_lower_bound,
     directed_variation_curves,
     empirical_cdf,
     estimate_mixing_time,
     fast_mixing_walk_length,
+    get_backend,
     lower_bound_curve,
     measure_mixing,
     mixing_time_lower_bound,
     mixing_time_upper_bound,
+    non_backtracking_curves,
+    non_backtracking_hitting_times,
+    non_backtracking_slem,
     originator_biased_curves,
     parallel_backend_available,
     percentile_bands,
+    register_backend,
     resolve_workers,
     sample_sources,
     simulate_walk,
@@ -161,6 +171,7 @@ __all__ = [
     "upper_bound_curve",
     "fast_mixing_walk_length",
     "measure_mixing",
+    "MEASUREMENT_MODES",
     "PerSourceMixing",
     "estimate_mixing_time",
     "MixingTimeEstimate",
@@ -172,6 +183,11 @@ __all__ = [
     "weighted_slem",
     "empirical_cdf",
     "percentile_bands",
+    # non-backtracking estimator
+    "NonBacktrackingOperator",
+    "non_backtracking_curves",
+    "non_backtracking_hitting_times",
+    "non_backtracking_slem",
     # execution runtime
     "ExecutionPolicy",
     "DEFAULT_POLICY",
@@ -179,6 +195,12 @@ __all__ = [
     "parallel_backend_available",
     "resolve_workers",
     "sweep_fingerprint",
+    # SpMM backend seam
+    "SpmmBackend",
+    "available_backends",
+    "backend_numeric",
+    "get_backend",
+    "register_backend",
     # serving layer
     "QueryEngine",
     "OperatorRegistry",

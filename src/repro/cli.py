@@ -183,6 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
         "memory budget; results are identical at any setting)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="SpMM backend for block evolution (numpy, tiled, float32; "
+        "default numpy; float64 backends are bit-identical, float32 "
+        "trades precision for memory bandwidth)",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         default=None,
@@ -289,6 +297,7 @@ def _serve(args) -> int:
         workers=args.workers,
         block_size=args.block_size,
         telemetry=telemetry,
+        **({"backend": args.backend} if args.backend is not None else {}),
     )
     engine = QueryEngine(
         OperatorRegistry(capacity=args.registry_capacity),
@@ -360,6 +369,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         resume=not args.no_resume,
         telemetry=telemetry,
         **({"max_retries": args.max_retries} if args.max_retries is not None else {}),
+        **({"backend": args.backend} if args.backend is not None else {}),
     )
     config = ExperimentConfig(
         mode="full" if args.full else "fast",

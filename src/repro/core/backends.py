@@ -1,0 +1,387 @@
+"""Pluggable SpMM backends for the blocked ``X @ P`` hot path.
+
+Every measurement in the reproduction — variation curves, hitting
+times, block evolution, the service's coalesced sweeps — bottoms out in
+the same dense-block-times-CSR product.  This module is the seam that
+lets that product be served by interchangeable kernels, selected via
+:class:`~repro.core.runtime.ExecutionPolicy`'s ``backend`` field:
+
+``"numpy"`` (default)
+    scipy's native ``block @ csr`` — bit-for-bit the kernels every
+    pinned golden value was produced with.  Choosing it changes nothing.
+``"tiled"``
+    A cache-tiled pure-numpy CSC rank-stripe kernel that reproduces the
+    scipy accumulation order **exactly** (float64 output is
+    ``np.array_equal`` to the numpy backend), with an optional numba JIT
+    inner loop when numba is importable (``REPRO_NUMBA=0`` disables the
+    JIT without uninstalling anything).
+``"float32"``
+    Single-precision SpMM: the block and matrix are downcast to float32
+    for the multiply and the result upcast to float64.  Cheap on
+    bandwidth-bound graphs, *not* exact — its error envelope against the
+    float64 oracle is pinned by the differential harness
+    (``tests/core/test_backends.py``) using the constants below.
+
+Contract
+--------
+A backend is an :class:`SpmmBackend`: a name, a ``numeric`` tag
+(``"float64"`` backends must be bit-identical to the numpy oracle;
+``"float32"`` backends must stay inside the pinned envelope), and a
+``factory(csr_matrix) -> step`` where ``step(block)`` maps a float64
+``(s, n)`` block to the float64 ``(s, n)`` next block.  Register new
+backends with :func:`register_backend`; ``ExecutionPolicy`` validates
+names at construction, so an unknown backend fails fast with
+:class:`~repro.errors.ConfigurationError` instead of deep inside a
+sweep.  Backends are *execution* knobs: float64 backends never enter
+checkpoint fingerprints or service cache keys; float32 (any non-exact
+numeric) keys separately because its numbers genuinely differ.
+
+Every prepared step is row-independent (each output row depends only on
+the matching input row), which is what keeps worker sharding, chunking
+and early-exit masking bit-for-bit neutral per backend — the invariant
+the differential harness re-pins for every registered name.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..obs import OBS
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "FLOAT32_CURVE_ATOL",
+    "FLOAT32_TIME_SLACK",
+    "SpmmBackend",
+    "available_backends",
+    "backend_numeric",
+    "get_backend",
+    "numba_available",
+    "register_backend",
+    "validate_backend",
+]
+
+#: The backend every policy uses unless told otherwise: scipy's own
+#: kernels, i.e. exactly the arithmetic all pinned values came from.
+DEFAULT_BACKEND = "numpy"
+
+#: Environment kill-switch for the optional numba JIT inside the tiled
+#: backend: ``REPRO_NUMBA=0`` forces the pure-numpy stripe kernel even
+#: when numba is importable (CI runs the differential harness both ways).
+_NUMBA_ENV = "REPRO_NUMBA"
+
+#: Columns per tile in the pure-numpy stripe kernel: small enough that a
+#: tile's output columns stay cache-resident across its stripes, large
+#: enough to amortise the per-stripe fancy-indexing overhead.
+_TILE_COLS = 64
+
+# ----------------------------------------------------------------------
+# Pinned float32 error envelope (validated by tests/core/test_backends.py)
+# ----------------------------------------------------------------------
+#: Absolute tolerance on any recorded variation distance produced by the
+#: float32 backend, versus the float64 oracle.  Derivation: one float32
+#: SpMM step commits a relative rounding of at most a few ulps
+#: (~1.2e-7) per output element; the TVD sums n absolute differences of
+#: probabilities that themselves sum to 1, so the per-step distance
+#: perturbation is O(steps * eps32) with a modest constant.  The golden
+#: suite (walks up to 40 on graphs up to 80 nodes) lands below 1e-5;
+#: 1e-4 gives an order of magnitude of headroom without ever masking a
+#: genuinely wrong kernel (a transposed or mis-weighted SpMM is off by
+#: O(1e-1)).
+FLOAT32_CURVE_ATOL = 1e-4
+
+#: Hitting times are argmin-threshold crossings: when the float64
+#: distance at the hitting step sits within float32 noise of epsilon,
+#: the float32 walk may cross one step earlier or later.  The harness
+#: therefore allows per-source hitting times to differ by at most this
+#: many steps (and asserts the recorded distances stay within
+#: :data:`FLOAT32_CURVE_ATOL`).
+FLOAT32_TIME_SLACK = 1
+
+
+def numba_available() -> bool:
+    """True when the tiled backend may JIT its inner loop with numba.
+
+    Requires numba to be importable *and* ``REPRO_NUMBA`` unset/non-zero
+    — the env switch lets CI exercise the pure-numpy stripe kernel on
+    machines where numba happens to be installed.
+    """
+    if os.environ.get(_NUMBA_ENV, "") == "0":
+        return False
+    try:
+        import numba  # noqa: F401  (probe import)
+    except Exception:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Kernel factories
+# ----------------------------------------------------------------------
+def _prepare_numpy(matrix) -> Callable[[np.ndarray], np.ndarray]:
+    """The oracle: scipy's own dense-block x CSR product."""
+
+    def step(block: np.ndarray) -> np.ndarray:
+        return np.asarray(block @ matrix)
+
+    return step
+
+
+def _csc_arrays(matrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The matrix in CSC form — the layout scipy's kernel walks.
+
+    ``block @ csr`` routes through scipy's ``csc_matvecs`` on the
+    transposed view: output column ``j`` accumulates
+    ``X[:, rows[k]] * vals[k]`` over ``k`` in column ``j``'s slice, in
+    increasing ``k`` (= increasing source-row) order.  Reproducing that
+    accumulation order is what makes the tiled backend bit-for-bit.
+    """
+    csc = matrix.tocsc()
+    csc.sort_indices()
+    return (
+        np.ascontiguousarray(csc.indptr),
+        np.ascontiguousarray(csc.indices),
+        np.ascontiguousarray(csc.data, dtype=np.float64),
+    )
+
+
+_NUMBA_KERNEL_CACHE: Dict[str, Any] = {}
+
+
+def _numba_csc_kernel():
+    """Compile (once) the JIT inner loop replicating ``csc_matvecs``."""
+    kernel = _NUMBA_KERNEL_CACHE.get("csc")
+    if kernel is None:
+        import numba
+
+        @numba.njit(cache=False)
+        def csc_spmm(indptr, rows, vals, x, out):  # pragma: no cover - jit
+            ncols = indptr.shape[0] - 1
+            nrows = x.shape[0]
+            for j in range(ncols):
+                for k in range(indptr[j], indptr[j + 1]):
+                    r = rows[k]
+                    v = vals[k]
+                    for i in range(nrows):
+                        out[i, j] += x[i, r] * v
+
+        kernel = csc_spmm
+        _NUMBA_KERNEL_CACHE["csc"] = kernel
+    return kernel
+
+
+def _prepare_tiled(matrix) -> Callable[[np.ndarray], np.ndarray]:
+    """Cache-tiled CSC rank-stripe SpMM, bit-identical to the oracle.
+
+    The pure-numpy path vectorises over *stripes*: stripe ``t`` touches,
+    for every column with at least ``t + 1`` entries, that column's
+    ``t``-th nonzero.  Within one column the stripes run in increasing
+    ``k`` order, so each output element accumulates its terms in exactly
+    the order scipy's ``csc_matvecs`` does — same floating-point
+    sequence, same bits.  Columns are processed in tiles of
+    :data:`_TILE_COLS` so a tile's output columns stay hot across its
+    stripes.  When :func:`numba_available`, the per-element loop is
+    JIT-compiled instead (identical accumulation order).
+    """
+    indptr, rows, vals = _csc_arrays(matrix)
+    n_cols = indptr.shape[0] - 1
+    if numba_available():
+        kernel = _numba_csc_kernel()
+
+        def step(block: np.ndarray) -> np.ndarray:
+            x = np.ascontiguousarray(block, dtype=np.float64)
+            out = np.zeros((x.shape[0], n_cols), dtype=np.float64)
+            kernel(indptr, rows, vals, x, out)
+            return out
+
+        return step
+
+    deg = np.diff(indptr)
+    tiles: List[Tuple[int, int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]] = []
+    for lo in range(0, n_cols, _TILE_COLS):
+        hi = min(lo + _TILE_COLS, n_cols)
+        tile_deg = deg[lo:hi]
+        tile_max = int(tile_deg.max()) if tile_deg.size else 0
+        stripes = []
+        for t in range(tile_max):
+            cols = lo + np.flatnonzero(tile_deg > t)
+            pos = indptr[cols] + t
+            stripes.append((cols, rows[pos], vals[pos]))
+        tiles.append((lo, hi, stripes))
+
+    def step(block: np.ndarray) -> np.ndarray:
+        x = np.asarray(block, dtype=np.float64)
+        out = np.zeros((x.shape[0], n_cols), dtype=np.float64)
+        for _lo, _hi, stripes in tiles:
+            for cols, srcs, weights in stripes:
+                out[:, cols] += x[:, srcs] * weights
+        return out
+
+    return step
+
+
+def _prepare_float32(matrix) -> Callable[[np.ndarray], np.ndarray]:
+    """Single-precision SpMM: downcast, multiply, upcast.
+
+    The block is re-downcast every step (rather than kept float32
+    between steps) so one step's arithmetic is self-contained: the error
+    versus the oracle grows additively with walk length, which is what
+    the pinned :data:`FLOAT32_CURVE_ATOL` envelope budgets for.
+    """
+    from scipy.sparse import csr_matrix
+
+    m32 = csr_matrix(
+        (
+            matrix.data.astype(np.float32),
+            matrix.indices.copy(),
+            matrix.indptr.copy(),
+        ),
+        shape=matrix.shape,
+    )
+
+    def step(block: np.ndarray) -> np.ndarray:
+        x = np.asarray(block, dtype=np.float32)
+        return np.asarray(x @ m32, dtype=np.float64)
+
+    return step
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpmmBackend:
+    """One registered SpMM kernel family.
+
+    Attributes
+    ----------
+    name:
+        Registry key; the value of ``ExecutionPolicy.backend``.
+    numeric:
+        ``"float64"`` (must be bit-identical to the numpy oracle) or
+        ``"float32"`` (must satisfy the pinned error envelope).  The
+        service layer keys result caches on this tag: float64 backends
+        share cache entries, non-exact numerics key separately.
+    factory:
+        ``factory(csr_matrix) -> step`` preparing a per-matrix step
+        closure; preparation cost is paid once per operator and memoised
+        by the operator layer.
+    description:
+        One line for docs and ``repro-mixing`` help surfaces.
+    """
+
+    name: str
+    numeric: str
+    factory: Callable[[Any], Callable[[np.ndarray], np.ndarray]] = field(repr=False)
+    description: str = ""
+
+    def prepare(self, matrix) -> Callable[[np.ndarray], np.ndarray]:
+        """Build the telemetry-wrapped step closure for ``matrix``."""
+        inner = self.factory(matrix)
+        name = self.name
+        if OBS.enabled:
+            OBS.add("core.backend.prepares")
+
+        def step(block: np.ndarray) -> np.ndarray:
+            if OBS.enabled:
+                OBS.add(f"core.backend.steps.{name}")
+                OBS.add("core.backend.rows", int(block.shape[0]))
+            return inner(block)
+
+        return step
+
+
+_REGISTRY: Dict[str, SpmmBackend] = {}
+
+
+def register_backend(backend: SpmmBackend, *, replace: bool = False) -> SpmmBackend:
+    """Add a backend to the registry (the extension point for new kernels).
+
+    Names are unique; re-registering an existing name without
+    ``replace=True`` raises :class:`~repro.errors.ConfigurationError`
+    (silent shadowing would invalidate the differential harness's
+    claim to have covered every backend).  ``numeric`` must be
+    ``"float64"`` or ``"float32"`` — the two contract classes the
+    harness knows how to gate.
+    """
+    if not isinstance(backend, SpmmBackend):
+        raise ConfigurationError(
+            f"backend must be an SpmmBackend, got {type(backend).__name__}"
+        )
+    if backend.numeric not in ("float64", "float32"):
+        raise ConfigurationError(
+            f"backend numeric must be 'float64' or 'float32', got {backend.numeric!r}"
+        )
+    if not replace and backend.name in _REGISTRY:
+        raise ConfigurationError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+register_backend(
+    SpmmBackend(
+        name="numpy",
+        numeric="float64",
+        factory=_prepare_numpy,
+        description="scipy native block x CSR (the oracle; default)",
+    )
+)
+register_backend(
+    SpmmBackend(
+        name="tiled",
+        numeric="float64",
+        factory=_prepare_tiled,
+        description="cache-tiled CSC rank-stripe kernel, bit-identical to "
+        "the oracle; numba-JIT inner loop when importable",
+    )
+)
+register_backend(
+    SpmmBackend(
+        name="float32",
+        numeric="float32",
+        factory=_prepare_float32,
+        description="single-precision SpMM inside the pinned error envelope",
+    )
+)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered backend, registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str) -> SpmmBackend:
+    """Look a backend up by name; unknown names raise ``ConfigurationError``."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ConfigurationError(
+            f"unknown SpMM backend {name!r}; "
+            f"registered backends: {', '.join(_REGISTRY)}"
+        )
+    return backend
+
+
+def validate_backend(name) -> str:
+    """Normalise/validate a policy's ``backend`` field at construction."""
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"backend must be a string backend name, got {name!r} "
+            f"({type(name).__name__})"
+        )
+    get_backend(name)
+    return name
+
+
+def backend_numeric(name: str) -> str:
+    """``"float64"`` or ``"float32"`` for a registered backend name.
+
+    The service layer uses this to decide cache-key identity: float64
+    backends are execution-only knobs (shared cache entries), anything
+    else keys separately.
+    """
+    return get_backend(name).numeric

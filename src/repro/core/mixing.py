@@ -24,7 +24,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import ConfigurationError, ConvergenceError
 from ..graph import Graph
 from .._util import as_rng
 from .operators import MarkovOperator
@@ -32,6 +32,7 @@ from .runtime import ExecutionPolicy, as_policy
 from .walks import TransitionOperator
 
 __all__ = [
+    "MEASUREMENT_MODES",
     "variation_distance_curve",
     "mixing_time_from_source",
     "PerSourceMixing",
@@ -40,6 +41,49 @@ __all__ = [
     "MixingTimeEstimate",
     "estimate_mixing_time",
 ]
+
+#: Estimator modes accepted by :func:`measure_mixing` /
+#: :func:`estimate_mixing_time` (and the service query vocabulary).
+#:
+#: ``"point_mass"``
+#:     The paper's definition: one walk per source node, started from a
+#:     point mass (default, bit-for-bit the historical behaviour).
+#: ``"uniform_start"``
+#:     One walk started from the *uniform* distribution — the
+#:     warm-started estimator of "Speeding up random walk mixing by
+#:     starting from a uniform vertex": a single evolved row replaces
+#:     ``s`` point-mass rows, trading the per-source worst case for the
+#:     averaged start at a fraction of the cost.  ``sources`` is ignored
+#:     and the result carries the sentinel source ``-1``.
+#: ``"non_backtracking"``
+#:     Hashimoto-style edge-space walks (see
+#:     :mod:`repro.core.nonbacktracking`): per-source walks that never
+#:     immediately reverse an edge, measured on node occupancies against
+#:     ``deg/2m``.  Requires ``laziness == 0`` and builds its own arc
+#:     operator (a supplied node-space ``operator`` is rejected).
+MEASUREMENT_MODES = ("point_mass", "uniform_start", "non_backtracking")
+
+
+def _check_mode(mode: str, *, laziness: float, operator) -> str:
+    """Validate an estimator mode against the other knobs."""
+    if mode not in MEASUREMENT_MODES:
+        raise ConfigurationError(
+            f"unknown measurement mode {mode!r}; expected one of {MEASUREMENT_MODES}"
+        )
+    if mode == "non_backtracking":
+        if laziness != 0.0:
+            raise ConfigurationError(
+                "non_backtracking mode does not support laziness "
+                "(the Hashimoto chain has no lazy variant here)"
+            )
+        from .nonbacktracking import NonBacktrackingOperator
+
+        if operator is not None and not isinstance(operator, NonBacktrackingOperator):
+            raise ConfigurationError(
+                "non_backtracking mode requires a NonBacktrackingOperator "
+                f"(got {type(operator).__name__})"
+            )
+    return mode
 
 
 def variation_distance_curve(
@@ -170,6 +214,7 @@ def measure_mixing(
     block_size: Optional[int] = None,
     workers: Optional[int] = None,
     policy: Optional[ExecutionPolicy] = None,
+    mode: str = "point_mass",
 ) -> PerSourceMixing:
     """Measure variation distance at the given walk lengths.
 
@@ -208,6 +253,10 @@ def measure_mixing(
         checkpoint directory).  Passing ``checkpoint_dir`` makes this
         sweep resumable: completed shards are persisted and skipped on
         restart, with bit-identical final output.
+    mode:
+        Estimator mode — see :data:`MEASUREMENT_MODES`.  The default
+        ``"point_mass"`` is the paper's definition and is bit-for-bit
+        the historical behaviour.
 
     All sources are evolved through the shared
     :meth:`~repro.core.operators.MarkovOperator.variation_curves` block
@@ -215,11 +264,30 @@ def measure_mixing(
     an order of magnitude faster than per-source vector products (same
     math, bit-identical results).
     """
+    _check_mode(mode, laziness=laziness, operator=operator)
     lengths = np.asarray(list(walk_lengths), dtype=np.int64)
     if lengths.size == 0:
         raise ValueError("walk_lengths must be non-empty")
     if np.any(lengths < 0) or np.any(np.diff(lengths) <= 0):
         raise ValueError("walk_lengths must be strictly increasing and nonnegative")
+    run_policy = as_policy(policy, workers=workers, block_size=block_size)
+
+    if mode == "uniform_start":
+        if operator is None:
+            operator = TransitionOperator(
+                graph, laziness=laziness, check_aperiodic=check_aperiodic
+            )
+        uniform = np.full(
+            (1, operator.num_states), 1.0 / operator.num_states, dtype=np.float64
+        )
+        out = operator.distribution_variation_curves(
+            uniform, lengths, policy=run_policy
+        )
+        return PerSourceMixing(
+            sources=np.array([-1], dtype=np.int64),
+            walk_lengths=lengths,
+            distances=out,
+        )
 
     if sources is None or isinstance(sources, (int, np.integer)):
         source_ids = sample_sources(graph, None if sources is None else int(sources), seed=seed)
@@ -228,15 +296,21 @@ def measure_mixing(
         if source_ids.size == 0:
             raise ValueError("sources must be non-empty")
 
+    if mode == "non_backtracking":
+        from .nonbacktracking import non_backtracking_curves
+
+        out = non_backtracking_curves(
+            graph, source_ids, lengths, operator=operator, policy=run_policy
+        )
+        return PerSourceMixing(
+            sources=source_ids, walk_lengths=lengths, distances=out
+        )
+
     if operator is None:
         operator = TransitionOperator(
             graph, laziness=laziness, check_aperiodic=check_aperiodic
         )
-    out = operator.variation_curves(
-        source_ids,
-        lengths,
-        policy=as_policy(policy, workers=workers, block_size=block_size),
-    )
+    out = operator.variation_curves(source_ids, lengths, policy=run_policy)
     return PerSourceMixing(sources=source_ids, walk_lengths=lengths, distances=out)
 
 
@@ -277,12 +351,17 @@ def estimate_mixing_time(
     block_size: Optional[int] = None,
     workers: Optional[int] = None,
     policy: Optional[ExecutionPolicy] = None,
+    mode: str = "point_mass",
 ) -> MixingTimeEstimate:
     """Estimate T(eps) by per-source hitting times of the eps ball.
 
     ``operator`` (optional) is a pre-built operator over ``graph`` — the
     warm path used by the service registry; ``laziness`` is ignored when
     it is given, and results are bit-identical to cold construction.
+    ``mode`` selects the estimator (see :data:`MEASUREMENT_MODES`):
+    ``"uniform_start"`` reports the single hitting time of the uniform
+    start (sentinel source ``-1``), ``"non_backtracking"`` the per-source
+    hitting times of the Hashimoto walk measured on node occupancies.
 
     All sources are evolved as one chunked block through
     :meth:`~repro.core.operators.MarkovOperator.hitting_times`, with
@@ -296,20 +375,58 @@ def estimate_mixing_time(
     :class:`ConvergenceError` when *no* source converges within
     ``max_steps`` (partial results are attached to the error).
     """
+    _check_mode(mode, laziness=laziness, operator=operator)
+    run_policy = as_policy(policy, workers=workers, block_size=block_size)
+
+    if mode == "uniform_start":
+        if operator is None:
+            operator = TransitionOperator(graph, laziness=laziness)
+        uniform = np.full(
+            (1, operator.num_states), 1.0 / operator.num_states, dtype=np.float64
+        )
+        result = operator.distribution_hitting_times(
+            uniform, epsilon, max_steps=max_steps, policy=run_policy
+        )
+        times = result.times
+        if np.all(times < 0):
+            raise ConvergenceError(
+                f"uniform start did not reach epsilon={epsilon} within {max_steps} steps",
+                partial=times,
+            )
+        return MixingTimeEstimate(
+            epsilon=float(epsilon),
+            walk_length=int(times.max()),
+            per_source=times,
+            sources=np.array([-1], dtype=np.int64),
+            exhaustive=False,
+        )
+
     if sources is None or isinstance(sources, (int, np.integer)):
         source_ids = sample_sources(graph, None if sources is None else int(sources), seed=seed)
         exhaustive = sources is None
     else:
         source_ids = np.asarray(list(sources), dtype=np.int64)
         exhaustive = False
-    if operator is None:
-        operator = TransitionOperator(graph, laziness=laziness)
-    times = operator.hitting_times(
-        source_ids,
-        epsilon,
-        max_steps=max_steps,
-        policy=as_policy(policy, workers=workers, block_size=block_size),
-    ).times
+    if mode == "non_backtracking":
+        from .nonbacktracking import non_backtracking_hitting_times
+
+        times = non_backtracking_hitting_times(
+            graph,
+            source_ids,
+            epsilon,
+            max_steps=max_steps,
+            operator=operator,
+            policy=run_policy,
+        ).times
+    else:
+        if operator is None:
+            operator = TransitionOperator(graph, laziness=laziness)
+        times = operator.hitting_times(
+            source_ids,
+            epsilon,
+            max_steps=max_steps,
+            policy=run_policy,
+        ).times
     if np.all(times < 0):
         raise ConvergenceError(
             f"no source reached epsilon={epsilon} within {max_steps} steps",

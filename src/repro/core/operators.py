@@ -140,6 +140,7 @@ class MarkovOperator(ABC):
         """Initialise shared state; must run before any evolution call."""
         self._num_states = int(num_states)
         self._stationary_cache: Optional[np.ndarray] = None
+        self._backend_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Abstract surface
@@ -156,6 +157,37 @@ class MarkovOperator(ABC):
         method and inherit everything else.
         """
         return np.asarray(block @ self._matrix)
+
+    def _resolve_step(self, policy: ExecutionPolicy):
+        """The step kernel honouring ``policy.backend``.
+
+        ``backend="numpy"`` (the default) — and *any* backend on an
+        operator with a custom :meth:`_apply_block` (teleporting,
+        dangling-mass dynamics the registry kernels cannot replicate
+        from CSR arrays alone, mirroring
+        :func:`repro.core.parallel.describe_operator`'s contract) —
+        resolves to :meth:`_apply_block` itself: choosing the default
+        backend changes nothing, bit-for-bit.  Other backends prepare a
+        kernel over ``self._matrix`` once and memoise it per backend
+        name on the operator.
+        """
+        name = policy.backend
+        if (
+            name == "numpy"
+            or type(self)._apply_block is not MarkovOperator._apply_block
+            or getattr(self, "_matrix", None) is None
+        ):
+            return self._apply_block
+        cache = getattr(self, "_backend_cache", None)
+        if cache is None:  # operators built before _init_operator grew the cache
+            cache = self._backend_cache = {}
+        step = cache.get(name)
+        if step is None:
+            from .backends import get_backend
+
+            step = get_backend(name).prepare(self._matrix)
+            cache[name] = step
+        return step
 
     # ------------------------------------------------------------------
     # Shared properties
@@ -295,8 +327,9 @@ class MarkovOperator(ABC):
             if OBS.enabled:
                 OBS.add("core.evolution.rows", x.shape[0])
                 OBS.add("core.evolution.steps", steps * x.shape[0])
+            apply_step = self._resolve_step(policy)
             for _ in range(steps):
-                x = self._apply_block(x)
+                x = apply_step(x)
             return x
 
     def trajectory(self, distribution: np.ndarray, steps: int, *, validate: bool = True) -> np.ndarray:
@@ -402,6 +435,7 @@ class MarkovOperator(ABC):
                 OBS.add("core.evolution.steps", int(lengths[-1]) * src.size)
                 OBS.observe("core.evolution.chunk_rows", min(chunk_rows, src.size))
             max_len = int(lengths[-1])
+            apply_step = self._resolve_step(policy)
             out = np.empty((src.size, lengths.size), dtype=np.float64)
             for lo in range(0, src.size, chunk_rows):
                 chunk = src[lo:lo + chunk_rows]
@@ -426,7 +460,7 @@ class MarkovOperator(ABC):
                             )
                         col += 1
                     if t < max_len:
-                        x = self._apply_block(x)
+                        x = apply_step(x)
             return out
 
     def hitting_times(
@@ -487,6 +521,7 @@ class MarkovOperator(ABC):
                 span.set(chunk_rows=int(chunk_rows), path="serial")
                 OBS.add("core.evolution.rows", src.size)
                 OBS.observe("core.evolution.chunk_rows", min(chunk_rows, src.size))
+            apply_step = self._resolve_step(policy)
             times = np.full(src.size, -1, dtype=np.int64)
             final = np.empty(src.size, dtype=np.float64)
             for lo in range(0, src.size, chunk_rows):
@@ -504,7 +539,7 @@ class MarkovOperator(ABC):
                 for t in range(1, max_steps + 1):
                     if active.size == 0:
                         break
-                    x = self._apply_block(x)
+                    x = apply_step(x)
                     if telemetry:
                         OBS.add("core.evolution.steps", active.size)
                     dist = total_variation_to_reference(x, ref, validate=False)
@@ -529,3 +564,112 @@ class MarkovOperator(ABC):
                     OBS.observe("core.hitting.steps_per_chunk", last_t)
                     OBS.add("core.hitting.unconverged_rows", int(active.size))
             return HittingTimes(times=times, final_distances=final)
+
+    # ------------------------------------------------------------------
+    # Distribution-start measurement (uniform-start / warm-start modes)
+    # ------------------------------------------------------------------
+    def distribution_variation_curves(
+        self,
+        block: np.ndarray,
+        walk_lengths: Sequence[int],
+        *,
+        reference: Optional[np.ndarray] = None,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> np.ndarray:
+        """TVD checkpoints for walks started from *given* distributions.
+
+        The generalisation of :meth:`variation_curves` from point masses
+        to arbitrary initial rows — the primitive behind the
+        uniform-start estimator ("start the walk at a uniformly random
+        vertex" collapses ``s`` point-mass sweeps into evolving the one
+        uniform row) and behind warm-started measurement generally.
+        Rows are chunked exactly like the point-mass path and evolved
+        with the policy-selected backend kernel; the sweep is serial by
+        design (the callers pass a handful of rows, far below where the
+        pool pays for itself).
+        """
+        lengths = np.asarray(walk_lengths, dtype=np.int64).ravel()
+        if lengths.size == 0:
+            raise ValueError("walk_lengths must be non-empty")
+        if np.any(lengths < 0) or np.any(np.diff(lengths) <= 0):
+            raise ValueError("walk_lengths must be strictly increasing and nonnegative")
+        policy = policy if policy is not None else as_policy(None)
+        x_all = self._check_block(block)
+        ref = self.stationary() if reference is None else self._check_vector(
+            reference, name="reference"
+        )
+        chunk_rows = resolve_block_size(self._num_states, policy.block_size)
+        apply_step = self._resolve_step(policy)
+        if OBS.enabled:
+            OBS.add("core.evolution.rows", x_all.shape[0])
+            OBS.add("core.evolution.steps", int(lengths[-1]) * x_all.shape[0])
+        max_len = int(lengths[-1])
+        out = np.empty((x_all.shape[0], lengths.size), dtype=np.float64)
+        for lo in range(0, x_all.shape[0], chunk_rows):
+            x = x_all[lo:lo + chunk_rows].copy()
+            col = 0
+            for t in range(max_len + 1):
+                if col < lengths.size and lengths[col] == t:
+                    out[lo:lo + x.shape[0], col] = total_variation_to_reference(
+                        x, ref, validate=False
+                    )
+                    col += 1
+                if t < max_len:
+                    x = apply_step(x)
+        return out
+
+    def distribution_hitting_times(
+        self,
+        block: np.ndarray,
+        epsilon: float,
+        *,
+        max_steps: int = 10_000,
+        reference: Optional[np.ndarray] = None,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> HittingTimes:
+        """Per-row ``min { t : || ref - x_i P^t ||_1 < eps }`` for given rows.
+
+        The distribution-start analogue of :meth:`hitting_times`, with
+        the same early-exit masking (converged rows retire from the
+        block).  Rows that never converge within ``max_steps`` get time
+        ``-1``.
+        """
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if max_steps < 0:
+            raise ValueError("max_steps must be nonnegative")
+        policy = policy if policy is not None else as_policy(None)
+        x_all = self._check_block(block)
+        ref = self.stationary() if reference is None else self._check_vector(
+            reference, name="reference"
+        )
+        chunk_rows = resolve_block_size(self._num_states, policy.block_size)
+        apply_step = self._resolve_step(policy)
+        num_rows = x_all.shape[0]
+        if OBS.enabled:
+            OBS.add("core.evolution.rows", num_rows)
+        times = np.full(num_rows, -1, dtype=np.int64)
+        final = np.empty(num_rows, dtype=np.float64)
+        for lo in range(0, num_rows, chunk_rows):
+            x = x_all[lo:lo + chunk_rows].copy()
+            active = np.arange(lo, lo + x.shape[0], dtype=np.int64)
+            dist = total_variation_to_reference(x, ref, validate=False)
+            hit = dist < epsilon
+            times[active[hit]] = 0
+            final[active] = dist
+            x = x[~hit]
+            active = active[~hit]
+            for t in range(1, max_steps + 1):
+                if active.size == 0:
+                    break
+                x = apply_step(x)
+                if OBS.enabled:
+                    OBS.add("core.evolution.steps", active.size)
+                dist = total_variation_to_reference(x, ref, validate=False)
+                final[active] = dist
+                hit = dist < epsilon
+                if np.any(hit):
+                    times[active[hit]] = t
+                    x = x[~hit]
+                    active = active[~hit]
+        return HittingTimes(times=times, final_distances=final)

@@ -125,6 +125,18 @@ def parallel_backend_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _fanout_available(policy: ExecutionPolicy) -> bool:
+    """Whether this policy's execution mode can fan out at all.
+
+    ``execution="threads"`` needs no fork and no shared memory — only
+    the ``REPRO_PARALLEL=0`` kill-switch can veto it; ``"processes"``
+    needs the full fork + shared-memory backend.
+    """
+    if policy.execution == "threads":
+        return os.environ.get(_ENV_SWITCH, "") != "0"
+    return parallel_backend_available()
+
+
 # ----------------------------------------------------------------------
 # Operator description (what gets published)
 # ----------------------------------------------------------------------
@@ -705,30 +717,35 @@ def _worker_operator(payload: OperatorPayload):
 # Worker task functions (must be module-level for pickling)
 # ----------------------------------------------------------------------
 def _curves_task(args) -> np.ndarray:
-    payload, sources, lengths, block_size = args
+    payload, sources, lengths, block_size, backend = args
     operator, reference = _worker_operator(payload)
     return operator.variation_curves(
-        sources, lengths, reference=reference, block_size=block_size
+        sources,
+        lengths,
+        reference=reference,
+        policy=ExecutionPolicy(block_size=block_size, backend=backend),
     )
 
 
 def _hitting_task(args) -> Tuple[np.ndarray, np.ndarray]:
-    payload, sources, epsilon, max_steps, block_size = args
+    payload, sources, epsilon, max_steps, block_size, backend = args
     operator, reference = _worker_operator(payload)
     result = operator.hitting_times(
         sources,
         epsilon,
         max_steps=max_steps,
         reference=reference,
-        block_size=block_size,
+        policy=ExecutionPolicy(block_size=block_size, backend=backend),
     )
     return result.times, result.final_distances
 
 
 def _evolve_task(args) -> np.ndarray:
-    payload, block, steps = args
+    payload, block, steps, backend = args
     operator, _reference = _worker_operator(payload)
-    return operator.evolve_block(block, steps)
+    return operator.evolve_block(
+        block, steps, policy=ExecutionPolicy(backend=backend)
+    )
 
 
 def _originator_task(args) -> np.ndarray:
@@ -859,14 +876,24 @@ def _effective_workers(workers: Optional[int], num_rows: int) -> int:
 
 
 def _operator_fingerprint(
-    sweep: str, kind: str, matrix, extras: dict, reference, *parts
+    sweep: str, kind: str, matrix, extras: dict, reference, *parts, backend="numpy"
 ) -> str:
     """Content-addressed identity of one operator sweep (checkpoint key).
 
     Hashes the CSR arrays, the operator's extra dynamics (damping /
     dangling mask / originator bias) and the sweep parameters — but not
-    ``workers``/``block_size``, to which results are pinned invariant.
+    ``workers``/``block_size``/``execution``, to which results are
+    pinned invariant.  ``backend`` follows the same rule *conditionally*:
+    float64 backends are bit-identical to the oracle, so they share the
+    oracle's fingerprint (a checkpoint taken under one resumes under
+    another); a non-exact numeric (float32) genuinely changes the
+    numbers, so its numeric tag joins the hash and its checkpoints never
+    masquerade as float64 results.
     """
+    from .backends import backend_numeric
+
+    numeric = backend_numeric(backend)
+    extra_parts = () if numeric == "float64" else (f"numeric:{numeric}",)
     return sweep_fingerprint(
         sweep,
         kind,
@@ -879,6 +906,7 @@ def _operator_fingerprint(
         float(extras.get("beta", 0.0)),
         reference,
         *parts,
+        *extra_parts,
     )
 
 
@@ -902,7 +930,8 @@ def maybe_parallel_variation_curves(
     """
     policy, workers, block_size = _policy_knobs(policy, workers, block_size)
     count = _effective_workers(workers, sources.size)
-    use_pool = count > 1 and parallel_backend_available()
+    threads = policy.execution == "threads"
+    use_pool = count > 1 and _fanout_available(policy)
     if (not use_pool and policy.checkpoint_dir is None) or sources.size == 0:
         return None
     described = describe_operator(operator)
@@ -912,7 +941,14 @@ def maybe_parallel_variation_curves(
     fingerprint = None
     if policy.checkpoint_dir is not None:
         fingerprint = _operator_fingerprint(
-            "curves", kind, matrix, extras, reference, sources, walk_lengths
+            "curves",
+            kind,
+            matrix,
+            extras,
+            reference,
+            sources,
+            walk_lengths,
+            backend=policy.backend,
         )
 
     def serial_run(lo: int, hi: int) -> np.ndarray:
@@ -920,15 +956,21 @@ def maybe_parallel_variation_curves(
             sources[lo:hi],
             walk_lengths,
             reference=reference,
-            policy=ExecutionPolicy(block_size=block_size),
+            policy=ExecutionPolicy(block_size=block_size, backend=policy.backend),
         )
 
-    if use_pool:
+    if use_pool and not threads:
         with _LeasedPublication(kind, matrix, extras, reference) as handle:
             payload = handle.payload
 
             def make_task(lo: int, hi: int):
-                return (payload, sources[lo:hi], walk_lengths, block_size)
+                return (
+                    payload,
+                    sources[lo:hi],
+                    walk_lengths,
+                    block_size,
+                    policy.backend,
+                )
 
             _note_parallel_path(count, min(sources.size, count * _OVERSHARD))
             parts = run_sharded(
@@ -943,15 +985,19 @@ def maybe_parallel_variation_curves(
                 overshard=_OVERSHARD,
             )
     else:
+        # Thread mode needs no publication — shards call the in-process
+        # serial kernel directly; run_sharded routes to the thread pool.
+        if use_pool:
+            _note_parallel_path(count, min(sources.size, count * _OVERSHARD))
         parts = run_sharded(
             kind="curves",
             total=int(sources.size),
             policy=policy,
-            workers=1,
+            workers=count if use_pool else 1,
             make_task=None,
             serial_run=serial_run,
             fingerprint=fingerprint,
-            use_pool=False,
+            use_pool=use_pool,
             overshard=_OVERSHARD,
         )
     return np.concatenate(parts, axis=0)
@@ -973,7 +1019,8 @@ def maybe_parallel_hitting_times(
     worker, exactly as in the serial chunks)."""
     policy, workers, block_size = _policy_knobs(policy, workers, block_size)
     count = _effective_workers(workers, sources.size)
-    use_pool = count > 1 and parallel_backend_available()
+    threads = policy.execution == "threads"
+    use_pool = count > 1 and _fanout_available(policy)
     if (not use_pool and policy.checkpoint_dir is None) or sources.size == 0:
         return None
     described = describe_operator(operator)
@@ -991,6 +1038,7 @@ def maybe_parallel_hitting_times(
             sources,
             float(epsilon),
             int(max_steps),
+            backend=policy.backend,
         )
 
     def serial_run(lo: int, hi: int):
@@ -999,16 +1047,23 @@ def maybe_parallel_hitting_times(
             epsilon,
             max_steps=max_steps,
             reference=reference,
-            policy=ExecutionPolicy(block_size=block_size),
+            policy=ExecutionPolicy(block_size=block_size, backend=policy.backend),
         )
         return result.times, result.final_distances
 
-    if use_pool:
+    if use_pool and not threads:
         with _LeasedPublication(kind, matrix, extras, reference) as handle:
             payload = handle.payload
 
             def make_task(lo: int, hi: int):
-                return (payload, sources[lo:hi], epsilon, max_steps, block_size)
+                return (
+                    payload,
+                    sources[lo:hi],
+                    epsilon,
+                    max_steps,
+                    block_size,
+                    policy.backend,
+                )
 
             _note_parallel_path(count, min(sources.size, count * _OVERSHARD))
             parts = run_sharded(
@@ -1023,15 +1078,17 @@ def maybe_parallel_hitting_times(
                 overshard=_OVERSHARD,
             )
     else:
+        if use_pool:
+            _note_parallel_path(count, min(sources.size, count * _OVERSHARD))
         parts = run_sharded(
             kind="hitting",
             total=int(sources.size),
             policy=policy,
-            workers=1,
+            workers=count if use_pool else 1,
             make_task=None,
             serial_run=serial_run,
             fingerprint=fingerprint,
-            use_pool=False,
+            use_pool=use_pool,
             overshard=_OVERSHARD,
         )
     times = np.concatenate([p[0] for p in parts])
@@ -1056,7 +1113,8 @@ def maybe_parallel_evolve_block(
     """
     policy, workers, _block_size = _policy_knobs(policy, workers, None)
     count = _effective_workers(workers, block.shape[0])
-    if count <= 1 or steps == 0 or not parallel_backend_available():
+    threads = policy.execution == "threads"
+    if count <= 1 or steps == 0 or not _fanout_available(policy):
         # No checkpoint-only path here: evolve blocks are usually one
         # iteration of a larger loop (e.g. SybilRank), so their content
         # changes every call and a content-addressed checkpoint would
@@ -1068,13 +1126,30 @@ def maybe_parallel_evolve_block(
     kind, matrix, extras = described
 
     def serial_run(lo: int, hi: int) -> np.ndarray:
-        return operator.evolve_block(block[lo:hi], steps)
+        return operator.evolve_block(
+            block[lo:hi], steps, policy=ExecutionPolicy(backend=policy.backend)
+        )
+
+    if threads:
+        _note_parallel_path(count, min(int(block.shape[0]), count * _OVERSHARD))
+        parts = run_sharded(
+            kind="evolve",
+            total=int(block.shape[0]),
+            policy=policy,
+            workers=count,
+            make_task=None,
+            serial_run=serial_run,
+            fingerprint=None,
+            use_pool=True,
+            overshard=_OVERSHARD,
+        )
+        return np.concatenate(parts, axis=0)
 
     with publish_operator(kind, matrix, None, **extras) as handle:
         payload = handle.payload
 
         def make_task(lo: int, hi: int):
-            return (payload, block[lo:hi], steps)
+            return (payload, block[lo:hi], steps, policy.backend)
 
         _note_parallel_path(count, min(int(block.shape[0]), count * _OVERSHARD))
         parts = run_sharded(
@@ -1110,7 +1185,8 @@ def maybe_parallel_originator_curves(
     """
     policy, workers, block_size = _policy_knobs(policy, workers, block_size)
     count = _effective_workers(workers, sources.size)
-    use_pool = count > 1 and parallel_backend_available()
+    threads = policy.execution == "threads"
+    use_pool = count > 1 and _fanout_available(policy)
     if (not use_pool and policy.checkpoint_dir is None) or sources.size == 0:
         return None
     chunk_rows = resolve_block_size(matrix.shape[0], block_size)
@@ -1133,7 +1209,7 @@ def maybe_parallel_originator_curves(
             matrix, reference, sources[lo:hi], beta, walk_lengths, chunk_rows
         )
 
-    if use_pool:
+    if use_pool and not threads:
         with publish_operator("originator", matrix, reference, beta=beta) as handle:
             payload = handle.payload
 
@@ -1153,15 +1229,17 @@ def maybe_parallel_originator_curves(
                 overshard=_OVERSHARD,
             )
     else:
+        if use_pool:
+            _note_parallel_path(count, min(sources.size, count * _OVERSHARD))
         parts = run_sharded(
             kind="originator",
             total=int(sources.size),
             policy=policy,
-            workers=1,
+            workers=count if use_pool else 1,
             make_task=None,
             serial_run=serial_run,
             fingerprint=fingerprint,
-            use_pool=False,
+            use_pool=use_pool,
             overshard=_OVERSHARD,
         )
     return np.concatenate(parts, axis=0)
@@ -1192,7 +1270,8 @@ def maybe_parallel_route_tails(
     policy, workers, block_size = _policy_knobs(policy, workers, block_size)
     num_instances = int(starts.shape[0])
     count = _effective_workers(workers, num_instances)
-    use_pool = count > 1 and parallel_backend_available()
+    threads = policy.execution == "threads"
+    use_pool = count > 1 and _fanout_available(policy)
     if (not use_pool and policy.checkpoint_dir is None) or num_instances == 0:
         return None
     from ..sybil.routes import advance_route_shard, arc_sources, reverse_slots
@@ -1220,7 +1299,7 @@ def maybe_parallel_route_tails(
             block_size,
         )
 
-    if use_pool:
+    if use_pool and not threads:
         named = [("src", src), ("rev", rev), ("starts", starts)]
         with publish_route_state(
             "route_tails", named, num_nodes=graph.num_nodes, entropy=entropy
@@ -1243,15 +1322,17 @@ def maybe_parallel_route_tails(
                 overshard=_OVERSHARD,
             )
     else:
+        if use_pool:
+            _note_parallel_path(count, min(num_instances, count * _OVERSHARD))
         parts = run_sharded(
             kind="route_tails",
             total=num_instances,
             policy=policy,
-            workers=1,
+            workers=count if use_pool else 1,
             make_task=None,
             serial_run=serial_run,
             fingerprint=fingerprint,
-            use_pool=False,
+            use_pool=use_pool,
             overshard=_OVERSHARD,
         )
     return np.concatenate(parts, axis=1)
@@ -1280,12 +1361,28 @@ def maybe_parallel_route_hits(
     policy, workers, _block_size = _policy_knobs(policy, workers, None)
     num_slots = int(table.shape[0])
     count = _effective_workers(workers, num_slots)
-    if count <= 1 or not parallel_backend_available():
+    if count <= 1 or not _fanout_available(policy):
         return None
     from ..sybil.sybilguard import route_hit_scan
 
     def serial_run(lo: int, hi: int) -> np.ndarray:
         return route_hit_scan(table, indices, src, mask, lo, hi, int(length))
+
+    if policy.execution == "threads":
+        _note_parallel_path(count, min(num_slots, count * _OVERSHARD))
+        return np.concatenate(
+            run_sharded(
+                kind="route_hits",
+                total=num_slots,
+                policy=policy,
+                workers=count,
+                make_task=None,
+                serial_run=serial_run,
+                fingerprint=None,
+                use_pool=True,
+                overshard=_OVERSHARD,
+            )
+        )
 
     named = [
         ("table", table),

@@ -67,6 +67,7 @@ import numpy as np
 
 from ..errors import CheckpointCorruption, ConfigurationError, RuntimeFailure
 from ..obs import OBS
+from .backends import DEFAULT_BACKEND, validate_backend
 
 __all__ = [
     "DEFAULT_POLICY",
@@ -133,6 +134,22 @@ class ExecutionPolicy:
         process-wide :data:`repro.obs.OBS` registry when set.  The
         numeric layers ignore it (telemetry is process-global and
         provably inert).
+    backend:
+        Name of the SpMM kernel serving the blocked ``X @ P`` hot path
+        (see :mod:`repro.core.backends`).  ``"numpy"`` (default) and
+        every other float64 backend are bit-for-bit neutral — the
+        differential harness pins them against the oracle — so like the
+        other knobs they never enter checkpoint fingerprints;
+        ``"float32"`` trades a pinned error envelope for bandwidth and
+        therefore *does* perturb results (its sweeps fingerprint and
+        cache separately).  Unknown names fail here, at construction.
+    execution:
+        ``"processes"`` (default) fans shards out across the PR-2
+        fork + shared-memory pool; ``"threads"`` runs the same shards on
+        a thread pool calling the in-process serial kernel directly — no
+        fork, no publish, no pickling, same bits (numpy releases the GIL
+        inside the SpMM).  Threads win on small sweeps where the pool's
+        startup overhead dominates.
     """
 
     workers: Optional[int] = None
@@ -142,6 +159,8 @@ class ExecutionPolicy:
     checkpoint_dir: Optional[str] = None
     resume: bool = True
     telemetry: bool = False
+    backend: str = DEFAULT_BACKEND
+    execution: str = "processes"
 
     def __post_init__(self):
         w = self.workers
@@ -180,6 +199,11 @@ class ExecutionPolicy:
             # Accept Path objects but store a plain string: policies end
             # up inside JSON run manifests via dataclasses.asdict.
             object.__setattr__(self, "checkpoint_dir", os.fspath(self.checkpoint_dir))
+        validate_backend(self.backend)
+        if self.execution not in ("processes", "threads"):
+            raise ConfigurationError(
+                f"execution must be 'processes' or 'threads', got {self.execution!r}"
+            )
 
 
 #: The policy every API uses when the caller passes nothing: serial,
@@ -682,7 +706,12 @@ def run_sharded(
             for lo, hi in pending:
                 OBS.observe("parallel.shard_rows", hi - lo)
         if use_pool and workers > 1:
-            _execute_pool(kind, pending, policy, workers, make_task, serial_run, _finish)
+            if policy.execution == "threads":
+                _execute_threads(kind, pending, workers, serial_run, _finish)
+            else:
+                _execute_pool(
+                    kind, pending, policy, workers, make_task, serial_run, _finish
+                )
         else:
             for lo, hi in pending:
                 _finish(lo, hi, serial_run(lo, hi))
@@ -702,6 +731,39 @@ def run_sharded(
             f"internal: {kind} sweep left rows [{cursor}, {total}) uncovered"
         )
     return out
+
+
+def _execute_threads(
+    kind: str,
+    pending: List[Tuple[int, int]],
+    workers: int,
+    serial_run: Callable[[int, int], Any],
+    finish: Callable[[int, int, Any], None],
+) -> None:
+    """Thread-pool fan-out: the serial kernel, concurrently.
+
+    Each shard calls ``serial_run`` — the in-process code path itself —
+    on a worker thread; numpy/scipy release the GIL inside the SpMM, so
+    independent shards overlap without fork or shared-memory publish
+    overhead.  No retry machinery: there is no process to die and no
+    deadline to miss, so a shard exception is a real error and
+    propagates (after every submitted future is drained).  Results are
+    bit-identical to serial by construction — it *is* the serial kernel.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    if OBS.enabled:
+        OBS.add("runtime.thread_sweeps")
+        OBS.add("runtime.thread_shards", len(pending))
+    with OBS.span(
+        "parallel.thread_pool", kind=kind, workers=int(workers), tasks=len(pending)
+    ):
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                (lo, hi, executor.submit(serial_run, lo, hi)) for lo, hi in pending
+            ]
+            for lo, hi, future in futures:
+                finish(lo, hi, future.result())
 
 
 def _execute_pool(

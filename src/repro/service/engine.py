@@ -62,6 +62,26 @@ __all__ = [
 ]
 
 
+def _warm_nonbacktracking(graph):
+    """The graph's Hashimoto operator, memoised like the arc tables.
+
+    The service answers many non-backtracking queries over one warm
+    graph; building the arc-space CSR once per graph mirrors how the
+    registry amortises node-space operator construction.
+    """
+    from ..core.nonbacktracking import NonBacktrackingOperator
+
+    memo = getattr(graph, "_memo", None)
+    if memo is not None:
+        cached = memo.get("nonbacktracking_operator")
+        if cached is not None:
+            return cached
+    operator = NonBacktrackingOperator(graph)
+    if memo is not None:
+        memo["nonbacktracking_operator"] = operator
+    return operator
+
+
 def _as_source_tuple(sources: Union[int, Sequence[int]]) -> Tuple[int, ...]:
     if isinstance(sources, (int, np.integer)):
         return (int(sources),)
@@ -71,15 +91,37 @@ def _as_source_tuple(sources: Union[int, Sequence[int]]) -> Tuple[int, ...]:
     return out
 
 
+def _check_query_mode(mode: str, laziness: float) -> None:
+    from ..core.mixing import MEASUREMENT_MODES
+
+    if mode not in MEASUREMENT_MODES:
+        raise ConfigurationError(
+            f"unknown measurement mode {mode!r}; expected one of {MEASUREMENT_MODES}"
+        )
+    if mode == "non_backtracking" and laziness != 0.0:
+        raise ConfigurationError(
+            "non_backtracking mode does not support laziness"
+        )
+
+
 @dataclass(frozen=True)
 class MixingTimeQuery:
-    """Mixing time from one node: min ``t`` with ``||pi - pi^(v) P^t||_1 < eps``."""
+    """Mixing time from one node: min ``t`` with ``||pi - pi^(v) P^t||_1 < eps``.
+
+    ``mode`` selects the estimator (``point_mass`` — the default, the
+    paper's definition —, ``uniform_start`` or ``non_backtracking``; see
+    :data:`repro.core.mixing.MEASUREMENT_MODES`).  ``uniform_start``
+    ignores ``source`` (normalised to the sentinel ``-1`` so all
+    uniform-start requests share one cache entry); non-default modes are
+    answered directly, never coalesced.
+    """
 
     dataset: str
     source: int
     epsilon: float
     laziness: float = 0.0
     max_steps: int = 10_000
+    mode: str = "point_mass"
 
     query_type = "mixing_time"
 
@@ -92,6 +134,9 @@ class MixingTimeQuery:
             raise ConfigurationError(
                 f"epsilon must be in (0, 1), got {self.epsilon}"
             )
+        _check_query_mode(self.mode, self.laziness)
+        if self.mode == "uniform_start":
+            object.__setattr__(self, "source", -1)
 
     @property
     def operator_kind(self) -> str:
@@ -105,11 +150,16 @@ class MixingTimeQuery:
             self.laziness,
             self.epsilon,
             self.max_steps,
+            self.mode,
         )
 
     def fingerprint(self, graph_key: str) -> str:
         from .keys import query_fingerprint
 
+        # The default mode keeps its historical fingerprint (cache
+        # entries survive the vocabulary extension); non-default modes
+        # answer a different question and key separately.
+        extra = {} if self.mode == "point_mass" else {"mode": self.mode}
         return query_fingerprint(
             self.query_type,
             graph_key,
@@ -117,17 +167,25 @@ class MixingTimeQuery:
             source=self.source,
             epsilon=self.epsilon,
             max_steps=self.max_steps,
+            **extra,
         )
 
 
 @dataclass(frozen=True)
 class VariationCurveQuery:
-    """Variation-distance curve(s): ``||pi - pi^(s) P^w||_1`` over ``w`` grid."""
+    """Variation-distance curve(s): ``||pi - pi^(s) P^w||_1`` over ``w`` grid.
+
+    ``mode`` selects the estimator exactly as on
+    :class:`MixingTimeQuery`; ``uniform_start`` ignores ``sources``
+    (normalised to ``(-1,)``) and returns the single uniform-start
+    curve.
+    """
 
     dataset: str
     sources: Tuple[int, ...]
     walk_lengths: Tuple[int, ...]
     laziness: float = 0.0
+    mode: str = "point_mass"
 
     query_type = "variation_curve"
 
@@ -138,6 +196,9 @@ class VariationCurveQuery:
             raise ConfigurationError("walk_lengths must be non-empty")
         object.__setattr__(self, "walk_lengths", walks)
         object.__setattr__(self, "laziness", float(self.laziness))
+        _check_query_mode(self.mode, self.laziness)
+        if self.mode == "uniform_start":
+            object.__setattr__(self, "sources", (-1,))
 
     @property
     def operator_kind(self) -> str:
@@ -145,17 +206,25 @@ class VariationCurveQuery:
 
     def bucket(self) -> Tuple:
         """Queries differing only in sources share one block sweep."""
-        return (self.query_type, self.dataset, self.laziness, self.walk_lengths)
+        return (
+            self.query_type,
+            self.dataset,
+            self.laziness,
+            self.walk_lengths,
+            self.mode,
+        )
 
     def fingerprint(self, graph_key: str) -> str:
         from .keys import query_fingerprint
 
+        extra = {} if self.mode == "point_mass" else {"mode": self.mode}
         return query_fingerprint(
             self.query_type,
             graph_key,
             self.operator_kind,
             sources=list(self.sources),
             walk_lengths=list(self.walk_lengths),
+            **extra,
         )
 
 
@@ -295,7 +364,11 @@ class QueryEngine:
     policy:
         :class:`~repro.core.runtime.ExecutionPolicy` applied to every
         sweep the engine runs.  Execution-only: answers are bit-identical
-        at any worker count, so the policy never enters a cache key.
+        at any worker count and under any *float64* SpMM backend, so the
+        policy never enters a cache key — with one pinned exception: a
+        reduced-precision backend (``float32``) changes the numbers, so
+        its results key separately (a ``:float32`` suffix on the
+        fingerprint) and never collide with float64 entries.
     coalesce_window:
         Seconds the bucket leader waits for co-batchable requests before
         flushing.  ``0`` disables coalescing (every request sweeps alone).
@@ -361,6 +434,11 @@ class QueryEngine:
             laziness = getattr(query, "laziness", 0.0)
             with self.registry.acquire(query.dataset, laziness=laziness) as lease:
                 key = query.fingerprint(lease.graph_key)
+                tag = self._numeric_tag()
+                if tag is not None:
+                    # Reduced-precision backends answer with different
+                    # numbers; their cache entries key separately.
+                    key = f"{key}:{tag}"
                 cached = self.cache.get(key)
                 if cached is not None:
                     if OBS.enabled:
@@ -368,9 +446,10 @@ class QueryEngine:
                     return self._finish(cached, key, True, False, 1, start, query)
                 if OBS.enabled:
                     OBS.add("service.cache.misses")
-                if self.coalesce_window > 0 and query.query_type in (
-                    "mixing_time",
-                    "variation_curve",
+                if (
+                    self.coalesce_window > 0
+                    and query.query_type in ("mixing_time", "variation_curve")
+                    and getattr(query, "mode", "point_mass") == "point_mass"
                 ):
                     value, batch_size = self._submit_coalesced(query, key, lease)
                 else:
@@ -379,6 +458,22 @@ class QueryEngine:
                 return self._finish(
                     value, key, False, batch_size > 1, batch_size, start, query
                 )
+
+    def _numeric_tag(self) -> Optional[str]:
+        """Cache-key suffix for reduced-precision backends (else ``None``).
+
+        Float64 backends are bit-identical to the numpy oracle, so they
+        share cache entries exactly like worker counts do; float32 is
+        the one knob that changes answers, and keying it separately is
+        the pinned design choice (never serve float32 numbers to a
+        float64 caller or vice versa).
+        """
+        if self.policy is None:
+            return None
+        from ..core.backends import backend_numeric
+
+        numeric = backend_numeric(self.policy.backend)
+        return None if numeric == "float64" else numeric
 
     def _finish(self, value, key, hit, coalesced, batch_size, start, query):
         latency = time.perf_counter() - start
@@ -493,26 +588,57 @@ class QueryEngine:
         from ..core.mixing import measure_mixing
 
         if query.query_type == "mixing_time":
-            hit = lease.operator.hitting_times(
-                [query.source],
-                query.epsilon,
-                max_steps=query.max_steps,
-                policy=self.policy,
-            )
-            return {
+            mode = getattr(query, "mode", "point_mass")
+            if mode == "uniform_start":
+                n = lease.operator.num_states
+                uniform = np.full((1, n), 1.0 / n, dtype=np.float64)
+                hit = lease.operator.distribution_hitting_times(
+                    uniform,
+                    query.epsilon,
+                    max_steps=query.max_steps,
+                    policy=self.policy,
+                )
+            elif mode == "non_backtracking":
+                from ..core.nonbacktracking import non_backtracking_hitting_times
+
+                hit = non_backtracking_hitting_times(
+                    lease.graph,
+                    [query.source],
+                    query.epsilon,
+                    max_steps=query.max_steps,
+                    operator=_warm_nonbacktracking(lease.graph),
+                    policy=self.policy,
+                )
+            else:
+                hit = lease.operator.hitting_times(
+                    [query.source],
+                    query.epsilon,
+                    max_steps=query.max_steps,
+                    policy=self.policy,
+                )
+            result = {
                 "source": int(query.source),
                 "time": int(hit.times[0]),
                 "final_distance": float(hit.final_distances[0]),
                 "epsilon": float(query.epsilon),
             }
+            if mode != "point_mass":
+                result["mode"] = mode
+            return result
         if query.query_type == "variation_curve":
+            mode = getattr(query, "mode", "point_mass")
             mixing = measure_mixing(
                 lease.graph,
                 list(query.walk_lengths),
-                sources=list(query.sources),
+                sources=None if mode == "uniform_start" else list(query.sources),
                 laziness=query.laziness,
-                operator=lease.operator,
+                operator=(
+                    _warm_nonbacktracking(lease.graph)
+                    if mode == "non_backtracking"
+                    else lease.operator
+                ),
                 policy=self.policy,
+                mode=mode,
             )
             return mixing.distances
         if query.query_type == "slem":

@@ -50,6 +50,13 @@ class TestParser:
         assert excinfo.value.code == 2
         assert "workers" in capsys.readouterr().err
 
+    def test_backend_flag(self):
+        args = cli.build_parser().parse_args(["fig1", "--backend", "tiled"])
+        assert args.backend == "tiled"
+        # Default is None: the policy's own default ("numpy") applies,
+        # so omitting the flag never overrides config-provided policies.
+        assert cli.build_parser().parse_args(["fig1"]).backend is None
+
 
 class TestExitCodes:
     """Intentional library errors map to distinct exit codes with a
@@ -90,6 +97,18 @@ class TestExitCodes:
         err = capsys.readouterr().err
         assert "ConfigurationError" in err
         assert "shard_timeout" in err
+
+    def test_unknown_backend_is_2(self, capsys, monkeypatch):
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig1", lambda c: "")
+        # An unregistered backend name passes argparse (free-form so
+        # plugins can register their own) but fails ExecutionPolicy
+        # validation → usage error with the registered names listed.
+        assert cli.main(["fig1", "--backend", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "ConfigurationError" in err
+        assert "unknown SpMM backend" in err
+        assert "numpy" in err
+        assert "Traceback" not in err
 
     def test_unexpected_exceptions_still_propagate(self, monkeypatch):
         def boom(config):
@@ -137,6 +156,20 @@ class TestPolicyPlumbing:
         assert policy.resume is False
         assert policy.max_retries == 4
         assert policy.shard_timeout == 12.0
+
+    def test_backend_flag_reaches_config_policy(self, monkeypatch):
+        seen = {}
+
+        def fake(config):
+            seen["policy"] = config.execution_policy
+            return ""
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig1", fake)
+        assert cli.main(["fig1", "--backend", "float32"]) == 0
+        assert seen["policy"].backend == "float32"
+        # Omitted flag → policy default, not an explicit override.
+        assert cli.main(["fig1"]) == 0
+        assert seen["policy"].backend == "numpy"
 
 
 class TestMain:

@@ -30,6 +30,7 @@ from repro.experiments import (
     run_sampling_bias_ablation,
     run_with_manifest,
 )
+from repro.core import DEFAULT_BACKEND, ExecutionPolicy, available_backends
 from repro.generators import erdos_renyi_gnm
 from repro.graph import largest_connected_component
 from repro.obs import MANIFEST_SCHEMA, validate_run_manifest
@@ -86,14 +87,21 @@ class TinyConfig(ExperimentConfig):
         return (2, 4)
 
 
-def _tiny_config(workers):
+def _tiny_config(workers, backend=None):
+    # policy= and legacy workers= are mutually exclusive on the config,
+    # so a backend override carries the worker count on the policy.
+    knobs = (
+        {"workers": workers}
+        if backend is None
+        else {"policy": ExecutionPolicy(workers=workers, backend=backend)}
+    )
     return TinyConfig(
         mode="fast",
         seed=123,
         epsilon_grid=(0.25, 0.1),
         short_walks=(1, 2, 4),
         long_walks=(4, 6),
-        workers=workers,
+        **knobs,
     )
 
 
@@ -146,3 +154,20 @@ def test_runner_smoke_serial_vs_parallel(name, tiny_datasets, tmp_path):
     assert "metrics" in on_disk and "counters" in on_disk["metrics"]
     # In-memory manifest matches what was written (modulo timestamps).
     assert serial_manifest["experiment"] == on_disk["experiment"]
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+def test_fig3_runner_backend_serial_vs_parallel(backend, tiny_datasets):
+    """The fig3 runner under every SpMM backend, workers 1 vs 2: worker
+    count never changes rendered output, and float64 backends reproduce
+    the numpy-backed rendering character for character."""
+    runner = EXPERIMENTS["fig3"]
+    serial = runner(_tiny_config(workers=1, backend=backend))
+    parallel = runner(_tiny_config(workers=2, backend=backend))
+    assert parallel == serial
+    if backend != DEFAULT_BACKEND:
+        from repro.core import backend_numeric
+
+        if backend_numeric(backend) == "float64":
+            oracle = runner(_tiny_config(workers=1, backend=DEFAULT_BACKEND))
+            assert serial == oracle

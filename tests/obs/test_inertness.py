@@ -254,3 +254,98 @@ def test_runtime_checkpoint_counters_recorded(obs, tmp_path):
     obs.disable()
     obs.reset()
     assert not any(name.startswith("runtime.") for name in plain)
+
+
+@pytest.mark.parametrize("backend", ["tiled", "float32"])
+def test_backend_sweeps_bit_identical(obs, backend):
+    """The SpMM backend seam is telemetry-inert: each backend produces
+    the same bits with telemetry off and on."""
+    from repro.core.runtime import ExecutionPolicy
+
+    def run():
+        op = make_operator("plain")
+        sources = np.arange(op.num_states, dtype=np.int64)
+        return op.variation_curves(
+            sources, [1, 2, 5, 9], policy=ExecutionPolicy(backend=backend)
+        )
+
+    off = _with_flag(obs, False, run)
+    on = _with_flag(obs, True, run)
+    assert np.array_equal(off, on)
+
+
+def test_backend_counters_recorded(obs, er_medium):
+    """Vacuity guard: a backend-driven sweep must record the new
+    ``core.backend.*`` counters, and the default numpy path none."""
+    from repro.core.runtime import ExecutionPolicy
+    from repro.core.walks import TransitionOperator
+
+    # A fresh operator: the zoo's lru-cached instance may already hold a
+    # memoised prepared step, which would skip the ``prepares`` counter.
+    op = TransitionOperator(er_medium)
+    sources = np.arange(min(12, op.num_states), dtype=np.int64)
+
+    obs.reset()
+    obs.enable()
+    op.variation_curves(sources, [1, 2], policy=ExecutionPolicy(backend="tiled"))
+    snap = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert snap["core.backend.prepares"] >= 1
+    assert snap["core.backend.steps.tiled"] >= 1
+    assert snap["core.backend.rows"] > 0
+
+    obs.reset()
+    obs.enable()
+    op.variation_curves(sources, [1, 2])  # default numpy kernel: no seam
+    plain = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert not any(name.startswith("core.backend.") for name in plain)
+
+
+def test_thread_execution_bit_identical_and_counted(obs):
+    """Threaded fan-out is telemetry-inert, and its enabled arm records
+    the ``runtime.thread_*`` counters."""
+    from repro.core.runtime import ExecutionPolicy
+
+    def run():
+        op = make_operator("plain")
+        sources = np.arange(op.num_states, dtype=np.int64)
+        policy = ExecutionPolicy(workers=2, execution="threads", block_size=4)
+        return op.variation_curves(sources, [1, 3, 6], policy=policy)
+
+    off = _with_flag(obs, False, run)
+    on = _with_flag(obs, True, run)
+    assert np.array_equal(off, on)
+
+    obs.reset()
+    obs.enable()
+    run()
+    snap = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert snap["runtime.thread_sweeps"] >= 1
+    assert snap["runtime.thread_shards"] >= 2
+
+
+def test_nonbacktracking_bit_identical_and_counted(obs, petersen):
+    """NB estimator: telemetry-inert curves, and the construction
+    counters record arc counts on the enabled arm."""
+    from repro.core.nonbacktracking import non_backtracking_curves
+
+    def run():
+        return non_backtracking_curves(petersen, [0, 3, 7], [1, 2, 5])
+
+    off = _with_flag(obs, False, run)
+    on = _with_flag(obs, True, run)
+    assert np.array_equal(off, on)
+
+    obs.reset()
+    obs.enable()
+    run()
+    snap = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert snap["core.nonbacktracking.built"] == 1
+    assert snap["core.nonbacktracking.arcs"] == 2 * petersen.num_edges

@@ -116,6 +116,8 @@ class TestPolicySurface:
         "checkpoint_dir",
         "resume",
         "telemetry",
+        "backend",
+        "execution",
     )
 
     def test_fields(self):
@@ -133,6 +135,8 @@ class TestPolicySurface:
         assert p.checkpoint_dir is None
         assert p.resume is True
         assert p.telemetry is False
+        assert p.backend == "numpy"
+        assert p.execution == "processes"
 
     def test_frozen(self):
         with pytest.raises(Exception):
