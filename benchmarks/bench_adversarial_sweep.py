@@ -1,0 +1,96 @@
+"""Adversarial frontier sweep — attacker strategies vs all six defenses.
+
+Tier-2 companion to the Figure 8 bench: plants parameterised sybil
+regions on the physics1 stand-in and sweeps attack-edge budget x
+strategy across every defense, rendering the false-admit/honest-reject
+frontier curves.
+
+Besides the usual rendered result, this bench *appends* a timing record
+to ``benchmarks/results/adversarial_sweep.json`` on every run, so the
+CI tier-2 job accumulates a sweep-latency history instead of keeping
+only the latest number.
+
+Shape assertions: all six defense panels render; attack budgets only
+ever help the attacker (the admitted-sybil frontier of the random
+strategy under SybilGuard is non-decreasing); the security-bound notes
+enumerate every positive-budget cell.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ADVERSARIAL_DEFENSES,
+    render_figure,
+    run_adversarial_sweep,
+)
+
+TIMINGS_PATH = Path(__file__).parent / "results" / "adversarial_sweep.json"
+
+
+def append_timing(record: dict) -> None:
+    """Append one run record to the timing history (a JSON list)."""
+    history = []
+    if TIMINGS_PATH.exists():
+        history = json.loads(TIMINGS_PATH.read_text(encoding="utf-8"))
+    history.append(record)
+    TIMINGS_PATH.write_text(
+        json.dumps(history, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_adversarial_sweep(benchmark, config, results_dir, save_result):
+    timing = {}
+
+    def run():
+        start = time.perf_counter()
+        figure = run_adversarial_sweep(config)
+        timing["duration_s"] = time.perf_counter() - start
+        return figure
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("adversarial_sweep_frontiers", render_figure(figure))
+    append_timing(
+        {
+            "bench": "adversarial_sweep",
+            "mode": config.mode,
+            "seed": config.seed,
+            "strategies": list(config.adversarial_strategies),
+            "budgets": list(config.adversarial_budgets),
+            "duration_s": round(timing["duration_s"], 3),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
+    )
+
+    # Every defense got a panel, every panel a pair of series per strategy.
+    assert set(figure.panels) == set(ADVERSARIAL_DEFENSES)
+    for defense, series in figure.panels.items():
+        assert len(series) == 2 * len(config.adversarial_strategies), defense
+        for s in series:
+            assert ((s.y >= 0.0) & (s.y <= 100.0)).all(), (defense, s.label)
+
+    # More attack edges help the attacker against SybilGuard: the
+    # largest budget admits at least as many sybils as the smallest.
+    # (Cell-level route randomness makes interior points only
+    # statistically monotone; the exact metamorphic monotonicity lives
+    # in tests/sybil/test_attacks.py on fixed seeds.)
+    guard = {s.label: s for s in figure.panels["sybilguard"]}
+    admit = guard["random sybil-admit"].y
+    assert admit[-1] >= admit[0]
+    assert admit.max() > 50.0
+
+    # The bound notes account for every positive-budget cell.
+    positive = sum(1 for g in config.adversarial_budgets if g > 0)
+    expected = (
+        len(config.adversarial_strategies)
+        * len(config.adversarial_sybil_sizes)
+        * positive
+        * len(ADVERSARIAL_DEFENSES)
+    )
+    assert f"Cells with g>0: {expected}" in figure.notes
+
+    # The timing history grew by exactly this run.
+    history = json.loads(TIMINGS_PATH.read_text(encoding="utf-8"))
+    assert history[-1]["bench"] == "adversarial_sweep"
+    assert history[-1]["duration_s"] > 0

@@ -125,15 +125,25 @@ from .service import (
     query_fingerprint,
 )
 from .sybil import (
+    AttackStrategy,
     RouteInstances,
     SybilGuard,
     SybilLimit,
     SybilLimitParams,
     SybilScenario,
     attach_sybil_region,
+    available_attack_strategies,
+    build_attack_scenario,
     evaluate_admission,
     ranking_quality,
+    register_attack_strategy,
     sybilrank,
+)
+from .experiments import (
+    ADVERSARIAL_DEFENSES,
+    AdversarialSweepResult,
+    adversarial_sweep,
+    run_adversarial_sweep,
 )
 
 __all__ = [
@@ -226,6 +236,15 @@ __all__ = [
     "sybilrank",
     "ranking_quality",
     "evaluate_admission",
+    # adversarial scenarios
+    "AttackStrategy",
+    "available_attack_strategies",
+    "register_attack_strategy",
+    "build_attack_scenario",
+    "ADVERSARIAL_DEFENSES",
+    "AdversarialSweepResult",
+    "adversarial_sweep",
+    "run_adversarial_sweep",
     # experiment harness
     "ExperimentConfig",
     "FAST",

@@ -66,6 +66,7 @@ from .experiments import (
     run_whanau_tails,
     render_figure,
     render_table,
+    run_adversarial_sweep,
     run_conductance_ablation,
     run_figure1,
     run_figure2,
@@ -107,6 +108,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], str]] = {
     "fig6": lambda c: render_figure(run_figure6(c)),
     "fig7": lambda c: render_figure(run_figure7(c)),
     "fig8": lambda c: render_figure(run_figure8(c)),
+    "adversarial-sweep": lambda c: render_figure(run_adversarial_sweep(c)),
     "whanau-tails": lambda c: render_figure(run_whanau_tails(c)),
     "whanau-lookup": lambda c: render_figure(run_whanau_lookup(c)),
     "sybilguard-admission": lambda c: render_figure(run_sybilguard_admission(c)),

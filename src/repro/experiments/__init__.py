@@ -18,6 +18,15 @@ from .bound_vs_sampling import bound_vs_sampling_figure, run_figure5
 from .trimming import TrimLevel, run_figure6, trim_levels, trim_summary_table
 from .scaling import run_figure7
 from .admission import FIGURE8_DATASETS, admission_curve, run_figure8
+from .adversarial import (
+    ADVERSARIAL_DEFENSES,
+    AdversarialKnobs,
+    AdversarialSweepResult,
+    adversarial_sweep,
+    default_adversarial_knobs,
+    run_adversarial_sweep,
+    run_defense_admission,
+)
 from .whanau_tails import (
     run_whanau_tails,
     tail_arc_distribution,
@@ -70,6 +79,13 @@ __all__ = [
     "FIGURE8_DATASETS",
     "admission_curve",
     "run_figure8",
+    "ADVERSARIAL_DEFENSES",
+    "AdversarialKnobs",
+    "AdversarialSweepResult",
+    "adversarial_sweep",
+    "default_adversarial_knobs",
+    "run_adversarial_sweep",
+    "run_defense_admission",
     "run_whanau_tails",
     "run_whanau_lookup",
     "run_sybilguard_admission",

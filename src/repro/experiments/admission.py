@@ -10,12 +10,20 @@ scale).
 
 Claim preserved: on slow-mixing graphs the walk length needed to admit
 ~all honest nodes is "much longer than assumed previously" (10-15).
+
+This runner is deliberately the **no-attacker baseline**: every suspect
+is honest, so the only quantity measured is the honest-rejection cost of
+short routes — it corresponds exactly to the ``g=0`` column of the
+adversarial sweep.  The attacker-on half of the threat model (planted
+sybil regions, false-admit/honest-reject frontiers, security-bound
+checks) lives in :mod:`repro.experiments.adversarial`
+(CLI: ``repro-mixing adversarial-sweep``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -122,4 +130,10 @@ def run_figure8(
             )
         )
     figure.panels["main"] = series
+    figure.notes = (
+        "No-attacker baseline: all suspects are honest, so these curves "
+        "measure only the honest-rejection cost of short routes (the g=0 "
+        "column of the adversarial sweep).\n"
+        "Attacker-on frontiers: repro-mixing adversarial-sweep."
+    )
     return figure

@@ -170,6 +170,35 @@ class ExperimentConfig:
         return (5, 10, 15, 20, 30, 40, 60, 80, 120, 160, 240, 320, 480)
 
     @property
+    def adversarial_sample_size(self) -> Optional[int]:
+        """Honest-region BFS sample for the adversarial sweep
+        (``None`` would use the full stand-in graph)."""
+        return 400 if self.is_fast else 2500
+
+    @property
+    def adversarial_strategies(self) -> Tuple[str, ...]:
+        """Attacker strategies swept by ``adversarial-sweep``.
+
+        Fast mode picks one representative per attachment policy plus
+        the cluster-bomb topology; full mode sweeps the whole registry.
+        """
+        if self.is_fast:
+            return ("random", "targeted", "seam", "cluster-bomb")
+        from ..sybil.attacks import available_attack_strategies
+
+        return available_attack_strategies()
+
+    @property
+    def adversarial_sybil_sizes(self) -> Tuple[int, ...]:
+        """Sybil-region sizes swept by ``adversarial-sweep``."""
+        return (60,) if self.is_fast else (200, 500)
+
+    @property
+    def adversarial_budgets(self) -> Tuple[int, ...]:
+        """Attack-edge budgets g (0 = the no-attacker baseline)."""
+        return (0, 2, 6, 12, 24) if self.is_fast else (0, 4, 8, 16, 32, 64)
+
+    @property
     def trim_walks(self) -> Tuple[int, ...]:
         """Walk checkpoints for the Figure 6 average-mixing panel
         (the paper's w = 80..500 grid, truncated in fast mode)."""

@@ -263,6 +263,15 @@ class AdmissionQuery:
     Deliberately *not* coalescible: the balance condition makes the
     verdict a function of the whole suspect set and its order, so the
     only honest answer is the one computed for exactly this set.
+
+    ``attack_strategy`` plants an adversary before verifying: the
+    dataset graph becomes the honest region of a
+    :func:`repro.sybil.attacks.build_attack_scenario` scenario with
+    ``num_sybil`` identities behind ``num_attack_edges`` attack edges
+    (deterministic in ``attack_seed``).  Sybil suspect ids live at
+    ``n_honest .. n_honest + num_sybil - 1``.  The default (no strategy)
+    keeps the historical no-attacker semantics *and* fingerprint, so
+    existing cache entries survive the vocabulary extension.
     """
 
     dataset: str
@@ -271,6 +280,10 @@ class AdmissionQuery:
     verifier: int = 0
     seed: int = 0
     num_instances: Optional[int] = None
+    attack_strategy: Optional[str] = None
+    num_sybil: int = 0
+    num_attack_edges: int = 0
+    attack_seed: int = 0
 
     query_type = "admission"
 
@@ -281,10 +294,32 @@ class AdmissionQuery:
         object.__setattr__(self, "seed", int(self.seed))
         if self.num_instances is not None:
             object.__setattr__(self, "num_instances", int(self.num_instances))
+        object.__setattr__(self, "num_sybil", int(self.num_sybil))
+        object.__setattr__(self, "num_attack_edges", int(self.num_attack_edges))
+        object.__setattr__(self, "attack_seed", int(self.attack_seed))
         if self.route_length < 1:
             raise ConfigurationError(
                 f"route_length must be >= 1, got {self.route_length}"
             )
+        if self.attack_strategy is None:
+            if self.num_sybil != 0 or self.num_attack_edges != 0:
+                raise ConfigurationError(
+                    "num_sybil/num_attack_edges need attack_strategy set"
+                )
+        else:
+            from ..sybil.attacks import available_attack_strategies
+
+            if self.attack_strategy not in available_attack_strategies():
+                raise ConfigurationError(
+                    f"unknown attack strategy {self.attack_strategy!r}; "
+                    f"available: {', '.join(available_attack_strategies())}"
+                )
+            if self.num_attack_edges < 0:
+                raise ConfigurationError("num_attack_edges must be nonnegative")
+            if self.num_attack_edges > 0 and self.num_sybil < 2:
+                raise ConfigurationError(
+                    "an attack needs a sybil region of at least 2 nodes"
+                )
 
     @property
     def operator_kind(self) -> str:
@@ -297,6 +332,18 @@ class AdmissionQuery:
     def fingerprint(self, graph_key: str) -> str:
         from .keys import query_fingerprint
 
+        # No-attack queries keep their historical key; attack queries
+        # answer a different question and key separately.
+        extra = (
+            {}
+            if self.attack_strategy is None
+            else {
+                "attack_strategy": self.attack_strategy,
+                "num_sybil": self.num_sybil,
+                "num_attack_edges": self.num_attack_edges,
+                "attack_seed": self.attack_seed,
+            }
+        )
         return query_fingerprint(
             self.query_type,
             graph_key,
@@ -306,6 +353,7 @@ class AdmissionQuery:
             verifier=self.verifier,
             seed=self.seed,
             num_instances=-1 if self.num_instances is None else self.num_instances,
+            **extra,
         )
 
 
@@ -649,7 +697,18 @@ class QueryEngine:
             from ..sybil.scenario import no_attack_scenario
             from ..sybil.sybillimit import SybilLimit, SybilLimitParams
 
-            scenario = no_attack_scenario(lease.graph)
+            if query.attack_strategy is not None and query.num_attack_edges > 0:
+                from ..sybil.attacks import build_attack_scenario
+
+                scenario = build_attack_scenario(
+                    lease.graph,
+                    query.attack_strategy,
+                    num_sybil=query.num_sybil,
+                    num_attack_edges=query.num_attack_edges,
+                    seed=query.attack_seed,
+                )
+            else:
+                scenario = no_attack_scenario(lease.graph)
             params = SybilLimitParams(
                 route_length=query.route_length,
                 num_instances=query.num_instances,
@@ -662,7 +721,7 @@ class QueryEngine:
                 seed=query.seed,
                 policy=self.policy,
             )[0]
-            return {
+            result = {
                 "verifier": int(outcome.verifier),
                 "suspects": [int(s) for s in outcome.suspects],
                 "accepted": [bool(a) for a in outcome.accepted],
@@ -671,6 +730,22 @@ class QueryEngine:
                 "num_instances": int(outcome.num_instances),
                 "admission_rate": float(outcome.admission_rate),
             }
+            if query.attack_strategy is not None:
+                from ..sybil.metrics import evaluate_admission
+
+                metrics = evaluate_admission(
+                    scenario, np.asarray(outcome.suspects), outcome.accepted
+                )
+                result["attack"] = {
+                    "strategy": query.attack_strategy,
+                    "num_sybil": int(scenario.num_sybil),
+                    "num_attack_edges": int(scenario.num_attack_edges),
+                    "honest_accepted": int(metrics.honest_accepted),
+                    "honest_total": int(metrics.honest_total),
+                    "sybil_accepted": int(metrics.sybil_accepted),
+                    "sybil_total": int(metrics.sybil_total),
+                }
+            return result
         raise ConfigurationError(f"unknown query type {query.query_type!r}")
 
     # -- introspection ---------------------------------------------------

@@ -6,6 +6,17 @@ from .scenario import (
     no_attack_scenario,
     random_sybil_region,
 )
+from .attacks import (
+    ATTACHMENTS,
+    REGION_TOPOLOGIES,
+    AttackStrategy,
+    attack_edge_order,
+    available_attack_strategies,
+    build_attack_scenario,
+    get_attack_strategy,
+    register_attack_strategy,
+    sybil_region_topology,
+)
 from .routes import RouteInstances, arc_sources, reverse_slots
 from .sybilguard import SybilGuard, SybilGuardOutcome, recommended_route_length
 from .sybillimit import (
@@ -15,7 +26,13 @@ from .sybillimit import (
     default_num_instances,
 )
 from .sybilinfer import SybilInfer, SybilInferParams, SybilInferResult, generate_traces
-from .sumup import SumUpOutcome, SumUpParams, sumup_collect_votes, ticket_capacities
+from .sumup import (
+    SumUpOutcome,
+    SumUpParams,
+    sumup_admission,
+    sumup_collect_votes,
+    ticket_capacities,
+)
 from .sybilrank import (
     SybilRankResult,
     ranking_quality,
@@ -41,6 +58,15 @@ __all__ = [
     "attach_sybil_region",
     "no_attack_scenario",
     "random_sybil_region",
+    "ATTACHMENTS",
+    "REGION_TOPOLOGIES",
+    "AttackStrategy",
+    "attack_edge_order",
+    "available_attack_strategies",
+    "build_attack_scenario",
+    "get_attack_strategy",
+    "register_attack_strategy",
+    "sybil_region_topology",
     "RouteInstances",
     "arc_sources",
     "reverse_slots",
@@ -57,6 +83,7 @@ __all__ = [
     "generate_traces",
     "SumUpOutcome",
     "SumUpParams",
+    "sumup_admission",
     "sumup_collect_votes",
     "ticket_capacities",
     "SybilRankResult",

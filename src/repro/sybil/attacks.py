@@ -1,0 +1,416 @@
+"""Parameterised Sybil attacker strategies (Section 5 threat model).
+
+The scenario layer (:mod:`repro.sybil.scenario`) fixes *what* an attack
+looks like — honest region, sybil region, ``g`` attack edges.  This
+module fixes *who the attacker is*: a registered, named
+:class:`AttackStrategy` combining
+
+* an **attachment policy** — which honest nodes receive attack edges:
+
+  - ``"random"`` — uniformly random distinct victims (the baseline the
+    defenses analyse),
+  - ``"targeted"`` — highest-degree honest nodes first (celebrity
+    befriending; maximises the chance a verifier's walks cross early),
+  - ``"seam"`` — nodes on the honest region's sparsest community
+    boundary (the paper's point weaponised: attack edges planted where
+    the honest graph *already* mixes slowly are hardest to distinguish
+    from an honest community);
+
+* a **region topology** — the internal structure of the sybil region:
+
+  - ``"dense"`` / ``"powerlaw"`` — the existing random regions,
+  - ``"clique"`` — fully connected (fast internal mixing, maximal cost),
+  - ``"tree"`` — minimal-edge hierarchy (random recursive tree, or a
+    deterministic ``branching``-ary tree; a large branching factor
+    degenerates to a star),
+  - ``"expander"`` — random regular graph (fast mixing at minimal
+    degree, the theoretically optimal cheap region),
+  - ``"cluster_bomb"`` — many small cliques on a sparse ring (one
+    planted community per clique, built to stress community-detection
+    defenses).
+
+Every builder is a deterministic seeded generator with two contracts the
+metamorphic suite (tests/sybil/test_attacks.py) pins:
+
+1. **g = 0 identity** — a zero attack-edge budget returns
+   :func:`~repro.sybil.scenario.no_attack_scenario` bit-for-bit, for
+   every strategy.
+2. **Nested budgets** — at fixed seed, the attack edges of budget
+   ``g1 < g2`` are exactly the first ``g1`` rows of budget ``g2``'s,
+   and the sybil region is identical.  Sweeping ``g`` therefore moves
+   along one growing attack, not across unrelated samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ScenarioError
+from ..graph import Graph, add_edges, disjoint_union, is_connected
+from ..obs import OBS
+from .scenario import SybilScenario, no_attack_scenario, random_sybil_region
+
+__all__ = [
+    "ATTACHMENTS",
+    "REGION_TOPOLOGIES",
+    "AttackStrategy",
+    "attack_edge_order",
+    "available_attack_strategies",
+    "build_attack_scenario",
+    "get_attack_strategy",
+    "register_attack_strategy",
+    "sybil_region_topology",
+]
+
+ATTACHMENTS: Tuple[str, ...] = ("random", "targeted", "seam")
+REGION_TOPOLOGIES: Tuple[str, ...] = (
+    "dense",
+    "powerlaw",
+    "clique",
+    "tree",
+    "expander",
+    "cluster_bomb",
+)
+
+
+@dataclass(frozen=True)
+class AttackStrategy:
+    """A named, validated attacker configuration.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the CLI/service spelling).
+    attachment:
+        One of :data:`ATTACHMENTS`.
+    region:
+        One of :data:`REGION_TOPOLOGIES`.
+    branching:
+        ``region="tree"`` only — ``None`` builds a random recursive
+        tree; an integer builds the deterministic ``branching``-ary
+        tree (``branching >= num_sybil - 1`` degenerates to a star).
+    degree:
+        ``region="expander"`` only — target regular degree (clamped to
+        keep ``n * d`` even and ``d < n``).
+    cluster_size:
+        ``region="cluster_bomb"`` only — nodes per planted clique.
+    """
+
+    name: str
+    attachment: str = "random"
+    region: str = "dense"
+    branching: Optional[int] = None
+    degree: int = 4
+    cluster_size: int = 8
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise ScenarioError("attack strategy needs a non-empty name")
+        if self.attachment not in ATTACHMENTS:
+            raise ScenarioError(
+                f"unknown attachment policy {self.attachment!r}; "
+                f"choose from {', '.join(ATTACHMENTS)}"
+            )
+        if self.region not in REGION_TOPOLOGIES:
+            raise ScenarioError(
+                f"unknown sybil region topology {self.region!r}; "
+                f"choose from {', '.join(REGION_TOPOLOGIES)}"
+            )
+        if self.branching is not None and self.branching < 1:
+            raise ScenarioError("tree branching factor must be >= 1")
+        if self.degree < 1:
+            raise ScenarioError("expander degree must be >= 1")
+        if self.cluster_size < 2:
+            raise ScenarioError("cluster_bomb clusters need >= 2 nodes")
+
+
+_STRATEGIES: Dict[str, AttackStrategy] = {}
+
+
+def register_attack_strategy(strategy: AttackStrategy, *, replace: bool = False) -> AttackStrategy:
+    """Add a strategy to the registry (``replace=False`` guards typos)."""
+    if not isinstance(strategy, AttackStrategy):
+        raise ScenarioError("register_attack_strategy expects an AttackStrategy")
+    if strategy.name in _STRATEGIES and not replace:
+        raise ScenarioError(
+            f"attack strategy {strategy.name!r} already registered "
+            "(pass replace=True to override)"
+        )
+    _STRATEGIES[strategy.name] = strategy
+    return strategy
+
+
+def available_attack_strategies() -> Tuple[str, ...]:
+    """Registered strategy names, sorted."""
+    return tuple(sorted(_STRATEGIES))
+
+
+def get_attack_strategy(name: str) -> AttackStrategy:
+    """Look up a registered strategy by name."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown attack strategy {name!r}; "
+            f"available: {', '.join(available_attack_strategies())}"
+        ) from None
+
+
+# The canonical roster: every attachment policy and every region
+# topology appears at least once, so "all strategies" sweeps exercise
+# the full parameter surface.
+register_attack_strategy(AttackStrategy("random", attachment="random", region="dense"))
+register_attack_strategy(AttackStrategy("targeted", attachment="targeted", region="dense"))
+register_attack_strategy(AttackStrategy("seam", attachment="seam", region="dense"))
+register_attack_strategy(AttackStrategy("clique", attachment="random", region="clique"))
+register_attack_strategy(AttackStrategy("tree", attachment="random", region="tree"))
+register_attack_strategy(AttackStrategy("expander", attachment="random", region="expander"))
+register_attack_strategy(AttackStrategy("powerlaw", attachment="random", region="powerlaw"))
+register_attack_strategy(
+    AttackStrategy("cluster-bomb", attachment="random", region="cluster_bomb")
+)
+
+
+# ----------------------------------------------------------------------
+# Region topologies
+# ----------------------------------------------------------------------
+def _clique_region(num_sybil: int) -> Graph:
+    rows, cols = np.triu_indices(num_sybil, k=1)
+    return Graph.from_edges(np.stack([rows, cols], axis=1), num_nodes=num_sybil)
+
+
+def _tree_region(num_sybil: int, branching: Optional[int], rng: np.random.Generator) -> Graph:
+    children = np.arange(1, num_sybil, dtype=np.int64)
+    if branching is None:
+        # Random recursive tree: node i attaches to a uniform earlier node.
+        parents = np.array(
+            [int(rng.integers(i)) for i in range(1, num_sybil)], dtype=np.int64
+        )
+    else:
+        parents = (children - 1) // int(branching)
+    return Graph.from_edges(
+        np.stack([parents, children], axis=1), num_nodes=num_sybil
+    )
+
+
+def _expander_region(num_sybil: int, degree: int, rng: np.random.Generator) -> Graph:
+    from ..generators import random_regular
+
+    d = min(int(degree), num_sybil - 1)
+    if (num_sybil * d) % 2 != 0:
+        d -= 1
+    if d < 1:
+        # Only reachable for tiny regions where no regular graph exists
+        # (e.g. n=3 after clamping); a clique is the honest fallback.
+        return _clique_region(num_sybil)
+    # Stub-pairing repair occasionally leaves a disconnected 2-regular
+    # graph; a disconnected region wastes sybil identities, so resample.
+    for _ in range(32):
+        graph = random_regular(num_sybil, d, seed=rng)
+        if is_connected(graph):
+            return graph
+    raise ScenarioError(
+        f"could not draw a connected {d}-regular sybil region of size {num_sybil}"
+    )
+
+
+def _cluster_bomb_region(num_sybil: int, cluster_size: int) -> Graph:
+    # Balanced split into k = floor(n / size) cliques (k >= 1), linked in
+    # a ring through each clique's first node.  Fully deterministic.
+    num_clusters = max(1, num_sybil // int(cluster_size))
+    base = num_sybil // num_clusters
+    remainder = num_sybil % num_clusters
+    edges = []
+    anchors = []
+    start = 0
+    for i in range(num_clusters):
+        size = base + (1 if i < remainder else 0)
+        members = np.arange(start, start + size, dtype=np.int64)
+        rows, cols = np.triu_indices(size, k=1)
+        edges.append(np.stack([members[rows], members[cols]], axis=1))
+        anchors.append(start)
+        start += size
+    if num_clusters == 2:
+        edges.append(np.array([[anchors[0], anchors[1]]], dtype=np.int64))
+    elif num_clusters > 2:
+        ring = np.array(
+            [
+                [anchors[i], anchors[(i + 1) % num_clusters]]
+                for i in range(num_clusters)
+            ],
+            dtype=np.int64,
+        )
+        edges.append(ring)
+    return Graph.from_edges(np.concatenate(edges, axis=0), num_nodes=num_sybil)
+
+
+def sybil_region_topology(
+    strategy: AttackStrategy,
+    num_sybil: int,
+    *,
+    seed=None,
+) -> Graph:
+    """Build the sybil region for a strategy (deterministic given seed)."""
+    if num_sybil < 2:
+        raise ScenarioError("sybil region needs at least 2 nodes")
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    if strategy.region in ("dense", "powerlaw"):
+        return random_sybil_region(num_sybil, style=strategy.region, seed=rng)
+    if strategy.region == "clique":
+        return _clique_region(num_sybil)
+    if strategy.region == "tree":
+        return _tree_region(num_sybil, strategy.branching, rng)
+    if strategy.region == "expander":
+        return _expander_region(num_sybil, strategy.degree, rng)
+    if strategy.region == "cluster_bomb":
+        return _cluster_bomb_region(num_sybil, strategy.cluster_size)
+    raise ScenarioError(f"unknown sybil region topology {strategy.region!r}")
+
+
+# ----------------------------------------------------------------------
+# Attachment policies
+# ----------------------------------------------------------------------
+def attack_edge_order(
+    honest: Graph,
+    attachment: str,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """The honest-side victim ordering for an attachment policy.
+
+    Attack edges take honest endpoints round-robin from this ordering,
+    so the first ``g`` (distinct while ``g <= n``) victims of a budget
+    ``g`` are a prefix of any larger budget's — the nested-budget
+    contract the metamorphic tests rely on.
+    """
+    n = honest.num_nodes
+    degrees = honest.degrees.astype(np.int64)
+    if attachment == "random":
+        if rng is None:
+            rng = np.random.default_rng()
+        return rng.permutation(n).astype(np.int64)
+    if attachment == "targeted":
+        # Highest degree first; ties broken by node id (stable sort).
+        return np.argsort(-degrees, kind="stable").astype(np.int64)
+    if attachment == "seam":
+        from ..community import spectral_sweep_cut
+
+        cut = spectral_sweep_cut(honest)
+        side = np.zeros(n, dtype=bool)
+        side[cut.side] = True
+        edges = honest.edges()
+        cross_counts = np.zeros(n, dtype=np.int64)
+        if edges.size:
+            crossing = side[edges[:, 0]] != side[edges[:, 1]]
+            np.add.at(cross_counts, edges[crossing, 0], 1)
+            np.add.at(cross_counts, edges[crossing, 1], 1)
+        # Seam nodes (most boundary edges) first; interior nodes follow
+        # in id order so budgets beyond the seam still resolve.
+        return np.argsort(-cross_counts, kind="stable").astype(np.int64)
+    raise ScenarioError(
+        f"unknown attachment policy {attachment!r}; choose from {', '.join(ATTACHMENTS)}"
+    )
+
+
+def _sample_attack_edges(
+    order: np.ndarray,
+    num_honest: int,
+    num_sybil: int,
+    num_attack_edges: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``g`` *distinct* attack edges along the victim ordering.
+
+    Candidates are generated in a deterministic sequence (round-robin
+    honest endpoint x streamed sybil endpoint) and duplicates skipped,
+    so a smaller budget's edges are a prefix of a larger one's.
+    """
+    pairs = []
+    seen = set()
+    attempts = 0
+    limit = 64 * num_attack_edges + 1024
+    i = 0
+    while len(pairs) < num_attack_edges:
+        if attempts >= limit:
+            raise ScenarioError(
+                f"could not place {num_attack_edges} distinct attack edges "
+                f"({num_honest} honest x {num_sybil} sybil nodes)"
+            )
+        h = int(order[i % num_honest])
+        s = int(rng.integers(num_sybil)) + num_honest
+        i += 1
+        attempts += 1
+        if (h, s) in seen:
+            continue
+        seen.add((h, s))
+        pairs.append((h, s))
+    return np.array(pairs, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Scenario builder
+# ----------------------------------------------------------------------
+def build_attack_scenario(
+    honest: Graph,
+    strategy: Union[str, AttackStrategy],
+    *,
+    num_sybil: int,
+    num_attack_edges: int,
+    seed: int = 0,
+) -> SybilScenario:
+    """Build a :class:`SybilScenario` from a named attacker strategy.
+
+    Deterministic given ``seed``: the sybil region, the victim ordering
+    and the sybil-side endpoints each draw from independent child
+    streams of one :class:`numpy.random.SeedSequence`, so the region is
+    *identical across attack-edge budgets* and budgets nest (see the
+    module docstring).  ``num_attack_edges=0`` returns the no-attack
+    baseline bit-for-bit, matching
+    :func:`~repro.sybil.scenario.no_attack_scenario`.
+    """
+    if isinstance(strategy, str):
+        strategy = get_attack_strategy(strategy)
+    if honest.num_nodes < 2:
+        raise ScenarioError("honest region needs at least 2 nodes")
+    if not is_connected(honest):
+        raise ScenarioError("honest region must be connected")
+    if num_attack_edges < 0:
+        raise ScenarioError("attack-edge budget must be nonnegative")
+    if num_attack_edges == 0:
+        return no_attack_scenario(honest)
+    if num_sybil < 2:
+        raise ScenarioError("sybil region needs at least 2 nodes")
+    if num_attack_edges > honest.num_nodes * num_sybil:
+        raise ScenarioError("more attack edges than honest-sybil pairs")
+
+    with OBS.span(
+        "sybil.attack.build",
+        strategy=strategy.name,
+        num_sybil=int(num_sybil),
+        num_attack_edges=int(num_attack_edges),
+    ):
+        region_ss, order_ss, endpoint_ss = np.random.SeedSequence(int(seed)).spawn(3)
+        region = sybil_region_topology(
+            strategy, num_sybil, seed=np.random.default_rng(region_ss)
+        )
+        order = attack_edge_order(
+            honest, strategy.attachment, rng=np.random.default_rng(order_ss)
+        )
+        attack = _sample_attack_edges(
+            order,
+            honest.num_nodes,
+            num_sybil,
+            num_attack_edges,
+            np.random.default_rng(endpoint_ss),
+        )
+        combined = add_edges(disjoint_union(honest, region), attack)
+        if OBS.enabled:
+            OBS.add("sybil.attack.scenarios")
+            OBS.add("sybil.attack.edges", int(num_attack_edges))
+            OBS.add("sybil.attack.region_nodes", int(num_sybil))
+    return SybilScenario(
+        graph=combined, num_honest=honest.num_nodes, attack_edges=attack
+    )

@@ -29,7 +29,13 @@ from ..graph import Graph, bfs_distances
 from .maxflow import FlowNetwork
 from .scenario import SybilScenario
 
-__all__ = ["SumUpOutcome", "SumUpParams", "sumup_collect_votes", "ticket_capacities"]
+__all__ = [
+    "SumUpOutcome",
+    "SumUpParams",
+    "sumup_admission",
+    "sumup_collect_votes",
+    "ticket_capacities",
+]
 
 
 @dataclass(frozen=True)
@@ -96,25 +102,19 @@ class SumUpOutcome:
         return self.votes_collected / self.votes_cast
 
 
-def sumup_collect_votes(
+def _vote_network(
     scenario: SybilScenario,
     collector: int,
-    voters: Sequence[int],
+    voters: np.ndarray,
     params: SumUpParams,
-) -> SumUpOutcome:
-    """Collect one vote from each of ``voters`` at ``collector``.
+) -> Tuple[FlowNetwork, int, List[int]]:
+    """The ticket-capacitated flow network shared by both entry points.
 
-    Builds the ticket-capacitated network plus a super-source feeding
-    every voter with capacity 1, then routes a max flow to the collector.
-    Each vote consumes distinct capacity, so the flow value is the number
-    of votes accepted.
+    Returns ``(network, super_source, voter_arcs)`` where
+    ``voter_arcs[i]`` is the arc id of the capacity-1 super-source link
+    feeding ``voters[i]`` (its routed flow is that voter's verdict).
     """
     graph = scenario.graph
-    voters = np.asarray(list(voters), dtype=np.int64)
-    if voters.size == 0:
-        return SumUpOutcome(int(collector), voters, 0, 0)
-    if int(collector) in set(int(v) for v in voters):
-        raise ValueError("the collector cannot vote for itself")
     caps = ticket_capacities(graph, int(collector), params.c_max)
 
     # Node ids in the flow network: graph nodes + super-source at n.
@@ -129,12 +129,62 @@ def sumup_collect_votes(
         cap = caps.get((u, v), caps.get((v, u), 1.0))
         network.add_edge(u, v, cap)
         network.add_edge(v, u, cap)
-    for voter in voters:
-        network.add_edge(super_source, int(voter), 1.0)
+    voter_arcs = [network.add_edge(super_source, int(voter), 1.0) for voter in voters]
+    return network, super_source, voter_arcs
+
+
+def sumup_collect_votes(
+    scenario: SybilScenario,
+    collector: int,
+    voters: Sequence[int],
+    params: SumUpParams,
+) -> SumUpOutcome:
+    """Collect one vote from each of ``voters`` at ``collector``.
+
+    Builds the ticket-capacitated network plus a super-source feeding
+    every voter with capacity 1, then routes a max flow to the collector.
+    Each vote consumes distinct capacity, so the flow value is the number
+    of votes accepted.
+    """
+    voters = np.asarray(list(voters), dtype=np.int64)
+    if voters.size == 0:
+        return SumUpOutcome(int(collector), voters, 0, 0)
+    if int(collector) in set(int(v) for v in voters):
+        raise ValueError("the collector cannot vote for itself")
+    network, super_source, _ = _vote_network(scenario, collector, voters, params)
     collected = network.max_flow(super_source, int(collector))
     return SumUpOutcome(
         collector=int(collector),
         voters=voters,
         votes_collected=int(round(collected)),
         votes_cast=int(voters.size),
+    )
+
+
+def sumup_admission(
+    scenario: SybilScenario,
+    collector: int,
+    voters: Sequence[int],
+    params: SumUpParams,
+) -> np.ndarray:
+    """Per-voter verdicts: whose vote actually reached the collector.
+
+    Same model as :func:`sumup_collect_votes`, read at arc granularity:
+    voter ``i`` is admitted iff the max flow routes their unit of
+    super-source capacity *in full*.  Ticket capacities are fractional,
+    so a maximal flow can strand fractional vote remnants on a few
+    voters; those partial votes count as rejected, which makes
+    ``admitted.sum() <= round(max flow) == votes_collected``.  The
+    admitted *set* is one max-flow solution among possibly many; it is
+    deterministic because Dinic visits arcs in insertion order.
+    """
+    voters = np.asarray(list(voters), dtype=np.int64)
+    if voters.size == 0:
+        return np.zeros(0, dtype=bool)
+    if int(collector) in set(int(v) for v in voters):
+        raise ValueError("the collector cannot vote for itself")
+    network, super_source, voter_arcs = _vote_network(scenario, collector, voters, params)
+    network.max_flow(super_source, int(collector))
+    return np.array(
+        [network.flow_on(arc) >= 1.0 - 1e-9 for arc in voter_arcs], dtype=bool
     )

@@ -86,6 +86,18 @@ class TinyConfig(ExperimentConfig):
     def trim_walks(self):
         return (2, 4)
 
+    @property
+    def adversarial_strategies(self):
+        return ("random", "targeted")
+
+    @property
+    def adversarial_sybil_sizes(self):
+        return (16,)
+
+    @property
+    def adversarial_budgets(self):
+        return (0, 2, 5)
+
 
 def _tiny_config(workers, backend=None):
     # policy= and legacy workers= are mutually exclusive on the config,

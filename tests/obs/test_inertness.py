@@ -349,3 +349,90 @@ def test_nonbacktracking_bit_identical_and_counted(obs, petersen):
     obs.reset()
     assert snap["core.nonbacktracking.built"] == 1
     assert snap["core.nonbacktracking.arcs"] == 2 * petersen.num_edges
+
+
+def test_attack_scenario_build_bit_identical(obs, bridge_graph):
+    """The instrumented attack-scenario builder: telemetry off/on must
+    produce the identical combined graph and attack-edge rows."""
+    from repro.sybil import build_attack_scenario
+
+    def run():
+        scenario = build_attack_scenario(
+            bridge_graph, "cluster-bomb", num_sybil=12, num_attack_edges=7, seed=3
+        )
+        return (
+            scenario.graph.indptr.copy(),
+            scenario.graph.indices.copy(),
+            scenario.attack_edges.copy(),
+        )
+
+    off = _with_flag(obs, False, run)
+    on = _with_flag(obs, True, run)
+    for off_arr, on_arr in zip(off, on):
+        assert np.array_equal(off_arr, on_arr)
+
+
+def test_adversarial_sweep_bit_identical(obs, bridge_graph):
+    """The full sweep engine (scenario builds, six-defense cells, the
+    sharded runtime) is telemetry-inert on its count grid."""
+    from repro.experiments import AdversarialKnobs, adversarial_sweep
+
+    def run():
+        result = adversarial_sweep(
+            bridge_graph,
+            strategies=["random"],
+            sybil_sizes=[6],
+            attack_budgets=[0, 3],
+            defenses=("sybilguard", "sumup", "sybilrank"),
+            seed=2,
+            knobs=AdversarialKnobs(route_length=4, sybillimit_instances=4,
+                                   infer_samples=4, infer_burn_in=2,
+                                   infer_steps=1, sumup_c_max=4,
+                                   whanau_walk_length=4),
+            max_suspects=8,
+        )
+        return result.counts.copy()
+
+    off = _with_flag(obs, False, run)
+    on = _with_flag(obs, True, run)
+    assert np.array_equal(off, on)
+
+
+def test_attack_telemetry_actually_recorded(obs, bridge_graph):
+    """Vacuity guard for the two tests above: the enabled arm must record
+    the ``sybil.attack.*`` spans and counters — and a zero-budget build
+    (which short-circuits to the no-attack baseline) must record none."""
+    from repro.experiments import AdversarialKnobs, adversarial_sweep
+    from repro.sybil import build_attack_scenario
+
+    obs.reset()
+    obs.enable()
+    build_attack_scenario(bridge_graph, "random", num_sybil=9, num_attack_edges=5, seed=1)
+    adversarial_sweep(
+        bridge_graph,
+        strategies=["random"],
+        sybil_sizes=[6],
+        attack_budgets=[2],
+        defenses=("sybilrank",),
+        seed=2,
+        knobs=AdversarialKnobs(route_length=4),
+        max_suspects=8,
+    )
+    snap = obs.snapshot()
+    obs.disable()
+    obs.reset()
+    counters = snap["counters"]
+    assert counters["sybil.attack.scenarios"] == 2
+    assert counters["sybil.attack.edges"] == 5 + 2
+    assert counters["sybil.attack.region_nodes"] == 9 + 6
+    assert counters["sybil.attack.cells"] == 1
+    assert counters["sybil.attack.suspects_judged"] == 8 + 6
+    assert snap["spans"]["recorded"] >= 1
+
+    obs.reset()
+    obs.enable()
+    build_attack_scenario(bridge_graph, "random", num_sybil=9, num_attack_edges=0, seed=1)
+    plain = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert not any(name.startswith("sybil.attack.") for name in plain)

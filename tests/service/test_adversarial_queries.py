@@ -1,0 +1,195 @@
+"""Adversarial admission queries through the service layer.
+
+``AdmissionQuery`` grew attacker parameters in the adversarial-suite PR.
+This suite pins the compatibility contract around that extension:
+
+* no-attack queries keep their historical response shape *and* cache
+  fingerprint (pre-existing cache entries stay valid);
+* attack queries key separately, answer with an ``attack`` sub-dict
+  whose counts agree with a direct
+  :func:`repro.sybil.attacks.build_attack_scenario` +
+  :class:`~repro.sybil.sybillimit.SybilLimit` computation;
+* invalid attacker parameters are rejected at query construction, and
+  the wire codec round-trips the new fields.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.client import build_query
+from repro.service.engine import AdmissionQuery
+from repro.sybil import SybilLimit, SybilLimitParams, build_attack_scenario
+
+LEGACY_KEYS = {
+    "verifier",
+    "suspects",
+    "accepted",
+    "intersected",
+    "route_length",
+    "num_instances",
+    "admission_rate",
+}
+
+ATTACK_KWARGS = dict(
+    attack_strategy="random", num_sybil=6, num_attack_edges=3, attack_seed=1
+)
+
+
+class TestResponseShape:
+    def test_no_attack_keeps_legacy_shape(self, cold_engine):
+        reply = cold_engine.admission("era", [1, 2, 5], 4, seed=3)
+        assert set(reply.value) == LEGACY_KEYS
+
+    def test_attack_reply_carries_attack_subdict(self, cold_engine, graphs):
+        n = graphs["era"].num_nodes
+        suspects = [1, 2, n, n + 1]
+        reply = cold_engine.admission(
+            "era", suspects, 4, seed=3, num_instances=4, **ATTACK_KWARGS
+        )
+        assert set(reply.value) == LEGACY_KEYS | {"attack"}
+        attack = reply.value["attack"]
+        assert attack["strategy"] == "random"
+        assert attack["num_sybil"] == 6
+        assert attack["num_attack_edges"] == 3
+        assert attack["honest_total"] == 2
+        assert attack["sybil_total"] == 2
+        assert attack["honest_accepted"] + attack["sybil_accepted"] == sum(
+            reply.value["accepted"]
+        )
+        assert len(reply.value["accepted"]) == len(suspects)
+
+    def test_attack_reply_matches_direct_computation(self, cold_engine, graphs):
+        n = graphs["era"].num_nodes
+        suspects = [1, 2, n, n + 2]
+        reply = cold_engine.admission(
+            "era", suspects, 4, seed=7, num_instances=4, **ATTACK_KWARGS
+        )
+        scenario = build_attack_scenario(
+            graphs["era"], "random", num_sybil=6, num_attack_edges=3, seed=1
+        )
+        params = SybilLimitParams(route_length=4, num_instances=4)
+        protocol = SybilLimit(scenario, params, seed=7)
+        outcome = protocol.admission_sweep(0, [4], suspects=suspects, seed=7)[0]
+        assert reply.value["accepted"] == [bool(a) for a in outcome.accepted]
+        assert reply.value["admission_rate"] == float(outcome.admission_rate)
+
+    def test_zero_budget_attack_is_no_attack_semantics(self, cold_engine):
+        """strategy set but g=0: same verdicts as the plain query (the
+        scenario reduces to the no-attack baseline), plus the sub-dict."""
+        plain = cold_engine.admission("erb", [1, 2, 5], 4, seed=3, num_instances=4)
+        attacked = cold_engine.admission(
+            "erb", [1, 2, 5], 4, seed=3, num_instances=4,
+            attack_strategy="random",
+        )
+        assert attacked.value["accepted"] == plain.value["accepted"]
+        assert attacked.value["attack"]["num_sybil"] == 0
+        assert attacked.value["attack"]["sybil_total"] == 0
+
+
+class TestFingerprints:
+    def test_no_attack_fingerprint_is_historical(self):
+        """Default attacker fields must not perturb pre-extension keys:
+        a query built with and without the new defaults keys the same."""
+        old_style = AdmissionQuery("era", (1, 2), 4, seed=3)
+        explicit = AdmissionQuery(
+            "era", (1, 2), 4, seed=3,
+            attack_strategy=None, num_sybil=0, num_attack_edges=0, attack_seed=0,
+        )
+        assert old_style.fingerprint("gk") == explicit.fingerprint("gk")
+
+    def test_attack_fingerprint_differs_from_no_attack(self):
+        plain = AdmissionQuery("era", (1, 2), 4, seed=3)
+        attacked = AdmissionQuery("era", (1, 2), 4, seed=3, **ATTACK_KWARGS)
+        assert plain.fingerprint("gk") != attacked.fingerprint("gk")
+
+    def test_every_attack_field_is_keyed(self):
+        base = AdmissionQuery("era", (1, 2), 4, seed=3, **ATTACK_KWARGS)
+        variants = [
+            AdmissionQuery("era", (1, 2), 4, seed=3, attack_strategy="targeted",
+                           num_sybil=6, num_attack_edges=3, attack_seed=1),
+            AdmissionQuery("era", (1, 2), 4, seed=3, attack_strategy="random",
+                           num_sybil=7, num_attack_edges=3, attack_seed=1),
+            AdmissionQuery("era", (1, 2), 4, seed=3, attack_strategy="random",
+                           num_sybil=6, num_attack_edges=4, attack_seed=1),
+            AdmissionQuery("era", (1, 2), 4, seed=3, attack_strategy="random",
+                           num_sybil=6, num_attack_edges=3, attack_seed=2),
+        ]
+        prints = {q.fingerprint("gk") for q in variants}
+        assert base.fingerprint("gk") not in prints
+        assert len(prints) == len(variants)
+
+    def test_attack_result_served_from_cache_on_repeat(self, engine, graphs):
+        n = graphs["era"].num_nodes
+        first = engine.admission(
+            "era", [1, n], 4, seed=3, num_instances=4, **ATTACK_KWARGS
+        )
+        second = engine.admission(
+            "era", [1, n], 4, seed=3, num_instances=4, **ATTACK_KWARGS
+        )
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.value == first.value
+
+
+class TestValidation:
+    def test_sybil_fields_require_strategy(self):
+        with pytest.raises(ConfigurationError, match="need attack_strategy"):
+            AdmissionQuery("era", (1,), 4, num_sybil=5)
+        with pytest.raises(ConfigurationError, match="need attack_strategy"):
+            AdmissionQuery("era", (1,), 4, num_attack_edges=2)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown attack strategy"):
+            AdmissionQuery("era", (1,), 4, attack_strategy="bogus")
+
+    def test_attack_needs_region_of_two(self):
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            AdmissionQuery(
+                "era", (1,), 4,
+                attack_strategy="random", num_sybil=1, num_attack_edges=2,
+            )
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="nonnegative"):
+            AdmissionQuery(
+                "era", (1,), 4,
+                attack_strategy="random", num_sybil=4, num_attack_edges=-1,
+            )
+
+
+class TestWireCodec:
+    def test_build_query_round_trips_attack_fields(self):
+        payload = {
+            "type": "admission",
+            "dataset": "era",
+            "suspects": [1, 2, 9],
+            "route_length": 4,
+            "seed": 3,
+            "attack_strategy": "cluster-bomb",
+            "num_sybil": 8,
+            "num_attack_edges": 5,
+            "attack_seed": 11,
+        }
+        query = build_query(payload)
+        assert isinstance(query, AdmissionQuery)
+        assert query.suspects == (1, 2, 9)
+        assert query.attack_strategy == "cluster-bomb"
+        assert query.num_sybil == 8
+        assert query.num_attack_edges == 5
+        assert query.attack_seed == 11
+
+    def test_local_client_serves_attack_query(self, engine, graphs):
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(engine)
+        n = graphs["erc"].num_nodes
+        reply = client.admission(
+            "erc", [1, n], 4, seed=3, num_instances=4, **ATTACK_KWARGS
+        )
+        attack = reply.value["attack"]
+        assert attack["honest_total"] == 1
+        assert attack["sybil_total"] == 1
+        assert all(isinstance(a, bool) for a in reply.value["accepted"])
+        assert isinstance(attack["sybil_accepted"], int)
+        assert not isinstance(attack["sybil_accepted"], np.integer)

@@ -1,0 +1,525 @@
+"""Metamorphic and oracle tests for the attacker-strategy suite.
+
+Three contracts from the module docstring of :mod:`repro.sybil.attacks`:
+
+* ``g=0`` reduces every strategy to the no-attack scenario bit-for-bit;
+* budgets nest — at fixed seed, a smaller budget's attack edges are a
+  prefix of a larger one's and the sybil region is identical;
+* relabeling honest node ids leaves admission counts invariant (checked
+  on the label-equivariant quantities: exact escape probability, SumUp
+  vote collection, SybilRank admission counts).
+
+Plus oracle tests pinning each region topology / attachment policy
+against a naive reference implementation, hypothesis-driven invariant
+sweeps, and the degenerate-input errors (single sybil node, star
+regions, disconnected honest region -> ``ScenarioError``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ScenarioError
+from repro.generators import erdos_renyi_gnm
+from repro.graph import Graph, is_connected, largest_connected_component
+from repro.sybil import (
+    ATTACHMENTS,
+    REGION_TOPOLOGIES,
+    AttackStrategy,
+    SumUpParams,
+    SybilScenario,
+    attack_edge_order,
+    available_attack_strategies,
+    build_attack_scenario,
+    escape_probability,
+    get_attack_strategy,
+    no_attack_scenario,
+    register_attack_strategy,
+    sumup_collect_votes,
+    sybil_region_topology,
+    sybilrank,
+)
+from repro.sybil.attacks import _STRATEGIES
+from repro.sybil.sumup import sumup_admission
+
+ALL_STRATEGIES = available_attack_strategies()
+
+
+@pytest.fixture(scope="module")
+def honest():
+    graph, _ = largest_connected_component(erdos_renyi_gnm(90, 300, seed=17))
+    return graph
+
+
+def edge_set(graph: Graph) -> set:
+    return {(int(u), int(v)) for u, v in graph.edges()}
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_roster_covers_every_attachment_and_topology(self):
+        strategies = [get_attack_strategy(name) for name in ALL_STRATEGIES]
+        assert {s.attachment for s in strategies} == set(ATTACHMENTS)
+        assert {s.region for s in strategies} == set(REGION_TOPOLOGIES)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ScenarioError, match="available:"):
+            get_attack_strategy("no-such-attacker")
+
+    def test_duplicate_registration_guarded(self):
+        with pytest.raises(ScenarioError, match="already registered"):
+            register_attack_strategy(AttackStrategy("random"))
+
+    def test_replace_allows_override(self):
+        original = get_attack_strategy("random")
+        try:
+            override = AttackStrategy("random", attachment="targeted")
+            assert register_attack_strategy(override, replace=True) is override
+            assert get_attack_strategy("random").attachment == "targeted"
+        finally:
+            _STRATEGIES["random"] = original
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attachment": "bogus"},
+            {"region": "bogus"},
+            {"branching": 0},
+            {"degree": 0},
+            {"cluster_size": 1},
+            {"name": ""},
+        ],
+    )
+    def test_invalid_strategy_params_rejected_at_construction(self, kwargs):
+        fields = {"name": "x"}
+        fields.update(kwargs)
+        with pytest.raises(ScenarioError):
+            AttackStrategy(**fields)
+
+
+# ----------------------------------------------------------------------
+# Metamorphic: g = 0 identity
+# ----------------------------------------------------------------------
+class TestZeroBudgetIdentity:
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_g0_is_no_attack_scenario_bit_for_bit(self, honest, name):
+        built = build_attack_scenario(
+            honest, name, num_sybil=25, num_attack_edges=0, seed=5
+        )
+        baseline = no_attack_scenario(honest)
+        assert built.num_honest == baseline.num_honest
+        assert built.attack_edges.shape == (0, 2)
+        assert built.attack_edges.dtype == np.int64
+        assert np.array_equal(built.graph.indptr, baseline.graph.indptr)
+        assert np.array_equal(built.graph.indices, baseline.graph.indices)
+        # Not merely equal arrays: the honest graph object itself.
+        assert built.graph is honest
+
+
+# ----------------------------------------------------------------------
+# Metamorphic: nested budgets
+# ----------------------------------------------------------------------
+class TestNestedBudgets:
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_smaller_budget_is_prefix_of_larger(self, honest, name):
+        small = build_attack_scenario(
+            honest, name, num_sybil=25, num_attack_edges=6, seed=11
+        )
+        large = build_attack_scenario(
+            honest, name, num_sybil=25, num_attack_edges=18, seed=11
+        )
+        assert np.array_equal(large.attack_edges[:6], small.attack_edges)
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_region_identical_across_budgets(self, honest, name):
+        small = build_attack_scenario(
+            honest, name, num_sybil=25, num_attack_edges=6, seed=11
+        )
+        large = build_attack_scenario(
+            honest, name, num_sybil=25, num_attack_edges=18, seed=11
+        )
+        extra = {(int(u), int(v)) for u, v in large.attack_edges[6:]}
+        assert edge_set(large.graph) - edge_set(small.graph) == extra
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_attack_edges_distinct_and_in_range(self, honest, name):
+        scenario = build_attack_scenario(
+            honest, name, num_sybil=25, num_attack_edges=30, seed=11
+        )
+        edges = scenario.attack_edges
+        assert len({(int(u), int(v)) for u, v in edges}) == 30
+        assert np.all(edges[:, 0] >= 0) and np.all(edges[:, 0] < honest.num_nodes)
+        assert np.all(edges[:, 1] >= honest.num_nodes)
+        assert np.all(edges[:, 1] < scenario.graph.num_nodes)
+
+
+# ----------------------------------------------------------------------
+# Metamorphic: monotonicity — more attack edges never decreases sybil
+# admissions at fixed seed/defense.
+# ----------------------------------------------------------------------
+BUDGET_LADDER = (2, 6, 14, 30)
+
+
+class TestMonotonicityInBudget:
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_escape_probability_never_decreases_with_budget(self, honest, name):
+        """The exact absorbing computation: every added attack edge opens
+        strictly more escape routes, so escape mass is monotone in g."""
+        walks = [1, 2, 4, 8, 16]
+        previous = None
+        for g in BUDGET_LADDER:
+            scenario = build_attack_scenario(
+                honest, name, num_sybil=25, num_attack_edges=g, seed=23
+            )
+            escape = escape_probability(scenario, walks)
+            if previous is not None:
+                assert np.all(escape >= previous - 1e-12)
+            previous = escape
+
+    @pytest.mark.parametrize("defense", ["sumup", "sybilrank"])
+    @pytest.mark.parametrize("name", ["random", "targeted", "seam"])
+    def test_defense_sybil_admissions_never_decrease(self, honest, name, defense):
+        """Fixed-seed spot check of the full chain: nested attacks, one
+        deterministic defense, admitted-sybil counts along the ladder."""
+        admitted = []
+        for g in BUDGET_LADDER:
+            scenario = build_attack_scenario(
+                honest, name, num_sybil=25, num_attack_edges=g, seed=23
+            )
+            suspects = scenario.sybil_nodes()
+            if defense == "sumup":
+                accepted = sumup_admission(
+                    scenario, 0, suspects, SumUpParams(c_max=20)
+                )
+            else:
+                result = sybilrank(scenario, [0])
+                top = result.accept_top(scenario.num_honest)
+                accepted = np.isin(suspects, top)
+            admitted.append(int(accepted.sum()))
+        assert admitted == sorted(admitted), admitted
+
+
+# ----------------------------------------------------------------------
+# Metamorphic: relabeling honest ids leaves admission counts invariant
+# ----------------------------------------------------------------------
+def relabel_scenario(scenario: SybilScenario, perm: np.ndarray) -> SybilScenario:
+    """Apply an honest-region permutation to a whole scenario.
+
+    Sybil ids keep their (offset) positions; honest endpoints of the
+    combined graph and of the attack edges are renamed by ``perm``.
+    """
+    n_honest = scenario.num_honest
+    full = np.concatenate(
+        [perm, np.arange(n_honest, scenario.graph.num_nodes, dtype=np.int64)]
+    )
+    edges = scenario.graph.edges()
+    relabeled = Graph.from_edges(
+        np.stack([full[edges[:, 0]], full[edges[:, 1]]], axis=1),
+        num_nodes=scenario.graph.num_nodes,
+    )
+    attack = scenario.attack_edges.copy()
+    attack[:, 0] = perm[attack[:, 0]]
+    return SybilScenario(
+        graph=relabeled, num_honest=n_honest, attack_edges=attack
+    )
+
+
+class TestRelabelInvariance:
+    @pytest.mark.parametrize("name", ["random", "targeted", "cluster-bomb"])
+    def test_escape_probability_invariant(self, honest, name):
+        scenario = build_attack_scenario(
+            honest, name, num_sybil=20, num_attack_edges=10, seed=3
+        )
+        perm = np.random.default_rng(99).permutation(honest.num_nodes).astype(np.int64)
+        relabeled = relabel_scenario(scenario, perm)
+        walks = [1, 3, 6, 12]
+        got = escape_probability(relabeled, walks)
+        want = escape_probability(scenario, walks)
+        assert np.allclose(got, want, rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("name", ["random", "seam"])
+    def test_sumup_admission_counts_invariant(self, honest, name):
+        scenario = build_attack_scenario(
+            honest, name, num_sybil=20, num_attack_edges=8, seed=3
+        )
+        perm = np.random.default_rng(7).permutation(honest.num_nodes).astype(np.int64)
+        relabeled = relabel_scenario(scenario, perm)
+        suspects = np.concatenate(
+            [np.arange(1, scenario.num_honest, dtype=np.int64), scenario.sybil_nodes()]
+        )
+        # The collector and every suspect are renamed consistently.
+        suspects_rel = np.where(
+            suspects < scenario.num_honest, perm[np.minimum(suspects, scenario.num_honest - 1)], suspects
+        )
+        params = SumUpParams(c_max=15)
+        base = sumup_collect_votes(scenario, 0, suspects, params)
+        rel = sumup_collect_votes(relabeled, int(perm[0]), suspects_rel, params)
+        assert rel.votes_collected == base.votes_collected
+        assert rel.votes_cast == base.votes_cast
+
+    @pytest.mark.parametrize("name", ["random", "targeted"])
+    def test_sybilrank_admission_counts_invariant(self, honest, name):
+        scenario = build_attack_scenario(
+            honest, name, num_sybil=20, num_attack_edges=8, seed=3
+        )
+        perm = np.random.default_rng(13).permutation(honest.num_nodes).astype(np.int64)
+        relabeled = relabel_scenario(scenario, perm)
+        base = sybilrank(scenario, [0])
+        rel = sybilrank(relabeled, [int(perm[0])])
+        # Scores are permutation-equivariant (same power iteration, ids
+        # renamed); admission counts are therefore invariant.
+        full = np.concatenate(
+            [perm, np.arange(scenario.num_honest, scenario.graph.num_nodes)]
+        )
+        assert np.allclose(rel.scores[full], base.scores, rtol=0, atol=1e-9)
+        base_top = base.accept_top(scenario.num_honest)
+        rel_top = rel.accept_top(scenario.num_honest)
+        assert (base_top < scenario.num_honest).sum() == (
+            rel_top < scenario.num_honest
+        ).sum()
+
+    def test_scenario_degree_multiset_invariant(self, honest):
+        scenario = build_attack_scenario(
+            honest, "targeted", num_sybil=20, num_attack_edges=8, seed=3
+        )
+        perm = np.random.default_rng(21).permutation(honest.num_nodes).astype(np.int64)
+        relabeled = relabel_scenario(scenario, perm)
+        assert np.array_equal(
+            np.sort(relabeled.graph.degrees), np.sort(scenario.graph.degrees)
+        )
+
+
+# ----------------------------------------------------------------------
+# Oracle tests: region topologies vs naive references
+# ----------------------------------------------------------------------
+class TestRegionOracles:
+    def test_clique_is_complete(self):
+        strategy = AttackStrategy("t", region="clique")
+        region = sybil_region_topology(strategy, 9, seed=0)
+        naive = {(u, v) for u in range(9) for v in range(u + 1, 9)}
+        assert edge_set(region) == naive
+
+    def test_kary_tree_matches_parent_formula(self):
+        strategy = AttackStrategy("t", region="tree", branching=3)
+        region = sybil_region_topology(strategy, 14, seed=0)
+        naive = {(min((c - 1) // 3, c), max((c - 1) // 3, c)) for c in range(1, 14)}
+        assert edge_set(region) == naive
+
+    def test_star_degenerate_tree(self):
+        """branching >= n-1 collapses the tree to a star around node 0."""
+        strategy = AttackStrategy("t", region="tree", branching=40)
+        region = sybil_region_topology(strategy, 12, seed=0)
+        assert edge_set(region) == {(0, c) for c in range(1, 12)}
+        assert region.degrees[0] == 11
+        assert np.all(region.degrees[1:] == 1)
+
+    def test_random_recursive_tree_is_a_tree(self):
+        strategy = AttackStrategy("t", region="tree")
+        region = sybil_region_topology(strategy, 30, seed=4)
+        assert region.num_edges == 29
+        assert is_connected(region)
+
+    def test_expander_is_regular_and_connected(self):
+        strategy = AttackStrategy("t", region="expander", degree=4)
+        region = sybil_region_topology(strategy, 20, seed=4)
+        assert np.all(region.degrees == 4)
+        assert is_connected(region)
+
+    def test_expander_degree_clamped_to_keep_nd_even(self):
+        strategy = AttackStrategy("t", region="expander", degree=4)
+        region = sybil_region_topology(strategy, 5, seed=4)
+        # d = min(4, 5-1) = 4 keeps n*d even -> 4-regular on 5 nodes.
+        assert np.all(region.degrees == 4)
+
+    def test_cluster_bomb_matches_naive_reference(self):
+        strategy = AttackStrategy("t", region="cluster_bomb", cluster_size=4)
+        region = sybil_region_topology(strategy, 14, seed=0)
+        # Naive reference: balanced split of 14 nodes into floor(14/4)=3
+        # cliques (sizes 5, 5, 4), anchors linked in a ring.
+        sizes = [5, 5, 4]
+        naive = set()
+        anchors = []
+        start = 0
+        for size in sizes:
+            anchors.append(start)
+            for i in range(start, start + size):
+                for j in range(i + 1, start + size):
+                    naive.add((i, j))
+            start += size
+        for i in range(3):
+            a, b = anchors[i], anchors[(i + 1) % 3]
+            naive.add((min(a, b), max(a, b)))
+        assert edge_set(region) == naive
+
+    def test_cluster_bomb_two_clusters_single_bridge(self):
+        strategy = AttackStrategy("t", region="cluster_bomb", cluster_size=4)
+        region = sybil_region_topology(strategy, 8, seed=0)
+        cut = [(u, v) for u, v in region.edges() if (u < 4) != (v < 4)]
+        assert len(cut) == 1
+        assert is_connected(region)
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_region_has_no_isolated_nodes(self, name):
+        strategy = get_attack_strategy(name)
+        region = sybil_region_topology(strategy, 23, seed=9)
+        assert np.all(region.degrees >= 1)
+
+    def test_single_node_region_rejected(self):
+        with pytest.raises(ScenarioError, match="at least 2"):
+            sybil_region_topology(AttackStrategy("t", region="clique"), 1, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Oracle tests: attachment policies vs naive references
+# ----------------------------------------------------------------------
+class TestAttachmentOracles:
+    def test_targeted_order_matches_naive_sort(self, honest):
+        order = attack_edge_order(honest, "targeted")
+        degrees = honest.degrees
+        naive = sorted(range(honest.num_nodes), key=lambda v: (-degrees[v], v))
+        assert order.tolist() == naive
+
+    def test_random_order_is_a_permutation(self, honest):
+        rng = np.random.default_rng(5)
+        order = attack_edge_order(honest, "random", rng=rng)
+        assert np.array_equal(np.sort(order), np.arange(honest.num_nodes))
+
+    def test_seam_order_ranks_boundary_nodes_first(self, honest):
+        from repro.community import spectral_sweep_cut
+
+        order = attack_edge_order(honest, "seam")
+        cut = spectral_sweep_cut(honest)
+        side = np.zeros(honest.num_nodes, dtype=bool)
+        side[cut.side] = True
+        cross = np.zeros(honest.num_nodes, dtype=np.int64)
+        for u, v in honest.edges():
+            if side[u] != side[v]:
+                cross[u] += 1
+                cross[v] += 1
+        naive = sorted(range(honest.num_nodes), key=lambda v: (-cross[v], v))
+        assert order.tolist() == naive
+
+    def test_unknown_attachment_rejected(self, honest):
+        with pytest.raises(ScenarioError, match="unknown attachment"):
+            attack_edge_order(honest, "bogus")
+
+    def test_victims_distinct_while_budget_below_honest_count(self, honest):
+        scenario = build_attack_scenario(
+            honest, "targeted", num_sybil=30, num_attack_edges=honest.num_nodes,
+            seed=2,
+        )
+        victims = scenario.attack_edges[:, 0]
+        assert np.unique(victims).size == honest.num_nodes
+
+
+# ----------------------------------------------------------------------
+# Degenerate inputs
+# ----------------------------------------------------------------------
+class TestDegenerateInputs:
+    def test_single_sybil_node_rejected(self, honest):
+        with pytest.raises(ScenarioError, match="at least 2"):
+            build_attack_scenario(
+                honest, "random", num_sybil=1, num_attack_edges=3, seed=0
+            )
+
+    def test_disconnected_honest_region_rejected(self):
+        disconnected = Graph.from_edges(
+            np.array([[0, 1], [2, 3]], dtype=np.int64), num_nodes=4
+        )
+        with pytest.raises(ScenarioError, match="connected"):
+            build_attack_scenario(
+                disconnected, "random", num_sybil=5, num_attack_edges=2, seed=0
+            )
+
+    def test_tiny_honest_region_rejected(self):
+        with pytest.raises(ScenarioError, match="at least 2"):
+            build_attack_scenario(
+                Graph.empty(1), "random", num_sybil=5, num_attack_edges=2, seed=0
+            )
+
+    def test_negative_budget_rejected(self, honest):
+        with pytest.raises(ScenarioError, match="nonnegative"):
+            build_attack_scenario(
+                honest, "random", num_sybil=5, num_attack_edges=-1, seed=0
+            )
+
+    def test_budget_beyond_all_pairs_rejected(self):
+        small, _ = largest_connected_component(erdos_renyi_gnm(6, 10, seed=1))
+        with pytest.raises(ScenarioError, match="more attack edges"):
+            build_attack_scenario(
+                small, "random", num_sybil=2, num_attack_edges=small.num_nodes * 2 + 1,
+                seed=0,
+            )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis-driven invariants
+# ----------------------------------------------------------------------
+@st.composite
+def scenario_inputs(draw):
+    n = draw(st.integers(min_value=12, max_value=60))
+    m = draw(st.integers(min_value=2 * n, max_value=4 * n))
+    graph_seed = draw(st.integers(min_value=0, max_value=2**31))
+    honest, _ = largest_connected_component(
+        erdos_renyi_gnm(n, min(m, n * (n - 1) // 2), seed=graph_seed)
+    )
+    num_sybil = draw(st.integers(min_value=2, max_value=20))
+    budget = draw(st.integers(min_value=0, max_value=honest.num_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    name = draw(st.sampled_from(ALL_STRATEGIES))
+    return honest, name, num_sybil, budget, seed
+
+
+class TestHypothesisInvariants:
+    @given(scenario_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_builder_invariants(self, inputs):
+        honest, name, num_sybil, budget, seed = inputs
+        scenario = build_attack_scenario(
+            honest, name, num_sybil=num_sybil, num_attack_edges=budget, seed=seed
+        )
+        assert scenario.num_honest == honest.num_nodes
+        assert scenario.num_attack_edges == budget
+        if budget == 0:
+            assert scenario.graph is honest
+            assert scenario.num_sybil == 0
+        else:
+            assert scenario.num_sybil == num_sybil
+            combined = edge_set(scenario.graph)
+            for h, s in scenario.attack_edges:
+                assert 0 <= h < honest.num_nodes
+                assert honest.num_nodes <= s < scenario.graph.num_nodes
+                assert (min(int(h), int(s)), max(int(h), int(s))) in combined
+            assert np.all(scenario.graph.degrees >= 1)
+
+    @given(scenario_inputs())
+    @settings(max_examples=15, deadline=None)
+    def test_builder_deterministic(self, inputs):
+        honest, name, num_sybil, budget, seed = inputs
+        a = build_attack_scenario(
+            honest, name, num_sybil=num_sybil, num_attack_edges=budget, seed=seed
+        )
+        b = build_attack_scenario(
+            honest, name, num_sybil=num_sybil, num_attack_edges=budget, seed=seed
+        )
+        assert np.array_equal(a.attack_edges, b.attack_edges)
+        assert np.array_equal(a.graph.indptr, b.graph.indptr)
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+
+    @given(scenario_inputs(), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_prefix_property(self, inputs, delta):
+        honest, name, num_sybil, budget, seed = inputs
+        larger = min(budget + delta, honest.num_nodes * num_sybil)
+        small = build_attack_scenario(
+            honest, name, num_sybil=num_sybil, num_attack_edges=budget, seed=seed
+        )
+        large = build_attack_scenario(
+            honest, name, num_sybil=num_sybil, num_attack_edges=larger, seed=seed
+        )
+        if budget == 0:
+            assert small.attack_edges.shape == (0, 2)
+        else:
+            assert np.array_equal(large.attack_edges[:budget], small.attack_edges)
