@@ -142,6 +142,25 @@ def _workers_arg(raw: str) -> int:
     return value
 
 
+def _memory_budget_arg(raw: str) -> int:
+    """Argparse ``type`` for ``--memory-budget``: bytes with K/M/G suffix."""
+    text = raw.strip().upper()
+    scale = 1
+    for suffix, factor in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if text.endswith(suffix):
+            text, scale = text[: -len(suffix)], factor
+            break
+    try:
+        value = int(float(text) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"memory budget must be bytes with optional K/M/G suffix, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("memory budget must be positive")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mixing",
@@ -149,7 +168,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', 'list', 'datasets', or 'serve'",
+        help="experiment name, 'all', 'list', 'datasets', 'fetch-dataset', or 'serve'",
+    )
+    parser.add_argument(
+        "--datasets",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated registry names restricting dataset-driven "
+        "experiments (e.g. 'table1 --datasets huge_livejournal' runs the "
+        "paper-scale out-of-core stand-in, which default rosters skip)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=_memory_budget_arg,
+        default=None,
+        metavar="BYTES",
+        help="peak working-set target for block evolution; accepts K/M/G "
+        "suffixes (e.g. 256M). Streams the operator in budget-sized "
+        "stripes with the streaming backend; results are bit-identical "
+        "at any setting",
     )
     parser.add_argument(
         "--full",
@@ -188,9 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         default=None,
         metavar="NAME",
-        help="SpMM backend for block evolution (numpy, tiled, float32; "
-        "default numpy; float64 backends are bit-identical, float32 "
-        "trades precision for memory bandwidth)",
+        help="SpMM backend for block evolution (numpy, tiled, streaming, "
+        "float32; default numpy; float64 backends are bit-identical, "
+        "float32 trades precision for memory bandwidth; streaming walks "
+        "the operator in --memory-budget sized stripes for out-of-core "
+        "graphs)",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -236,6 +275,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable telemetry and write the span trace (JSON) to FILE "
         "after all experiments finish",
     )
+    fetch = parser.add_argument_group(
+        "fetch-dataset options", "only used with the 'fetch-dataset' command"
+    )
+    fetch.add_argument(
+        "--name",
+        default=None,
+        metavar="SOURCE",
+        help="SNAP source to fetch (see repro.datasets.snap.SNAP_SOURCES)",
+    )
+    fetch.add_argument(
+        "--dest",
+        default=None,
+        metavar="DIR",
+        help="directory receiving the ingested .csr container "
+        "(default: the dataset cache directory)",
+    )
+    fetch.add_argument(
+        "--sha256",
+        default=None,
+        metavar="HEX",
+        help="expected SHA-256 of the downloaded archive; required when "
+        "the source registry carries no pin (unverified downloads are "
+        "always refused)",
+    )
+    fetch.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="override the registry URL (file:// works for local archives)",
+    )
+    fetch.add_argument(
+        "--keep-all-components",
+        action="store_true",
+        help="skip the largest-connected-component extraction after ingest",
+    )
     serve = parser.add_argument_group(
         "serve options", "only used with the 'serve' command"
     )
@@ -276,6 +350,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fetch_dataset(args) -> int:
+    """The ``repro-mixing fetch-dataset`` command.
+
+    Network acquisition is strictly opt-in: nothing else in the CLI, the
+    test suite, or CI ever triggers a download.
+    """
+    from .datasets.cache import default_cache_dir
+    from .datasets.snap import fetch_dataset
+
+    if args.name is None:
+        print("fetch-dataset requires --name <source>", file=sys.stderr)
+        return 2
+    dest = args.dest if args.dest is not None else default_cache_dir()
+    path = fetch_dataset(
+        args.name,
+        dest,
+        sha256=args.sha256,
+        url=args.url,
+        keep_largest_component=not args.keep_all_components,
+    )
+    print(f"ingested {args.name} -> {path}")
+    return 0
+
+
 def _serve(args) -> int:
     """The ``repro-mixing serve`` command: a long-lived HTTP query service.
 
@@ -299,6 +397,7 @@ def _serve(args) -> int:
         workers=args.workers,
         block_size=args.block_size,
         telemetry=telemetry,
+        memory_budget=args.memory_budget,
         **({"backend": args.backend} if args.backend is not None else {}),
     )
     engine = QueryEngine(
@@ -353,6 +452,16 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         from .datasets import REGISTRY, load_cached
 
         for spec in REGISTRY.values():
+            if spec.scale == "huge":
+                # Paper-scale tier: listed from the spec alone — realising
+                # it here would silently generate a multi-hundred-MB
+                # container on a listing command.
+                print(
+                    f"{spec.name:15s} {spec.category:12s} scale={spec.scale:5s} "
+                    f"n={spec.nodes:7,} m={spec.edges:8,} "
+                    f"(target sizes; generate via --datasets {spec.name})"
+                )
+                continue
             graph = load_cached(spec.name)
             print(
                 f"{spec.name:15s} {spec.category:12s} scale={spec.scale:5s} "
@@ -360,6 +469,8 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                 f"(paper: n={spec.paper_nodes:,}, m={spec.paper_edges:,})"
             )
         return 0
+    if args.experiment == "fetch-dataset":
+        return _fetch_dataset(args)
     if args.experiment == "serve":
         return _serve(args)
     telemetry = args.metrics_out is not None or args.trace_out is not None
@@ -370,6 +481,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=not args.no_resume,
         telemetry=telemetry,
+        memory_budget=args.memory_budget,
         **({"max_retries": args.max_retries} if args.max_retries is not None else {}),
         **({"backend": args.backend} if args.backend is not None else {}),
     )
@@ -378,6 +490,11 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry=telemetry,
         policy=policy,
         **({"seed": args.seed} if args.seed is not None else {}),
+        **(
+            {"datasets": tuple(args.datasets.split(","))}
+            if args.datasets is not None
+            else {}
+        ),
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]

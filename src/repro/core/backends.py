@@ -21,6 +21,17 @@ lets that product be served by interchangeable kernels, selected via
     bandwidth-bound graphs, *not* exact — its error envelope against the
     float64 oracle is pinned by the differential harness
     (``tests/core/test_backends.py``) using the constants below.
+``"streaming"``
+    The out-of-core kernel: walks the matrix in CSC *column stripes*
+    sized to ``ExecutionPolicy(memory_budget=…)``, double-buffering the
+    next stripe's load on a helper thread while the current stripe
+    multiplies.  Each output column is accumulated wholly inside one
+    stripe in the same rank order as the tiled kernel, so the result is
+    bit-for-bit identical to the numpy oracle while only ever holding
+    two stripes of matrix data in memory.  Combined with
+    :class:`repro.graph.storage.MemmapGraph` (whose transition matrix
+    serves stripes straight off ``np.memmap``) it runs sweeps over
+    graphs whose CSR exceeds RAM.
 
 Contract
 --------
@@ -45,8 +56,11 @@ the differential harness re-pins for every registered name.
 from __future__ import annotations
 
 import os
+import queue
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -63,6 +77,7 @@ __all__ = [
     "get_backend",
     "numba_available",
     "register_backend",
+    "stripe_bounds",
     "validate_backend",
 ]
 
@@ -79,6 +94,16 @@ _NUMBA_ENV = "REPRO_NUMBA"
 #: tile's output columns stay cache-resident across its stripes, large
 #: enough to amortise the per-stripe fancy-indexing overhead.
 _TILE_COLS = 64
+
+#: Stripe-buffer budget the streaming backend assumes when prepared
+#: without an explicit ``memory_budget`` (the differential harness and
+#: in-memory callers): big enough that small graphs run in one stripe.
+_STREAM_DEFAULT_BYTES = 8 * 1024 * 1024
+
+#: Bytes of stripe payload per nonzero: int64 row + float64 value, times
+#: two because the double buffer holds the current and the prefetched
+#: stripe at once.
+_STREAM_BYTES_PER_NNZ = 32
 
 # ----------------------------------------------------------------------
 # Pinned float32 error envelope (validated by tests/core/test_backends.py)
@@ -252,6 +277,174 @@ def _prepare_float32(matrix) -> Callable[[np.ndarray], np.ndarray]:
 
 
 # ----------------------------------------------------------------------
+# Streaming (out-of-core) kernel
+# ----------------------------------------------------------------------
+def stripe_bounds(csc_indptr: np.ndarray, budget_bytes: int) -> List[int]:
+    """Column-stripe boundaries whose nonzeros fit the stripe budget.
+
+    Returns ``[c_0=0, c_1, ..., c_k=n]``; stripe ``i`` covers columns
+    ``[c_i, c_{i+1})`` and holds at most ``budget_bytes /
+    _STREAM_BYTES_PER_NNZ`` nonzeros — except single columns denser than
+    the budget, which become singleton stripes (a column cannot be
+    split without changing the accumulation order).
+    """
+    n = int(csc_indptr.shape[0]) - 1
+    target = max(int(budget_bytes) // _STREAM_BYTES_PER_NNZ, 1)
+    bounds = [0]
+    while bounds[-1] < n:
+        lo = bounds[-1]
+        hi = int(np.searchsorted(csc_indptr, int(csc_indptr[lo]) + target, side="right")) - 1
+        bounds.append(min(max(hi, lo + 1), n))
+    return bounds
+
+
+def _apply_csc_stripe(
+    x: np.ndarray,
+    out: np.ndarray,
+    col_offset: int,
+    local_indptr: np.ndarray,
+    rows: np.ndarray,
+    vals: np.ndarray,
+    xT: Optional[np.ndarray] = None,
+) -> None:
+    """Accumulate one CSC column stripe into ``out`` in oracle order.
+
+    Each output column is an in-order left fold over its nonzeros —
+    increasing CSC position, exactly scipy's ``csc_matvecs``
+    accumulation sequence.  Column stripes partition *output columns*,
+    so striping cannot reassociate any sum: the result is independent of
+    the stripe plan.
+
+    The rank-stripe scheme this replaces looped ``max(column degree)``
+    times per tile — O(max_deg) fancy-indexing passes, pathological on
+    power-law graphs whose hub columns are thousands deep.  Instead the
+    stripe's transpose *is* a valid CSR matrix over the same arrays, and
+    scipy's ``csr_matvecs`` kernel folds each output row strictly in
+    increasing nonzero position — precisely the per-column order the
+    oracle commits to — at C speed.  (``np.add.reduceat`` was tried and
+    rejected here: numpy's inner reduce loop is pairwise for runs longer
+    than 8 elements, which flips low-order bits on hub columns.)  The
+    differential harness in tests/core/test_backends.py and
+    tests/core/test_outofcore.py pins bit-identity against the oracle.
+
+    ``xT`` lets the streaming step pass one C-contiguous transpose of
+    ``x`` for the whole stripe walk; without it scipy would re-copy the
+    dense block for every stripe.
+    """
+    width = int(local_indptr.shape[0]) - 1
+    if numba_available():
+        _numba_csc_kernel()(local_indptr, rows, vals, x, out[:, col_offset:col_offset + width])
+        return
+    if not vals.size:
+        return
+    from scipy.sparse import csr_matrix
+
+    if xT is None:
+        xT = np.ascontiguousarray(x.T)
+    stripe_t = csr_matrix(
+        (vals, rows, local_indptr), shape=(width, xT.shape[0]), copy=False
+    )
+    out[:, col_offset:col_offset + width] += (stripe_t @ xT).T
+
+
+def _prepare_streaming(
+    matrix, *, memory_budget: Optional[int] = None
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Budgeted column-stripe SpMM with double-buffered stripe loads.
+
+    Works on two matrix shapes:
+
+    * objects exposing the out-of-core stripe protocol
+      (``csc_indptr`` + ``csc_stripe(lo, hi)`` — see
+      :class:`repro.core.outofcore.StripedTransitionMatrix`), whose
+      stripes are derived lazily from memory-mapped CSR arrays;
+    * any scipy sparse matrix, whose CSC arrays are computed once and
+      sliced per stripe (no memory win — in-memory matrices already fit
+      — but the identical code path keeps the differential harness
+      honest).
+
+    Each :func:`step` walks the stripe plan with a helper thread loading
+    stripe ``i + 1`` while stripe ``i`` multiplies, so disk latency
+    overlaps compute; the output is bit-for-bit the numpy oracle's.
+    """
+    budget = int(memory_budget) if memory_budget else _STREAM_DEFAULT_BYTES
+    if hasattr(matrix, "csc_stripe"):
+        csc_indptr = np.asarray(matrix.csc_indptr, dtype=np.int64)
+        loader = matrix.csc_stripe
+    else:
+        csc_indptr, all_rows, all_vals = _csc_arrays(matrix)
+
+        def loader(lo: int, hi: int):
+            s0, s1 = int(csc_indptr[lo]), int(csc_indptr[hi])
+            return csc_indptr[lo:hi + 1] - s0, all_rows[s0:s1], all_vals[s0:s1]
+
+    n_cols = int(csc_indptr.shape[0]) - 1
+    bounds = stripe_bounds(csc_indptr, budget)
+    n_stripes = len(bounds) - 1
+
+    def load(i: int):
+        local_indptr, rows, vals = loader(bounds[i], bounds[i + 1])
+        if OBS.enabled:
+            OBS.add("core.backend.streaming.stripes")
+            OBS.add(
+                "core.backend.streaming.bytes_loaded",
+                int(local_indptr.nbytes + rows.nbytes + vals.nbytes),
+            )
+        return bounds[i], local_indptr, rows, vals
+
+    def step(block: np.ndarray) -> np.ndarray:
+        x = np.asarray(block, dtype=np.float64)
+        out = np.zeros((x.shape[0], n_cols), dtype=np.float64)
+        if n_stripes <= 1:
+            if n_stripes:
+                col0, local_indptr, rows, vals = load(0)
+                _apply_csc_stripe(x, out, col0, local_indptr, rows, vals)
+            return out
+        xT = None if numba_available() else np.ascontiguousarray(x.T)
+        # Double buffer: a helper thread keeps up to two stripes staged
+        # while the main thread multiplies.  The thread lives for one
+        # step call only, so nothing leaks if the operator is dropped.
+        staged: "queue.Queue" = queue.Queue(maxsize=2)
+        cancel = threading.Event()
+
+        def produce():
+            for i in range(n_stripes):
+                try:
+                    item = ("ok", load(i))
+                except BaseException as exc:  # surfaced by the consumer
+                    item = ("err", exc)
+                while not cancel.is_set():
+                    try:
+                        staged.put(item, timeout=0.1)
+                        break
+                    except queue.Full:
+                        continue
+                if cancel.is_set() or item[0] == "err":
+                    return
+
+        worker = threading.Thread(target=produce, daemon=True)
+        worker.start()
+        try:
+            for _ in range(n_stripes):
+                t0 = time.perf_counter()
+                tag, payload = staged.get()
+                if OBS.enabled:
+                    OBS.observe(
+                        "core.backend.streaming.swap_wait_seconds",
+                        time.perf_counter() - t0,
+                    )
+                if tag == "err":
+                    raise payload
+                col0, local_indptr, rows, vals = payload
+                _apply_csc_stripe(x, out, col0, local_indptr, rows, vals, xT=xT)
+        finally:
+            cancel.set()
+        return out
+
+    return step
+
+
+# ----------------------------------------------------------------------
 # The registry
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -270,19 +463,31 @@ class SpmmBackend:
     factory:
         ``factory(csr_matrix) -> step`` preparing a per-matrix step
         closure; preparation cost is paid once per operator and memoised
-        by the operator layer.
+        by the operator layer.  Backends with ``needs_budget`` take an
+        extra ``memory_budget=`` keyword.
     description:
         One line for docs and ``repro-mixing`` help surfaces.
+    needs_budget:
+        Whether the factory consumes ``ExecutionPolicy.memory_budget``
+        (the streaming backend sizes its stripes from it).  Budgeted
+        backends are still bit-for-bit neutral across budgets — the knob
+        changes stripe boundaries, never arithmetic order.
     """
 
     name: str
     numeric: str
     factory: Callable[[Any], Callable[[np.ndarray], np.ndarray]] = field(repr=False)
     description: str = ""
+    needs_budget: bool = False
 
-    def prepare(self, matrix) -> Callable[[np.ndarray], np.ndarray]:
+    def prepare(
+        self, matrix, *, memory_budget: Optional[int] = None
+    ) -> Callable[[np.ndarray], np.ndarray]:
         """Build the telemetry-wrapped step closure for ``matrix``."""
-        inner = self.factory(matrix)
+        if self.needs_budget:
+            inner = self.factory(matrix, memory_budget=memory_budget)
+        else:
+            inner = self.factory(matrix)
         name = self.name
         if OBS.enabled:
             OBS.add("core.backend.prepares")
@@ -346,6 +551,16 @@ register_backend(
         numeric="float32",
         factory=_prepare_float32,
         description="single-precision SpMM inside the pinned error envelope",
+    )
+)
+register_backend(
+    SpmmBackend(
+        name="streaming",
+        numeric="float64",
+        factory=_prepare_streaming,
+        description="budgeted out-of-core column-stripe SpMM with "
+        "double-buffered stripe loads, bit-identical to the oracle",
+        needs_budget=True,
     )
 )
 

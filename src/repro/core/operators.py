@@ -52,6 +52,7 @@ __all__ = [
     "DEFAULT_BLOCK_BYTES",
     "HittingTimes",
     "MarkovOperator",
+    "policy_block_bytes",
     "resolve_block_size",
 ]
 
@@ -102,6 +103,21 @@ def resolve_block_size(
         raise ValueError("memory_budget_bytes must be positive")
     rows = int(memory_budget_bytes) // (8 * num_states)
     return int(max(1, min(rows, _MAX_BLOCK_ROWS)))
+
+
+def policy_block_bytes(policy: ExecutionPolicy) -> int:
+    """Dense-block byte budget implied by one :class:`ExecutionPolicy`.
+
+    Without a ``memory_budget`` this is the historical
+    :data:`DEFAULT_BLOCK_BYTES`; with one, the dense ``(s, n)``
+    evolution block gets half the budget (the other half belongs to the
+    streaming backend's double-buffered stripes), floored at one row's
+    worth so a tiny budget still makes progress.  Purely an execution
+    decision — chunk boundaries are bit-for-bit neutral.
+    """
+    if policy.memory_budget is None:
+        return DEFAULT_BLOCK_BYTES
+    return max(policy.memory_budget // 2, 8)
 
 
 class HittingTimes(NamedTuple):
@@ -181,12 +197,15 @@ class MarkovOperator(ABC):
         cache = getattr(self, "_backend_cache", None)
         if cache is None:  # operators built before _init_operator grew the cache
             cache = self._backend_cache = {}
-        step = cache.get(name)
+        key = (name, policy.memory_budget)
+        step = cache.get(key)
         if step is None:
             from .backends import get_backend
 
-            step = get_backend(name).prepare(self._matrix)
-            cache[name] = step
+            step = get_backend(name).prepare(
+                self._matrix, memory_budget=policy.memory_budget
+            )
+            cache[key] = step
         return step
 
     # ------------------------------------------------------------------
@@ -427,7 +446,11 @@ class MarkovOperator(ABC):
                 )
                 if out is not None:
                     return out
-            chunk_rows = resolve_block_size(self._num_states, policy.block_size)
+            chunk_rows = resolve_block_size(
+                self._num_states,
+                policy.block_size,
+                memory_budget_bytes=policy_block_bytes(policy),
+            )
             telemetry = OBS.enabled
             if telemetry:
                 span.set(chunk_rows=int(chunk_rows), path="serial")
@@ -515,7 +538,11 @@ class MarkovOperator(ABC):
                 )
                 if out is not None:
                     return out
-            chunk_rows = resolve_block_size(self._num_states, policy.block_size)
+            chunk_rows = resolve_block_size(
+                self._num_states,
+                policy.block_size,
+                memory_budget_bytes=policy_block_bytes(policy),
+            )
             telemetry = OBS.enabled
             if telemetry:
                 span.set(chunk_rows=int(chunk_rows), path="serial")
@@ -598,7 +625,11 @@ class MarkovOperator(ABC):
         ref = self.stationary() if reference is None else self._check_vector(
             reference, name="reference"
         )
-        chunk_rows = resolve_block_size(self._num_states, policy.block_size)
+        chunk_rows = resolve_block_size(
+            self._num_states,
+            policy.block_size,
+            memory_budget_bytes=policy_block_bytes(policy),
+        )
         apply_step = self._resolve_step(policy)
         if OBS.enabled:
             OBS.add("core.evolution.rows", x_all.shape[0])
@@ -643,7 +674,11 @@ class MarkovOperator(ABC):
         ref = self.stationary() if reference is None else self._check_vector(
             reference, name="reference"
         )
-        chunk_rows = resolve_block_size(self._num_states, policy.block_size)
+        chunk_rows = resolve_block_size(
+            self._num_states,
+            policy.block_size,
+            memory_budget_bytes=policy_block_bytes(policy),
+        )
         apply_step = self._resolve_step(policy)
         num_rows = x_all.shape[0]
         if OBS.enabled:

@@ -1,0 +1,238 @@
+"""Out-of-core transition dynamics over memory-mapped graphs.
+
+:class:`~repro.core.walks.TransitionOperator` normally materialises its
+row-stochastic matrix ``P = alpha I + (1 - alpha) D^{-1} A`` as a scipy
+CSR — an O(2m) float64 allocation that defeats the point of opening a
+graph as a :class:`~repro.graph.storage.MemmapGraph`.  This module
+provides :class:`StripedTransitionMatrix`, a lazy stand-in that derives
+any *column stripe* of P's CSC form directly from the mapped CSR arrays
+on demand:
+
+* for the undirected walk, CSC column ``j`` of ``D^{-1} A`` has rows
+  ``indices[indptr[j]:indptr[j+1]]`` (one contiguous mapped read) and
+  values ``inv_deg[rows]`` — the exact float64 values scipy's
+  construction produces, since ``np.repeat(inv_deg, degrees)`` stores
+  ``inv_deg[row]`` verbatim and CSR→CSC conversion only permutes;
+* laziness inserts the diagonal ``alpha`` into each column at its
+  sorted row position and scales the rest by ``1 - alpha`` — the same
+  two float64 operations scipy's ``alpha*I + (1-alpha)*P`` performs, so
+  stripe values are bit-for-bit scipy's.
+
+The ``streaming`` backend (:mod:`repro.core.backends`) consumes the
+stripe protocol (``csc_indptr`` / ``csc_stripe``); the dense-block
+``block @ matrix`` protocol is also implemented (via the same streaming
+kernel), so the default ``numpy`` backend path works unchanged on
+memory-mapped operators and produces identical bits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+from .runtime import sweep_fingerprint
+
+__all__ = ["StripedTransitionMatrix"]
+
+
+class StripedTransitionMatrix:
+    """Lazy ``P = alpha I + (1 - alpha) D^{-1} A`` over CSR arrays.
+
+    Never holds more than O(n) derived state (inverse degrees, the lazy
+    CSC indptr); matrix entries are synthesised per column stripe from
+    the graph's (possibly memory-mapped) ``indptr`` / ``indices``.
+    """
+
+    #: Make ``ndarray @ striped`` defer to :meth:`__rmatmul__` instead of
+    #: coercing this object into a dtype=object array.
+    __array_ufunc__ = None
+    __array_priority__ = 10.2
+
+    ndim = 2
+
+    def __init__(self, graph: Graph, *, laziness: float = 0.0):
+        if not 0.0 <= laziness < 1.0:
+            raise ValueError("laziness must be in [0, 1)")
+        degrees = np.asarray(graph.degrees, dtype=np.int64)
+        if degrees.size == 0 or np.any(degrees == 0):
+            raise ValueError("transition matrix undefined with isolated nodes")
+        self._graph = graph
+        self._alpha = float(laziness)
+        # Same expression as the in-memory construction — the stripe
+        # values must be the very float64 numbers scipy would store.
+        self._inv_deg = 1.0 / degrees.astype(np.float64)
+        self._csc_indptr: Optional[np.ndarray] = None
+        self._default_step = None
+        self._dense_cache = None
+
+    # ------------------------------------------------------------------
+    # Matrix-protocol surface
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        n = self._graph.num_nodes
+        return (n, n)
+
+    @property
+    def dtype(self):
+        return np.dtype(np.float64)
+
+    @property
+    def nnz(self) -> int:
+        extra = self._graph.num_nodes if self._alpha > 0.0 else 0
+        return int(self._graph.indptr[-1]) + extra
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def laziness(self) -> float:
+        return self._alpha
+
+    @property
+    def path(self) -> Optional[str]:
+        """Backing ``.csr`` container of the graph, when it has one.
+
+        Non-``None`` is what lets the parallel layer publish this
+        operator by *path* — workers re-map the container instead of
+        copying 2m int64s into shared memory.
+        """
+        return getattr(self._graph, "path", None)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content identity for checkpoint/cache keys.
+
+        Covers the graph's CSR fingerprint (cheap for container-backed
+        graphs — the digest is recorded in the file header) plus the
+        laziness, i.e. exactly the inputs the matrix is a pure function
+        of.
+        """
+        memo = getattr(self._graph, "_memo", None)
+        graph_key = memo.get("graph_fingerprint") if memo is not None else None
+        if graph_key is None:
+            graph_key = sweep_fingerprint(
+                "service.graph", self._graph.indptr, self._graph.indices
+            )
+            if memo is not None:
+                memo["graph_fingerprint"] = graph_key
+        return sweep_fingerprint("core.striped_transition", graph_key, self._alpha)
+
+    # ------------------------------------------------------------------
+    # Stripe protocol (consumed by the streaming backend)
+    # ------------------------------------------------------------------
+    @property
+    def csc_indptr(self) -> np.ndarray:
+        """Column pointer of P's CSC form (O(n) in memory, computed once).
+
+        P is symmetric in *structure* (not values), so the adjacency
+        ``indptr`` is already the CSC pointer; laziness adds exactly one
+        diagonal entry per column.
+        """
+        if self._csc_indptr is None:
+            indptr = np.asarray(self._graph.indptr, dtype=np.int64)
+            if self._alpha > 0.0:
+                indptr = indptr + np.arange(indptr.shape[0], dtype=np.int64)
+            self._csc_indptr = indptr
+        return self._csc_indptr
+
+    def csc_stripe(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Materialise CSC columns ``[lo, hi)`` of P.
+
+        Returns ``(local_indptr, rows, vals)`` with ``local_indptr[0] ==
+        0``.  One contiguous read of the mapped ``indices`` plus O(stripe)
+        compute; bit-for-bit the slice scipy's ``tocsc()`` would hold.
+        """
+        graph_indptr = self._graph.indptr
+        s0, s1 = int(graph_indptr[lo]), int(graph_indptr[hi])
+        rows = np.asarray(self._graph.indices[s0:s1], dtype=np.int64)
+        local_indptr = np.asarray(graph_indptr[lo:hi + 1], dtype=np.int64) - s0
+        alpha = self._alpha
+        if alpha == 0.0:
+            return local_indptr, rows, self._inv_deg[rows]
+        vals = self._inv_deg[rows] * (1.0 - alpha)
+        # Insert the diagonal alpha at each column's sorted row slot.
+        # Entry k belongs to column `col_of[k]`; it precedes the diagonal
+        # exactly when its row id is below the column id (no self loops,
+        # so never equal).
+        width = hi - lo
+        col_of = np.repeat(
+            np.arange(lo, hi, dtype=np.int64), np.diff(local_indptr)
+        )
+        below = rows < col_of
+        before_diag = np.bincount(
+            (col_of - lo)[below], minlength=width
+        )
+        insert_at = local_indptr[:-1] + before_diag
+        rows_out = np.insert(rows, insert_at, np.arange(lo, hi, dtype=np.int64))
+        vals_out = np.insert(vals, insert_at, alpha)
+        local_out = local_indptr + np.arange(width + 1, dtype=np.int64)
+        return local_out, rows_out, vals_out
+
+    # ------------------------------------------------------------------
+    # Dense-block product (the default numpy-backend path)
+    # ------------------------------------------------------------------
+    def __rmatmul__(self, block: np.ndarray) -> np.ndarray:
+        """``block @ P`` via the streaming stripe kernel (default budget).
+
+        Bit-for-bit equal to materialising P and letting scipy multiply
+        — the streaming kernel reproduces scipy's per-column
+        accumulation order exactly — so the default backend stays the
+        oracle on memory-mapped operators too.
+        """
+        if self._default_step is None:
+            from .backends import _prepare_streaming
+
+            self._default_step = _prepare_streaming(self)
+        x = np.asarray(block, dtype=np.float64)
+        if x.ndim == 1:
+            return self._default_step(x[np.newaxis, :])[0]
+        return self._default_step(x)
+
+    # ------------------------------------------------------------------
+    # Materialisation escape hatches (small graphs / non-core backends)
+    # ------------------------------------------------------------------
+    def tocsr(self):
+        """The matrix as an in-memory scipy CSR (O(2m) — small graphs only)."""
+        if self._dense_cache is None:
+            from scipy.sparse import csr_matrix, identity
+
+            graph = self._graph
+            n = graph.num_nodes
+            indices = np.array(graph.indices, dtype=np.int64)
+            indptr = np.array(graph.indptr, dtype=np.int64)
+            data = np.repeat(self._inv_deg, np.asarray(graph.degrees))
+            plain = csr_matrix((data, indices, indptr), shape=(n, n))
+            if self._alpha > 0.0:
+                lazy = (self._alpha * identity(n, format="csr")) + (
+                    1.0 - self._alpha
+                ) * plain
+                self._dense_cache = lazy.tocsr()
+            else:
+                self._dense_cache = plain
+        return self._dense_cache
+
+    def tocsc(self):
+        return self.tocsr().tocsc()
+
+    @property
+    def data(self):
+        return self.tocsr().data
+
+    @property
+    def indices(self):
+        return self.tocsr().indices
+
+    @property
+    def indptr(self):
+        return self.tocsr().indptr
+
+    def __repr__(self) -> str:
+        n = self._graph.num_nodes
+        return (
+            f"StripedTransitionMatrix(n={n}, nnz={self.nnz}, "
+            f"laziness={self._alpha}, path={self.path!r})"
+        )

@@ -144,17 +144,32 @@ def describe_operator(operator):
     """Classify an operator for worker-side reconstruction.
 
     Returns ``(kind, csr_matrix, extras)`` where ``kind`` is ``"csr"``
-    (plain/lazy/weighted/pure-directed — the base ``X @ P`` kernel) or
-    ``"teleport"`` (damped/dangling directed chains), or ``None`` when
-    the operator's step cannot be replicated from its CSR arrays alone
+    (plain/lazy/weighted/pure-directed — the base ``X @ P`` kernel),
+    ``"teleport"`` (damped/dangling directed chains) or ``"mmap"``
+    (out-of-core operators over an on-disk ``.csr`` container, published
+    by *path* rather than by copying arrays), or ``None`` when the
+    operator's step cannot be replicated from its CSR arrays alone
     (unknown ``_apply_block`` override) — the caller then stays serial.
     """
     from scipy.sparse import issparse
 
     from .directed import DirectedTransitionOperator
     from .operators import MarkovOperator
+    from .outofcore import StripedTransitionMatrix
 
     matrix = getattr(operator, "_matrix", None)
+    if isinstance(matrix, StripedTransitionMatrix):
+        # Out-of-core operator.  Publishable only when the backing graph
+        # has an on-disk container workers can re-map (anonymous striped
+        # matrices would force a full copy, defeating the point) and the
+        # step is the base kernel (same rule as the CSR branch below).
+        if (
+            isinstance(operator, DirectedTransitionOperator)
+            or type(operator)._apply_block is not MarkovOperator._apply_block
+            or matrix.path is None
+        ):
+            return None
+        return "mmap", matrix, {}
     if matrix is None or not issparse(matrix):
         return None
     matrix = matrix.tocsr()
@@ -188,12 +203,17 @@ class OperatorPayload(NamedTuple):
     arrays themselves live in the named shared-memory segment.
     """
 
-    kind: str  # "csr" | "teleport" | "originator"
+    kind: str  # "csr" | "teleport" | "originator" | "mmap"
     num_states: int
     shm_name: str
     fields: Tuple[_ArrayField, ...]
     damping: float = 1.0
     beta: float = 0.0
+    #: ``"mmap"`` only: the on-disk ``.csr`` container workers re-map
+    #: (instead of copying 2m int64s into the segment) and the laziness
+    #: of the striped transition matrix rebuilt on top of it.
+    path: Optional[str] = None
+    alpha: float = 0.0
 
 
 class RoutePayload(NamedTuple):
@@ -504,11 +524,22 @@ def publish_operator(
 
     publish_start = time.perf_counter() if OBS.enabled else 0.0
 
-    named: List[Tuple[str, np.ndarray]] = [
-        ("data", np.ascontiguousarray(matrix.data)),
-        ("indices", np.ascontiguousarray(matrix.indices)),
-        ("indptr", np.ascontiguousarray(matrix.indptr)),
-    ]
+    named: List[Tuple[str, np.ndarray]] = []
+    path = None
+    alpha = 0.0
+    if kind == "mmap":
+        # Path-based publication: workers re-map the on-disk container,
+        # so the segment carries only the sweep's reference vector.
+        path = matrix.path
+        alpha = float(matrix.laziness)
+    else:
+        named.extend(
+            [
+                ("data", np.ascontiguousarray(matrix.data)),
+                ("indices", np.ascontiguousarray(matrix.indices)),
+                ("indptr", np.ascontiguousarray(matrix.indptr)),
+            ]
+        )
     if reference is not None:
         named.append(("reference", np.ascontiguousarray(reference)))
     if dangling is not None:
@@ -525,6 +556,8 @@ def publish_operator(
             fields=tuple(fields),
             damping=float(damping),
             beta=float(beta),
+            path=path,
+            alpha=alpha,
         )
         handle = SharedOperatorHandle(payload, shm)
         _register_segment(shm)
@@ -697,6 +730,19 @@ def _worker_operator(payload: OperatorPayload):
     _shm, views, cache = _attach(payload)
     operator = cache.get("operator")
     if operator is None:
+        if payload.kind == "mmap":
+            # Re-map the container instead of attaching CSR copies: the
+            # kernel-shared page cache means N workers walking the same
+            # stripes cost one set of physical pages, not N.
+            from ..graph.storage import open_csr
+            from .outofcore import StripedTransitionMatrix
+
+            graph = open_csr(payload.path)
+            operator = _SharedCSROperator(
+                StripedTransitionMatrix(graph, laziness=payload.alpha)
+            )
+            cache["operator"] = operator
+            return operator, views.get("reference")
         from scipy.sparse import csr_matrix
 
         n = payload.num_states
@@ -717,34 +763,40 @@ def _worker_operator(payload: OperatorPayload):
 # Worker task functions (must be module-level for pickling)
 # ----------------------------------------------------------------------
 def _curves_task(args) -> np.ndarray:
-    payload, sources, lengths, block_size, backend = args
+    payload, sources, lengths, block_size, backend, memory_budget = args
     operator, reference = _worker_operator(payload)
     return operator.variation_curves(
         sources,
         lengths,
         reference=reference,
-        policy=ExecutionPolicy(block_size=block_size, backend=backend),
+        policy=ExecutionPolicy(
+            block_size=block_size, backend=backend, memory_budget=memory_budget
+        ),
     )
 
 
 def _hitting_task(args) -> Tuple[np.ndarray, np.ndarray]:
-    payload, sources, epsilon, max_steps, block_size, backend = args
+    payload, sources, epsilon, max_steps, block_size, backend, memory_budget = args
     operator, reference = _worker_operator(payload)
     result = operator.hitting_times(
         sources,
         epsilon,
         max_steps=max_steps,
         reference=reference,
-        policy=ExecutionPolicy(block_size=block_size, backend=backend),
+        policy=ExecutionPolicy(
+            block_size=block_size, backend=backend, memory_budget=memory_budget
+        ),
     )
     return result.times, result.final_distances
 
 
 def _evolve_task(args) -> np.ndarray:
-    payload, block, steps, backend = args
+    payload, block, steps, backend, memory_budget = args
     operator, _reference = _worker_operator(payload)
     return operator.evolve_block(
-        block, steps, policy=ExecutionPolicy(backend=backend)
+        block,
+        steps,
+        policy=ExecutionPolicy(backend=backend, memory_budget=memory_budget),
     )
 
 
@@ -894,12 +946,19 @@ def _operator_fingerprint(
 
     numeric = backend_numeric(backend)
     extra_parts = () if numeric == "float64" else (f"numeric:{numeric}",)
+    content = getattr(matrix, "fingerprint", None)
+    if content is not None:
+        # Out-of-core matrices carry a content digest (graph fingerprint
+        # + laziness) — hashing it stands in for streaming 2m int64s off
+        # disk.  Scipy matrices keep the original array hash so existing
+        # checkpoints stay valid.
+        matrix_parts: Tuple[object, ...] = (content,)
+    else:
+        matrix_parts = (matrix.data, matrix.indices, matrix.indptr)
     return sweep_fingerprint(
         sweep,
         kind,
-        matrix.data,
-        matrix.indices,
-        matrix.indptr,
+        *matrix_parts,
         tuple(int(v) for v in matrix.shape),
         float(extras.get("damping", 1.0)),
         extras.get("dangling"),
@@ -956,7 +1015,11 @@ def maybe_parallel_variation_curves(
             sources[lo:hi],
             walk_lengths,
             reference=reference,
-            policy=ExecutionPolicy(block_size=block_size, backend=policy.backend),
+            policy=ExecutionPolicy(
+                block_size=block_size,
+                backend=policy.backend,
+                memory_budget=policy.memory_budget,
+            ),
         )
 
     if use_pool and not threads:
@@ -970,6 +1033,7 @@ def maybe_parallel_variation_curves(
                     walk_lengths,
                     block_size,
                     policy.backend,
+                    policy.memory_budget,
                 )
 
             _note_parallel_path(count, min(sources.size, count * _OVERSHARD))
@@ -1047,7 +1111,11 @@ def maybe_parallel_hitting_times(
             epsilon,
             max_steps=max_steps,
             reference=reference,
-            policy=ExecutionPolicy(block_size=block_size, backend=policy.backend),
+            policy=ExecutionPolicy(
+                block_size=block_size,
+                backend=policy.backend,
+                memory_budget=policy.memory_budget,
+            ),
         )
         return result.times, result.final_distances
 
@@ -1063,6 +1131,7 @@ def maybe_parallel_hitting_times(
                     max_steps,
                     block_size,
                     policy.backend,
+                    policy.memory_budget,
                 )
 
             _note_parallel_path(count, min(sources.size, count * _OVERSHARD))
@@ -1127,7 +1196,11 @@ def maybe_parallel_evolve_block(
 
     def serial_run(lo: int, hi: int) -> np.ndarray:
         return operator.evolve_block(
-            block[lo:hi], steps, policy=ExecutionPolicy(backend=policy.backend)
+            block[lo:hi],
+            steps,
+            policy=ExecutionPolicy(
+                backend=policy.backend, memory_budget=policy.memory_budget
+            ),
         )
 
     if threads:
@@ -1149,7 +1222,7 @@ def maybe_parallel_evolve_block(
         payload = handle.payload
 
         def make_task(lo: int, hi: int):
-            return (payload, block[lo:hi], steps, policy.backend)
+            return (payload, block[lo:hi], steps, policy.backend, policy.memory_budget)
 
         _note_parallel_path(count, min(int(block.shape[0]), count * _OVERSHARD))
         parts = run_sharded(

@@ -150,6 +150,16 @@ class ExecutionPolicy:
         fork, no publish, no pickling, same bits (numpy releases the GIL
         inside the SpMM).  Threads win on small sweeps where the pool's
         startup overhead dominates.
+    memory_budget:
+        Bytes of working memory one sweep may hold at a time.  ``None``
+        (default) keeps the historical behaviour (dense blocks sized
+        from the operator layer's 1 MiB default).  When set, dense
+        evolution chunks are sized to half the budget and the
+        ``streaming`` backend sizes its CSR stripes from the remainder,
+        so a sweep over a memory-mapped graph whose CSR exceeds RAM
+        stays inside the ceiling.  Like every other field this is an
+        execution knob: any budget produces bit-for-bit the same numbers
+        and never enters checkpoint fingerprints.
     """
 
     workers: Optional[int] = None
@@ -161,6 +171,7 @@ class ExecutionPolicy:
     telemetry: bool = False
     backend: str = DEFAULT_BACKEND
     execution: str = "processes"
+    memory_budget: Optional[int] = None
 
     def __post_init__(self):
         w = self.workers
@@ -204,6 +215,13 @@ class ExecutionPolicy:
             raise ConfigurationError(
                 f"execution must be 'processes' or 'threads', got {self.execution!r}"
             )
+        mb = self.memory_budget
+        if mb is not None:
+            if isinstance(mb, bool) or not isinstance(mb, (int, np.integer)) or mb < 1:
+                raise ConfigurationError(
+                    f"memory_budget must be a positive byte count, got {mb!r}"
+                )
+            object.__setattr__(self, "memory_budget", int(mb))
 
 
 #: The policy every API uses when the caller passes nothing: serial,

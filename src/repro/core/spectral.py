@@ -35,6 +35,7 @@ from ..obs import OBS
 __all__ = [
     "SpectralSummary",
     "normalized_adjacency",
+    "normalized_adjacency_operator",
     "non_backtracking_slem",
     "transition_spectrum_extremes",
     "slem",
@@ -90,10 +91,61 @@ def normalized_adjacency(graph: Graph):
     return csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
 
 
+def normalized_adjacency_operator(graph: Graph, *, memory_budget=None):
+    """``N`` as a matrix-free ``LinearOperator`` streaming row stripes.
+
+    The out-of-core analogue of :func:`normalized_adjacency`: holds only
+    O(n) derived state (``deg^{-1/2}``) and computes ``N @ v`` by walking
+    the (possibly memory-mapped) CSR arrays one budget-sized stripe at a
+    time, so million-node graphs never materialise the O(2m) float64
+    ``data`` array.  Row sums use ``np.add.reduceat`` — fine here because
+    the Lanczos/power consumers are tolerance-based (unlike the
+    bit-identity-pinned walk kernels, which must reproduce scipy's
+    accumulation order exactly).
+    """
+    from scipy.sparse.linalg import LinearOperator
+
+    from .backends import _STREAM_DEFAULT_BYTES, stripe_bounds
+
+    deg = graph.degrees.astype(np.float64)
+    if np.any(deg == 0):
+        raise NotConnectedError("normalized adjacency undefined with isolated nodes")
+    inv_sqrt = 1.0 / np.sqrt(deg)
+    n = graph.num_nodes
+    indptr = np.asarray(graph.indptr, dtype=np.int64)
+    indices = graph.indices
+    budget = _STREAM_DEFAULT_BYTES if memory_budget is None else int(memory_budget)
+    bounds = stripe_bounds(indptr, budget)
+
+    def matvec(v: np.ndarray) -> np.ndarray:
+        x = inv_sqrt * np.asarray(v, dtype=np.float64).reshape(-1)
+        out = np.empty(n, dtype=np.float64)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            s0, s1 = int(indptr[lo]), int(indptr[hi])
+            idx = np.asarray(indices[s0:s1], dtype=np.int64)
+            starts = indptr[lo:hi] - s0
+            # No empty rows (isolated nodes rejected above), so reduceat's
+            # repeated-index pitfall cannot trigger.
+            out[lo:hi] = inv_sqrt[lo:hi] * np.add.reduceat(x[idx], starts)
+        if OBS.enabled:
+            OBS.add("spectral.stream.matvecs")
+            OBS.add("spectral.stream.stripes", len(bounds) - 1)
+        return out
+
+    return LinearOperator((n, n), matvec=matvec, rmatvec=matvec, dtype=np.float64)
+
+
+def _normalized_matrix(graph: Graph):
+    """CSR for in-memory graphs, a streamed operator for mapped ones."""
+    if graph.is_memmap:
+        return normalized_adjacency_operator(graph)
+    return normalized_adjacency(graph)
+
+
 def _extremes_sparse(graph: Graph, *, tol: float = 0.0, maxiter=None) -> Tuple[float, float]:
     from scipy.sparse.linalg import eigsh
 
-    matrix = normalized_adjacency(graph)
+    matrix = _normalized_matrix(graph)
     n = matrix.shape[0]
     if n <= 16:
         return _extremes_dense(graph)
@@ -143,7 +195,7 @@ def _extremes_power(
     ``2I - (N + I) = I - N`` — we iterate ``I - N`` deflated by the same
     top vector, whose dominant eigenvalue is ``1 - lambda_min``.
     """
-    matrix = normalized_adjacency(graph)
+    matrix = _normalized_matrix(graph)
     n = matrix.shape[0]
     top_vec = np.sqrt(graph.degrees.astype(np.float64))
     top_vec /= np.linalg.norm(top_vec)

@@ -143,6 +143,16 @@ class TransitionOperator(MarkovOperator):
         self._graph = graph
         self._laziness = float(laziness)
         self._init_operator(graph.num_nodes)
+        if graph.is_memmap:
+            # Out-of-core path: never materialise the O(2m) float64 CSR.
+            # The striped matrix synthesises CSC column stripes from the
+            # mapped arrays on demand and multiplies bit-for-bit like the
+            # scipy construction below (tests/core/test_outofcore.py pins
+            # the identity).
+            from .outofcore import StripedTransitionMatrix
+
+            self._matrix = StripedTransitionMatrix(graph, laziness=self._laziness)
+            return
         # Sparse row-stochastic matrix, stored CSR for fast x @ P.
         from scipy.sparse import csr_matrix
 
@@ -170,7 +180,14 @@ class TransitionOperator(MarkovOperator):
         return self._laziness
 
     def matrix(self):
-        """The transition matrix as ``scipy.sparse.csr_matrix`` (copy-safe view)."""
+        """The transition matrix (copy-safe view).
+
+        A ``scipy.sparse.csr_matrix`` for in-memory graphs; for
+        memory-mapped graphs a
+        :class:`~repro.core.outofcore.StripedTransitionMatrix`, which
+        multiplies identically (and offers ``tocsr()`` when a scipy
+        matrix is genuinely needed).
+        """
         return self._matrix
 
     def _compute_stationary(self) -> np.ndarray:

@@ -6,11 +6,12 @@ from .registry import (
     dataset_names,
     figure7_dataset_names,
     get_spec,
+    huge_dataset_names,
     large_dataset_names,
     physics_dataset_names,
     small_dataset_names,
 )
-from .synthetic import generate, generate_raw, load_dataset
+from .synthetic import generate, generate_huge, generate_raw, load_dataset
 from .cache import (
     clear_memory_cache,
     default_cache_dir,
@@ -25,10 +26,12 @@ __all__ = [
     "dataset_names",
     "figure7_dataset_names",
     "get_spec",
+    "huge_dataset_names",
     "large_dataset_names",
     "physics_dataset_names",
     "small_dataset_names",
     "generate",
+    "generate_huge",
     "generate_raw",
     "load_dataset",
     "clear_memory_cache",

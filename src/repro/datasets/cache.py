@@ -15,10 +15,11 @@ import os
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from ..errors import DatasetError
 from ..graph import Graph, load_npz, save_npz
 from ..obs import OBS
 from .registry import get_spec
-from .synthetic import generate
+from .synthetic import generate, generate_huge
 
 __all__ = [
     "load_cached",
@@ -79,6 +80,31 @@ def load_cached(
             OBS.add("datasets.load.memory_hits")
         return _MEMORY[key]
     spec = get_spec(name)  # validates the name before any disk I/O
+    if spec.scale == "huge":
+        # Paper-scale tier: the graph only ever exists as an on-disk
+        # container opened as a memory-mapped view — the in-memory
+        # .npz route below would defeat the point (and the RAM).
+        if not use_disk:
+            raise DatasetError(
+                f"dataset {name!r} is paper-scale and streams to disk; "
+                "it cannot be loaded with use_disk=False"
+            )
+        directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        suffix = "default" if seed is None else str(seed)
+        path = directory / f"{name}-{suffix}.csr"
+        if path.exists():
+            from ..graph import open_csr
+
+            graph = open_csr(path)
+            if OBS.enabled:
+                OBS.add("datasets.load.disk_hits")
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if OBS.enabled:
+                OBS.add("datasets.load.generated")
+            graph = generate_huge(spec, path, seed=seed)
+        _MEMORY[key] = graph
+        return graph
     path = None
     if use_disk:
         directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()

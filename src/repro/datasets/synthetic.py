@@ -18,7 +18,27 @@ from ..generators import (
 )
 from .registry import DatasetSpec, get_spec
 
-__all__ = ["generate", "generate_raw", "load_dataset"]
+__all__ = ["generate", "generate_raw", "generate_huge", "load_dataset"]
+
+
+def generate_huge(spec: DatasetSpec, path, *, seed=None):
+    """Stream a ``huge``-tier spec straight into an on-disk container.
+
+    Unlike :func:`generate`, the graph never exists in memory — the
+    chunked generator writes the ``.csr`` container at ``path`` and the
+    returned graph is a :class:`~repro.graph.storage.MemmapGraph` view
+    of it.  No LCC pass is needed: the chunked recipe's ring backbone
+    guarantees connectivity by construction.
+    """
+    if spec.recipe != "chunked_community":
+        raise DatasetError(
+            f"dataset {spec.name!r} has recipe {spec.recipe!r}; "
+            "generate_huge only understands 'chunked_community'"
+        )
+    from ..generators.chunked import chunked_community_csr
+
+    seed = spec.seed if seed is None else seed
+    return chunked_community_csr(path, spec.nodes, seed=seed, **dict(spec.params))
 
 
 def generate_raw(spec: DatasetSpec, *, seed=None) -> Graph:
@@ -59,6 +79,11 @@ def generate_raw(spec: DatasetSpec, *, seed=None) -> Graph:
         return erdos_renyi_gnm(spec.nodes, spec.edges, seed=seed)
     if recipe == "watts_strogatz":
         return watts_strogatz(spec.nodes, params.pop("k"), params.pop("p"), seed=seed)
+    if recipe == "chunked_community":
+        raise DatasetError(
+            f"dataset {spec.name!r} is a huge-tier spec that streams straight "
+            "to disk; load it via repro.datasets.load_cached or generate_huge"
+        )
     raise DatasetError(f"dataset {spec.name!r} has unknown recipe {recipe!r}")
 
 

@@ -92,6 +92,11 @@ class ExperimentConfig:
 
     mode: str = "fast"
     seed: int = 20101103  # IMC'10 started November 1-3, 2010
+    #: Restrict dataset-driven runners (table1, figures) to these
+    #: registry names; ``None`` = each runner's default roster.  The only
+    #: way the paper-scale ``huge`` tier ever enters a run — default
+    #: rosters exclude it.  Set via the ``--datasets`` CLI flag.
+    datasets: Optional[Tuple[str, ...]] = None
     epsilon_grid: Tuple[float, ...] = (0.25, 0.1, 0.05, 0.01, 1e-3, 1e-4)
     short_walks: Tuple[int, ...] = (1, 5, 10, 20, 40)
     long_walks: Tuple[int, ...] = (80, 100, 200, 300, 400, 500)
@@ -103,6 +108,13 @@ class ExperimentConfig:
     def __post_init__(self):
         if self.mode not in ("fast", "full"):
             raise ConfigurationError("mode must be 'fast' or 'full'")
+        if self.datasets is not None:
+            names = tuple(self.datasets)
+            if not names or not all(isinstance(n, str) for n in names):
+                raise ConfigurationError(
+                    "datasets must be a non-empty sequence of registry names"
+                )
+            object.__setattr__(self, "datasets", names)
         validate_workers(self.workers)
         if self.policy is not None:
             if not isinstance(self.policy, ExecutionPolicy):

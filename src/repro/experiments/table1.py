@@ -36,9 +36,14 @@ class Table1Row:
 
 
 def run_table1(config: ExperimentConfig = FAST, *, names: Optional[List[str]] = None) -> List[Table1Row]:
-    """Measure every (requested) dataset; returns structured rows."""
+    """Measure every (requested) dataset; returns structured rows.
+
+    ``names`` wins, then ``config.datasets`` (the ``--datasets`` CLI
+    flag), then the default roster — which excludes the paper-scale
+    ``huge`` tier, so those graphs only run when named explicitly.
+    """
     rows: List[Table1Row] = []
-    for name in names or dataset_names():
+    for name in names or config.datasets or dataset_names():
         spec = get_spec(name)
         graph = load_cached(name)
         mu = slem(graph)

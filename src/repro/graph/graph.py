@@ -183,6 +183,17 @@ class Graph:
         """Degree of every node as an int64 array of length ``n``."""
         return self._degrees
 
+    @property
+    def is_memmap(self) -> bool:
+        """Whether the CSR arrays are disk-backed memory maps.
+
+        ``False`` for ordinary in-memory graphs; the on-disk container
+        view :class:`repro.graph.storage.MemmapGraph` overrides it so
+        the operator layer can pick out-of-core kernels without
+        importing the storage module.
+        """
+        return False
+
     def degree(self, node: int) -> int:
         """Degree of a single node."""
         node = check_node_index(node, self.num_nodes)

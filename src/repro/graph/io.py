@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import gzip
 import io as _io
+import re
+import warnings
 from pathlib import Path
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -39,13 +41,95 @@ def _open_text(path: PathLike):
     return open(path, "r", encoding="utf-8")
 
 
+#: Characters a fast-path edge-list body may contain: decimal digits and
+#: plain ASCII whitespace.  Anything else (signs, floats, stray text,
+#: ``\r`` line endings, interspersed comments) routes the whole input
+#: through the reference line-by-line parser, which owns every error
+#: message.
+_FAST_BODY_RE = re.compile(r"[0-9 \t\n]*\Z")
+#: Digit runs too long for int64 bail out of the fast path *before*
+#: parsing — ``np.fromstring`` would overflow silently where the
+#: reference parser fails loudly.
+_FAST_OVERFLOW_RE = re.compile(r"[0-9]{19}")
+
+
+def _parse_edge_list_fast(text: str) -> Optional[np.ndarray]:
+    """Vectorised SNAP parser; ``None`` when the input needs the slow path.
+
+    The reference parser below pays Python interpreter time per *line*
+    (strip, split, two ``int()`` calls), which is the bottleneck for a
+    69M-edge LiveJournal list.  The fast path instead parses the whole
+    body with one C-level numeric scan and recovers the line structure
+    from a byte-classification pass:
+
+    1. leading comment/blank lines (the SNAP header) are skipped with
+       string scans, never per-line objects;
+    2. the remaining body must be pure digits + whitespace — one regex
+       probe; any other character (negatives, floats, comments between
+       data lines) defers to the reference parser so diagnostics and
+       acceptance are *identical*;
+    3. ``np.fromstring(..., sep=" ")`` converts every token at C speed;
+    4. token starts and newline positions (numpy byte compares) give
+       tokens-per-line, so ragged lines keep only their first two fields
+       exactly like the reference parser — and any line with a single
+       field falls back so the reference parser can raise its error.
+    """
+    pos, n = 0, len(text)
+    while pos < n:
+        end = text.find("\n", pos)
+        if end == -1:
+            end = n
+        stripped = text[pos:end].strip()
+        if stripped and not stripped.startswith(("#", "%")):
+            break
+        pos = end + 1
+    body = text[pos:]
+    if not body.strip():
+        return np.zeros((0, 2), dtype=np.int64)
+    if _FAST_BODY_RE.fullmatch(body) is None or _FAST_OVERFLOW_RE.search(body):
+        return None
+    try:
+        with warnings.catch_warnings():
+            # np.fromstring's text mode is deprecated but is the fastest
+            # text-to-int path numpy offers; fall back to the (still
+            # C-level) split+array route if it ever disappears.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            values = np.fromstring(body, dtype=np.int64, sep=" ")
+    except Exception:
+        values = np.array(body.split(), dtype=np.int64)
+    raw = np.frombuffer(body.encode("ascii"), dtype=np.uint8)
+    newline = raw == 10
+    whitespace = (raw == 32) | (raw == 9) | newline
+    token_start = ~whitespace & np.concatenate(([True], whitespace[:-1]))
+    starts = np.flatnonzero(token_start)
+    if starts.size != values.size:
+        return None  # the numeric scan and the token scan disagree
+    line_of_char = np.cumsum(newline)
+    token_line = line_of_char[starts]
+    per_line = np.bincount(token_line, minlength=int(line_of_char[-1]) + 1)
+    if np.any(per_line == 1):
+        return None  # reference parser owns the "expected two node ids" error
+    first_token = np.concatenate(([0], np.cumsum(per_line)[:-1]))
+    index_in_line = np.arange(starts.size, dtype=np.int64) - first_token[token_line]
+    return values[index_in_line < 2].reshape(-1, 2)
+
+
 def parse_edge_list(text: str) -> np.ndarray:
     """Parse SNAP edge-list text into a ``(k, 2)`` int64 array.
 
     Lines starting with ``#`` or ``%`` are comments; blank lines are
     skipped; each data line must hold at least two integer fields (extra
     fields, e.g. timestamps or weights, are ignored).
+
+    Well-formed input (header comments, then digit/whitespace data
+    lines) is parsed by a vectorised fast path; anything unusual —
+    including every malformed input — re-parses through the reference
+    line loop below, so error messages and acceptance are independent of
+    which path ran.
     """
+    fast = _parse_edge_list_fast(text)
+    if fast is not None:
+        return fast
     rows: List[Tuple[int, int]] = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         stripped = line.strip()
@@ -86,36 +170,102 @@ def write_edge_list(graph: Graph, path: PathLike, *, header: str = "") -> None:
 
 
 def load_graph(path: PathLike, *, num_nodes=None) -> Graph:
-    """Read an edge-list file and return the undirected :class:`Graph`.
+    """Read a graph file and return the undirected :class:`Graph`.
 
-    Directed inputs are symmetrised (each arc becomes an undirected edge),
-    matching the paper's preprocessing.
+    ``.csr`` containers open as memory-mapped views
+    (:func:`repro.graph.storage.open_csr` — constant memory regardless
+    of graph size); everything else is read as a SNAP edge list and
+    symmetrised (each arc becomes an undirected edge), matching the
+    paper's preprocessing.
     """
+    path = Path(path)
+    if path.suffix == ".csr":
+        from .storage import open_csr
+
+        return open_csr(path)
     edges = read_edge_list(path)
     return to_undirected(edges, num_nodes=num_nodes)
 
 
+#: Schema tag stored inside every ``.npz`` cache written by this build.
+#: Files written by older builds carry no tag and still load; files with
+#: an *unknown* tag fail loudly instead of being misinterpreted.
+_NPZ_SCHEMA = "repro.graph.npz/v2"
+#: CSR arrays are always serialised as little-endian int64; recorded
+#: explicitly so a corrupted or foreign archive cannot masquerade as a
+#: graph cache.
+_NPZ_DTYPE = "<i8"
+
+
 def save_npz(graph: Graph, path: PathLike) -> None:
-    """Save the CSR arrays to a compressed ``.npz`` (fast cache format)."""
-    np.savez_compressed(Path(path), indptr=graph.indptr, indices=graph.indices)
+    """Save the CSR arrays to a compressed ``.npz`` (fast cache format).
+
+    The archive records a schema tag and the array dtype/endianness next
+    to the arrays themselves, so :func:`load_npz` can validate a cache
+    before trusting it.
+    """
+    np.savez_compressed(
+        Path(path),
+        indptr=np.ascontiguousarray(graph.indptr, dtype=_NPZ_DTYPE),
+        indices=np.ascontiguousarray(graph.indices, dtype=_NPZ_DTYPE),
+        schema=np.array(_NPZ_SCHEMA),
+        dtype=np.array(_NPZ_DTYPE),
+    )
 
 
 def load_npz(path: PathLike) -> Graph:
-    """Load a graph saved with :func:`save_npz` (validated on load)."""
-    with np.load(Path(path)) as data:
-        if "indptr" not in data or "indices" not in data:
-            raise GraphFormatError(f"{path}: not a repro graph npz (missing arrays)")
-        return Graph(data["indptr"], data["indices"], validate=True)
+    """Load a graph saved with :func:`save_npz` (validated on load).
+
+    Every failure mode — truncated zip, non-npz bytes, missing arrays,
+    foreign schema tag, wrong dtype, structurally invalid CSR — raises
+    :class:`~repro.errors.GraphFormatError` rather than leaking raw
+    numpy/zipfile exceptions.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            if "indptr" not in data or "indices" not in data:
+                raise GraphFormatError(f"{path}: not a repro graph npz (missing arrays)")
+            if "schema" in data:
+                schema = str(data["schema"])
+                if schema != _NPZ_SCHEMA:
+                    raise GraphFormatError(
+                        f"{path}: unknown graph npz schema {schema!r} "
+                        f"(this build reads {_NPZ_SCHEMA!r})"
+                    )
+                stored_dtype = str(data["dtype"]) if "dtype" in data else "missing"
+                if stored_dtype != _NPZ_DTYPE:
+                    raise GraphFormatError(
+                        f"{path}: graph npz declares dtype {stored_dtype!r}, "
+                        f"expected {_NPZ_DTYPE!r}"
+                    )
+            indptr = np.asarray(data["indptr"])
+            indices = np.asarray(data["indices"])
+    except GraphFormatError:
+        raise
+    except Exception as exc:  # BadZipFile, truncated members, OSError, ...
+        raise GraphFormatError(f"{path}: corrupt or unreadable graph npz ({exc})") from exc
+    for name, arr in (("indptr", indptr), ("indices", indices)):
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise GraphFormatError(
+                f"{path}: graph npz array {name!r} must be integer, got {arr.dtype}"
+            )
+    return Graph(indptr, indices, validate=True)
 
 
 def save_graph(graph: Graph, path: PathLike) -> None:
     """Save a graph, picking the format from the file extension.
 
-    ``.npz`` → binary cache; anything else → SNAP edge list (``.gz``
-    supported).
+    ``.npz`` → binary cache; ``.csr`` → the memory-mappable on-disk CSR
+    container (:mod:`repro.graph.storage`); anything else → SNAP edge
+    list (``.gz`` supported).
     """
     path = Path(path)
     if path.suffix == ".npz":
         save_npz(graph, path)
+    elif path.suffix == ".csr":
+        from .storage import save_csr
+
+        save_csr(graph, path)
     else:
         write_edge_list(graph, path)

@@ -1,0 +1,209 @@
+"""The paper-scale ``huge`` tier: chunked generation, cache routing, SNAP.
+
+Everything here runs at toy scale — the generator and ingest paths are
+pure functions of (seed, chunk), so a 500-node build exercises exactly
+the code paths a 1M-node build does, minus the minutes.
+"""
+
+import gzip
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    REGISTRY,
+    clear_memory_cache,
+    dataset_names,
+    generate_huge,
+    get_spec,
+    huge_dataset_names,
+    load_cached,
+)
+from repro.datasets.snap import SNAP_SOURCES, fetch_dataset, ingest_edge_list
+from repro.datasets.synthetic import generate_raw
+from repro.errors import DatasetError
+from repro.generators.chunked import (
+    build_csr_from_edge_chunks,
+    chunked_community_csr,
+    extract_nodes_to_csr,
+)
+from repro.graph import Graph, MemmapGraph, largest_connected_component, open_csr, save_csr
+
+
+def assert_valid_csr(graph):
+    """Structural invariants every Graph promises."""
+    indptr = np.asarray(graph.indptr)
+    indices = np.asarray(graph.indices)
+    n = graph.num_nodes
+    assert indptr[0] == 0 and indptr[-1] == len(indices)
+    for u in range(n):
+        row = indices[indptr[u]:indptr[u + 1]]
+        assert np.all(np.diff(row) > 0), f"row {u} not strictly sorted"
+        assert u not in row, f"self loop at {u}"
+    # Undirected: every arc has its mirror.
+    fwd = {(u, v) for u in range(n) for v in indices[indptr[u]:indptr[u + 1]]}
+    assert {(v, u) for u, v in fwd} == fwd
+
+
+class TestChunkedBuilder:
+    def test_matches_in_memory_reference(self, tmp_path):
+        """The 4-pass external build equals Graph.from_edges exactly."""
+        rng = np.random.default_rng(3)
+        n = 120
+        src = rng.integers(0, n, 500)
+        dst = rng.integers(0, n, 500)
+        chunks = [(src[i:i + 64], dst[i:i + 64]) for i in range(0, 500, 64)]
+        mapped = build_csr_from_edge_chunks(
+            tmp_path / "g.csr", n, lambda: chunks, stripe_entries=128
+        )
+        pairs = {(min(u, v), max(u, v)) for u, v in zip(src, dst) if u != v}
+        reference = Graph.from_edges(sorted(pairs), num_nodes=n)
+        assert np.array_equal(np.asarray(mapped.indptr), reference.indptr)
+        assert np.array_equal(np.asarray(mapped.indices), reference.indices)
+
+    def test_rejects_out_of_range_ids(self, tmp_path):
+        chunks = [(np.array([0, 9]), np.array([1, 3]))]
+        with pytest.raises(Exception):
+            build_csr_from_edge_chunks(tmp_path / "g.csr", 5, lambda: chunks)
+
+    def test_community_csr_connected_valid_deterministic(self, tmp_path):
+        a = chunked_community_csr(
+            tmp_path / "a.csr", 500, num_communities=5, mu_frac=0.05,
+            mean_extra_degree=4.0, seed=9, chunk_nodes=128,
+        )
+        b = chunked_community_csr(
+            tmp_path / "b.csr", 500, num_communities=5, mu_frac=0.05,
+            mean_extra_degree=4.0, seed=9, chunk_nodes=128,
+        )
+        assert_valid_csr(a)
+        assert np.array_equal(np.asarray(a.indices), np.asarray(b.indices))
+        assert np.array_equal(np.asarray(a.indptr), np.asarray(b.indptr))
+        # Ring backbone guarantees a single component.
+        lcc, _ = largest_connected_component(a.materialize())
+        assert lcc.num_nodes == 500
+
+    def test_extract_nodes(self, tmp_path, petersen):
+        save_csr(petersen, tmp_path / "p.csr")
+        mapped = open_csr(tmp_path / "p.csr")
+        mask = np.ones(petersen.num_nodes, dtype=bool)
+        sub = extract_nodes_to_csr(mapped, mask, tmp_path / "sub.csr")
+        assert np.array_equal(np.asarray(sub.indices), petersen.indices)
+
+
+class TestTierRouting:
+    def test_registry_tiers(self):
+        assert "huge_livejournal" in huge_dataset_names()
+        assert "huge_livejournal" not in dataset_names()
+        spec = get_spec("huge_livejournal")
+        assert spec.recipe == "chunked_community" and spec.nodes == 1_000_000
+
+    def test_generate_raw_refuses_chunked_recipe(self):
+        with pytest.raises(DatasetError):
+            generate_raw(get_spec("huge_livejournal"))
+
+    def test_load_cached_requires_disk(self, tmp_path):
+        with pytest.raises(DatasetError, match="use_disk"):
+            load_cached("huge_livejournal", use_disk=False, cache_dir=tmp_path)
+
+    def test_generate_huge_validates_recipe(self, tmp_path):
+        with pytest.raises(DatasetError):
+            generate_huge(get_spec("wiki_vote"), tmp_path / "x.csr")
+
+    def test_load_cached_roundtrip(self, tmp_path, monkeypatch):
+        """A shrunk huge spec goes generate → memory hit → disk hit."""
+        import dataclasses
+
+        import repro.datasets.cache as cache_mod
+
+        small = dataclasses.replace(
+            get_spec("huge_livejournal"),
+            name="huge_smoke",
+            nodes=400,
+            edges=1200,
+            params={"mu_frac": 0.1, "num_communities": 4, "mean_extra_degree": 3.0},
+        )
+        monkeypatch.setitem(REGISTRY, "huge_smoke", small)
+        clear_memory_cache()
+        try:
+            first = load_cached("huge_smoke", cache_dir=tmp_path)
+            assert isinstance(first, MemmapGraph)
+            assert (tmp_path / "huge_smoke-default.csr").exists()
+            again = load_cached("huge_smoke", cache_dir=tmp_path)
+            assert again is first  # memory hit
+            clear_memory_cache()
+            from_disk = load_cached("huge_smoke", cache_dir=tmp_path)
+            assert np.array_equal(
+                np.asarray(from_disk.indices), np.asarray(first.indices)
+            )
+        finally:
+            clear_memory_cache()
+        assert cache_mod is not None  # silence linters about the import
+
+
+class TestSnapIngest:
+    def _edge_file(self, tmp_path, lines):
+        path = tmp_path / "edges.txt"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_ingest_relabels_and_keeps_lcc(self, tmp_path):
+        # Two components: a 4-cycle on odd ids and an isolated edge.
+        text = self._edge_file(
+            tmp_path,
+            [
+                "# comment line",
+                "11 13",
+                "13 17",
+                "17 19",
+                "19 11",
+                "100 200",
+            ],
+        )
+        graph = ingest_edge_list(text, tmp_path / "g.csr")
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 4
+        assert_valid_csr(graph)
+
+    def test_ingest_keep_all_components(self, tmp_path):
+        text = self._edge_file(tmp_path, ["0 1", "2 3"])
+        graph = ingest_edge_list(
+            text, tmp_path / "g.csr", keep_largest_component=False
+        )
+        assert graph.num_nodes == 4 and graph.num_edges == 2
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="unknown"):
+            fetch_dataset("not-a-dataset", tmp_path)
+
+    def test_unpinned_download_refused(self, tmp_path):
+        # Registry entries ship without digests (recorded after a first
+        # verified download); fetching without an explicit pin must fail
+        # *before* any network or parsing happens.
+        assert SNAP_SOURCES["ca-grqc"].sha256 is None
+        with pytest.raises(DatasetError, match="sha256"):
+            fetch_dataset("ca-grqc", tmp_path)
+
+    def test_checksum_mismatch_aborts(self, tmp_path):
+        payload = gzip.compress(b"0 1\n1 2\n2 0\n")
+        src = tmp_path / "payload.gz"
+        src.write_bytes(payload)
+        with pytest.raises(DatasetError, match="mismatch"):
+            fetch_dataset(
+                "ca-grqc",
+                tmp_path / "out",
+                url=src.as_uri(),
+                sha256="0" * 64,
+            )
+
+    def test_offline_fetch_end_to_end(self, tmp_path):
+        payload = gzip.compress(b"# header\n5 6\n6 7\n7 5\n9 5\n")
+        src = tmp_path / "payload.gz"
+        src.write_bytes(payload)
+        digest = hashlib.sha256(payload).hexdigest()
+        dest = fetch_dataset(
+            "ca-grqc", tmp_path / "out", url=src.as_uri(), sha256=digest
+        )
+        graph = open_csr(dest)
+        assert graph.num_nodes == 4 and graph.num_edges == 4
+        assert_valid_csr(graph)

@@ -1,0 +1,206 @@
+"""The on-disk CSR container: round-trips, bit-identity, corruption.
+
+The container's contract (DESIGN.md §5): ``save_csr`` followed by
+``open_csr`` yields a graph equal to the original, the fingerprint
+recorded in the header is byte-for-byte the in-memory
+``graph_fingerprint``, and *every* corruption mode surfaces as
+:class:`~repro.errors.GraphFormatError`, never as garbage data.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    Graph,
+    MemmapGraph,
+    load_graph,
+    open_csr,
+    save_csr,
+    save_graph,
+    streaming_graph_fingerprint,
+)
+from repro.graph.storage import CSR_MAGIC
+from repro.service import graph_fingerprint
+
+
+def roundtrip(graph, tmp_path, name="g.csr", **open_kwargs):
+    path = tmp_path / name
+    save_csr(graph, path)
+    return open_csr(path, **open_kwargs)
+
+
+class TestRoundTrip:
+    def test_arrays_and_equality(self, petersen, tmp_path):
+        mapped = roundtrip(petersen, tmp_path)
+        assert isinstance(mapped, MemmapGraph)
+        assert mapped.is_memmap and not petersen.is_memmap
+        assert np.array_equal(np.asarray(mapped.indptr), petersen.indptr)
+        assert np.array_equal(np.asarray(mapped.indices), petersen.indices)
+        assert np.array_equal(np.asarray(mapped.degrees), petersen.degrees)
+        assert mapped.num_nodes == petersen.num_nodes
+        assert mapped.num_edges == petersen.num_edges
+
+    def test_fingerprint_identity(self, petersen, tmp_path):
+        """Header fingerprint == in-memory fingerprint == mapped fingerprint."""
+        path = tmp_path / "g.csr"
+        recorded = save_csr(petersen, path)
+        mapped = open_csr(path, verify=True)
+        assert recorded == graph_fingerprint(petersen)
+        assert graph_fingerprint(mapped) == recorded
+
+    def test_streaming_fingerprint_matches_sweep_fingerprint(self, petersen):
+        assert (
+            streaming_graph_fingerprint(petersen.indptr, petersen.indices)
+            == graph_fingerprint(petersen)
+        )
+
+    def test_save_graph_load_graph_dispatch(self, petersen, tmp_path):
+        path = tmp_path / "dispatched.csr"
+        save_graph(petersen, path)
+        back = load_graph(path)
+        assert back.is_memmap
+        assert np.array_equal(np.asarray(back.indices), petersen.indices)
+
+    def test_materialize_returns_plain_graph(self, petersen, tmp_path):
+        mapped = roundtrip(petersen, tmp_path)
+        dense = mapped.materialize()
+        assert not dense.is_memmap
+        assert dense == petersen
+
+
+@pytest.mark.parametrize("name", ["wiki_vote", "physics1"])
+def test_registry_dataset_roundtrip(name, tmp_path):
+    """Container round-trip is bit-exact on real registry stand-ins."""
+    from repro.datasets import load_cached
+
+    graph = load_cached(name)
+    path = tmp_path / f"{name}.csr"
+    recorded = save_csr(graph, path)
+    mapped = open_csr(path, verify=True)
+    assert np.array_equal(np.asarray(mapped.indices), graph.indices)
+    assert np.array_equal(np.asarray(mapped.indptr), graph.indptr)
+    assert recorded == graph_fingerprint(graph)
+
+
+@pytest.mark.slow
+def test_registry_dataset_roundtrip_full(tmp_path):
+    """Tier 2: the whole default roster round-trips bit-exactly."""
+    from repro.datasets import dataset_names, load_cached
+
+    for name in dataset_names():
+        graph = load_cached(name)
+        path = tmp_path / f"{name}.csr"
+        recorded = save_csr(graph, path)
+        mapped = open_csr(path, verify=True)
+        assert np.array_equal(np.asarray(mapped.indices), graph.indices)
+        assert recorded == graph_fingerprint(graph)
+
+
+class TestCorruption:
+    def _saved(self, petersen, tmp_path):
+        path = tmp_path / "g.csr"
+        save_csr(petersen, path)
+        return path
+
+    def test_bad_magic(self, petersen, tmp_path):
+        path = self._saved(petersen, tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[:4] = b"NOPE"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(GraphFormatError):
+            open_csr(path)
+
+    def test_truncated_file(self, petersen, tmp_path):
+        path = self._saved(petersen, tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 16])
+        with pytest.raises(GraphFormatError):
+            open_csr(path)
+
+    def test_flipped_index_byte_fails_verify(self, petersen, tmp_path):
+        path = self._saved(petersen, tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # last byte of the indices array
+        path.write_bytes(bytes(blob))
+        with pytest.raises(GraphFormatError):
+            open_csr(path, verify=True)
+
+    def test_garbage_header_json(self, petersen, tmp_path):
+        path = self._saved(petersen, tmp_path)
+        blob = bytearray(path.read_bytes())
+        # Overwrite the JSON header region (directly after magic+lengths).
+        _version, header_len = struct.unpack("<II", blob[8:16])
+        blob[16:16 + header_len] = b"x" * header_len
+        path.write_bytes(bytes(blob))
+        with pytest.raises(GraphFormatError):
+            open_csr(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csr"
+        path.write_bytes(b"")
+        with pytest.raises(GraphFormatError):
+            open_csr(path)
+
+    def test_magic_constant_guard(self):
+        # The format docs promise this exact magic; renaming it breaks
+        # every container already on disk.
+        assert CSR_MAGIC == b"REPROCSR"
+
+
+class TestMemmapOperatorEquivalence:
+    def test_transition_operator_matches(self, petersen, tmp_path):
+        from repro.core.walks import TransitionOperator
+
+        mapped = roundtrip(petersen, tmp_path)
+        op_mem = TransitionOperator(petersen, laziness=0.3)
+        op_map = TransitionOperator(mapped, laziness=0.3)
+        sources = np.arange(petersen.num_nodes, dtype=np.int64)
+        walks = [1, 2, 5, 9]
+        assert np.array_equal(
+            op_mem.variation_curves(sources, walks),
+            op_map.variation_curves(sources, walks),
+        )
+
+    def test_spectral_matches(self, er_medium, tmp_path):
+        from repro.core import transition_spectrum_extremes
+
+        mapped = roundtrip(er_medium, tmp_path)
+        dense = transition_spectrum_extremes(er_medium, method="sparse")
+        streamed = transition_spectrum_extremes(mapped, method="sparse")
+        assert streamed.slem == pytest.approx(dense.slem, abs=1e-9)
+
+
+@st.composite
+def ragged_csr_graphs(draw):
+    """Valid undirected CSR graphs with ragged rows and empty rows."""
+    n = draw(st.integers(min_value=1, max_value=16))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=40,
+        )
+    )
+    edges = sorted({(min(u, v), max(u, v)) for u, v in pairs if u != v})
+    return Graph.from_edges(edges, num_nodes=n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=ragged_csr_graphs())
+def test_roundtrip_property(graph, tmp_path_factory):
+    """Any valid graph — empty rows, isolated nodes, the empty graph —
+    round-trips through the container bit-exactly."""
+    tmp = tmp_path_factory.mktemp("csr")
+    path = tmp / "g.csr"
+    recorded = save_csr(graph, path)
+    mapped = open_csr(path, verify=True)
+    assert np.array_equal(np.asarray(mapped.indptr), graph.indptr)
+    assert np.array_equal(np.asarray(mapped.indices), graph.indices)
+    assert np.array_equal(np.asarray(mapped.degrees), graph.degrees)
+    assert recorded == streaming_graph_fingerprint(graph.indptr, graph.indices)

@@ -436,3 +436,170 @@ def test_attack_telemetry_actually_recorded(obs, bridge_graph):
     obs.disable()
     obs.reset()
     assert not any(name.startswith("sybil.attack.") for name in plain)
+
+
+def test_streaming_backend_bit_identical(obs, er_medium, tmp_path):
+    """The streaming stripe walk is telemetry-inert on both the
+    in-memory and the memory-mapped operator."""
+    from repro.core.runtime import ExecutionPolicy
+    from repro.core.walks import TransitionOperator
+    from repro.graph import open_csr, save_csr
+
+    path = tmp_path / "g.csr"
+    save_csr(er_medium, path)
+    mapped = open_csr(path)
+    sources = np.arange(0, er_medium.num_nodes, 3, dtype=np.int64)
+    policy = ExecutionPolicy(backend="streaming", memory_budget=4096)
+
+    for operand in (er_medium, mapped):
+        def run():
+            op = TransitionOperator(operand)
+            return op.variation_curves(sources, [1, 2, 5], policy=policy)
+
+        assert np.array_equal(_with_flag(obs, False, run), _with_flag(obs, True, run))
+
+
+def test_storage_counters_recorded(obs, er_medium, tmp_path):
+    """Vacuity guard: save/open must record the ``graph.storage.*``
+    counters, and a purely in-memory sweep must record none."""
+    from repro.core.walks import TransitionOperator
+    from repro.graph import open_csr, save_csr
+
+    obs.reset()
+    obs.enable()
+    path = tmp_path / "g.csr"
+    save_csr(er_medium, path)
+    open_csr(path)
+    snap = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert snap["graph.storage.saves"] == 1
+    assert snap["graph.storage.bytes_written"] > 0
+    assert snap["graph.storage.opens"] == 1
+    assert snap["graph.storage.bytes_mapped"] > 0
+
+    obs.reset()
+    obs.enable()
+    op = TransitionOperator(er_medium)
+    op.variation_curves(np.arange(8, dtype=np.int64), [1, 2])
+    plain = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert not any(name.startswith("graph.storage.") for name in plain)
+
+
+def test_streaming_counters_recorded(obs, er_medium, tmp_path):
+    """The streaming backend's enabled arm must record stripe traffic."""
+    from repro.core.runtime import ExecutionPolicy
+    from repro.core.walks import TransitionOperator
+    from repro.graph import open_csr, save_csr
+
+    path = tmp_path / "g.csr"
+    save_csr(er_medium, path)
+    mapped = open_csr(path)
+
+    obs.reset()
+    obs.enable()
+    op = TransitionOperator(mapped)
+    op.variation_curves(
+        np.arange(0, er_medium.num_nodes, 4, dtype=np.int64),
+        [1, 3],
+        policy=ExecutionPolicy(backend="streaming", memory_budget=2048),
+    )
+    snap = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert snap["core.backend.streaming.stripes"] >= 2
+    assert snap["core.backend.streaming.bytes_loaded"] > 0
+
+    obs.reset()
+    obs.enable()
+    TransitionOperator(er_medium).variation_curves(
+        np.arange(8, dtype=np.int64), [1, 2]
+    )
+    plain = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert not any(name.startswith("core.backend.streaming.") for name in plain)
+
+
+def test_chunked_build_bit_identical_and_counted(obs, tmp_path):
+    """The external-memory generator is telemetry-inert and its enabled
+    arm records build/arc counters."""
+    from repro.generators.chunked import chunked_community_csr
+
+    def run(tag):
+        g = chunked_community_csr(
+            tmp_path / f"{tag}.csr", 200, num_communities=4, mu_frac=0.1,
+            mean_extra_degree=3.0, seed=5, chunk_nodes=64,
+        )
+        return np.asarray(g.indptr).copy(), np.asarray(g.indices).copy()
+
+    off_p, off_i = _with_flag(obs, False, lambda: run("off"))
+    on_p, on_i = _with_flag(obs, True, lambda: run("on"))
+    assert np.array_equal(off_p, on_p)
+    assert np.array_equal(off_i, on_i)
+
+    obs.reset()
+    obs.enable()
+    run("counted")
+    snap = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert snap["graph.storage.chunked_builds"] == 1
+    assert snap["graph.storage.chunked_arcs"] > 0
+
+
+def test_streamed_spectral_bit_identical_and_counted(obs, er_medium, tmp_path):
+    """The stripe-walking LinearOperator used for mapped graphs is
+    telemetry-inert and records its matvec traffic."""
+    from repro.graph import open_csr, save_csr
+
+    path = tmp_path / "g.csr"
+    save_csr(er_medium, path)
+    mapped = open_csr(path)
+
+    def run():
+        s = transition_spectrum_extremes(mapped, method="power")
+        return (s.lambda2, s.lambda_min, s.slem, s.gap)
+
+    assert _with_flag(obs, False, run) == _with_flag(obs, True, run)
+
+    obs.reset()
+    obs.enable()
+    run()
+    snap = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert snap["spectral.stream.matvecs"] >= 1
+    assert snap["spectral.stream.stripes"] >= 1
+
+    obs.reset()
+    obs.enable()
+    transition_spectrum_extremes(er_medium, method="power")
+    plain = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert not any(name.startswith("spectral.stream.") for name in plain)
+
+
+def test_snap_fetch_counters_recorded(obs, tmp_path):
+    """The offline ``file://`` fetch path records download telemetry."""
+    import gzip
+    import hashlib
+
+    from repro.datasets.snap import fetch_dataset
+
+    payload = gzip.compress(b"0 1\n1 2\n2 0\n")
+    src = tmp_path / "payload.gz"
+    src.write_bytes(payload)
+    digest = hashlib.sha256(payload).hexdigest()
+
+    obs.reset()
+    obs.enable()
+    fetch_dataset("ca-grqc", tmp_path / "out", url=src.as_uri(), sha256=digest)
+    snap = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert snap["datasets.snap.fetches"] == 1
+    assert snap["datasets.snap.bytes_fetched"] == len(payload)

@@ -118,6 +118,7 @@ class TestPolicySurface:
         "telemetry",
         "backend",
         "execution",
+        "memory_budget",
     )
 
     def test_fields(self):
