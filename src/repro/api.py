@@ -77,7 +77,23 @@ from .core import (
     variation_distance_curve,
     weighted_slem,
 )
-from .datasets import REGISTRY, load_cached, load_dataset
+from .core import (
+    WARM_SLEM_ATOL,
+    MixingTrend,
+    SlemTrend,
+    SpectralState,
+    StationaryTracker,
+    mixing_trend,
+    slem_trend,
+    warm_spectral_extremes,
+)
+from .datasets import (
+    REGISTRY,
+    TEMPORAL_REGISTRY,
+    load_cached,
+    load_dataset,
+    load_temporal_cached,
+)
 from .errors import (
     CheckpointCorruption,
     ConfigurationError,
@@ -102,25 +118,33 @@ from .experiments import (
     validate_workers,
 )
 from .graph import (
+    DeltaLog,
     DiGraph,
+    EdgeDelta,
     Graph,
+    TemporalGraph,
+    apply_delta,
     is_connected,
     largest_connected_component,
     load_graph,
     load_npz,
     save_npz,
     trim_min_degree,
+    undo_delta,
 )
 from .core.runtime import sweep_fingerprint
 from .sampling import bfs_sample
 from .service import (
+    SCHEMA_V2,
     CacheStats,
     HTTPServiceClient,
+    MixingTrendQuery,
     OperatorRegistry,
     QueryEngine,
     ResultCache,
     ServiceClient,
     ServiceServer,
+    SlemTrendQuery,
     graph_fingerprint,
     query_fingerprint,
 )
@@ -144,6 +168,8 @@ from .experiments import (
     AdversarialSweepResult,
     adversarial_sweep,
     run_adversarial_sweep,
+    run_fig3_over_time,
+    trend_measurements,
 )
 
 __all__ = [
@@ -211,6 +237,24 @@ __all__ = [
     "backend_numeric",
     "get_backend",
     "register_backend",
+    # temporal graphs & incremental maintenance
+    "TemporalGraph",
+    "EdgeDelta",
+    "DeltaLog",
+    "apply_delta",
+    "undo_delta",
+    "TEMPORAL_REGISTRY",
+    "load_temporal_cached",
+    "SpectralState",
+    "StationaryTracker",
+    "warm_spectral_extremes",
+    "WARM_SLEM_ATOL",
+    "MixingTrend",
+    "SlemTrend",
+    "mixing_trend",
+    "slem_trend",
+    "run_fig3_over_time",
+    "trend_measurements",
     # serving layer
     "QueryEngine",
     "OperatorRegistry",
@@ -219,6 +263,9 @@ __all__ = [
     "ServiceClient",
     "HTTPServiceClient",
     "ServiceServer",
+    "MixingTrendQuery",
+    "SlemTrendQuery",
+    "SCHEMA_V2",
     "graph_fingerprint",
     "query_fingerprint",
     # community structure

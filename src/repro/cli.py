@@ -70,6 +70,7 @@ from .experiments import (
     run_conductance_ablation,
     run_figure1,
     run_figure2,
+    run_fig3_over_time,
     run_figure3,
     run_figure4,
     run_figure5,
@@ -103,6 +104,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], str]] = {
     "fig1": lambda c: render_figure(run_figure1(c)),
     "fig2": lambda c: render_figure(run_figure2(c)),
     "fig3": lambda c: render_figure(run_figure3(c)),
+    "fig3-over-time": lambda c: render_figure(run_fig3_over_time(c)),
     "fig4": lambda c: render_figure(run_figure4(c)),
     "fig5": lambda c: render_figure(run_figure5(c)),
     "fig6": lambda c: render_figure(run_figure6(c)),

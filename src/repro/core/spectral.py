@@ -78,9 +78,16 @@ def normalized_adjacency(graph: Graph):
     N is symmetric and similar to P via ``P = D^{-1/2} N D^{1/2}``, so they
     share eigenvalues; N's eigenvectors are D^{1/2}-rescaled versions of
     P's.
+
+    Memoised on the (immutable) graph's ``_memo`` dict: temporal trend
+    sweeps solve on the same window snapshots repeatedly, and rebuilding
+    the O(2m) CSR per solve would dominate the warm solver's win.
     """
     from scipy.sparse import csr_matrix
 
+    memo = getattr(graph, "_memo", None)
+    if memo is not None and "normalized_adjacency" in memo:
+        return memo["normalized_adjacency"]
     deg = graph.degrees.astype(np.float64)
     if np.any(deg == 0):
         raise NotConnectedError("normalized adjacency undefined with isolated nodes")
@@ -88,7 +95,10 @@ def normalized_adjacency(graph: Graph):
     src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees)
     data = inv_sqrt[src] * inv_sqrt[graph.indices]
     n = graph.num_nodes
-    return csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
+    matrix = csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
+    if memo is not None:
+        memo["normalized_adjacency"] = matrix
+    return matrix
 
 
 def normalized_adjacency_operator(graph: Graph, *, memory_budget=None):

@@ -19,6 +19,15 @@ from .cache import (
     loaded_dataset_names,
     reset_load_log,
 )
+from .temporal import (
+    TEMPORAL_REGISTRY,
+    TemporalDatasetSpec,
+    clear_temporal_cache,
+    generate_temporal,
+    get_temporal_spec,
+    load_temporal_cached,
+    temporal_dataset_names,
+)
 
 __all__ = [
     "REGISTRY",
@@ -39,4 +48,11 @@ __all__ = [
     "load_cached",
     "loaded_dataset_names",
     "reset_load_log",
+    "TEMPORAL_REGISTRY",
+    "TemporalDatasetSpec",
+    "clear_temporal_cache",
+    "generate_temporal",
+    "get_temporal_spec",
+    "load_temporal_cached",
+    "temporal_dataset_names",
 ]

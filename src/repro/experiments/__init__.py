@@ -14,6 +14,7 @@ from .harness import (
 from .table1 import Table1Row, collect_slems, run_table1, table1_result
 from .lower_bounds import lower_bound_figure, run_figure1, run_figure2
 from .cdfs import cdf_figure, measure_physics, run_figure3, run_figure4
+from .temporal import run_fig3_over_time, trend_measurements
 from .bound_vs_sampling import bound_vs_sampling_figure, run_figure5
 from .trimming import TrimLevel, run_figure6, trim_levels, trim_summary_table
 from .scaling import run_figure7
@@ -69,6 +70,8 @@ __all__ = [
     "measure_physics",
     "run_figure3",
     "run_figure4",
+    "run_fig3_over_time",
+    "trend_measurements",
     "bound_vs_sampling_figure",
     "run_figure5",
     "TrimLevel",

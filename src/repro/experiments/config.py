@@ -211,6 +211,16 @@ class ExperimentConfig:
         return (0, 2, 6, 12, 24) if self.is_fast else (0, 4, 8, 16, 32, 64)
 
     @property
+    def trend_windows(self) -> int:
+        """Windows sampled per temporal dataset in fig3-over-time."""
+        return 6 if self.is_fast else 12
+
+    @property
+    def trend_sources(self) -> int:
+        """Fixed sources measured on every window of a trend sweep."""
+        return 40 if self.is_fast else 200
+
+    @property
     def trim_walks(self) -> Tuple[int, ...]:
         """Walk checkpoints for the Figure 6 average-mixing panel
         (the paper's w = 80..500 grid, truncated in fast mode)."""

@@ -1,0 +1,102 @@
+"""Figure 3 over time — TVD-curve drift as the graph churns.
+
+The paper's Figure 3 freezes each graph and plots the CDF of variation
+distance across sources.  Social graphs are not frozen; "The Evolution
+of the Mixing Rate" and the static-vs-dynamic mixing literature
+(PAPERS.md) motivate tracking the same quantity as the graph evolves.
+This runner sweeps the temporal stand-ins window by window and reports:
+
+* one panel per temporal dataset with the **worst-case TVD** after each
+  of the short walk lengths, as a function of window time — the
+  temporal analogue of reading Figure 3 vertically;
+* a ``slem`` series per panel from the warm incremental spectral path,
+  so curve drift can be eyeballed against the spectral trend that
+  bounds it.
+
+Sources are sampled once per dataset (seeded by the experiment config)
+and reused on every window, so drift is attributable to the graph.
+Everything downstream of the temporal datasets is deterministic at any
+worker count — the tier-1 smoke diffs workers 1 vs 2 bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core import sample_sources
+from ..core.incremental import mixing_trend, slem_trend
+from ..datasets import load_temporal_cached, temporal_dataset_names
+from .config import ExperimentConfig, FAST
+from .harness import FigureResult, Series
+
+__all__ = ["run_fig3_over_time", "trend_measurements"]
+
+
+def _window_times(temporal, count: int) -> List[int]:
+    """``count`` boundaries spread evenly across the stream (ends kept)."""
+    times = temporal.times()
+    if count >= len(times):
+        return list(times)
+    picks = np.linspace(0, len(times) - 1, count).round().astype(int)
+    return [times[i] for i in sorted(set(picks.tolist()))]
+
+
+def trend_measurements(
+    config: ExperimentConfig = FAST,
+    *,
+    names=(),
+) -> Dict[str, Dict[str, object]]:
+    """Per-dataset trend data: TVD curves plus the warm SLEM trend."""
+    names = list(names) or temporal_dataset_names()
+    out: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        temporal = load_temporal_cached(name)
+        times = _window_times(temporal, config.trend_windows)
+        sources = sample_sources(
+            temporal.at(times[0]),
+            min(config.trend_sources, temporal.num_nodes),
+            seed=config.seed,
+        )
+        mixing = mixing_trend(
+            temporal,
+            config.short_walks,
+            sources=sources,
+            times=times,
+            policy=config.execution_policy,
+        )
+        spectra = slem_trend(temporal, times=times, warm=True, policy=config.execution_policy)
+        out[name] = {"mixing": mixing, "slem": spectra}
+    return out
+
+
+def run_fig3_over_time(config: ExperimentConfig = FAST) -> FigureResult:
+    """Figure 3 over time: worst-case TVD per walk length, per window."""
+    measurements = trend_measurements(config)
+    figure = FigureResult(
+        title="Figure 3 over time: TVD drift across temporal windows",
+        xlabel="window time",
+        ylabel="worst-case variation distance / SLEM",
+    )
+    for name, data in measurements.items():
+        mixing = data["mixing"]
+        spectra = data["slem"]
+        worst = mixing.worst_case()
+        series: List[Series] = [
+            Series(
+                label=f"w={w}",
+                x=np.asarray(mixing.times, dtype=np.float64),
+                y=worst[:, i],
+            )
+            for i, w in enumerate(mixing.walk_lengths)
+        ]
+        series.append(
+            Series(
+                label="slem",
+                x=np.asarray(spectra.times, dtype=np.float64),
+                y=spectra.slem,
+            )
+        )
+        figure.panels[name] = series
+    return figure

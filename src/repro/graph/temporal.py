@@ -1,0 +1,519 @@
+"""Temporal graphs: edge deltas, journaling, and versioned CSR views.
+
+The paper measures mixing on frozen snapshots, but social graphs churn.
+This module adds the minimal temporal layer the rest of the pipeline can
+build on:
+
+``EdgeDelta``
+    One timestamped batch of edge insertions/deletions, canonicalised
+    the same way :func:`repro._util.unique_sorted_edges` canonicalises
+    static edge lists (``u < v``, deduplicated, lexicographically
+    sorted).  Deltas are invertible — :meth:`EdgeDelta.inverted` swaps
+    the two sets — which is what makes :func:`undo_delta` exact.
+
+``apply_delta`` / ``undo_delta``
+    Pure functions from one CSR snapshot to the next.  They work in
+    *edge-key space* (``key = u * n + v`` for ``u < v``): because keys
+    order exactly like lexicographic ``(u, v)`` pairs, a sorted-set
+    union/difference over keys followed by
+    :meth:`Graph._from_canonical_edges` is **bit-for-bit identical** to
+    rebuilding the graph from scratch with :meth:`Graph.from_edges`.
+    That identity is the contract the incremental spectral layer
+    (:mod:`repro.core.incremental`) and the service cache rely on, and
+    it is pinned by tests.
+
+``DeltaLog``
+    An append-only journal of deltas with strictly increasing
+    timestamps and a *chained head hash*: every append folds the delta's
+    content into the previous head, so the head string uniquely
+    identifies the entire mutation history.  Service fingerprints
+    incorporate this head, which is how ``ResultCache`` entries
+    invalidate on mutation.  Logs round-trip through JSON
+    (``repro.graph.deltalog/v1``) for durability.
+
+``TemporalGraph``
+    A :class:`Graph` subclass that duck-types the static API the same
+    way :class:`~repro.graph.storage.MemmapGraph` does — its CSR slots
+    always alias the *head* snapshot, so every existing consumer
+    (operators, spectral analysis, mixing measurement, the service
+    registry) works unmodified on the latest state — while also
+    exposing the time axis: ``at(t)``, ``window(t0, t1)``,
+    ``append(delta)``, ``compact(t)``, and a ``version`` string.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import atomic_write_text, unique_sorted_edges
+from ..errors import ConfigurationError, GraphFormatError
+from .graph import Graph
+
+__all__ = [
+    "DELTALOG_SCHEMA",
+    "EdgeDelta",
+    "DeltaLog",
+    "TemporalGraph",
+    "apply_delta",
+    "undo_delta",
+]
+
+#: On-disk journal schema identifier (bump on breaking layout changes).
+DELTALOG_SCHEMA = "repro.graph.deltalog/v1"
+
+
+def _canonical_pairs(edges) -> np.ndarray:
+    """Coerce an edge collection to a canonical ``(k, 2)`` int64 array.
+
+    Canonical means: ``u < v`` per row, no duplicates, rows sorted
+    lexicographically — the same normal form ``Graph.from_edges`` uses,
+    so delta algebra composes with static construction bit-for-bit.
+    """
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphFormatError(f"edge batch must be (k, 2)-shaped, got {arr.shape}")
+    if np.any(arr < 0):
+        raise GraphFormatError("edge batch contains negative node ids")
+    u, v = unique_sorted_edges(arr[:, 0], arr[:, 1])
+    return np.column_stack([u, v])
+
+
+class EdgeDelta:
+    """One timestamped, canonical batch of edge insertions and deletions.
+
+    Both batches are stored in the canonical static-edge normal form
+    (``u < v``, deduplicated, lexicographically sorted); self-loops are
+    dropped silently, mirroring :meth:`Graph.from_edges`.  An edge may
+    not appear in both batches — that delta would be order-dependent.
+    """
+
+    __slots__ = ("_timestamp", "_insert", "_delete")
+
+    def __init__(self, timestamp: int, insert=(), delete=()):
+        self._timestamp = int(timestamp)
+        ins = _canonical_pairs(insert)
+        dele = _canonical_pairs(delete)
+        if ins.size and dele.size:
+            n_hint = int(max(ins.max(), dele.max())) + 1
+            both = np.intersect1d(
+                ins[:, 0] * n_hint + ins[:, 1], dele[:, 0] * n_hint + dele[:, 1]
+            )
+            if both.size:
+                u, v = divmod(int(both[0]), n_hint)
+                raise GraphFormatError(
+                    f"edge ({u}, {v}) appears in both insert and delete batches"
+                )
+        ins.setflags(write=False)
+        dele.setflags(write=False)
+        self._insert = ins
+        self._delete = dele
+
+    @property
+    def timestamp(self) -> int:
+        return self._timestamp
+
+    @property
+    def insert(self) -> np.ndarray:
+        """``(k, 2)`` canonical edges added at this timestamp (read-only)."""
+        return self._insert
+
+    @property
+    def delete(self) -> np.ndarray:
+        """``(k, 2)`` canonical edges removed at this timestamp (read-only)."""
+        return self._delete
+
+    @property
+    def num_changes(self) -> int:
+        """Total edges touched (inserted + deleted)."""
+        return int(self._insert.shape[0] + self._delete.shape[0])
+
+    def inverted(self) -> "EdgeDelta":
+        """The delta that exactly undoes this one (batches swapped)."""
+        return EdgeDelta(self._timestamp, insert=self._delete, delete=self._insert)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EdgeDelta):
+            return NotImplemented
+        return (
+            self._timestamp == other._timestamp
+            and np.array_equal(self._insert, other._insert)
+            and np.array_equal(self._delete, other._delete)
+        )
+
+    def __hash__(self):
+        return hash((self._timestamp, self._insert.tobytes(), self._delete.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeDelta(t={self._timestamp}, +{self._insert.shape[0]} edges, "
+            f"-{self._delete.shape[0]} edges)"
+        )
+
+
+def _edge_keys(pairs: np.ndarray, n: int) -> np.ndarray:
+    """Map canonical ``u < v`` rows to sorted scalar keys ``u * n + v``.
+
+    For canonical (lexicographically sorted) input the key array is
+    already sorted ascending, so set algebra below can use the fast
+    ``assume_unique`` paths.
+    """
+    if pairs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return pairs[:, 0] * np.int64(n) + pairs[:, 1]
+
+
+def apply_delta(graph: Graph, delta: EdgeDelta, *, strict: bool = True) -> Graph:
+    """Apply one delta to a CSR snapshot, returning the next snapshot.
+
+    The result is bit-for-bit identical to ``Graph.from_edges`` over the
+    updated edge set (same ``indptr``/``indices`` bytes): edge keys
+    ``u * n + v`` order exactly like lexicographic pairs, so sorted-set
+    difference + union reproduces the canonical construction order.
+
+    With ``strict=True`` (the default) every deleted edge must exist
+    and no inserted edge may already exist; violations raise
+    :class:`GraphFormatError` rather than silently desynchronising the
+    journal from the snapshots it claims to describe.
+
+    Node count grows automatically when an insertion references a node
+    beyond the current range; deltas never shrink the node range.
+    """
+    old = graph.edges()
+    n = max(graph.num_nodes, int(delta.insert.max()) + 1 if delta.insert.size else 0)
+    old_keys = _edge_keys(old, n)
+    del_keys = _edge_keys(delta.delete, n)
+    ins_keys = _edge_keys(delta.insert, n)
+    if strict:
+        missing = np.setdiff1d(del_keys, old_keys, assume_unique=True)
+        if missing.size:
+            u, v = divmod(int(missing[0]), n)
+            raise GraphFormatError(f"delete of non-existent edge ({u}, {v})")
+        present = np.intersect1d(ins_keys, old_keys, assume_unique=True)
+        if present.size:
+            u, v = divmod(int(present[0]), n)
+            raise GraphFormatError(f"insert of already-present edge ({u}, {v})")
+    kept = old_keys[~np.isin(old_keys, del_keys, assume_unique=True)]
+    keys = np.union1d(kept, ins_keys)
+    return Graph._from_canonical_edges(keys // n, keys % n, n)
+
+
+def undo_delta(graph: Graph, delta: EdgeDelta, *, strict: bool = True) -> Graph:
+    """Exactly reverse :func:`apply_delta` (bit-for-bit, same contract)."""
+    return apply_delta(graph, delta.inverted(), strict=strict)
+
+
+class DeltaLog:
+    """Append-only journal of :class:`EdgeDelta` batches.
+
+    Timestamps must be strictly increasing, so a timestamp addresses at
+    most one state and ``at(t)`` is well defined.  Each append extends a
+    *chained head hash*: ``head_0`` hashes a genesis marker and each
+    subsequent head folds in the previous head plus the delta's full
+    content.  Two logs share a head string iff they contain the same
+    delta sequence, which is why service fingerprints can use the head
+    as a complete mutation-history key.
+    """
+
+    __slots__ = ("_deltas", "_heads")
+
+    def __init__(self, deltas: Iterable[EdgeDelta] = ()):  # noqa: D107
+        self._deltas: List[EdgeDelta] = []
+        self._heads: List[str] = [self._genesis_head()]
+        for delta in deltas:
+            self.append(delta)
+
+    @staticmethod
+    def _genesis_head() -> str:
+        from ..core.runtime import sweep_fingerprint
+
+        return sweep_fingerprint("temporal.log", "genesis")
+
+    def append(self, delta: EdgeDelta) -> str:
+        """Append one delta and return the new head hash."""
+        from ..core.runtime import sweep_fingerprint
+
+        if not isinstance(delta, EdgeDelta):
+            raise ConfigurationError(f"DeltaLog.append expects EdgeDelta, got {type(delta).__name__}")
+        if self._deltas and delta.timestamp <= self._deltas[-1].timestamp:
+            raise ConfigurationError(
+                f"delta timestamps must be strictly increasing: "
+                f"{delta.timestamp} after {self._deltas[-1].timestamp}"
+            )
+        head = sweep_fingerprint(
+            "temporal.log",
+            self._heads[-1],
+            delta.timestamp,
+            delta.insert,
+            delta.delete,
+        )
+        self._deltas.append(delta)
+        self._heads.append(head)
+        return head
+
+    @property
+    def head(self) -> str:
+        """Hash chaining the full delta history (genesis hash if empty)."""
+        return self._heads[-1]
+
+    def head_at(self, count: int) -> str:
+        """The head after the first ``count`` deltas (``count=0`` → genesis)."""
+        if not 0 <= count <= len(self._deltas):
+            raise ConfigurationError(f"head_at({count}) out of range [0, {len(self._deltas)}]")
+        return self._heads[count]
+
+    @property
+    def timestamps(self) -> Tuple[int, ...]:
+        return tuple(d.timestamp for d in self._deltas)
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def __iter__(self):
+        return iter(self._deltas)
+
+    def __getitem__(self, index: int) -> EdgeDelta:
+        return self._deltas[index]
+
+    def replay(self, base: Graph, *, count: Optional[int] = None) -> Graph:
+        """Fold the first ``count`` deltas (default: all) over ``base``."""
+        upto = len(self._deltas) if count is None else count
+        graph = base
+        for delta in self._deltas[:upto]:
+            graph = apply_delta(graph, delta)
+        return graph
+
+    def to_payload(self) -> Dict:
+        """JSON-serialisable journal body (schema ``repro.graph.deltalog/v1``)."""
+        return {
+            "schema": DELTALOG_SCHEMA,
+            "deltas": [
+                {
+                    "timestamp": d.timestamp,
+                    "insert": d.insert.tolist(),
+                    "delete": d.delete.tolist(),
+                }
+                for d in self._deltas
+            ],
+            "head": self.head,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "DeltaLog":
+        """Rebuild a journal from :meth:`to_payload` output.
+
+        The recorded head is recomputed from the delta contents and must
+        match — a corrupted or hand-edited journal fails loudly here.
+        """
+        schema = payload.get("schema")
+        if schema != DELTALOG_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported delta-log schema {schema!r} (expected {DELTALOG_SCHEMA!r})"
+            )
+        log = cls(
+            EdgeDelta(entry["timestamp"], insert=entry["insert"], delete=entry["delete"])
+            for entry in payload["deltas"]
+        )
+        recorded = payload.get("head")
+        if recorded is not None and recorded != log.head:
+            raise ConfigurationError(
+                f"delta-log head mismatch: journal records {recorded[:12]}…, "
+                f"replay computes {log.head[:12]}… (corrupted journal?)"
+            )
+        return log
+
+    def save(self, path) -> None:
+        """Write the journal to ``path`` atomically as JSON."""
+        atomic_write_text(path, json.dumps(self.to_payload(), sort_keys=True, indent=1))
+
+    @classmethod
+    def load(cls, path) -> "DeltaLog":
+        """Read a journal written by :meth:`save`, verifying its head."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_payload(json.load(fh))
+
+    def __repr__(self) -> str:
+        return f"DeltaLog(deltas={len(self._deltas)}, head={self.head[:12]}…)"
+
+
+class TemporalGraph(Graph):
+    """A CSR graph with a time axis.
+
+    The instance *is* a :class:`Graph` — its slots always alias the
+    snapshot at the head of the delta log, so transition operators,
+    spectral analysis and the mixing pipeline consume it unchanged
+    (the same duck-typing contract :class:`MemmapGraph` satisfies).
+    Snapshots at every delta boundary are memoised on first access, so
+    repeated ``at(t)`` calls during a trend sweep pay the replay cost
+    once per boundary.
+    """
+
+    __slots__ = ("_base", "_base_time", "_log", "_snapshots")
+
+    def __init__(self, base: Graph, *, base_time: int = 0, log: Optional[DeltaLog] = None):
+        # Deliberately bypasses Graph.__init__ (MemmapGraph precedent):
+        # the CSR slots are rebound to memoised snapshots, never copied.
+        if isinstance(base, TemporalGraph):
+            base = base.snapshot()
+        self._base = base
+        self._base_time = int(base_time)
+        self._log = log if log is not None else DeltaLog()
+        if len(self._log) and self._log[0].timestamp <= self._base_time:
+            raise ConfigurationError(
+                f"first delta timestamp {self._log[0].timestamp} must exceed "
+                f"base_time {self._base_time}"
+            )
+        self._snapshots: List[Graph] = [base]
+        self._rebind()
+
+    def _rebind(self) -> None:
+        """Point the inherited CSR slots at the head snapshot.
+
+        Sharing the snapshot's ``_memo`` (not copying it) means
+        fingerprints and spectra memoised through either alias are
+        visible through both.
+        """
+        head = self._snapshot_at_index(len(self._log))
+        self._indptr = head._indptr
+        self._indices = head._indices
+        self._degrees = head._degrees
+        self._memo = head._memo
+
+    def _snapshot_at_index(self, count: int) -> Graph:
+        """Snapshot after the first ``count`` deltas, memoised."""
+        while len(self._snapshots) <= count:
+            prev = self._snapshots[-1]
+            self._snapshots.append(apply_delta(prev, self._log[len(self._snapshots) - 1]))
+        return self._snapshots[count]
+
+    # -- time axis -----------------------------------------------------
+
+    @property
+    def base_time(self) -> int:
+        return self._base_time
+
+    @property
+    def log(self) -> DeltaLog:
+        return self._log
+
+    @property
+    def version(self) -> str:
+        """Content hash of (base snapshot, full delta history).
+
+        Changes on every :meth:`append`; stable across processes.  The
+        service layer keys its caches on this string.
+        """
+        from ..core.runtime import sweep_fingerprint
+        from ..service.keys import graph_fingerprint
+
+        return sweep_fingerprint("temporal.version", graph_fingerprint(self._base), self._log.head)
+
+    def times(self) -> Tuple[int, ...]:
+        """All state boundaries: base time plus every delta timestamp."""
+        return (self._base_time,) + self._log.timestamps
+
+    def _count_at(self, t: int) -> int:
+        """How many deltas are in effect at time ``t``."""
+        if t < self._base_time:
+            raise ConfigurationError(
+                f"time {t} precedes base_time {self._base_time}"
+            )
+        stamps = self._log.timestamps
+        return int(np.searchsorted(np.asarray(stamps, dtype=np.int64), t, side="right"))
+
+    def at(self, t: int) -> Graph:
+        """The static snapshot in effect at time ``t``.
+
+        Deltas with ``timestamp <= t`` are applied; earlier snapshots
+        stay memoised so sweeps over many times replay each delta once.
+        """
+        return self._snapshot_at_index(self._count_at(t))
+
+    def snapshot(self) -> Graph:
+        """The head snapshot (the state this instance aliases)."""
+        return self._snapshot_at_index(len(self._log))
+
+    def window(self, t0: int, t1: int) -> Graph:
+        """Edges *active* at ``t1`` whose latest arrival lies in ``[t0, t1]``.
+
+        An edge's arrival time is the timestamp of its most recent
+        insertion (base edges arrive at ``base_time``); deleting and
+        re-inserting an edge refreshes its arrival.  The result keeps the
+        full node range of ``at(t1)`` so window graphs of one temporal
+        graph stay dimension-compatible.
+        """
+        if t1 < t0:
+            raise ConfigurationError(f"window requires t0 <= t1, got [{t0}, {t1}]")
+        end = self.at(t1)
+        n = end.num_nodes
+        arrivals: Dict[int, int] = {
+            int(k): self._base_time for k in _edge_keys(self._base.edges(), n)
+        }
+        for i in range(self._count_at(t1)):
+            delta = self._log[i]
+            for k in _edge_keys(delta.delete, n):
+                arrivals.pop(int(k), None)
+            for k in _edge_keys(delta.insert, n):
+                arrivals[int(k)] = delta.timestamp
+        keys = np.array(
+            sorted(k for k, arrived in arrivals.items() if arrived >= t0), dtype=np.int64
+        )
+        if keys.size == 0:
+            return Graph.empty(n)
+        return Graph._from_canonical_edges(keys // n, keys % n, n)
+
+    def changes_between(self, t0: int, t1: int) -> int:
+        """Total edges touched by deltas in effect after ``t0`` up to ``t1``.
+
+        The incremental spectral layer uses this to decide whether a
+        warm start is still trustworthy between two window boundaries.
+        """
+        if t1 < t0:
+            raise ConfigurationError(f"changes_between requires t0 <= t1, got [{t0}, {t1}]")
+        c0, c1 = self._count_at(t0), self._count_at(t1)
+        return sum(self._log[i].num_changes for i in range(c0, c1))
+
+    # -- mutation ------------------------------------------------------
+
+    def append(self, delta: EdgeDelta) -> str:
+        """Append a delta, advance the head state, return the new version."""
+        if delta.timestamp <= self.times()[-1]:
+            raise ConfigurationError(
+                f"delta timestamp {delta.timestamp} must exceed current head "
+                f"time {self.times()[-1]}"
+            )
+        # Validate against the head snapshot *before* the log admits the
+        # delta, so a bad batch leaves the log untouched.
+        new_head = apply_delta(self.snapshot(), delta)
+        self._log.append(delta)
+        self._snapshots.append(new_head)
+        self._rebind()
+        return self.version
+
+    def compact(self, t: int) -> "TemporalGraph":
+        """Fold history up to ``t`` into a new base snapshot.
+
+        Returns a new :class:`TemporalGraph` whose base is ``at(t)`` and
+        whose log holds only the deltas after ``t``.  Every retained
+        state is identical (``at(s)`` agrees for all ``s >= t``), but the
+        version string changes — compaction rewrites history, so cached
+        results keyed on the old version are correctly invalidated.
+        """
+        count = self._count_at(t)
+        base = self._snapshot_at_index(count)
+        remaining = DeltaLog(self._log[i] for i in range(count, len(self._log)))
+        return TemporalGraph(base, base_time=t, log=remaining)
+
+    @property
+    def num_deltas(self) -> int:
+        return len(self._log)
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalGraph(n={self.num_nodes}, m={self.num_edges}, "
+            f"deltas={len(self._log)}, base_time={self._base_time})"
+        )

@@ -24,20 +24,29 @@ content-addressed fingerprints) into serving infrastructure:
   hit-path answers are bit-identical to cold computation.
 * :class:`~repro.service.client.ServiceClient` /
   :class:`~repro.service.http.ServiceServer` — the in-process API and
-  the stdlib-only HTTP front-end behind ``repro-mixing serve``.
+  the stdlib-only HTTP front-end behind ``repro-mixing serve``.  Both
+  speak two wire schemas: the historical v1 (no ``schema`` field,
+  byte-compatible replies) and :data:`~repro.service.client.SCHEMA_V2`,
+  which adds ``graph_version`` to every reply, the temporal trend
+  queries (:class:`~repro.service.engine.MixingTrendQuery`,
+  :class:`~repro.service.engine.SlemTrendQuery`) and the
+  ``append_delta`` mutation verb over :mod:`repro.graph.temporal`
+  datasets.
 * :mod:`repro.service.batch` — adapters proving the batch runners are
   expressible as service queries (and pinned so by tests), so the two
   paths cannot drift.
 """
 
 from .cache import CacheStats, ResultCache
-from .client import HTTPServiceClient, ServiceClient
+from .client import SCHEMA_V2, HTTPServiceClient, ServiceClient, answer_payload
 from .engine import (
     AdmissionQuery,
     MixingTimeQuery,
+    MixingTrendQuery,
     QueryEngine,
     QueryResult,
     SlemQuery,
+    SlemTrendQuery,
     VariationCurveQuery,
 )
 from .http import ServiceServer
@@ -45,10 +54,12 @@ from .keys import graph_fingerprint, query_fingerprint
 from .registry import OperatorLease, OperatorRegistry
 
 __all__ = [
+    "SCHEMA_V2",
     "AdmissionQuery",
     "CacheStats",
     "HTTPServiceClient",
     "MixingTimeQuery",
+    "MixingTrendQuery",
     "OperatorLease",
     "OperatorRegistry",
     "QueryEngine",
@@ -57,7 +68,9 @@ __all__ = [
     "ServiceClient",
     "ServiceServer",
     "SlemQuery",
+    "SlemTrendQuery",
     "VariationCurveQuery",
+    "answer_payload",
     "graph_fingerprint",
     "query_fingerprint",
 ]

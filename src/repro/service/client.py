@@ -1,9 +1,28 @@
 """Service clients: in-process and HTTP, speaking one wire vocabulary.
 
-Both clients expose the same four verbs as the engine; the wire format
+Both clients expose the same verbs as the engine; the wire format
 (`payload dict -> query object`, `answer -> JSON-able dict`) lives here
 so the HTTP server, the HTTP client and the in-process client share one
 codec and cannot disagree about field names or types.
+
+**Schema versioning.**  The wire speaks two schema versions:
+
+* *v1* (historical): no ``schema`` field.  Exactly the four original
+  query types, answered with exactly the original six reply keys —
+  byte-compatible with every pre-temporal client, pinned by the
+  compatibility tests.  v1 knows nothing about temporal graphs; its
+  answers are served against the base snapshots of the dataset registry.
+* *v2* (:data:`SCHEMA_V2`): payloads carry ``"schema":
+  "repro.service.query/v2"``; replies echo ``schema`` and add
+  ``graph_version`` — the content version of the graph state answered
+  against.  v2 adds the trend queries (``mixing_trend``, ``slem_trend``),
+  the ``append_delta`` mutation verb, and an optional request-side
+  ``graph_version`` pin: when present and the live state differs, the
+  server refuses with 400 instead of answering against a state the
+  client did not expect.
+
+:func:`answer_payload` is the single seam both front-ends route through
+— :meth:`ServiceClient.query` and ``POST /query`` cannot disagree.
 
 Bit-identity across the wire: every float in an answer is emitted via
 ``json`` using Python's shortest-round-trip ``repr``, which reconstructs
@@ -22,19 +41,27 @@ from ..errors import ConfigurationError
 from .engine import (
     AdmissionQuery,
     MixingTimeQuery,
+    MixingTrendQuery,
     QueryEngine,
     QueryResult,
     SlemQuery,
+    SlemTrendQuery,
     VariationCurveQuery,
 )
 
 __all__ = [
+    "SCHEMA_V2",
     "HTTPServiceClient",
     "ServiceClient",
+    "answer_payload",
     "build_query",
     "decode_result",
     "encode_result",
 ]
+
+#: Wire schema identifier carried by v2 payloads and replies.  v1
+#: payloads are recognised by the *absence* of a ``schema`` field.
+SCHEMA_V2 = "repro.service.query/v2"
 
 _QUERY_TYPES = {
     "mixing_time": MixingTimeQuery,
@@ -43,19 +70,32 @@ _QUERY_TYPES = {
     "admission": AdmissionQuery,
 }
 
+#: Query types only the v2 schema can name.
+_V2_QUERY_TYPES = {
+    "mixing_trend": MixingTrendQuery,
+    "slem_trend": SlemTrendQuery,
+}
+
 #: Fields that must be tuples when they arrive as JSON lists.
-_TUPLE_FIELDS = ("sources", "walk_lengths", "suspects")
+_TUPLE_FIELDS = ("sources", "walk_lengths", "suspects", "times")
 
 
-def build_query(payload: dict):
-    """Wire payload -> query dataclass (the server's request parser)."""
+def build_query(payload: dict, *, schema: Optional[str] = None):
+    """Wire payload -> query dataclass (the server's request parser).
+
+    ``schema=None`` parses the historical v1 vocabulary (exactly the
+    four original query types); ``schema=SCHEMA_V2`` additionally
+    accepts the trend queries.  The ``schema`` key itself is stripped by
+    :func:`answer_payload` before this runs.
+    """
     if not isinstance(payload, dict):
         raise ConfigurationError("query payload must be a JSON object")
+    types = _QUERY_TYPES if schema is None else {**_QUERY_TYPES, **_V2_QUERY_TYPES}
     kind = payload.get("type")
-    cls = _QUERY_TYPES.get(kind)
+    cls = types.get(kind)
     if cls is None:
         raise ConfigurationError(
-            f"unknown query type {kind!r}; expected one of {sorted(_QUERY_TYPES)}"
+            f"unknown query type {kind!r}; expected one of {sorted(types)}"
         )
     kwargs = {k: v for k, v in payload.items() if k != "type"}
     for name in _TUPLE_FIELDS:
@@ -81,9 +121,14 @@ def _encode_value(value: Any) -> Any:
     return value
 
 
-def encode_result(result: QueryResult) -> dict:
-    """Query result -> JSON-able wire dict (floats keep full precision)."""
-    return {
+def encode_result(result: QueryResult, *, schema: Optional[str] = None) -> dict:
+    """Query result -> JSON-able wire dict (floats keep full precision).
+
+    The default emits the historical v1 reply — exactly six keys, byte
+    compatible with pre-temporal clients.  ``schema=SCHEMA_V2`` adds the
+    ``schema`` and ``graph_version`` keys of the versioned wire.
+    """
+    reply = {
         "value": _encode_value(result.value),
         "fingerprint": result.fingerprint,
         "cache_hit": bool(result.cache_hit),
@@ -91,6 +136,10 @@ def encode_result(result: QueryResult) -> dict:
         "batch_size": int(result.batch_size),
         "latency_s": float(result.latency_s),
     }
+    if schema is not None:
+        reply["schema"] = schema
+        reply["graph_version"] = result.graph_version
+    return reply
 
 
 def decode_result(payload: dict) -> QueryResult:
@@ -102,7 +151,83 @@ def decode_result(payload: dict) -> QueryResult:
         coalesced=bool(payload["coalesced"]),
         batch_size=int(payload["batch_size"]),
         latency_s=float(payload["latency_s"]),
+        graph_version=payload.get("graph_version"),
     )
+
+
+_APPEND_DELTA_FIELDS = frozenset({"type", "dataset", "timestamp", "insert", "delete"})
+
+
+def _append_delta_reply(engine: QueryEngine, body: dict, pin: Optional[str]) -> dict:
+    """Handle the v2-only ``append_delta`` mutation verb."""
+    unknown = set(body) - _APPEND_DELTA_FIELDS
+    if unknown:
+        # A mutation with a misspelled field must never be applied on a
+        # weaker contract than the client believes it asked for — the
+        # CAS pin in particular rides in the top-level 'graph_version'
+        # key, not in the engine kwarg name.
+        raise ConfigurationError(
+            f"append_delta got unknown field(s) {sorted(unknown)}; "
+            f"expected {sorted(_APPEND_DELTA_FIELDS)} plus the optional "
+            "top-level 'graph_version' pin"
+        )
+    for field in ("dataset", "timestamp"):
+        if field not in body:
+            raise ConfigurationError(f"append_delta requires {field!r}")
+    insert = body.get("insert", ())
+    delete = body.get("delete", ())
+    version = engine.append_delta(
+        str(body["dataset"]),
+        body["timestamp"],
+        insert=insert,
+        delete=delete,
+        expect_version=pin,
+    )
+    return {
+        "schema": SCHEMA_V2,
+        "graph_version": version,
+        "value": {
+            "dataset": str(body["dataset"]),
+            "timestamp": int(body["timestamp"]),
+            "num_insert": len(insert),
+            "num_delete": len(delete),
+        },
+    }
+
+
+def answer_payload(engine: QueryEngine, payload: dict) -> dict:
+    """Answer one wire payload at its declared schema version.
+
+    The single codec seam shared by :meth:`ServiceClient.query` and the
+    HTTP handler's ``POST /query`` — the two front-ends cannot drift.
+    Payloads without a ``schema`` key get the v1 contract (historical
+    vocabulary, historical reply keys); ``schema: repro.service.query/v2``
+    unlocks trend queries, ``append_delta`` and the ``graph_version``
+    request pin.  Any other schema value is refused.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError("query payload must be a JSON object")
+    schema = payload.get("schema")
+    if schema is None:
+        return encode_result(engine.submit(build_query(payload)))
+    if schema != SCHEMA_V2:
+        raise ConfigurationError(
+            f"unknown wire schema {schema!r}; this server speaks v1 "
+            f"(no schema field) and {SCHEMA_V2!r}"
+        )
+    pin = payload.get("graph_version")
+    if pin is not None and not isinstance(pin, str):
+        raise ConfigurationError("graph_version must be a string")
+    body = {k: v for k, v in payload.items() if k not in ("schema", "graph_version")}
+    if body.get("type") == "append_delta":
+        return _append_delta_reply(engine, body, pin)
+    result = engine.submit(build_query(body, schema=SCHEMA_V2))
+    if pin is not None and result.graph_version != pin:
+        raise ConfigurationError(
+            f"graph_version mismatch: request pinned {pin}, live state is "
+            f"{result.graph_version}"
+        )
+    return encode_result(result, schema=SCHEMA_V2)
 
 
 class ServiceClient:
@@ -128,9 +253,24 @@ class ServiceClient:
     def admission(self, dataset, suspects, route_length, **kwargs) -> QueryResult:
         return self.engine.admission(dataset, suspects, route_length, **kwargs)
 
+    def mixing_trend(self, dataset, walk_lengths, **kwargs) -> QueryResult:
+        return self.engine.mixing_trend(dataset, walk_lengths, **kwargs)
+
+    def slem_trend(self, dataset, **kwargs) -> QueryResult:
+        return self.engine.slem_trend(dataset, **kwargs)
+
+    def append_delta(self, dataset, timestamp, insert=(), delete=(), **kwargs) -> str:
+        return self.engine.append_delta(
+            dataset, timestamp, insert=insert, delete=delete, **kwargs
+        )
+
     def query(self, payload: dict) -> dict:
-        """Answer one wire-format payload, returning the wire-format reply."""
-        return encode_result(self.engine.submit(build_query(payload)))
+        """Answer one wire-format payload, returning the wire-format reply.
+
+        Routes through :func:`answer_payload`, so schema negotiation is
+        identical to the HTTP endpoint's.
+        """
+        return answer_payload(self.engine, payload)
 
     def stats(self) -> dict:
         return self.engine.stats()
@@ -223,6 +363,42 @@ class HTTPServiceClient:
                 }
             )
         )
+
+    # -- v2-only verbs ---------------------------------------------------
+    def mixing_trend(self, dataset, walk_lengths, **kwargs) -> QueryResult:
+        return decode_result(
+            self.query(
+                {
+                    "schema": SCHEMA_V2,
+                    "type": "mixing_trend",
+                    "dataset": dataset,
+                    "walk_lengths": [int(w) for w in walk_lengths],
+                    **kwargs,
+                }
+            )
+        )
+
+    def slem_trend(self, dataset, **kwargs) -> QueryResult:
+        return decode_result(
+            self.query(
+                {"schema": SCHEMA_V2, "type": "slem_trend", "dataset": dataset, **kwargs}
+            )
+        )
+
+    def append_delta(self, dataset, timestamp, insert=(), delete=(), **kwargs) -> str:
+        """POST one edge delta; returns the dataset's new graph version."""
+        reply = self.query(
+            {
+                "schema": SCHEMA_V2,
+                "type": "append_delta",
+                "dataset": dataset,
+                "timestamp": int(timestamp),
+                "insert": [[int(u), int(v)] for u, v in insert],
+                "delete": [[int(u), int(v)] for u, v in delete],
+                **kwargs,
+            }
+        )
+        return reply["graph_version"]
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")

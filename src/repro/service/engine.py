@@ -11,6 +11,20 @@ pipeline asks of a graph, recast as on-demand queries:
 * :class:`AdmissionQuery` — "SybilLimit admission decision for suspects
   *S* at route length *w*" (Figure 8's verdict).
 
+Two *trend* shapes extend the vocabulary to temporal datasets
+(:mod:`repro.graph.temporal`), where the graph is a versioned delta log
+rather than a frozen snapshot:
+
+* :class:`MixingTrendQuery` — "worst/average TVD curves across the
+  stream's windows" (the fig3-over-time measurement).
+* :class:`SlemTrendQuery` — "SLEM across windows", served by the
+  warm-started incremental solver of :mod:`repro.core.incremental`.
+
+Trend queries are never coalesced (each is already a whole sweep) and
+their cache keys are built from :attr:`TemporalGraph.version` — a hash
+chaining the base snapshot and every delta — so :meth:`append_delta`
+invalidates exactly the entries whose answers it changed.
+
 **Coalescing.**  Point-mass queries (mixing time, variation curve) that
 arrive within one batching window and share a bucket — same graph,
 operator dynamics and sweep parameters — are merged into a *single*
@@ -55,9 +69,11 @@ from .registry import OperatorRegistry
 __all__ = [
     "AdmissionQuery",
     "MixingTimeQuery",
+    "MixingTrendQuery",
     "QueryEngine",
     "QueryResult",
     "SlemQuery",
+    "SlemTrendQuery",
     "VariationCurveQuery",
 ]
 
@@ -357,7 +373,126 @@ class AdmissionQuery:
         )
 
 
-Query = Union[MixingTimeQuery, VariationCurveQuery, SlemQuery, AdmissionQuery]
+def _as_times_tuple(times) -> Optional[Tuple[int, ...]]:
+    if times is None:
+        return None
+    out = tuple(int(t) for t in times)
+    if not out:
+        raise ConfigurationError("times must be non-empty when given")
+    if any(b <= a for a, b in zip(out, out[1:])):
+        raise ConfigurationError("times must be strictly increasing")
+    return out
+
+
+@dataclass(frozen=True)
+class MixingTrendQuery:
+    """TVD curves across a temporal dataset's windows (fig3-over-time).
+
+    ``times=None`` measures every state boundary of the stream; an
+    explicit tuple restricts the sweep.  Sources are sampled once from
+    the first window (``num_sources``/``seed``) and reused on every
+    window, so drift is attributable to the graph.  Trend queries are
+    answered against the engine's live temporal graph and keyed on its
+    :attr:`~repro.graph.temporal.TemporalGraph.version`, never coalesced.
+    """
+
+    dataset: str
+    walk_lengths: Tuple[int, ...]
+    num_sources: int = 25
+    seed: int = 0
+    times: Optional[Tuple[int, ...]] = None
+    laziness: float = 0.0
+
+    query_type = "mixing_trend"
+
+    def __post_init__(self):
+        walks = tuple(int(w) for w in self.walk_lengths)
+        if not walks:
+            raise ConfigurationError("walk_lengths must be non-empty")
+        object.__setattr__(self, "walk_lengths", walks)
+        object.__setattr__(self, "num_sources", int(self.num_sources))
+        if self.num_sources < 1:
+            raise ConfigurationError(
+                f"num_sources must be >= 1, got {self.num_sources}"
+            )
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "times", _as_times_tuple(self.times))
+        object.__setattr__(self, "laziness", float(self.laziness))
+
+    @property
+    def operator_kind(self) -> str:
+        return f"plain:{self.laziness!r}"
+
+    def bucket(self) -> Tuple:
+        # Unique per query object: a trend is already one whole sweep.
+        return (self.query_type, id(self))
+
+    def fingerprint(self, graph_key: str) -> str:
+        from .keys import query_fingerprint
+
+        # graph_key is TemporalGraph.version here (it covers the delta-log
+        # head), so one append invalidates every trend entry it outdates.
+        return query_fingerprint(
+            self.query_type,
+            graph_key,
+            self.operator_kind,
+            walk_lengths=list(self.walk_lengths),
+            num_sources=self.num_sources,
+            seed=self.seed,
+            times=[] if self.times is None else list(self.times),
+        )
+
+
+@dataclass(frozen=True)
+class SlemTrendQuery:
+    """SLEM across a temporal dataset's windows, warm-started by default.
+
+    ``warm=False`` forces a cold solve per window (the benchmark
+    baseline).  Warm answers agree with cold within
+    :data:`repro.core.incremental.WARM_SLEM_ATOL` but are not bit-equal,
+    so ``warm`` participates in the cache key.
+    """
+
+    dataset: str
+    times: Optional[Tuple[int, ...]] = None
+    warm: bool = True
+
+    query_type = "slem_trend"
+
+    def __post_init__(self):
+        object.__setattr__(self, "times", _as_times_tuple(self.times))
+        object.__setattr__(self, "warm", bool(self.warm))
+
+    @property
+    def operator_kind(self) -> str:
+        return "plain:0.0"
+
+    def bucket(self) -> Tuple:
+        return (self.query_type, id(self))
+
+    def fingerprint(self, graph_key: str) -> str:
+        from .keys import query_fingerprint
+
+        return query_fingerprint(
+            self.query_type,
+            graph_key,
+            self.operator_kind,
+            times=[] if self.times is None else list(self.times),
+            warm=int(self.warm),
+        )
+
+
+Query = Union[
+    MixingTimeQuery,
+    VariationCurveQuery,
+    SlemQuery,
+    AdmissionQuery,
+    MixingTrendQuery,
+    SlemTrendQuery,
+]
+
+#: Query types answered against the engine's temporal graphs.
+_TREND_TYPES = ("mixing_trend", "slem_trend")
 
 
 @dataclass(frozen=True)
@@ -375,6 +510,11 @@ class QueryResult:
     coalesced: bool
     batch_size: int
     latency_s: float
+    #: Version of the graph state the answer was computed against: the
+    #: base snapshot's content fingerprint for registry-served queries,
+    #: :attr:`TemporalGraph.version` for trend queries.  Carried on the
+    #: v2 wire schema; absent from v1 replies.
+    graph_version: Optional[str] = None
 
 
 class _Waiter:
@@ -423,6 +563,13 @@ class QueryEngine:
     max_batch:
         Queue depth that flushes a bucket early, bounding latency under
         load bursts.
+    temporal_loader:
+        ``name -> TemporalGraph`` used the first time a trend query or
+        :meth:`append_delta` names a temporal dataset; defaults to
+        :func:`repro.datasets.load_temporal_cached`.  The engine keeps a
+        *private* journal per dataset (the loader's shared instance is
+        never mutated), so appends in one engine cannot leak into
+        another.
     """
 
     def __init__(
@@ -433,6 +580,7 @@ class QueryEngine:
         policy: Optional[ExecutionPolicy] = None,
         coalesce_window: float = 0.005,
         max_batch: int = 64,
+        temporal_loader=None,
     ) -> None:
         coalesce_window = float(coalesce_window)
         if coalesce_window < 0:
@@ -452,6 +600,12 @@ class QueryEngine:
         self._requests = 0
         self._coalesced_requests = 0
         self._stats_lock = threading.Lock()
+        self._temporal_loader = temporal_loader
+        self._temporal: Dict[str, Any] = {}
+        self._temporal_appends = 0
+        # Serialises trend answers with appends: a trend is computed
+        # against exactly the version its cache key names.
+        self._temporal_lock = threading.Lock()
 
     # -- convenience constructors ----------------------------------------
     def mixing_time(self, dataset, source, epsilon, **kwargs) -> QueryResult:
@@ -470,6 +624,12 @@ class QueryEngine:
             AdmissionQuery(dataset, tuple(suspects), route_length, **kwargs)
         )
 
+    def mixing_trend(self, dataset, walk_lengths, **kwargs) -> QueryResult:
+        return self.submit(MixingTrendQuery(dataset, tuple(walk_lengths), **kwargs))
+
+    def slem_trend(self, dataset, **kwargs) -> QueryResult:
+        return self.submit(SlemTrendQuery(dataset, **kwargs))
+
     # -- the request path ------------------------------------------------
     def submit(self, query: Query) -> QueryResult:
         """Answer one query (cache hit, coalesced sweep, or direct sweep)."""
@@ -479,6 +639,8 @@ class QueryEngine:
         with OBS.span(
             "service.request", query_type=query.query_type, dataset=query.dataset
         ):
+            if query.query_type in _TREND_TYPES:
+                return self._submit_trend(query, start)
             laziness = getattr(query, "laziness", 0.0)
             with self.registry.acquire(query.dataset, laziness=laziness) as lease:
                 key = query.fingerprint(lease.graph_key)
@@ -491,7 +653,10 @@ class QueryEngine:
                 if cached is not None:
                     if OBS.enabled:
                         OBS.add("service.cache.hits")
-                    return self._finish(cached, key, True, False, 1, start, query)
+                    return self._finish(
+                        cached, key, True, False, 1, start, query,
+                        graph_version=lease.graph_key,
+                    )
                 if OBS.enabled:
                     OBS.add("service.cache.misses")
                 if (
@@ -504,7 +669,8 @@ class QueryEngine:
                     value = self.cache.put(key, self._compute_direct(query, lease))
                     batch_size = 1
                 return self._finish(
-                    value, key, False, batch_size > 1, batch_size, start, query
+                    value, key, False, batch_size > 1, batch_size, start, query,
+                    graph_version=lease.graph_key,
                 )
 
     def _numeric_tag(self) -> Optional[str]:
@@ -523,7 +689,10 @@ class QueryEngine:
         numeric = backend_numeric(self.policy.backend)
         return None if numeric == "float64" else numeric
 
-    def _finish(self, value, key, hit, coalesced, batch_size, start, query):
+    def _finish(
+        self, value, key, hit, coalesced, batch_size, start, query, *,
+        graph_version=None,
+    ):
         latency = time.perf_counter() - start
         if OBS.enabled:
             OBS.observe("service.request_seconds", latency)
@@ -538,7 +707,123 @@ class QueryEngine:
             coalesced=coalesced,
             batch_size=batch_size,
             latency_s=latency,
+            graph_version=graph_version,
         )
+
+    # -- temporal (trend) path -------------------------------------------
+    def _temporal_locked(self, dataset: str):
+        """The engine's private temporal graph for ``dataset`` (lock held).
+
+        The loader's instance is copied via ``compact(base_time)`` — a
+        zero-delta fold that shares the immutable base CSR and rebuilds
+        the journal, so this engine's appends never mutate the (possibly
+        process-wide memoised) loaded instance.  The copy's ``version``
+        is identical to the original's.
+        """
+        temporal = self._temporal.get(dataset)
+        if temporal is None:
+            loader = self._temporal_loader
+            if loader is None:
+                from ..datasets import load_temporal_cached
+
+                loader = load_temporal_cached
+            loaded = loader(str(dataset))
+            from ..graph.temporal import TemporalGraph
+
+            if not isinstance(loaded, TemporalGraph):
+                raise ConfigurationError(
+                    f"temporal loader returned {type(loaded).__name__} for "
+                    f"{dataset!r}; expected a TemporalGraph"
+                )
+            temporal = loaded.compact(loaded.base_time)
+            self._temporal[dataset] = temporal
+        return temporal
+
+    def _submit_trend(self, query: Query, start: float) -> QueryResult:
+        with self._temporal_lock:
+            temporal = self._temporal_locked(query.dataset)
+            version = temporal.version
+            key = query.fingerprint(version)
+            tag = self._numeric_tag()
+            if tag is not None:
+                key = f"{key}:{tag}"
+            cached = self.cache.get(key)
+            if cached is not None:
+                if OBS.enabled:
+                    OBS.add("service.cache.hits")
+                return self._finish(
+                    cached, key, True, False, 1, start, query,
+                    graph_version=version,
+                )
+            if OBS.enabled:
+                OBS.add("service.cache.misses")
+            value = self.cache.put(key, self._compute_trend(query, temporal))
+        return self._finish(
+            value, key, False, False, 1, start, query, graph_version=version
+        )
+
+    def _compute_trend(self, query: Query, temporal) -> Any:
+        from ..core.incremental import mixing_trend, slem_trend
+
+        if query.query_type == "mixing_trend":
+            trend = mixing_trend(
+                temporal,
+                list(query.walk_lengths),
+                num_sources=query.num_sources,
+                seed=query.seed,
+                times=query.times,
+                laziness=query.laziness,
+                policy=self.policy,
+            )
+            return {
+                "times": [int(t) for t in trend.times],
+                "walk_lengths": [int(w) for w in trend.walk_lengths],
+                "sources": [int(s) for s in trend.sources],
+                "worst_case": trend.worst_case().tolist(),
+                "average_case": trend.average_case().tolist(),
+            }
+        trend = slem_trend(
+            temporal, times=query.times, warm=query.warm, policy=self.policy
+        )
+        return {
+            "times": [int(t) for t in trend.times],
+            "slem": trend.slem.tolist(),
+            "lambda2": trend.lambda2.tolist(),
+            "lambda_min": trend.lambda_min.tolist(),
+            "warm_started": [bool(w) for w in trend.warm_started],
+            "matvecs": [int(m) for m in trend.matvecs],
+        }
+
+    def append_delta(
+        self, dataset, timestamp, insert=(), delete=(), *,
+        expect_version: Optional[str] = None,
+    ) -> str:
+        """Append one edge delta to a temporal dataset; returns the new version.
+
+        ``expect_version`` makes the append conditional (optimistic
+        concurrency): when given and the dataset's current version
+        differs, the append is refused with
+        :class:`~repro.errors.ConfigurationError` and the journal is
+        untouched.  Every append advances
+        :attr:`~repro.graph.temporal.TemporalGraph.version`, so cached
+        trend answers for the old state can no longer be served.
+        """
+        from ..graph.temporal import EdgeDelta
+
+        delta = EdgeDelta(int(timestamp), insert=insert, delete=delete)
+        with self._temporal_lock:
+            temporal = self._temporal_locked(dataset)
+            if expect_version is not None and temporal.version != expect_version:
+                raise ConfigurationError(
+                    f"graph_version mismatch for {dataset!r}: expected "
+                    f"{expect_version}, current is {temporal.version}"
+                )
+            version = temporal.append(delta)
+        with self._stats_lock:
+            self._temporal_appends += 1
+        if OBS.enabled:
+            OBS.add("service.temporal.appends")
+        return version
 
     # -- coalescing ------------------------------------------------------
     def _submit_coalesced(self, query: Query, key: str, lease) -> Tuple[Any, int]:
@@ -753,11 +1038,20 @@ class QueryEngine:
         with self._stats_lock:
             requests = self._requests
             coalesced = self._coalesced_requests
+            appends = self._temporal_appends
+        with self._temporal_lock:
+            temporal_versions = {
+                name: t.version for name, t in self._temporal.items()
+            }
         return {
             "requests": requests,
             "coalesced_requests": coalesced,
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
+            "temporal": {
+                "datasets": temporal_versions,
+                "appends": appends,
+            },
         }
 
     def close(self) -> None:

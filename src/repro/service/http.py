@@ -6,9 +6,9 @@ request, which is exactly what the engine's leader-based coalescing
 expects: concurrent requests park in buckets while a leader runs the
 merged sweep.  No third-party framework, no event loop; the endpoint is
 
-* ``POST /query`` — one wire-format query (see
-  :func:`repro.service.client.build_query`), answered with the
-  wire-format result.
+* ``POST /query`` — one wire-format query (v1 or the versioned v2
+  schema; see :func:`repro.service.client.answer_payload`), answered
+  with the wire-format result.
 * ``GET /stats`` — engine / cache / registry counters.
 * ``GET /health`` — liveness probe.
 
@@ -26,7 +26,7 @@ from typing import Optional, Tuple
 
 from ..errors import ReproError
 from ..obs import OBS
-from .client import build_query, encode_result
+from .client import answer_payload
 from .engine import QueryEngine
 
 __all__ = ["ServiceServer"]
@@ -80,7 +80,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             payload = self._read_body()
-            result = self.engine.submit(build_query(payload))
+            # answer_payload handles schema negotiation (v1 vs v2), so
+            # both front-ends speak exactly the same wire contract.
+            reply = answer_payload(self.engine, payload)
         except ReproError as exc:
             if OBS.enabled:
                 OBS.add("service.http.bad_requests")
@@ -91,7 +93,7 @@ class _Handler(BaseHTTPRequestHandler):
                 OBS.add("service.http.errors")
             self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
             return
-        self._reply(200, encode_result(result))
+        self._reply(200, reply)
 
 
 def _jsonable(value):

@@ -1,0 +1,110 @@
+"""Temporal dataset tier: registry, determinism, connectivity, caching.
+
+The structural guarantee under test is the BFS backbone: it never
+churns, so *every* window of every temporal stand-in is connected —
+without that, spectral and mixing measurement would be undefined
+mid-stream and the warm solver's agreement contract unverifiable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    TEMPORAL_REGISTRY,
+    clear_temporal_cache,
+    generate_temporal,
+    get_temporal_spec,
+    load_temporal_cached,
+    temporal_dataset_names,
+)
+from repro.datasets.cache import _LOAD_LOG
+from repro.errors import DatasetError
+from repro.graph import TemporalGraph, is_connected
+
+
+@pytest.fixture(autouse=True)
+def _pristine_cache():
+    clear_temporal_cache()
+    _LOAD_LOG.clear()
+    yield
+    clear_temporal_cache()
+    _LOAD_LOG.clear()
+
+
+class TestRegistry:
+    def test_expected_names(self):
+        assert temporal_dataset_names() == [
+            "temporal_enron",
+            "temporal_mathoverflow",
+            "temporal_superuser",
+        ]
+
+    def test_specs_are_well_formed(self):
+        for name, spec in TEMPORAL_REGISTRY.items():
+            assert spec.name == name
+            assert spec.nodes > 0 and spec.edges > 0
+            assert 0.0 < spec.base_fraction < 1.0
+            assert spec.num_deltas > 0 and spec.time_step > 0
+            assert spec.label and spec.description
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError, match="unknown temporal dataset"):
+            get_temporal_spec("temporal_orkut")
+
+    def test_seed_is_stable_and_distinct(self):
+        seeds = {spec.seed for spec in TEMPORAL_REGISTRY.values()}
+        assert len(seeds) == len(TEMPORAL_REGISTRY)
+        assert get_temporal_spec("temporal_enron").seed == TEMPORAL_REGISTRY[
+            "temporal_enron"
+        ].seed
+
+
+class TestGeneration:
+    def test_deterministic_across_calls(self):
+        spec = get_temporal_spec("temporal_mathoverflow")
+        a = generate_temporal(spec)
+        b = generate_temporal(spec)
+        assert isinstance(a, TemporalGraph)
+        assert a.version == b.version  # content-derived: same stream
+        assert a.times() == b.times()
+
+    def test_every_window_connected(self):
+        # The backbone guarantee, checked on the smallest stand-in at a
+        # sampled set of boundaries (every window is too slow for tier 1).
+        temporal = load_temporal_cached("temporal_mathoverflow")
+        times = temporal.times()
+        sampled = [times[0], times[len(times) // 2], times[-1]]
+        for t in sampled:
+            assert is_connected(temporal.at(t)), f"window t={t} disconnected"
+
+    def test_stream_shape(self):
+        spec = get_temporal_spec("temporal_mathoverflow")
+        temporal = generate_temporal(spec)
+        times = temporal.times()
+        assert len(times) == spec.num_deltas + 1  # base + every batch
+        assert times[0] == temporal.base_time
+        steps = {b - a for a, b in zip(times[1:], times[2:])}
+        assert steps == {spec.time_step}
+        # Net growth: churn retires fewer edges than arrive per batch.
+        assert temporal.snapshot().num_edges > temporal.at(times[0]).num_edges
+
+
+class TestCaching:
+    def test_memoised_and_logged(self):
+        a = load_temporal_cached("temporal_mathoverflow")
+        b = load_temporal_cached("temporal_mathoverflow")
+        assert a is b
+        assert "temporal_mathoverflow" in _LOAD_LOG
+
+    def test_clear_cache_regenerates(self):
+        a = load_temporal_cached("temporal_mathoverflow")
+        clear_temporal_cache()
+        b = load_temporal_cached("temporal_mathoverflow")
+        assert a is not b
+        assert a.version == b.version  # regeneration is deterministic
+
+    def test_unknown_name_not_cached(self):
+        with pytest.raises(DatasetError):
+            load_temporal_cached("nope")
+        assert "nope" not in _LOAD_LOG

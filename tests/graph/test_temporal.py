@@ -1,0 +1,322 @@
+"""Temporal graph layer: delta algebra, journaling, windows, compaction.
+
+The load-bearing contract: every snapshot a :class:`TemporalGraph`
+serves is **bit-for-bit identical** to a CSR rebuilt from its edge set
+with :meth:`Graph.from_edges` — temporal graphs are views over the
+static substrate, never a parallel implementation that could drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GraphFormatError
+from repro.generators import erdos_renyi_gnm
+from repro.graph import (
+    DELTALOG_SCHEMA,
+    DeltaLog,
+    EdgeDelta,
+    Graph,
+    TemporalGraph,
+    apply_delta,
+    largest_connected_component,
+    undo_delta,
+)
+
+
+def _base_graph(seed=5) -> Graph:
+    return largest_connected_component(erdos_renyi_gnm(40, 120, seed=seed))[0]
+
+
+def _churn(graph: Graph, rng, k_ins=5, k_del=5):
+    """Random disjoint insert/delete batches valid against ``graph``."""
+    edges = graph.edges()
+    del_idx = rng.choice(edges.shape[0], size=min(k_del, edges.shape[0]), replace=False)
+    delete = edges[np.sort(del_idx)]
+    existing = {tuple(e) for e in edges}
+    n = graph.num_nodes
+    insert = set()
+    while len(insert) < k_ins:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v:
+            continue
+        e = (min(u, v), max(u, v))
+        if e not in existing:
+            insert.add(e)
+    return np.array(sorted(insert), dtype=np.int64), delete
+
+
+def _edge_set(graph: Graph) -> set:
+    return {tuple(e) for e in graph.edges()}
+
+
+def _assert_csr_identical(a: Graph, b: Graph):
+    assert a.num_nodes == b.num_nodes
+    assert a.indptr.tobytes() == b.indptr.tobytes()
+    assert a.indices.tobytes() == b.indices.tobytes()
+
+
+class TestEdgeDelta:
+    def test_batches_are_canonicalised(self):
+        delta = EdgeDelta(1, insert=[(5, 2), (2, 5), (1, 1), (0, 3)])
+        # reversed + duplicate collapse to one row, self-loop dropped
+        assert delta.insert.tolist() == [[0, 3], [2, 5]]
+        assert delta.delete.shape == (0, 2)
+        assert delta.num_changes == 2
+
+    def test_batches_are_read_only(self):
+        delta = EdgeDelta(1, insert=[(0, 1)])
+        with pytest.raises(ValueError):
+            delta.insert[0, 0] = 7
+
+    def test_insert_delete_overlap_rejected(self):
+        with pytest.raises(GraphFormatError, match="both insert and delete"):
+            EdgeDelta(1, insert=[(0, 1), (2, 3)], delete=[(1, 0)])
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(GraphFormatError, match="shaped"):
+            EdgeDelta(1, insert=[(0, 1, 2)])
+        with pytest.raises(GraphFormatError, match="negative"):
+            EdgeDelta(1, insert=[(-1, 2)])
+
+    def test_inverted_swaps_batches(self):
+        delta = EdgeDelta(3, insert=[(0, 1)], delete=[(2, 3)])
+        inv = delta.inverted()
+        assert inv.insert.tolist() == [[2, 3]] and inv.delete.tolist() == [[0, 1]]
+        assert inv.inverted() == delta
+
+    def test_equality_and_hash(self):
+        a = EdgeDelta(1, insert=[(0, 1)])
+        b = EdgeDelta(1, insert=[(1, 0)])
+        c = EdgeDelta(2, insert=[(0, 1)])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestApplyDelta:
+    def test_apply_matches_rebuild_bit_for_bit(self):
+        """The pinned contract, across a random churn sequence."""
+        rng = np.random.default_rng(0)
+        graph = _base_graph()
+        edges = _edge_set(graph)
+        for _ in range(6):
+            ins, dele = _churn(graph, rng)
+            delta = EdgeDelta(0, insert=ins, delete=dele)
+            graph = apply_delta(graph, delta)
+            edges = (edges - {tuple(e) for e in dele}) | {tuple(e) for e in ins}
+            rebuilt = Graph.from_edges(
+                np.array(sorted(edges), dtype=np.int64), num_nodes=graph.num_nodes
+            )
+            _assert_csr_identical(graph, rebuilt)
+
+    def test_undo_round_trips_exactly(self):
+        rng = np.random.default_rng(1)
+        graph = _base_graph()
+        ins, dele = _churn(graph, rng)
+        delta = EdgeDelta(0, insert=ins, delete=dele)
+        _assert_csr_identical(undo_delta(apply_delta(graph, delta), delta), graph)
+
+    def test_strict_insert_of_existing_edge_rejected(self):
+        graph = _base_graph()
+        present = tuple(graph.edges()[0])
+        with pytest.raises(GraphFormatError, match="already-present"):
+            apply_delta(graph, EdgeDelta(0, insert=[present]))
+
+    def test_strict_delete_of_missing_edge_rejected(self):
+        graph = _base_graph()
+        missing = next(
+            (0, v) for v in range(1, graph.num_nodes)
+            if (0, v) not in _edge_set(graph)
+        )
+        with pytest.raises(GraphFormatError, match="non-existent"):
+            apply_delta(graph, EdgeDelta(0, delete=[missing]))
+
+    def test_non_strict_tolerates_redundant_changes(self):
+        graph = _base_graph()
+        present = tuple(graph.edges()[0])
+        same = apply_delta(graph, EdgeDelta(0, insert=[present]), strict=False)
+        _assert_csr_identical(same, graph)
+
+    def test_insert_can_grow_node_range(self):
+        graph = _base_graph()
+        n = graph.num_nodes
+        grown = apply_delta(graph, EdgeDelta(0, insert=[(0, n + 2)]))
+        assert grown.num_nodes == n + 3
+        assert grown.num_edges == graph.num_edges + 1
+
+
+class TestDeltaLog:
+    def _stream(self, seed=2, count=4):
+        rng = np.random.default_rng(seed)
+        graph = _base_graph()
+        log = DeltaLog()
+        state = graph
+        for i in range(count):
+            ins, dele = _churn(state, rng)
+            delta = EdgeDelta(10 * (i + 1), insert=ins, delete=dele)
+            log.append(delta)
+            state = apply_delta(state, delta)
+        return graph, log, state
+
+    def test_timestamps_must_strictly_increase(self):
+        log = DeltaLog()
+        log.append(EdgeDelta(10, insert=[(0, 1)]))
+        with pytest.raises(ConfigurationError, match="increasing"):
+            log.append(EdgeDelta(10, insert=[(2, 3)]))
+
+    def test_head_chains_over_content(self):
+        _, log, _ = self._stream()
+        heads = [log.head_at(i) for i in range(len(log) + 1)]
+        assert len(set(heads)) == len(heads)  # every prefix is distinct
+        assert log.head == heads[-1]
+        # identical content -> identical chain
+        rebuilt = DeltaLog(list(log))
+        assert rebuilt.head == log.head
+
+    def test_replay_matches_iterative_application(self):
+        base, log, final = self._stream()
+        _assert_csr_identical(log.replay(base), final)
+        # deterministic: a second replay is byte-identical
+        _assert_csr_identical(log.replay(base), log.replay(base))
+
+    def test_payload_round_trip(self):
+        _, log, _ = self._stream()
+        payload = log.to_payload()
+        assert payload["schema"] == DELTALOG_SCHEMA
+        restored = DeltaLog.from_payload(payload)
+        assert list(restored) == list(log)
+        assert restored.head == log.head
+
+    def test_tampered_payload_rejected(self):
+        _, log, _ = self._stream()
+        payload = log.to_payload()
+        payload["deltas"][0]["insert"][0][0] += 1
+        with pytest.raises(ConfigurationError, match="head"):
+            DeltaLog.from_payload(payload)
+
+    def test_save_load_round_trip(self, tmp_path):
+        base, log, final = self._stream()
+        path = tmp_path / "journal.json"
+        log.save(path)
+        restored = DeltaLog.load(path)
+        assert restored.head == log.head
+        _assert_csr_identical(restored.replay(base), final)
+
+
+class TestTemporalGraph:
+    def _temporal(self, seed=3, count=5):
+        rng = np.random.default_rng(seed)
+        base = _base_graph()
+        temporal = TemporalGraph(base)
+        state = base
+        for i in range(count):
+            ins, dele = _churn(state, rng)
+            temporal.append(EdgeDelta(10 * (i + 1), insert=ins, delete=dele))
+            state = apply_delta(state, EdgeDelta(10 * (i + 1), insert=ins, delete=dele))
+        return base, temporal
+
+    def test_duck_types_graph_at_head(self):
+        base, temporal = self._temporal()
+        head = temporal.snapshot()
+        assert isinstance(temporal, Graph)
+        assert temporal.num_nodes == head.num_nodes
+        assert temporal.num_edges == head.num_edges
+        assert temporal.indptr.tobytes() == head.indptr.tobytes()
+        assert temporal.indices.tobytes() == head.indices.tobytes()
+        np.testing.assert_array_equal(temporal.degrees, head.degrees)
+
+    def test_at_replays_prefixes_bit_for_bit(self):
+        base, temporal = self._temporal()
+        _assert_csr_identical(temporal.at(0), base)
+        _assert_csr_identical(temporal.at(9), base)  # before first delta
+        state = base
+        for i, t in enumerate(temporal.log.timestamps):
+            state = apply_delta(state, temporal.log[i])
+            _assert_csr_identical(temporal.at(t), state)
+            _assert_csr_identical(temporal.at(t + 5), state)
+
+    def test_at_before_base_time_rejected(self):
+        _, temporal = self._temporal()
+        with pytest.raises(ConfigurationError, match="precedes"):
+            temporal.at(-1)
+
+    def test_times_lists_all_boundaries(self):
+        _, temporal = self._temporal(count=3)
+        assert temporal.times() == (0, 10, 20, 30)
+
+    def test_window_matches_naive_oracle(self):
+        base, temporal = self._temporal()
+        for t0, t1 in [(0, 50), (10, 30), (25, 45), (30, 30), (50, 50)]:
+            arrivals = {tuple(e): 0 for e in base.edges()}
+            for i, t in enumerate(temporal.log.timestamps):
+                if t > t1:
+                    break
+                delta = temporal.log[i]
+                for e in delta.delete:
+                    arrivals.pop(tuple(e), None)
+                for e in delta.insert:
+                    arrivals[tuple(e)] = t
+            keep = sorted(e for e, arr in arrivals.items() if arr >= t0)
+            expected = Graph.from_edges(
+                np.array(keep, dtype=np.int64), num_nodes=temporal.at(t1).num_nodes
+            )
+            _assert_csr_identical(temporal.window(t0, t1), expected)
+
+    def test_window_rejects_inverted_range(self):
+        _, temporal = self._temporal()
+        with pytest.raises(ConfigurationError, match="t0 <= t1"):
+            temporal.window(20, 10)
+
+    def test_append_validates_before_admitting(self):
+        _, temporal = self._temporal()
+        head_version = temporal.version
+        num = temporal.num_deltas
+        bad = EdgeDelta(1000, insert=[tuple(temporal.snapshot().edges()[0])])
+        with pytest.raises(GraphFormatError):
+            temporal.append(bad)
+        # failed append leaves the journal untouched
+        assert temporal.num_deltas == num and temporal.version == head_version
+        with pytest.raises(ConfigurationError, match="exceed"):
+            temporal.append(EdgeDelta(0, insert=[(0, 1)]))
+
+    def test_version_changes_on_append_and_is_content_derived(self):
+        base, temporal = self._temporal()
+        v0 = temporal.version
+        # reconstruction from the same content agrees
+        clone = TemporalGraph(base, log=DeltaLog(list(temporal.log)))
+        assert clone.version == v0
+        temporal.append(EdgeDelta(1000, insert=_churn(temporal.snapshot(),
+                                                      np.random.default_rng(9))[0]))
+        assert temporal.version != v0
+
+    def test_changes_between_counts_touched_edges(self):
+        _, temporal = self._temporal(count=3)
+        total = sum(temporal.log[i].num_changes for i in range(3))
+        assert temporal.changes_between(0, 30) == total
+        assert temporal.changes_between(10, 10) == 0
+        assert temporal.changes_between(0, 10) == temporal.log[0].num_changes
+
+    def test_compact_preserves_retained_states(self):
+        _, temporal = self._temporal()
+        t_fold = 20
+        compacted = temporal.compact(t_fold)
+        assert compacted.base_time == t_fold
+        assert compacted.num_deltas == temporal.num_deltas - 2
+        for t in (20, 25, 30, 40, 50):
+            _assert_csr_identical(compacted.at(t), temporal.at(t))
+        # folding real history rewrites the version (caches invalidate)
+        assert compacted.version != temporal.version
+
+    def test_zero_delta_compaction_keeps_version(self):
+        """compact(base_time) is the engine's private-copy idiom."""
+        _, temporal = self._temporal()
+        copy = temporal.compact(temporal.base_time)
+        assert copy.version == temporal.version
+        missing = next(
+            (0, v) for v in range(1, copy.num_nodes)
+            if (0, v) not in _edge_set(copy.snapshot())
+        )
+        copy.append(EdgeDelta(999, insert=[missing]))
+        assert copy.version != temporal.version
+        assert temporal.num_deltas == 5  # original journal untouched

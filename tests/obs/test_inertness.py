@@ -583,6 +583,95 @@ def test_streamed_spectral_bit_identical_and_counted(obs, er_medium, tmp_path):
     assert not any(name.startswith("spectral.stream.") for name in plain)
 
 
+def _toy_temporal():
+    from repro.graph import EdgeDelta, Graph, TemporalGraph
+
+    base = Graph.from_edges(
+        np.array([(i, (i + 1) % 12) for i in range(12)] + [(0, 2)], dtype=np.int64)
+    )
+    temporal = TemporalGraph(base)
+    temporal.append(EdgeDelta(10, insert=[(3, 5), (4, 6)]))
+    temporal.append(EdgeDelta(20, insert=[(1, 3)], delete=[(3, 5)]))
+    return temporal
+
+
+def test_slem_trend_bit_identical(obs):
+    """The incremental trend sweep (windows, warm seam, certificates) is
+    telemetry-inert."""
+    from repro.core import slem_trend
+
+    def run():
+        trend = slem_trend(_toy_temporal())
+        return trend.slem.copy(), trend.lambda2.copy(), trend.matvecs.copy()
+
+    off = _with_flag(obs, False, run)
+    on = _with_flag(obs, True, run)
+    for off_arr, on_arr in zip(off, on):
+        assert np.array_equal(off_arr, on_arr)
+
+
+def test_warm_solver_bit_identical_and_counted(obs, er_medium):
+    """The warm spectral path is telemetry-inert, and its enabled arm
+    records ``core.incremental.*`` counters (vacuity guard both ways:
+    a cold solve records none of them)."""
+    from repro.core import warm_spectral_extremes
+
+    assert er_medium.num_nodes > 64  # otherwise the warm path never runs
+
+    def run():
+        cold = warm_spectral_extremes(er_medium)
+        warm = warm_spectral_extremes(er_medium, cold, changed_edges=0)
+        return (cold.slem, warm.slem, warm.lambda2, warm.lambda_min, warm.matvecs)
+
+    assert _with_flag(obs, False, run) == _with_flag(obs, True, run)
+
+    obs.reset()
+    obs.enable()
+    run()
+    snap = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert snap["core.incremental.warm_starts"] == 1
+    assert snap["core.incremental.matvecs"] >= 1
+
+    obs.reset()
+    obs.enable()
+    warm_spectral_extremes(er_medium)  # cold: records cold_starts, no warm
+    plain = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert plain["core.incremental.cold_starts"] == 1
+    assert "core.incremental.warm_starts" not in plain
+
+
+def test_temporal_service_counters_recorded(obs):
+    """The trend-query path and append_delta record service telemetry."""
+    from repro.core import ExecutionPolicy
+    from repro.service import OperatorRegistry, QueryEngine, ResultCache
+
+    temporal = _toy_temporal()
+    obs.reset()
+    obs.enable()
+    with QueryEngine(
+        registry=OperatorRegistry(
+            loader=lambda name: temporal.snapshot(), publish=False
+        ),
+        cache=ResultCache(),
+        policy=ExecutionPolicy(workers=1),
+        coalesce_window=0.0,
+        temporal_loader=lambda name: temporal,
+    ) as engine:
+        engine.slem_trend("toy")
+        engine.slem_trend("toy")
+        engine.append_delta("toy", 30, insert=[(2, 7)])
+    snap = obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+    assert snap["service.cache.misses"] >= 1
+    assert snap["service.cache.hits"] >= 1
+    assert snap["service.temporal.appends"] == 1
+
+
 def test_snap_fetch_counters_recorded(obs, tmp_path):
     """The offline ``file://`` fetch path records download telemetry."""
     import gzip

@@ -1,0 +1,220 @@
+"""Wire-schema versioning: v1 byte-compatibility and the v2 contract.
+
+The compatibility pin: a payload **without** a ``schema`` key is a v1
+request and must receive exactly the six historical reply keys — no
+``schema``, no ``graph_version`` — so pre-temporal clients never see a
+key they did not ask for.  ``schema: repro.service.query/v2`` unlocks
+the trend vocabulary, ``append_delta`` and optimistic ``graph_version``
+pins, over both front-ends (in-process and HTTP) via the single
+:func:`~repro.service.client.answer_payload` codec seam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionPolicy
+from repro.errors import ConfigurationError
+from repro.graph import EdgeDelta, Graph, TemporalGraph
+from repro.service import (
+    SCHEMA_V2,
+    HTTPServiceClient,
+    OperatorRegistry,
+    QueryEngine,
+    ResultCache,
+    ServiceClient,
+    ServiceServer,
+    answer_payload,
+)
+
+#: The historical reply shape, pinned exactly.  Adding a key to v1 is a
+#: wire-compatibility break even if every client "should" ignore it.
+V1_REPLY_KEYS = ["batch_size", "cache_hit", "coalesced", "fingerprint", "latency_s", "value"]
+
+
+def _temporal() -> TemporalGraph:
+    base = Graph.from_edges(
+        np.array([(i, (i + 1) % 14) for i in range(14)] + [(0, 2)], dtype=np.int64)
+    )
+    temporal = TemporalGraph(base)
+    temporal.append(EdgeDelta(10, insert=[(3, 6), (4, 8)]))
+    return temporal
+
+
+@pytest.fixture()
+def engine():
+    temporal = _temporal()
+    with QueryEngine(
+        registry=OperatorRegistry(loader=lambda name: temporal.snapshot(), publish=False),
+        cache=ResultCache(),
+        policy=ExecutionPolicy(workers=1),
+        coalesce_window=0.0,
+        temporal_loader=lambda name: temporal,
+    ) as eng:
+        yield eng
+
+
+class TestV1Compatibility:
+    def test_v1_reply_keys_pinned(self, engine):
+        reply = answer_payload(engine, {"type": "slem", "dataset": "toy"})
+        assert sorted(reply) == V1_REPLY_KEYS
+
+    def test_v1_rejects_trend_types(self, engine):
+        with pytest.raises(ConfigurationError, match="unknown query type"):
+            answer_payload(engine, {"type": "slem_trend", "dataset": "toy"})
+
+    def test_unknown_schema_refused(self, engine):
+        with pytest.raises(ConfigurationError, match="unknown wire schema"):
+            answer_payload(
+                engine,
+                {"schema": "repro.service.query/v9", "type": "slem", "dataset": "toy"},
+            )
+
+    def test_v1_and_v2_same_value_same_fingerprint(self, engine):
+        v1 = answer_payload(engine, {"type": "slem", "dataset": "toy"})
+        v2 = answer_payload(
+            engine, {"schema": SCHEMA_V2, "type": "slem", "dataset": "toy"}
+        )
+        assert v1["value"] == v2["value"]
+        assert v1["fingerprint"] == v2["fingerprint"]
+
+
+class TestV2Contract:
+    def test_v2_reply_adds_schema_and_version(self, engine):
+        reply = answer_payload(
+            engine, {"schema": SCHEMA_V2, "type": "slem", "dataset": "toy"}
+        )
+        assert sorted(reply) == sorted(V1_REPLY_KEYS + ["schema", "graph_version"])
+        assert reply["schema"] == SCHEMA_V2
+        assert reply["graph_version"] == engine.stats()["temporal"].get(
+            "datasets", {}
+        ).get("toy", reply["graph_version"])
+
+    def test_v2_trend_query(self, engine):
+        reply = answer_payload(
+            engine, {"schema": SCHEMA_V2, "type": "slem_trend", "dataset": "toy"}
+        )
+        assert reply["schema"] == SCHEMA_V2
+        assert isinstance(reply["graph_version"], str)
+        assert len(reply["value"]["slem"]) == 2
+
+    def test_matching_pin_accepted(self, engine):
+        version = answer_payload(
+            engine, {"schema": SCHEMA_V2, "type": "slem_trend", "dataset": "toy"}
+        )["graph_version"]
+        pinned = answer_payload(
+            engine,
+            {
+                "schema": SCHEMA_V2,
+                "type": "slem_trend",
+                "dataset": "toy",
+                "graph_version": version,
+            },
+        )
+        assert pinned["cache_hit"]
+
+    def test_stale_pin_refused(self, engine):
+        with pytest.raises(ConfigurationError, match="graph_version mismatch"):
+            answer_payload(
+                engine,
+                {
+                    "schema": SCHEMA_V2,
+                    "type": "slem_trend",
+                    "dataset": "toy",
+                    "graph_version": "stale",
+                },
+            )
+
+    def test_non_string_pin_rejected(self, engine):
+        with pytest.raises(ConfigurationError, match="must be a string"):
+            answer_payload(
+                engine,
+                {
+                    "schema": SCHEMA_V2,
+                    "type": "slem",
+                    "dataset": "toy",
+                    "graph_version": 7,
+                },
+            )
+
+    def test_append_delta_reply_shape(self, engine):
+        reply = answer_payload(
+            engine,
+            {
+                "schema": SCHEMA_V2,
+                "type": "append_delta",
+                "dataset": "toy",
+                "timestamp": 20,
+                "insert": [[2, 9]],
+            },
+        )
+        assert sorted(reply) == ["graph_version", "schema", "value"]
+        assert reply["value"] == {
+            "dataset": "toy",
+            "timestamp": 20,
+            "num_insert": 1,
+            "num_delete": 0,
+        }
+
+    def test_append_delta_refuses_unknown_fields(self, engine):
+        # The engine-level kwarg name must not be silently ignored on
+        # the wire: a client spelling the pin 'expect_version' would
+        # otherwise mutate without the CAS protection it asked for.
+        with pytest.raises(ConfigurationError, match="unknown field"):
+            answer_payload(
+                engine,
+                {
+                    "schema": SCHEMA_V2,
+                    "type": "append_delta",
+                    "dataset": "toy",
+                    "timestamp": 20,
+                    "insert": [[2, 9]],
+                    "expect_version": "whatever",
+                },
+            )
+
+    def test_append_delta_requires_fields(self, engine):
+        with pytest.raises(ConfigurationError, match="requires 'timestamp'"):
+            answer_payload(
+                engine,
+                {"schema": SCHEMA_V2, "type": "append_delta", "dataset": "toy"},
+            )
+
+
+class TestFrontEndParity:
+    """ServiceClient.query and HTTP POST /query share answer_payload."""
+
+    def test_inprocess_client_matches_codec(self, engine):
+        client = ServiceClient(engine)
+        payload = {"schema": SCHEMA_V2, "type": "slem_trend", "dataset": "toy"}
+        via_client = client.query(dict(payload))
+        via_codec = answer_payload(engine, dict(payload))
+        assert via_client["value"] == via_codec["value"]
+        assert via_client["fingerprint"] == via_codec["fingerprint"]
+        assert via_client["graph_version"] == via_codec["graph_version"]
+
+    def test_http_round_trip(self, engine):
+        with ServiceServer(engine) as server:
+            host, port = server.address
+            http = HTTPServiceClient(host, port)
+            # v1 verb: historical keys only.
+            v1 = http.query({"type": "slem", "dataset": "toy"})
+            assert sorted(v1) == V1_REPLY_KEYS
+            # v2 trend verb decodes with a graph_version.
+            trend = http.slem_trend("toy")
+            assert trend.graph_version is not None
+            assert len(trend.value["slem"]) == 2
+            # append_delta mutates and returns the new version...
+            new_version = http.append_delta("toy", 30, insert=[(2, 9)])
+            assert new_version != trend.graph_version
+            # ...and a stale pin maps to HTTP 400.
+            with pytest.raises(ConfigurationError, match="400"):
+                http.query(
+                    {
+                        "schema": SCHEMA_V2,
+                        "type": "slem_trend",
+                        "dataset": "toy",
+                        "graph_version": trend.graph_version,
+                    }
+                )

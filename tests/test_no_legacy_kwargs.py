@@ -1,0 +1,129 @@
+"""The ``ExecutionPolicy`` migration is finished inside the package.
+
+Legacy ``workers=``/``block_size=`` kwargs survive on the public entry
+points as deprecated aliases, but no *internal* caller may use them:
+every runner, operator and service path threads a policy object (or
+``None``) through :func:`repro.core.runtime.as_policy` — the single
+place the ``DeprecationWarning`` is emitted.  These tests run
+representative slices of every layer with ``DeprecationWarning``
+escalated to an error, so an internal legacy call (or a second,
+stray warning site) fails loudly here instead of nagging users.
+
+The removal timeline for the aliases themselves is documented in
+``docs/API.md`` ("Legacy keyword aliases").
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_POLICY,
+    ExecutionPolicy,
+    TransitionOperator,
+    as_policy,
+    estimate_mixing_time,
+    measure_mixing,
+    mixing_trend,
+    slem_trend,
+)
+from repro.errors import ConfigurationError
+from repro.graph import EdgeDelta, Graph, TemporalGraph
+from repro.service import OperatorRegistry, QueryEngine, ResultCache, ServiceClient
+
+
+def _test_graph() -> Graph:
+    """A small connected, non-bipartite graph (12-cycle plus +2 chords)."""
+    edges = [(i, (i + 1) % 12) for i in range(12)]
+    edges += [(i, (i + 2) % 12) for i in range(12)]
+    return Graph.from_edges(np.array(edges, dtype=np.int64))
+
+
+def _test_temporal() -> TemporalGraph:
+    # Ring plus one chord: connected and non-bipartite in every window.
+    base = Graph.from_edges(
+        np.array([(i, (i + 1) % 12) for i in range(12)] + [(0, 2)], dtype=np.int64)
+    )
+    temporal = TemporalGraph(base)
+    temporal.append(EdgeDelta(10, insert=[(3, 5), (4, 6)]))
+    temporal.append(EdgeDelta(20, insert=[(1, 3), (7, 9)]))
+    return temporal
+
+
+@pytest.fixture()
+def forbid_deprecation_warnings():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        yield
+
+
+class TestInternalPathsAreWarningFree:
+    """Every layer's sweep path, with DeprecationWarning as an error."""
+
+    def test_core_sweeps(self, forbid_deprecation_warnings):
+        graph = _test_graph()
+        for policy in (None, ExecutionPolicy(workers=2, execution="threads")):
+            measure_mixing(graph, [1, 3, 5], sources=[0, 4], policy=policy)
+            estimate_mixing_time(graph, 0.25, sources=[0], policy=policy)
+
+    def test_operator_paths(self, forbid_deprecation_warnings):
+        operator = TransitionOperator(_test_graph())
+        operator.hitting_times([0, 3], 0.25, policy=ExecutionPolicy(block_size=4))
+        operator.stationary()
+
+    def test_incremental_trend_paths(self, forbid_deprecation_warnings):
+        temporal = _test_temporal()
+        slem_trend(temporal, policy=ExecutionPolicy(workers=1))
+        mixing_trend(temporal, [1, 3], num_sources=4, policy=None)
+
+    def test_service_paths(self, forbid_deprecation_warnings):
+        graph = _test_graph()
+        temporal = _test_temporal()
+        engine = QueryEngine(
+            registry=OperatorRegistry(loader=lambda name: graph, publish=False),
+            cache=ResultCache(),
+            policy=ExecutionPolicy(workers=1),
+            coalesce_window=0.0,
+            temporal_loader=lambda name: temporal,
+        )
+        with engine:
+            client = ServiceClient(engine)
+            client.mixing_time("toy", 0, 0.25)
+            client.variation_curve("toy", [0, 5], [1, 3])
+            client.slem("toy")
+            client.admission("toy", [1, 2], 4)
+            client.slem_trend("toy")
+            client.mixing_trend("toy", [1, 3], num_sources=4)
+            client.append_delta("toy", 30, insert=[(2, 5)])
+
+    def test_experiment_runner_path(self, forbid_deprecation_warnings):
+        # The harness threads config.execution_policy end to end; the
+        # temporal runner is the newest (and cheapest end-to-end) one.
+        from repro.experiments import FAST
+        from repro.experiments.temporal import trend_measurements
+
+        trend_measurements(FAST, names=("temporal_mathoverflow",))
+
+
+class TestLegacySeamStillFires:
+    """The aliases remain functional — and warn — at the public boundary."""
+
+    def test_as_policy_warns_once_per_call_site(self):
+        with pytest.warns(DeprecationWarning, match="workers=/block_size="):
+            policy = as_policy(None, workers=2, stacklevel=2)
+        assert policy.workers == 2
+
+    def test_public_entry_point_warns(self):
+        graph = _test_graph()
+        with pytest.warns(DeprecationWarning):
+            measure_mixing(graph, [1], sources=[0], workers=1)
+
+    def test_policy_and_legacy_kwargs_conflict(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            as_policy(DEFAULT_POLICY, workers=2)
+
+    def test_no_kwargs_returns_default_singleton(self):
+        assert as_policy(None) is DEFAULT_POLICY
